@@ -1,0 +1,41 @@
+# cacheeval — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench repro examples fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper artifact plus the microbenchmarks (reduced scale).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the paper's run lengths (~1 min).
+repro:
+	$(GO) run ./cmd/paperrepro
+
+# Run all example programs.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/designspace
+	$(GO) run ./examples/multiprog
+	$(GO) run ./examples/prefetch
+	$(GO) run ./examples/workloadchoice
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

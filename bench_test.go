@@ -1,0 +1,306 @@
+package cacheeval_test
+
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per artifact; DESIGN.md §4 maps artifacts to code), plus microbenchmarks
+// of the hot paths. The paper-artifact benchmarks run at a reduced
+// per-trace reference budget so one iteration stays in seconds; run
+// cmd/paperrepro for the full-scale regeneration.
+
+import (
+	"testing"
+
+	"cacheeval"
+	"cacheeval/internal/experiments"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// benchOpts is the reduced-scale configuration for artifact benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{RefLimit: 50000}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweep regenerates the §3.3-§3.5 master grid backing Table 3,
+// Figures 3-10 and Table 4.
+func benchSweep(b *testing.B) *experiments.SweepResult {
+	b.Helper()
+	sweep, err := experiments.Sweep(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sweep
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep := benchSweep(b)
+		if _, err := experiments.Table3(sweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The eight per-workload figures share the sweep; each benchmark measures
+// the full regeneration cost of its artifact (sweep + extraction).
+func benchFigure(b *testing.B, kind experiments.FigureKind) {
+	for i := 0; i < b.N; i++ {
+		sweep := benchSweep(b)
+		if out := sweep.RenderFigure(kind); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B)  { benchFigure(b, experiments.Figure3) }
+func BenchmarkFigure4(b *testing.B)  { benchFigure(b, experiments.Figure4) }
+func BenchmarkFigure5(b *testing.B)  { benchFigure(b, experiments.Figure5) }
+func BenchmarkFigure6(b *testing.B)  { benchFigure(b, experiments.Figure6) }
+func BenchmarkFigure7(b *testing.B)  { benchFigure(b, experiments.Figure7) }
+func BenchmarkFigure8(b *testing.B)  { benchFigure(b, experiments.Figure8) }
+func BenchmarkFigure9(b *testing.B)  { benchFigure(b, experiments.Figure9) }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, experiments.Figure10) }
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep := benchSweep(b)
+		if r := experiments.Table4(sweep); len(r.Rows) == 0 {
+			b.Fatal("empty table 4")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t1, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep := benchSweep(b)
+		if _, err := experiments.Table5(t1, sweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClarkValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Clark(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZ80000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Z80000(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkM68020(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.M68020(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPurgeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PurgeAblation(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplacementAblation(b *testing.B) {
+	o := benchOpts()
+	o.Sizes = []int{256, 1024, 4096, 16384}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ReplacementAblation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- microbenchmarks of the hot paths ---
+
+// benchRefs materializes a workload once for the cache microbenchmarks.
+func benchRefs(b *testing.B, name string, n int) []trace.Ref {
+	b.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd, err := spec.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs, err := trace.Collect(rd, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return refs
+}
+
+func benchSystemConfig(assoc int, fetch cacheeval.FetchPolicy) cacheeval.SystemConfig {
+	return cacheeval.SystemConfig{
+		Unified: cacheeval.Config{Size: 16384, LineSize: 16, Assoc: assoc, Fetch: fetch},
+	}
+}
+
+func benchCacheAccess(b *testing.B, sc cacheeval.SystemConfig) {
+	refs := benchRefs(b, "FGO1", 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := cacheeval.NewSystem(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(refs)))
+}
+
+func BenchmarkCacheFullyAssoc(b *testing.B) {
+	benchCacheAccess(b, benchSystemConfig(0, cacheeval.DemandFetch))
+}
+
+func BenchmarkCacheDirectMapped(b *testing.B) {
+	benchCacheAccess(b, benchSystemConfig(1, cacheeval.DemandFetch))
+}
+
+func BenchmarkCachePrefetch(b *testing.B) {
+	benchCacheAccess(b, benchSystemConfig(0, cacheeval.PrefetchAlways))
+}
+
+func BenchmarkStackSim(b *testing.B) {
+	refs := benchRefs(b, "FGO1", 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := cacheeval.NewStackSim(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(trace.NewSliceReader(refs), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(refs)))
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	spec, err := workload.ByName("VCCOM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := workload.NewGenerator(spec.Params, spec.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProgramModel(b *testing.B) {
+	g, err := workload.NewProgram(workload.VAXProgram(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryCodec(b *testing.B) {
+	refs := benchRefs(b, "ZGREP", 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rec countWriter
+		w := trace.NewBinaryWriter(&rec)
+		for _, r := range refs {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(refs)))
+}
+
+// countWriter is an io.Writer that only counts, keeping the codec benchmark
+// allocation-honest.
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+func BenchmarkBusStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BusStudy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLineSizeStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LineSize(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrefetchPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PrefetchPolicies(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSamplingStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SamplingStudy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Command cachesim is a dinero-style trace-driven cache simulator: it reads
+// a trace (text or binary format, file or stdin), simulates a configured
+// cache system, and prints miss ratios, traffic and write-back statistics.
+//
+// Examples:
+//
+//	tracegen -trace FGO1 | cachesim -size 16384 -line 16
+//	cachesim -i trace.bin -size 8192 -assoc 2 -repl fifo -write through
+//	cachesim -i trace.din -split -size 16384 -prefetch -purge 20000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the simulator with the given arguments; factored out of main
+// for testing.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
+	input := fs.String("i", "-", "input trace file (\"-\" = stdin)")
+	format := fs.String("format", "auto", "trace format: text, binary, or auto")
+	size := fs.Int("size", 16384, "cache size in bytes (per cache when split)")
+	line := fs.Int("line", 16, "line size in bytes")
+	assoc := fs.Int("assoc", 0, "associativity (0 = fully associative, 1 = direct mapped)")
+	repl := fs.String("repl", "lru", "replacement policy: lru, fifo, random")
+	write := fs.String("write", "copyback", "write policy: copyback, through, through-noalloc")
+	prefetch := fs.String("prefetch", "", "prefetch policy: always, onmiss, tagged (empty = demand)")
+	subblock := fs.Int("subblock", 0, "sector-cache sub-block bytes (0 = whole-line fetch)")
+	combine := fs.Int("combine", 0, "write-combining buffer width in bytes for write-through (0 = off)")
+	split := fs.Bool("split", false, "split instruction/data caches instead of unified")
+	purge := fs.Int("purge", 0, "purge interval in references (0 = never)")
+	maxRefs := fs.Int("n", 0, "stop after N references (0 = whole trace)")
+	seed := fs.Uint64("seed", 1, "seed for random replacement")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := cache.Config{
+		Size: *size, LineSize: *line, Assoc: *assoc,
+		SubBlock: *subblock, CombineWidth: *combine, Seed: *seed,
+	}
+	switch strings.ToLower(*repl) {
+	case "lru":
+		cfg.Repl = cache.LRU
+	case "fifo":
+		cfg.Repl = cache.FIFO
+	case "random":
+		cfg.Repl = cache.Random
+	default:
+		return fmt.Errorf("unknown replacement policy %q", *repl)
+	}
+	switch strings.ToLower(*write) {
+	case "copyback":
+		cfg.Write = cache.CopyBack
+	case "through":
+		cfg.Write = cache.WriteThrough
+	case "through-noalloc":
+		cfg.Write = cache.WriteThrough
+		cfg.NoWriteAllocate = true
+	default:
+		return fmt.Errorf("unknown write policy %q", *write)
+	}
+	switch strings.ToLower(*prefetch) {
+	case "", "demand":
+		cfg.Fetch = cache.DemandFetch
+	case "always", "true":
+		cfg.Fetch = cache.PrefetchAlways
+	case "onmiss":
+		cfg.Fetch = cache.PrefetchOnMiss
+	case "tagged":
+		cfg.Fetch = cache.TaggedPrefetch
+	default:
+		return fmt.Errorf("unknown prefetch policy %q", *prefetch)
+	}
+	sc := cache.SystemConfig{PurgeInterval: *purge}
+	if *split {
+		sc.Split = true
+		sc.I, sc.D = cfg, cfg
+	} else {
+		sc.Unified = cfg
+	}
+	sys, err := cache.NewSystem(sc)
+	if err != nil {
+		return err
+	}
+
+	rd, closeFn, err := openTrace(*input, *format, stdin)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	n, err := sys.Run(rd, *maxRefs)
+	if err != nil {
+		return err
+	}
+
+	rs := sys.RefStats()
+	if *jsonOut {
+		return writeJSON(stdout, cfg, sys, n)
+	}
+	fmt.Fprintf(stdout, "configuration:    %s", cfg)
+	if *split {
+		fmt.Fprintf(stdout, " (split I/D)")
+	}
+	if *purge > 0 {
+		fmt.Fprintf(stdout, ", purge every %d refs", *purge)
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "references:       %d (ifetch %d, read %d, write %d)\n",
+		n, rs.Refs[trace.IFetch], rs.Refs[trace.Read], rs.Refs[trace.Write])
+	fmt.Fprintf(stdout, "miss ratio:       %.4f overall, %.4f instruction, %.4f data\n",
+		rs.MissRatio(), rs.KindMissRatio(trace.IFetch), rs.DataMissRatio())
+	st := sys.Stats()
+	fmt.Fprintf(stdout, "fetch traffic:    %d fetches demand, %d prefetch (%d used), %d bytes\n",
+		st.DemandFetches, st.PrefetchFetches, st.PrefetchUsed, st.BytesFromMemory)
+	fmt.Fprintf(stdout, "write traffic:    %d bytes to memory, %d transactions (%d combined)\n",
+		st.BytesToMemory, st.WriteTransactions, st.CombinedWrites)
+	fmt.Fprintf(stdout, "pushes:           %d (%d dirty, %.2f dirty fraction, %d by purge)\n",
+		st.Pushes, st.DirtyPushes, st.FracPushesDirty(), st.PurgePushes)
+	fmt.Fprintf(stdout, "traffic ratio:    %.3f (vs cacheless, [Hil84])\n", sys.TrafficRatio())
+	fmt.Fprintf(stdout, "purges:           %d\n", sys.Purges())
+	return nil
+}
+
+// jsonResult is the machine-readable output shape of -json.
+type jsonResult struct {
+	Configuration string         `json:"configuration"`
+	References    int            `json:"references"`
+	MissRatio     float64        `json:"miss_ratio"`
+	InstrMiss     float64        `json:"instruction_miss_ratio"`
+	DataMiss      float64        `json:"data_miss_ratio"`
+	TrafficRatio  float64        `json:"traffic_ratio"`
+	Purges        uint64         `json:"purges"`
+	Stats         cache.Stats    `json:"stats"`
+	RefStats      cache.RefStats `json:"ref_stats"`
+}
+
+// writeJSON emits the run's results as a single JSON object.
+func writeJSON(stdout io.Writer, cfg cache.Config, sys *cache.System, n int) error {
+	rs := sys.RefStats()
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonResult{
+		Configuration: cfg.String(),
+		References:    n,
+		MissRatio:     rs.MissRatio(),
+		InstrMiss:     rs.KindMissRatio(trace.IFetch),
+		DataMiss:      rs.DataMissRatio(),
+		TrafficRatio:  sys.TrafficRatio(),
+		Purges:        sys.Purges(),
+		Stats:         sys.Stats(),
+		RefStats:      rs,
+	})
+}
+
+// openTrace opens a trace source in the requested format (sniffing on auto).
+func openTrace(path, format string, stdin io.Reader) (trace.Reader, func(), error) {
+	f, err := trace.ParseFormat(format)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := stdin
+	closeFn := func() {}
+	if path != "-" {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		src = file
+		closeFn = func() { file.Close() }
+	}
+	rd, err := trace.NewFormatReader(src, f)
+	if err != nil {
+		closeFn()
+		return nil, nil, err
+	}
+	return rd, closeFn, nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAggregates(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-refs", "3000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"group (avg)", "IBM 370", "VAX (no LISP)", "VAX LISP",
+		"Zilog Z8000", "CDC 6400", "Motorola 68000", "targets",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunPerTraceAndArchFilter(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-refs", "2000", "-traces", "-arch", "CDC 6400"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "TWOD1") || !strings.Contains(s, "PPAL") {
+		t.Error("per-trace rows missing")
+	}
+	if strings.Contains(s, "MVS1") {
+		t.Error("arch filter leaked other architectures")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}

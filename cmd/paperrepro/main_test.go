@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quick runs one experiment selection at a tiny reference budget.
+func quick(t *testing.T, selection string) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-experiment", selection, "-refs", "2000", "-q"}, &out, &errOut); err != nil {
+		t.Fatalf("%s: %v", selection, err)
+	}
+	return out.String()
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := map[string]string{
+		"table2":         "Table 2",
+		"figure2":        "Hard80",
+		"fudge":          "fudge factors",
+		"z80000":         "Z80000",
+		"m68020":         "M68020",
+		"clark":          "Clark",
+		"variance":       "variance",
+		"sampling":       "sampling",
+		"linesize":       "Line-size",
+		"prefetchpolicy": "Prefetch policy",
+		"bus":            "Shared-bus",
+	}
+	for selection, want := range cases {
+		out := quick(t, selection)
+		if !strings.Contains(out, want) {
+			t.Errorf("%s: output missing %q", selection, want)
+		}
+	}
+}
+
+func TestRunTable1AndFigure(t *testing.T) {
+	out := quick(t, "table1,figure1")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Figure 1") {
+		t.Error("combined selection incomplete")
+	}
+}
+
+func TestRunSweepFamily(t *testing.T) {
+	out := quick(t, "table3,figure6,table4")
+	for _, want := range []string{"Table 3", "Figure 6", "Table 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSelectionIsExclusive(t *testing.T) {
+	out := quick(t, "table2")
+	if strings.Contains(out, "Table 3") {
+		t.Error("unselected experiments must not run")
+	}
+}
+
+func TestRunProgressGoesToStderr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-experiment", "fudge"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "done") {
+		t.Error("progress timing missing from stderr")
+	}
+	if strings.Contains(out.String(), "done") && !strings.Contains(out.String(), "fudge") {
+		t.Error("progress leaked to stdout")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}

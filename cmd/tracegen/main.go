@@ -1,0 +1,180 @@
+// Command tracegen emits a synthetic program address trace, either from the
+// 49-trace paper corpus or from the functional program model shaped through
+// a chosen memory interface.
+//
+// Examples:
+//
+//	tracegen -trace MVS1 > mvs1.din               # corpus trace, text format
+//	tracegen -trace LISPC-3 -format binary -o t.bin
+//	tracegen -list                                # corpus names
+//	tracegen -functional vax -interface z8000     # functional model pipeline
+//	tracegen -trace TWOD1 -loopbuffer 8           # downstream of an ifetch buffer
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cacheeval/internal/memsys"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the generator; factored out of main for testing.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	name := fs.String("trace", "", "corpus trace name (see -list)")
+	functional := fs.String("functional", "", "functional program model: vax, z8000, ibm370 or cdc6400")
+	itfName := fs.String("interface", "", "memory interface for -functional: ibm370, ibm360, vax780, z8000, cdc6400, m68000")
+	list := fs.Bool("list", false, "list corpus trace names and exit")
+	out := fs.String("o", "-", "output file (\"-\" = stdout)")
+	format := fs.String("format", "text", "output format: text or binary")
+	n := fs.Int("n", 0, "references to emit (0 = the trace's paper length, or 250000 for -functional)")
+	seed := fs.Uint64("seed", 0, "override the generator seed (0 = the trace's default)")
+	loopBuf := fs.Int("loopbuffer", 0, "filter through an instruction buffer of N 16-byte units (0 = off; §1.1's trace-distortion effect)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, s := range workload.All() {
+			marker := ""
+			if s.Name == "LISPC" || s.Name == "VAXIMA" {
+				marker = " (sections -1..-5)"
+			}
+			fmt.Fprintf(stdout, "%-10s %-14s %-30s %d refs%s\n",
+				s.Name, workload.Archs()[s.Arch].Name, s.Language, s.Refs, marker)
+		}
+		return nil
+	}
+
+	rd, defaultN, err := buildReader(*name, *functional, *itfName, *seed)
+	if err != nil {
+		return err
+	}
+	if *loopBuf > 0 {
+		rd, err = memsys.NewLoopBufferReader(rd, *loopBuf, 16)
+		if err != nil {
+			return err
+		}
+	}
+	limit := *n
+	if limit <= 0 {
+		limit = defaultN
+	}
+
+	dst := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		dst = bw
+	}
+	var w trace.Writer
+	var flush func() error
+	switch strings.ToLower(*format) {
+	case "text":
+		tw := trace.NewTextWriter(dst)
+		w, flush = tw, tw.Flush
+	case "binary":
+		bw := trace.NewBinaryWriter(dst)
+		w, flush = bw, bw.Flush
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if _, err := trace.Copy(w, rd, limit); err != nil {
+		return err
+	}
+	return flush()
+}
+
+// buildReader assembles the requested generator pipeline.
+func buildReader(name, functional, itfName string, seed uint64) (trace.Reader, int, error) {
+	switch {
+	case name != "" && functional != "":
+		return nil, 0, fmt.Errorf("choose one of -trace and -functional")
+	case name != "":
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if seed != 0 {
+			spec.Seed = seed
+		}
+		rd, err := spec.Open()
+		if err != nil {
+			return nil, 0, err
+		}
+		return rd, spec.Refs, nil
+	case functional != "":
+		var params workload.ProgramParams
+		switch strings.ToLower(functional) {
+		case "vax":
+			params = workload.VAXProgram()
+		case "z8000":
+			params = workload.Z8000Program()
+		case "ibm370":
+			params = workload.IBM370Program()
+		case "cdc6400":
+			params = workload.CDC6400Program()
+		default:
+			return nil, 0, fmt.Errorf("unknown functional model %q (want vax, z8000, ibm370 or cdc6400)", functional)
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		prog, err := workload.NewProgram(params, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		if itfName == "" {
+			return prog, 250000, nil
+		}
+		itf, err := lookupInterface(itfName)
+		if err != nil {
+			return nil, 0, err
+		}
+		sr, err := memsys.NewShapedReader(itf, prog)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sr, 250000, nil
+	default:
+		return nil, 0, fmt.Errorf("one of -trace or -functional is required (try -list)")
+	}
+}
+
+// lookupInterface resolves a named memory interface.
+func lookupInterface(name string) (memsys.Interface, error) {
+	switch strings.ToLower(name) {
+	case "ibm370":
+		return memsys.IBM370, nil
+	case "ibm360":
+		return memsys.IBM360_91, nil
+	case "vax780":
+		return memsys.VAX780, nil
+	case "z8000":
+		return memsys.Z8000, nil
+	case "cdc6400":
+		return memsys.CDC6400, nil
+	case "m68000":
+		return memsys.M68000, nil
+	default:
+		return memsys.Interface{}, fmt.Errorf("unknown interface %q", name)
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cacheeval/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MVS1", "ZGREP", "LISPC", "sections -1..-5", "CDC 6400"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 49 {
+		t.Errorf("list has %d lines, want 49", lines)
+	}
+}
+
+func TestRunCorpusTraceText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "PLO", "-n", "500"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(trace.NewTextReader(&out), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 500 {
+		t.Fatalf("emitted %d refs, want 500", len(refs))
+	}
+}
+
+func TestRunBinaryToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := run([]string{"-trace", "MATCH", "-n", "300", "-format", "binary", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	refs, err := trace.Collect(trace.NewBinaryReader(f), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 300 {
+		t.Fatalf("file holds %d refs, want 300", len(refs))
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	gen := func(seed string) string {
+		var out bytes.Buffer
+		args := []string{"-trace", "SORT", "-n", "200"}
+		if seed != "" {
+			args = append(args, "-seed", seed)
+		}
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen("") != gen("") {
+		t.Fatal("default seed must reproduce")
+	}
+	if gen("") == gen("99") {
+		t.Fatal("seed override had no effect")
+	}
+}
+
+func TestRunFunctionalPipeline(t *testing.T) {
+	var plain, shaped bytes.Buffer
+	if err := run([]string{"-functional", "vax", "-n", "1000"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-functional", "vax", "-interface", "z8000", "-n", "1000"}, &shaped); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := trace.Collect(trace.NewTextReader(&plain), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := trace.Collect(trace.NewTextReader(&shaped), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr) != 1000 || len(sr) != 1000 {
+		t.Fatalf("lengths %d/%d", len(pr), len(sr))
+	}
+	// The shaped stream goes through a 2-byte interface: every ref ≤ 2B.
+	for _, r := range sr {
+		if r.Size > 2 {
+			t.Fatalf("shaped ref size %d > interface width", r.Size)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-trace", "NOPE"},
+		{"-trace", "PLO", "-functional", "vax"},
+		{"-functional", "cobol"},
+		{"-functional", "vax", "-interface", "pdp11"},
+		{"-trace", "PLO", "-format", "csv"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
+	}
+}
+
+func TestRunLoopBuffer(t *testing.T) {
+	count := func(extra ...string) int {
+		var out bytes.Buffer
+		args := append([]string{"-trace", "TWOD1", "-n", "5000"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		refs, err := trace.Collect(trace.NewTextReader(&out), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ifetch := 0
+		for _, r := range refs {
+			if r.Kind == trace.IFetch {
+				ifetch++
+			}
+		}
+		return ifetch
+	}
+	raw := count()
+	buffered := count("-loopbuffer", "8")
+	if buffered >= raw {
+		t.Fatalf("loop buffer should absorb instruction fetches: %d -> %d", raw, buffered)
+	}
+}

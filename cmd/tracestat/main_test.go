@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# mixed sample
+i 100 4
+i 104 4
+i 200 4
+r 4000 8
+w 5000 8
+`
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"references:   5", "ifetch:       3 (60.0%)",
+		"reads:        1 (20.0%)", "writes:       1 (20.0%)",
+		"branches:", "Aspace:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFileAndLimit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.din")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-n", "2", "-line", "32"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "references:   2") {
+		t.Errorf("limit ignored:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "32-byte lines") {
+		t.Errorf("line size ignored:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "nope"},
+		{"-i", "/missing/file"},
+		{"-line", "24"},
+	} {
+		if err := run(args, strings.NewReader(sample), &bytes.Buffer{}); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Multiprog: multiprogramming and the task-switch purge interval.
+//
+// §3.3 of the paper runs traces "in a round robin manner, switching and
+// purging every 20,000 memory references" and notes the results "are
+// definitely sensitive to that figure."  This example builds the paper's
+// Z8000 assortment, sweeps the purge interval, and shows how both the miss
+// ratio and the dirty-push fraction move.
+//
+// Run with:
+//
+//	go run ./examples/multiprog
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cacheeval"
+)
+
+func main() {
+	// The paper's Z8000 assortment: five Unix utilities round-robined.
+	var base cacheeval.Mix
+	for _, m := range cacheeval.StandardMixes() {
+		if m.Name == "Z8000 - Assorted" {
+			base = m
+		}
+	}
+	if base.Name == "" {
+		log.Fatal("Z8000 assortment not found")
+	}
+
+	fmt.Println("Z8000 assortment, 16K+16K split caches, varying the task-switch interval:")
+	fmt.Printf("%10s  %12s  %12s  %12s  %10s\n",
+		"interval", "overall miss", "instr miss", "data miss", "dirty frac")
+	for _, interval := range []int{2000, 5000, 10000, 20000, 40000, 80000, 0} {
+		mix := base
+		mix.Quantum = interval
+		if interval == 0 {
+			mix.Quantum = 20000 // still switch tasks, just never purge
+		}
+		design := cacheeval.SystemConfig{
+			Split:         true,
+			I:             cacheeval.Config{Size: 16 * 1024, LineSize: 16},
+			D:             cacheeval.Config{Size: 16 * 1024, LineSize: 16},
+			PurgeInterval: interval,
+		}
+		report, err := cacheeval.Evaluate(design, mix, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d", interval)
+		if interval == 0 {
+			label = "never"
+		}
+		fmt.Printf("%10s  %12.4f  %12.4f  %12.4f  %10.2f\n",
+			label, report.MissRatio, report.InstrMiss, report.DataMiss,
+			report.DirtyPushFraction)
+	}
+
+	fmt.Println()
+	fmt.Println("Shorter intervals purge the cache before it warms up, so the miss ratio")
+	fmt.Println("climbs; they also evict lines before they are written, so the dirty-push")
+	fmt.Println("fraction falls. The paper's 20,000 sits where a 16K cache has mostly")
+	fmt.Println("warmed — and why its Table 1 (no purging) and Table 3 (purging) disagree")
+	fmt.Println("about large caches.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: evaluate one cache design against one paper workload.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cacheeval"
+)
+
+func main() {
+	// Pick a workload from the corpus: FGO1 is one of the paper's IBM 370
+	// Fortran batch jobs.
+	mix := cacheeval.MixByName("FGO1")
+
+	// A 16-Kbyte unified cache with 16-byte lines, fully associative LRU,
+	// copy-back, purged on every 20,000-reference task switch — the
+	// configuration family the paper studies.
+	design := cacheeval.SystemConfig{
+		Unified:       cacheeval.Config{Size: 16 * 1024, LineSize: 16},
+		PurgeInterval: 20000,
+	}
+
+	report, err := cacheeval.Evaluate(design, mix, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("workload:          ", report.Workload)
+	fmt.Println("references:        ", report.Refs)
+	fmt.Printf("overall miss ratio: %.4f\n", report.MissRatio)
+	fmt.Printf("instruction miss:   %.4f\n", report.InstrMiss)
+	fmt.Printf("data miss:          %.4f\n", report.DataMiss)
+	fmt.Printf("traffic ratio:      %.3f (memory traffic vs no cache)\n", report.TrafficRatio)
+	fmt.Printf("dirty push frac:    %.2f (Table 3's statistic)\n", report.DirtyPushFraction)
+
+	// Compare with the paper's published design target at this size.
+	for _, row := range cacheeval.Table5Targets() {
+		if row.Size == 16*1024 {
+			fmt.Printf("paper's design target at 16K (unified): %.2f\n", row.Unified.V)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module cacheeval
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package busmodel quantifies the paper's §3.5.2 warning: "In a
+// microprocessor based system with a shared bus, the traffic capacity of
+// the bus limits the number of microprocessors that can be used, and thus
+// although prefetching cuts the miss ratio of each processor and presumably
+// increases its performance, the increase in traffic can lower the maximum
+// possible system performance level."
+//
+// The model is a standard closed-system bus-contention analysis: each
+// processor's execution rate depends on its memory stall time, the stall
+// time depends on bus queueing, and queueing depends on the aggregate
+// request rate of all processors. An M/M/1-style waiting-time approximation
+// closes the loop, and the resulting equilibrium is the root of a quadratic
+// solved in closed form (see Solve).
+package busmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bus describes the shared bus.
+type Bus struct {
+	// ServiceCycles is the bus occupancy of one transfer (arbitration plus
+	// moving one cache line), in processor cycles.
+	ServiceCycles float64
+}
+
+// Processor describes one processor+cache as the cache simulation measured
+// it, normalized per memory reference.
+type Processor struct {
+	// HitCycles is the per-reference cost when the cache hits.
+	HitCycles float64
+	// MissPenalty is the added latency of a demand miss, excluding bus
+	// queueing (memory access time).
+	MissPenalty float64
+	// MissesPerRef is the demand miss ratio: the fraction of references
+	// that stall the processor.
+	MissesPerRef float64
+	// TransfersPerRef is the bus transactions issued per reference: demand
+	// fetches, prefetch fetches and dirty write-backs all occupy the bus
+	// even when they do not stall the processor.
+	TransfersPerRef float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Processor) Validate() error {
+	if p.HitCycles <= 0 {
+		return fmt.Errorf("busmodel: HitCycles %v must be positive", p.HitCycles)
+	}
+	if p.MissPenalty < 0 || p.MissesPerRef < 0 || p.TransfersPerRef < 0 {
+		return fmt.Errorf("busmodel: negative rate in %+v", p)
+	}
+	if p.MissesPerRef > 1 {
+		return fmt.Errorf("busmodel: MissesPerRef %v > 1", p.MissesPerRef)
+	}
+	return nil
+}
+
+// Point is the predicted steady state of N identical processors sharing the
+// bus.
+type Point struct {
+	N int
+	// CyclesPerRef is each processor's mean cycles per memory reference
+	// including bus queueing.
+	CyclesPerRef float64
+	// Utilization is the bus utilization in [0, 1).
+	Utilization float64
+	// PerProcessor is each processor's relative performance (references per
+	// cycle); Throughput is N times that.
+	PerProcessor float64
+	Throughput   float64
+	// Saturated marks points where the bus could not serve the offered
+	// load even with infinite queueing delay pushing it back; the model
+	// reports the bus-bound throughput ceiling there.
+	Saturated bool
+}
+
+// Solve computes the fixed point for N processors.
+func Solve(p Processor, bus Bus, n int) (Point, error) {
+	if err := p.Validate(); err != nil {
+		return Point{}, err
+	}
+	if bus.ServiceCycles <= 0 {
+		return Point{}, fmt.Errorf("busmodel: ServiceCycles %v must be positive", bus.ServiceCycles)
+	}
+	if n < 1 {
+		return Point{}, fmt.Errorf("busmodel: need at least one processor")
+	}
+	s := bus.ServiceCycles
+	base := p.HitCycles + p.MissesPerRef*p.MissPenalty
+	// The bus serves at most 1/s transfers per cycle; each reference needs
+	// TransfersPerRef slots, capping aggregate throughput at
+	// 1/(s*TransfersPerRef) references per cycle.
+	cap := math.Inf(1)
+	if p.TransfersPerRef > 0 {
+		cap = 1 / (s * p.TransfersPerRef)
+	}
+
+	// Closed-system equilibrium. With utilization x, each stalling miss
+	// also waits W = s*x/(1-x) (M/M/1), so
+	//   cyc = base + m*W   and   x = N*t*s/cyc.
+	// Substituting cyc = N*t*s/x gives the quadratic
+	//   (m*s - base)*x^2 + (base + N*t*s)*x - N*t*s = 0,
+	// which has exactly one root in (0, 1); throughput N/cyc = x/(s*t)
+	// then approaches the cap monotonically from below as N grows.
+	var cyc float64
+	nts := float64(n) * p.TransfersPerRef * s
+	switch {
+	case p.TransfersPerRef == 0:
+		cyc = base // no bus use at all
+	case p.MissesPerRef == 0:
+		// Traffic without stalls (pure prefetch/write-back): the processor
+		// never waits, but its offered load cannot exceed the bus.
+		cyc = base
+	default:
+		a := p.MissesPerRef*s - base
+		b := base + nts
+		c := -nts
+		var x float64
+		if math.Abs(a) < 1e-15 {
+			x = -c / b
+		} else {
+			disc := b*b - 4*a*c
+			if disc < 0 {
+				return Point{}, fmt.Errorf("busmodel: no equilibrium (discriminant %v)", disc)
+			}
+			r := math.Sqrt(disc)
+			x1 := (-b + r) / (2 * a)
+			x2 := (-b - r) / (2 * a)
+			x = x1
+			if !(x > 0 && x < 1) || (x2 > 0 && x2 < 1 && x2 < x) {
+				if x2 > 0 && x2 < 1 {
+					x = x2
+				}
+			}
+		}
+		if x <= 0 || x >= 1 {
+			return Point{}, fmt.Errorf("busmodel: equilibrium utilization %v out of range", x)
+		}
+		cyc = nts / x
+	}
+	perProc := 1 / cyc
+	throughput := float64(n) * perProc
+	saturated := false
+	if throughput > cap {
+		// Only reachable in the zero-stall corner cases above.
+		throughput = cap
+		perProc = cap / float64(n)
+		cyc = 1 / perProc
+		saturated = true
+	}
+	util := float64(n) * p.TransfersPerRef * s / cyc
+	if util > 1 {
+		util = 1
+	}
+	if !saturated && util >= 0.98 {
+		saturated = true
+	}
+	return Point{
+		N: n, CyclesPerRef: cyc, Utilization: util,
+		PerProcessor: perProc, Throughput: throughput, Saturated: saturated,
+	}, nil
+}
+
+// Sweep evaluates 1..maxN processors.
+func Sweep(p Processor, bus Bus, maxN int) ([]Point, error) {
+	if maxN < 1 {
+		return nil, fmt.Errorf("busmodel: maxN %d < 1", maxN)
+	}
+	out := make([]Point, maxN)
+	for n := 1; n <= maxN; n++ {
+		pt, err := Solve(p, bus, n)
+		if err != nil {
+			return nil, err
+		}
+		out[n-1] = pt
+	}
+	return out, nil
+}
+
+// Knee returns the smallest processor count achieving at least frac (e.g.
+// 0.95) of the sweep's maximum throughput — the sensible system size before
+// the bus eats further scaling. It returns 0 for an empty sweep.
+func Knee(points []Point, frac float64) int {
+	var max float64
+	for _, pt := range points {
+		if pt.Throughput > max {
+			max = pt.Throughput
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	for _, pt := range points {
+		if pt.Throughput >= frac*max {
+			return pt.N
+		}
+	}
+	return 0
+}
+
+// MaxThroughput returns the peak system throughput in a sweep.
+func MaxThroughput(points []Point) float64 {
+	var max float64
+	for _, pt := range points {
+		if pt.Throughput > max {
+			max = pt.Throughput
+		}
+	}
+	return max
+}

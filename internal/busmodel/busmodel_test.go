@@ -1,0 +1,178 @@
+package busmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func proc() Processor {
+	return Processor{
+		HitCycles: 1, MissPenalty: 10,
+		MissesPerRef: 0.05, TransfersPerRef: 0.07, // misses + write-backs
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := proc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Processor{
+		{HitCycles: 0, MissPenalty: 10},
+		{HitCycles: 1, MissPenalty: -1},
+		{HitCycles: 1, MissesPerRef: 1.5},
+		{HitCycles: 1, TransfersPerRef: -0.1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", p)
+		}
+	}
+	if _, err := Solve(proc(), Bus{ServiceCycles: 0}, 1); err == nil {
+		t.Error("zero service time must be rejected")
+	}
+	if _, err := Solve(proc(), Bus{ServiceCycles: 4}, 0); err == nil {
+		t.Error("zero processors must be rejected")
+	}
+	if _, err := Sweep(proc(), Bus{ServiceCycles: 4}, 0); err == nil {
+		t.Error("empty sweep must be rejected")
+	}
+}
+
+func TestSingleProcessorNearUncontended(t *testing.T) {
+	p := proc()
+	pt, err := Solve(p, Bus{ServiceCycles: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := p.HitCycles + p.MissesPerRef*p.MissPenalty
+	// One processor sees only its own (small) queueing; within 20% of the
+	// contention-free cost.
+	if pt.CyclesPerRef < base || pt.CyclesPerRef > 1.2*base {
+		t.Fatalf("1-cpu cycles/ref = %v, base %v", pt.CyclesPerRef, base)
+	}
+	if pt.Saturated {
+		t.Fatal("one processor must not saturate this bus")
+	}
+	if pt.Utilization <= 0 || pt.Utilization >= 1 {
+		t.Fatalf("utilization = %v", pt.Utilization)
+	}
+}
+
+func TestThroughputSaturates(t *testing.T) {
+	p := proc()
+	bus := Bus{ServiceCycles: 4}
+	points, err := Sweep(p, bus, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput must be non-decreasing then flat at the bus cap.
+	for i := 1; i < len(points); i++ {
+		if points[i].Throughput < points[i-1].Throughput-1e-9 {
+			t.Fatalf("throughput fell at N=%d: %v -> %v",
+				points[i].N, points[i-1].Throughput, points[i].Throughput)
+		}
+	}
+	cap := 1 / (bus.ServiceCycles * p.TransfersPerRef)
+	last := points[len(points)-1]
+	if last.Throughput > cap+1e-9 {
+		t.Fatalf("throughput %v exceeds bus cap %v", last.Throughput, cap)
+	}
+	if !last.Saturated {
+		t.Fatal("64 processors on this bus must saturate")
+	}
+	if last.Throughput < 0.95*cap {
+		t.Fatalf("saturated throughput %v below cap %v", last.Throughput, cap)
+	}
+	// Per-processor performance must degrade as the bus fills.
+	if points[40].PerProcessor >= points[0].PerProcessor {
+		t.Fatal("per-processor performance should fall with contention")
+	}
+}
+
+func TestMoreTrafficLowerCeiling(t *testing.T) {
+	// The §3.5.2 point: a prefetching processor (lower miss ratio, more
+	// traffic) can have a lower system ceiling than a demand one.
+	demand := Processor{HitCycles: 1, MissPenalty: 10, MissesPerRef: 0.05, TransfersPerRef: 0.06}
+	prefetch := Processor{HitCycles: 1, MissPenalty: 10, MissesPerRef: 0.02, TransfersPerRef: 0.12}
+	bus := Bus{ServiceCycles: 5}
+	dPts, err := Sweep(demand, bus, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPts, err := Sweep(prefetch, bus, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch wins per processor at small N...
+	if pPts[0].PerProcessor <= dPts[0].PerProcessor {
+		t.Fatal("prefetch should win with one processor")
+	}
+	// ...but demand supports a higher saturated system throughput.
+	if MaxThroughput(pPts) >= MaxThroughput(dPts) {
+		t.Fatalf("prefetch ceiling %v should fall below demand ceiling %v",
+			MaxThroughput(pPts), MaxThroughput(dPts))
+	}
+}
+
+func TestKnee(t *testing.T) {
+	pts, err := Sweep(proc(), Bus{ServiceCycles: 4}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Knee(pts, 0.95)
+	if k < 1 || k > 64 {
+		t.Fatalf("knee = %d", k)
+	}
+	// The knee must actually achieve 95% of max.
+	if pts[k-1].Throughput < 0.95*MaxThroughput(pts) {
+		t.Fatal("knee point below its own threshold")
+	}
+	if k > 1 && pts[k-2].Throughput >= 0.95*MaxThroughput(pts) {
+		t.Fatal("knee is not minimal")
+	}
+	if Knee(nil, 0.95) != 0 {
+		t.Fatal("empty sweep knee must be 0")
+	}
+}
+
+func TestZeroTrafficProcessorScalesLinearly(t *testing.T) {
+	p := Processor{HitCycles: 1, MissPenalty: 0, MissesPerRef: 0, TransfersPerRef: 0}
+	pts, err := Sweep(p, Bus{ServiceCycles: 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if math.Abs(pt.Throughput-float64(pt.N)) > 1e-9 {
+			t.Fatalf("N=%d throughput %v, want %d (perfect cache, no bus use)", pt.N, pt.Throughput, pt.N)
+		}
+		if pt.Saturated {
+			t.Fatal("no-traffic processors cannot saturate the bus")
+		}
+	}
+}
+
+func TestSolveDeterministicAndBounded(t *testing.T) {
+	f := func(miss, transfers, penalty uint8, n uint8) bool {
+		p := Processor{
+			HitCycles:       1,
+			MissPenalty:     float64(penalty%50) + 1,
+			MissesPerRef:    float64(miss%100) / 100,
+			TransfersPerRef: float64(transfers%100) / 100,
+		}
+		nn := int(n%32) + 1
+		a, err1 := Solve(p, Bus{ServiceCycles: 4}, nn)
+		b, err2 := Solve(p, Bus{ServiceCycles: 4}, nn)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a != b {
+			return false
+		}
+		return a.CyclesPerRef >= p.HitCycles && a.Utilization <= 1 &&
+			a.Throughput > 0 && !math.IsNaN(a.Throughput) && !math.IsInf(a.Throughput, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

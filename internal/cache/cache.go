@@ -1,0 +1,423 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Cache simulates a single cache array. It operates on byte addresses; the
+// System wrapper translates trace references into accesses and handles
+// split/unified routing, purge scheduling and store-width accounting.
+//
+// A cache may be sectored (Config.SubBlock < LineSize): the tag covers a
+// whole line (sector) but fetches move sub-blocks, the organization of the
+// Zilog Z80000's on-chip cache discussed in §1.2 ("a 16 byte sector (larger
+// block) and then fetches either 2 bytes, 4 bytes or 16 bytes"). A
+// reference to a resident sector whose sub-block is absent counts as a miss
+// and fetches just that sub-block.
+//
+// Cache is not safe for concurrent use; run one simulation per goroutine.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	subShift  uint
+	subsPer   uint // sub-blocks per line
+	setMask   uint64
+	sets      []set
+	stats     Stats
+	rng       *rand.Rand // only for Random replacement
+	resident  int        // total valid lines, for invariant checks
+
+	// write-combining buffer state (write-through only): the unit of the
+	// immediately preceding store, cleared by any intervening access.
+	combineUnit uint64
+	combineLive bool
+}
+
+// node is one line (sector) frame within a set, linked into a
+// recency/insertion list. Index -1 terminates the list. valid and dirty are
+// per-sub-block bitmasks; for unsectored caches they use only bit 0.
+type node struct {
+	tag        uint64
+	prev, next int32
+	present    bool
+	valid      uint64
+	dirty      uint64
+	prefetched bool // set when loaded by prefetch, cleared on first demand hit
+}
+
+// set is one associativity set: a tag->frame map plus a doubly linked list
+// ordered most-recent (LRU) or newest-inserted (FIFO) first.
+type set struct {
+	nodes []node
+	index map[uint64]int32
+	head  int32
+	tail  int32
+	used  int32
+}
+
+// New returns a Cache for cfg. It returns an error if cfg is invalid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sub := cfg.EffectiveSubBlock()
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: log2(cfg.LineSize),
+		subShift:  log2(sub),
+		subsPer:   uint(cfg.LineSize / sub),
+		setMask:   uint64(cfg.Sets() - 1),
+	}
+	assoc := cfg.EffectiveAssoc()
+	c.sets = make([]set, cfg.Sets())
+	for i := range c.sets {
+		c.sets[i] = set{
+			nodes: make([]node, assoc),
+			index: make(map[uint64]int32, assoc),
+			head:  -1,
+			tail:  -1,
+		}
+	}
+	if cfg.Repl == Random {
+		c.rng = rand.New(rand.NewSource(int64(cfg.Seed)))
+	}
+	return c, nil
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without disturbing cache contents, e.g.
+// to exclude a warm-up period.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Resident returns the number of valid lines currently held.
+func (c *Cache) Resident() int { return c.resident }
+
+// LineOf returns the line address of a byte address.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+// LineShift returns log2(LineSize).
+func (c *Cache) LineShift() uint { return c.lineShift }
+
+// subBytes returns the fetch granularity in bytes.
+func (c *Cache) subBytes() uint64 { return 1 << c.subShift }
+
+// subIndex returns the sub-block index of addr within its line.
+func (c *Cache) subIndex(addr uint64) uint {
+	return uint(addr>>c.subShift) & (uint(c.subsPer) - 1)
+}
+
+// Contains reports whether the sub-block holding addr is resident, without
+// touching replacement state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.LineOf(addr)
+	s := &c.sets[line&c.setMask]
+	ni, ok := s.index[line]
+	if !ok {
+		return false
+	}
+	return s.nodes[ni].valid&(1<<c.subIndex(addr)) != 0
+}
+
+// Access performs one demand reference to the sub-block containing addr.
+// write marks the reference as a store; storeBytes is the store width used
+// for write-through traffic accounting (ignored for reads and copy-back).
+// It returns true on a hit. Prefetching policies probe the next sequential
+// fetch unit and, if absent, fetch it — that fetch is traffic, never a miss:
+// PrefetchAlways probes on every reference (§3.5), PrefetchOnMiss only after
+// misses, TaggedPrefetch after misses and first uses of prefetched lines.
+func (c *Cache) Access(addr uint64, write bool, storeBytes int) bool {
+	hit, firstUse := c.demand(addr, write, storeBytes)
+	trigger := false
+	switch c.cfg.Fetch {
+	case PrefetchAlways:
+		trigger = true
+	case PrefetchOnMiss:
+		trigger = !hit
+	case TaggedPrefetch:
+		trigger = !hit || firstUse
+	}
+	if trigger {
+		next := (addr &^ (c.subBytes() - 1)) + c.subBytes()
+		c.prefetch(next)
+	}
+	return hit
+}
+
+// demand performs the demand part of an access. firstUse reports that the
+// access hit a line brought in by a prefetch and not referenced since (the
+// tag bit of tagged prefetch).
+func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse bool) {
+	line := c.LineOf(addr)
+	sub := c.subIndex(addr)
+	c.stats.Accesses++
+	if write {
+		c.stats.WriteAccesses++
+	} else {
+		// Any intervening non-store access flushes the combining buffer.
+		c.combineLive = false
+	}
+	s := &c.sets[line&c.setMask]
+	ni, ok := s.index[line]
+	if ok && s.nodes[ni].valid&(1<<sub) != 0 {
+		n := &s.nodes[ni]
+		if n.prefetched {
+			c.stats.PrefetchUsed++
+			n.prefetched = false
+			firstUse = true
+		}
+		if c.cfg.Repl == LRU {
+			s.moveToFront(ni)
+		}
+		c.applyWrite(n, sub, addr, write, storeBytes)
+		return true, firstUse
+	}
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMisses++
+		if c.cfg.Write == WriteThrough && c.cfg.NoWriteAllocate {
+			// The store goes to memory but the line is not brought in.
+			c.stats.BytesToMemory += uint64(storeBytes)
+			c.accountWriteTransaction(addr)
+			return false, false
+		}
+	}
+	if ok {
+		// Sector hit, sub-block miss: fetch just the sub-block.
+		n := &s.nodes[ni]
+		n.valid |= 1 << sub
+		if c.cfg.Repl == LRU {
+			s.moveToFront(ni)
+		}
+		c.stats.DemandFetches++
+		c.stats.BytesFromMemory += c.subBytes()
+		c.applyWrite(n, sub, addr, write, storeBytes)
+		return false, false
+	}
+	// Line absent: allocate a frame and fetch the referenced sub-block
+	// (fetch-on-write under copy-back; write-allocate under write-through).
+	ni = c.insert(s, line, 1<<sub, false)
+	c.stats.DemandFetches++
+	c.stats.BytesFromMemory += c.subBytes()
+	c.applyWrite(&s.nodes[ni], sub, addr, write, storeBytes)
+	return false, false
+}
+
+// applyWrite updates dirty state and write traffic for a store to a
+// sub-block that is (now) resident: copy-back marks it dirty, write-through
+// sends the store to memory immediately (through the combining buffer).
+func (c *Cache) applyWrite(n *node, sub uint, addr uint64, write bool, storeBytes int) {
+	if !write {
+		return
+	}
+	switch c.cfg.Write {
+	case CopyBack:
+		n.dirty |= 1 << sub
+	case WriteThrough:
+		c.stats.BytesToMemory += uint64(storeBytes)
+		c.accountWriteTransaction(addr)
+	}
+}
+
+// accountWriteTransaction charges one memory write transaction for a
+// write-through store, merging consecutive stores to the same aligned
+// CombineWidth unit (§3.3's adjacent-write combining).
+func (c *Cache) accountWriteTransaction(addr uint64) {
+	if c.cfg.CombineWidth == 0 {
+		c.stats.WriteTransactions++
+		return
+	}
+	unit := addr &^ (uint64(c.cfg.CombineWidth) - 1)
+	if c.combineLive && unit == c.combineUnit {
+		c.stats.CombinedWrites++
+		return
+	}
+	c.stats.WriteTransactions++
+	c.combineUnit, c.combineLive = unit, true
+}
+
+// prefetch probes for the fetch unit containing addr and fetches it if
+// absent. Prefetched lines are inserted at the head of the recency list
+// like demand fetches.
+func (c *Cache) prefetch(addr uint64) {
+	line := c.LineOf(addr)
+	sub := c.subIndex(addr)
+	s := &c.sets[line&c.setMask]
+	if ni, ok := s.index[line]; ok {
+		n := &s.nodes[ni]
+		if n.valid&(1<<sub) != 0 {
+			return
+		}
+		n.valid |= 1 << sub
+	} else {
+		c.insert(s, line, 1<<sub, true)
+	}
+	c.stats.PrefetchFetches++
+	c.stats.BytesFromMemory += c.subBytes()
+}
+
+// insert places line into s with the given initial valid mask, evicting if
+// the set is full, and returns the frame index used.
+func (c *Cache) insert(s *set, line uint64, valid uint64, prefetched bool) int32 {
+	var ni int32
+	if s.used < int32(len(s.nodes)) {
+		ni = s.used
+		s.used++
+	} else {
+		ni = c.victim(s)
+		c.push(s, ni, false)
+	}
+	c.resident++
+	n := &s.nodes[ni]
+	n.tag = line
+	n.present = true
+	n.valid = valid
+	n.dirty = 0
+	n.prefetched = prefetched
+	s.index[line] = ni
+	s.pushFront(ni)
+	return ni
+}
+
+// victim selects the frame to evict from a full set.
+func (c *Cache) victim(s *set) int32 {
+	switch c.cfg.Repl {
+	case LRU, FIFO:
+		return s.tail
+	case Random:
+		return int32(c.rng.Intn(len(s.nodes)))
+	default:
+		panic(fmt.Sprintf("cache: unknown replacement %v", c.cfg.Repl))
+	}
+}
+
+// push removes frame ni from s, accounting the push (and write-back traffic
+// for any dirty sub-blocks). purge marks pushes caused by a task-switch
+// purge.
+func (c *Cache) push(s *set, ni int32, purge bool) {
+	n := &s.nodes[ni]
+	c.stats.Pushes++
+	if purge {
+		c.stats.PurgePushes++
+	}
+	if n.dirty != 0 {
+		c.stats.DirtyPushes++
+		c.stats.WriteTransactions++
+		c.stats.BytesToMemory += uint64(bits.OnesCount64(n.dirty)) * c.subBytes()
+	}
+	delete(s.index, n.tag)
+	s.unlink(ni)
+	n.present = false
+	n.valid = 0
+	n.dirty = 0
+	n.prefetched = false
+	c.resident--
+}
+
+// Purge empties the cache, pushing every resident line (dirty sub-blocks
+// write back). This models the task-switch purges of §3.3/§3.5.
+func (c *Cache) Purge() {
+	c.combineLive = false
+	for si := range c.sets {
+		s := &c.sets[si]
+		for ni := s.head; ni != -1; {
+			next := s.nodes[ni].next
+			c.push(s, ni, true)
+			ni = next
+		}
+		s.used = 0
+	}
+}
+
+// list plumbing --------------------------------------------------------
+
+// pushFront links frame ni at the head of the list. The frame must be
+// unlinked.
+func (s *set) pushFront(ni int32) {
+	n := &s.nodes[ni]
+	n.prev = -1
+	n.next = s.head
+	if s.head != -1 {
+		s.nodes[s.head].prev = ni
+	}
+	s.head = ni
+	if s.tail == -1 {
+		s.tail = ni
+	}
+}
+
+// unlink removes frame ni from the list.
+func (s *set) unlink(ni int32) {
+	n := &s.nodes[ni]
+	if n.prev != -1 {
+		s.nodes[n.prev].next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != -1 {
+		s.nodes[n.next].prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = -1, -1
+}
+
+// moveToFront relinks frame ni at the head (LRU touch).
+func (s *set) moveToFront(ni int32) {
+	if s.head == ni {
+		return
+	}
+	s.unlink(ni)
+	s.pushFront(ni)
+}
+
+// checkInvariants validates internal consistency; used by tests.
+func (c *Cache) checkInvariants() error {
+	total := 0
+	for si := range c.sets {
+		s := &c.sets[si]
+		// Walk the list forward, confirming linkage and map agreement.
+		seen := 0
+		prev := int32(-1)
+		for ni := s.head; ni != -1; ni = s.nodes[ni].next {
+			n := &s.nodes[ni]
+			if !n.present || n.valid == 0 {
+				return fmt.Errorf("set %d: empty node %d on list", si, ni)
+			}
+			if n.prev != prev {
+				return fmt.Errorf("set %d: node %d prev mismatch", si, ni)
+			}
+			if got, ok := s.index[n.tag]; !ok || got != ni {
+				return fmt.Errorf("set %d: map mismatch for tag %#x", si, n.tag)
+			}
+			if int(n.tag)&int(c.setMask) != si {
+				return fmt.Errorf("set %d: tag %#x maps to wrong set", si, n.tag)
+			}
+			if n.dirty&^n.valid != 0 {
+				return fmt.Errorf("set %d: dirty sub-blocks not valid in tag %#x", si, n.tag)
+			}
+			prev = ni
+			seen++
+			if seen > len(s.nodes) {
+				return fmt.Errorf("set %d: list cycle", si)
+			}
+		}
+		if prev != s.tail {
+			return fmt.Errorf("set %d: tail mismatch", si)
+		}
+		if seen != len(s.index) {
+			return fmt.Errorf("set %d: list has %d nodes, map has %d", si, seen, len(s.index))
+		}
+		total += seen
+	}
+	if total != c.resident {
+		return fmt.Errorf("resident count %d != %d actual", c.resident, total)
+	}
+	return nil
+}

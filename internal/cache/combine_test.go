@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombineValidation(t *testing.T) {
+	if err := (Config{Size: 256, LineSize: 16, CombineWidth: 8}).Validate(); err == nil {
+		t.Error("combining without write-through must be rejected")
+	}
+	if err := (Config{Size: 256, LineSize: 16, Write: WriteThrough, CombineWidth: 6}).Validate(); err == nil {
+		t.Error("non-power-of-two combine width must be rejected")
+	}
+	if err := (Config{Size: 256, LineSize: 16, Write: WriteThrough, CombineWidth: 8}).Validate(); err != nil {
+		t.Errorf("valid combining config rejected: %v", err)
+	}
+}
+
+func TestAdjacentWritesCombine(t *testing.T) {
+	// §3.3: "two 2-byte writes are combined into a four byte write".
+	c := mustCache(t, Config{Size: 256, LineSize: 16, Write: WriteThrough, CombineWidth: 4})
+	c.Access(0x100, true, 2)
+	c.Access(0x102, true, 2) // same 4-byte unit: combined
+	st := c.Stats()
+	if st.WriteTransactions != 1 {
+		t.Fatalf("transactions = %d, want 1", st.WriteTransactions)
+	}
+	if st.CombinedWrites != 1 {
+		t.Fatalf("combined = %d, want 1", st.CombinedWrites)
+	}
+	if st.BytesToMemory != 4 {
+		t.Fatalf("bytes = %d, want 4 (same data either way)", st.BytesToMemory)
+	}
+	// A store to a different unit starts a new transaction.
+	c.Access(0x104, true, 2)
+	if c.Stats().WriteTransactions != 2 {
+		t.Fatalf("transactions = %d, want 2", c.Stats().WriteTransactions)
+	}
+}
+
+func TestCombineFlushedByReads(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 16, Write: WriteThrough, CombineWidth: 8})
+	c.Access(0x100, true, 2)
+	c.Access(0x200, false, 0) // intervening read flushes the buffer
+	c.Access(0x102, true, 2)  // same unit as the first store, but not adjacent
+	st := c.Stats()
+	if st.WriteTransactions != 2 || st.CombinedWrites != 0 {
+		t.Fatalf("stats = %+v, want 2 transactions, 0 combined", st)
+	}
+}
+
+func TestCombineFlushedByPurge(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 16, Write: WriteThrough, CombineWidth: 8})
+	c.Access(0x100, true, 2)
+	c.Purge()
+	c.Access(0x102, true, 2)
+	if st := c.Stats(); st.CombinedWrites != 0 || st.WriteTransactions != 2 {
+		t.Fatalf("purge did not flush the combining buffer: %+v", st)
+	}
+}
+
+func TestNoCombiningCountsEveryStore(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 16, Write: WriteThrough})
+	for i := 0; i < 5; i++ {
+		c.Access(0x100, true, 2)
+	}
+	if st := c.Stats(); st.WriteTransactions != 5 || st.CombinedWrites != 0 {
+		t.Fatalf("stats = %+v, want 5 uncombined transactions", st)
+	}
+}
+
+func TestCopyBackWriteTransactions(t *testing.T) {
+	c := mustCache(t, Config{Size: 32, LineSize: 16}) // 2 lines
+	c.Access(line(0), true, 8)
+	c.Access(line(1), true, 8)
+	c.Access(line(2), false, 0) // evicts dirty line 0
+	if st := c.Stats(); st.WriteTransactions != 1 {
+		t.Fatalf("copy-back write transactions = %d, want 1 (the dirty push)", st.WriteTransactions)
+	}
+	c.Purge() // pushes dirty line 1 (and clean line 2)
+	if st := c.Stats(); st.WriteTransactions != 2 {
+		t.Fatalf("after purge = %d, want 2", st.WriteTransactions)
+	}
+}
+
+func TestCombiningOnStreamingStores(t *testing.T) {
+	// A streaming 2-byte store pattern through an 8-byte combining buffer
+	// cuts transactions ~4x, the §3.3 benefit.
+	run := func(width int) uint64 {
+		cfg := Config{Size: 1024, LineSize: 16, Write: WriteThrough, CombineWidth: width}
+		c := mustCache(t, cfg)
+		for a := uint64(0); a < 4096; a += 2 {
+			c.Access(a, true, 2)
+		}
+		return c.Stats().WriteTransactions
+	}
+	uncombined := run(0)
+	combined := run(8)
+	if uncombined != 2048 {
+		t.Fatalf("uncombined transactions = %d, want 2048", uncombined)
+	}
+	if combined != 512 {
+		t.Fatalf("combined transactions = %d, want 512 (4 stores per 8B unit)", combined)
+	}
+}
+
+// TestCombiningNeverChangesMisses: the combining buffer is pure accounting;
+// hit/miss behaviour and byte traffic must be identical with and without it.
+func TestCombiningNeverChangesMisses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := Config{Size: 512, LineSize: 16, Write: WriteThrough}
+		comb := base
+		comb.CombineWidth = 8
+		a := mustCache(t, base)
+		b := mustCache(t, comb)
+		for i := 0; i < 5000; i++ {
+			addr := uint64(rng.Intn(200)) * 2
+			write := rng.Intn(3) == 0
+			ha := a.Access(addr, write, 2)
+			hb := b.Access(addr, write, 2)
+			if ha != hb {
+				return false
+			}
+		}
+		sa, sb := a.Stats(), b.Stats()
+		if sa.Misses != sb.Misses || sa.BytesToMemory != sb.BytesToMemory ||
+			sa.BytesFromMemory != sb.BytesFromMemory {
+			return false
+		}
+		// Combining can only reduce transactions.
+		return sb.WriteTransactions <= sa.WriteTransactions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

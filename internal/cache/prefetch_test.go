@@ -1,0 +1,110 @@
+package cache
+
+import "testing"
+
+func TestPrefetchOnMiss(t *testing.T) {
+	c := mustCache(t, Config{Size: 512, LineSize: 16, Fetch: PrefetchOnMiss})
+	c.Access(line(0), false, 0) // miss -> prefetch line 1
+	if !c.Contains(line(1)) {
+		t.Fatal("miss should trigger a prefetch")
+	}
+	if c.Stats().PrefetchFetches != 1 {
+		t.Fatalf("prefetches = %d", c.Stats().PrefetchFetches)
+	}
+	c.Access(line(0), false, 0) // hit -> no prefetch
+	if c.Stats().PrefetchFetches != 1 {
+		t.Fatal("a hit must not trigger prefetch-on-miss")
+	}
+	c.Access(line(1), false, 0) // hit on prefetched line -> still no prefetch
+	if c.Contains(line(2)) {
+		t.Fatal("prefetch-on-miss must not chain on prefetched-line hits")
+	}
+}
+
+func TestTaggedPrefetch(t *testing.T) {
+	c := mustCache(t, Config{Size: 512, LineSize: 16, Fetch: TaggedPrefetch})
+	c.Access(line(0), false, 0) // miss -> prefetch line 1
+	if !c.Contains(line(1)) {
+		t.Fatal("miss should trigger a prefetch")
+	}
+	c.Access(line(1), false, 0) // first use of prefetched line -> prefetch line 2
+	if !c.Contains(line(2)) {
+		t.Fatal("first use of a prefetched line must chain the prefetch")
+	}
+	pf := c.Stats().PrefetchFetches
+	c.Access(line(1), false, 0) // second use: tag cleared, no prefetch
+	if c.Stats().PrefetchFetches != pf {
+		t.Fatal("repeat use must not chain again")
+	}
+}
+
+func TestTaggedPrefetchTracksSequentialStream(t *testing.T) {
+	// On a pure sequential walk, tagged prefetch stays one line ahead like
+	// prefetch-always, with one miss total.
+	c := mustCache(t, Config{Size: 1024, LineSize: 16, Fetch: TaggedPrefetch})
+	misses := 0
+	for i := 0; i < 32; i++ {
+		if !c.Access(line(i), false, 0) {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("tagged prefetch sequential misses = %d, want 1", misses)
+	}
+}
+
+func TestPrefetchPolicyTrafficOrdering(t *testing.T) {
+	// For the same loopy-but-jumpy stream: always >= tagged >= on-miss >=
+	// demand in fetch traffic.
+	stream := func() []uint64 {
+		var addrs []uint64
+		a := uint64(0)
+		for i := 0; i < 3000; i++ {
+			if i%7 == 0 {
+				a = uint64((i * 37) % 200 * 16)
+			}
+			addrs = append(addrs, a)
+			a += 8
+		}
+		return addrs
+	}()
+	traffic := func(fp FetchPolicy) uint64 {
+		c := mustCache(t, Config{Size: 1024, LineSize: 16, Fetch: fp})
+		for _, a := range stream {
+			c.Access(a, false, 0)
+		}
+		return c.Stats().BytesFromMemory
+	}
+	demand := traffic(DemandFetch)
+	onMiss := traffic(PrefetchOnMiss)
+	tagged := traffic(TaggedPrefetch)
+	always := traffic(PrefetchAlways)
+	if !(demand <= onMiss && onMiss <= tagged && tagged <= always) {
+		t.Fatalf("traffic ordering violated: demand=%d onMiss=%d tagged=%d always=%d",
+			demand, onMiss, tagged, always)
+	}
+	if always == demand {
+		t.Fatal("prefetch-always generated no extra traffic (suspicious)")
+	}
+}
+
+func TestPrefetchPolicyStrings(t *testing.T) {
+	if PrefetchOnMiss.String() != "prefetch-on-miss" || TaggedPrefetch.String() != "tagged-prefetch" {
+		t.Error("FetchPolicy.String mismatch for new policies")
+	}
+}
+
+func TestPrefetchPoliciesKeepInvariants(t *testing.T) {
+	for _, fp := range []FetchPolicy{PrefetchOnMiss, TaggedPrefetch} {
+		c := mustCache(t, Config{Size: 256, LineSize: 16, Fetch: fp})
+		for i := 0; i < 5000; i++ {
+			c.Access(uint64((i*13)%97)*8, i%4 == 0, 4)
+			if i%900 == 899 {
+				c.Purge()
+			}
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Errorf("%v: %v", fp, err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package cache
+
+import "testing"
+
+func TestSectorSubBlockMiss(t *testing.T) {
+	// 16-byte sectors, 4-byte sub-blocks.
+	c := mustCache(t, Config{Size: 256, LineSize: 16, SubBlock: 4})
+	if c.Access(0x00, false, 0) {
+		t.Fatal("cold access should miss")
+	}
+	st := c.Stats()
+	if st.BytesFromMemory != 4 {
+		t.Fatalf("fetch bytes = %d, want 4 (one sub-block)", st.BytesFromMemory)
+	}
+	// Same sub-block: hit.
+	if !c.Access(0x03, false, 0) {
+		t.Fatal("same sub-block should hit")
+	}
+	// Same sector, different sub-block: miss, but only a sub-block fetch.
+	if c.Access(0x08, false, 0) {
+		t.Fatal("sector hit / sub-block miss must count as a miss")
+	}
+	st = c.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
+	}
+	if st.BytesFromMemory != 8 {
+		t.Fatalf("fetch bytes = %d, want 8", st.BytesFromMemory)
+	}
+	if c.Resident() != 1 {
+		t.Fatalf("resident sectors = %d, want 1", c.Resident())
+	}
+}
+
+func TestSectorContains(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 16, SubBlock: 4})
+	c.Access(0x00, false, 0)
+	if !c.Contains(0x02) {
+		t.Error("fetched sub-block should be contained")
+	}
+	if c.Contains(0x08) {
+		t.Error("unfetched sub-block of a resident sector is not contained")
+	}
+}
+
+func TestSectorDirtyWriteback(t *testing.T) {
+	c := mustCache(t, Config{Size: 32, LineSize: 16, SubBlock: 4}) // 2 sectors
+	c.Access(0x00, true, 4)                                        // dirty sub-block 0 of sector 0
+	c.Access(0x04, true, 4)                                        // dirty sub-block 1 of sector 0
+	c.Access(0x08, false, 0)                                       // clean sub-block 2
+	c.Access(0x10, false, 0)                                       // sector 1
+	c.Access(0x20, false, 0)                                       // evicts sector 0 (LRU)
+	st := c.Stats()
+	if st.Pushes != 1 || st.DirtyPushes != 1 {
+		t.Fatalf("push stats = %+v", st)
+	}
+	if st.BytesToMemory != 8 {
+		t.Fatalf("write-back bytes = %d, want 8 (two dirty sub-blocks)", st.BytesToMemory)
+	}
+}
+
+func TestSectorPrefetchGranularity(t *testing.T) {
+	c := mustCache(t, Config{Size: 256, LineSize: 16, SubBlock: 4, Fetch: PrefetchAlways})
+	c.Access(0x00, false, 0) // prefetches sub-block at 0x04
+	if !c.Contains(0x04) {
+		t.Fatal("next sub-block should be prefetched")
+	}
+	if c.Contains(0x08) {
+		t.Fatal("prefetch must stop at one sub-block")
+	}
+	st := c.Stats()
+	if st.PrefetchFetches != 1 || st.BytesFromMemory != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Prefetch across a sector boundary allocates the next sector.
+	c2 := mustCache(t, Config{Size: 256, LineSize: 16, SubBlock: 4, Fetch: PrefetchAlways})
+	c2.Access(0x0c, false, 0) // last sub-block of sector 0; prefetch 0x10
+	if !c2.Contains(0x10) {
+		t.Fatal("prefetch should cross into the next sector")
+	}
+	if c2.Resident() != 2 {
+		t.Fatalf("resident sectors = %d, want 2", c2.Resident())
+	}
+}
+
+func TestSectorFetchSizeOrdering(t *testing.T) {
+	// The Z80000 premise: for a fixed 256-byte cache with 16-byte sectors,
+	// smaller fetch blocks mean more misses on a sequential stream.
+	missWith := func(sub int) uint64 {
+		c := mustCache(t, Config{Size: 256, LineSize: 16, SubBlock: sub})
+		for addr := uint64(0); addr < 2048; addr += 2 {
+			c.Access(addr, false, 0)
+		}
+		return c.Stats().Misses
+	}
+	m2, m4, m16 := missWith(2), missWith(4), missWith(0)
+	if !(m2 > m4 && m4 > m16) {
+		t.Fatalf("sequential misses should fall with fetch size: 2B=%d 4B=%d 16B=%d", m2, m4, m16)
+	}
+	// Exact values on a pure sequential walk: one miss per fetch unit.
+	if m2 != 1024 || m4 != 512 || m16 != 128 {
+		t.Fatalf("misses = %d/%d/%d, want 1024/512/128", m2, m4, m16)
+	}
+}
+
+func TestUnsectoredMatchesSubBlockEqualLine(t *testing.T) {
+	// SubBlock == LineSize must behave identically to SubBlock == 0.
+	run := func(sub int) Stats {
+		c := mustCache(t, Config{Size: 128, LineSize: 16, SubBlock: sub})
+		for i := 0; i < 500; i++ {
+			c.Access(uint64((i*7)%40)*8, i%5 == 0, 8)
+		}
+		return c.Stats()
+	}
+	if run(0) != run(16) {
+		t.Fatal("SubBlock=LineSize must equal unsectored behaviour")
+	}
+}

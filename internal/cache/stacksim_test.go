@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cacheeval/internal/trace"
+)
+
+func TestStackSimBasics(t *testing.T) {
+	s, err := NewStackSim(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []uint64{0, 16, 32, 0, 16} {
+		s.Ref(a)
+	}
+	if s.Accesses() != 5 {
+		t.Fatalf("accesses = %d", s.Accesses())
+	}
+	if s.Footprint() != 3 {
+		t.Fatalf("footprint = %d, want 3", s.Footprint())
+	}
+	// At 3+ lines: only the 3 cold misses. The re-references are at stack
+	// distance 2, so a 2-line cache misses them too.
+	if got := s.Misses(48); got != 3 {
+		t.Fatalf("misses(48B) = %d, want 3", got)
+	}
+	if got := s.Misses(32); got != 5 {
+		t.Fatalf("misses(32B) = %d, want 5", got)
+	}
+	if got := s.MissRatio(48); got != 0.6 {
+		t.Fatalf("miss ratio = %v, want 0.6", got)
+	}
+	rs := s.MissRatios([]int{32, 48})
+	if rs[0] != 1.0 || rs[1] != 0.6 {
+		t.Fatalf("MissRatios = %v", rs)
+	}
+}
+
+func TestStackSimValidation(t *testing.T) {
+	if _, err := NewStackSim(0); err == nil {
+		t.Error("line size 0 must be rejected")
+	}
+	if _, err := NewStackSim(17); err == nil {
+		t.Error("line size 17 must be rejected")
+	}
+}
+
+func TestStackSimEmpty(t *testing.T) {
+	s, _ := NewStackSim(16)
+	if s.MissRatio(1024) != 0 {
+		t.Error("empty run miss ratio must be 0")
+	}
+}
+
+func TestStackSimRun(t *testing.T) {
+	refs := make([]trace.Ref, 30)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i%5) * 16}
+	}
+	s, _ := NewStackSim(16)
+	n, err := s.Run(trace.NewSliceReader(refs), 10)
+	if err != nil || n != 10 {
+		t.Fatalf("Run = %d, %v", n, err)
+	}
+}
+
+// TestStackSimMatchesCache is the load-bearing equivalence: the one-pass
+// stack algorithm must agree exactly with the explicit fully-associative
+// LRU demand simulation at every size. Table 1 depends on it.
+func TestStackSimMatchesCache(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		addrs := make([]uint64, 3000)
+		for i := range addrs {
+			switch rng.Intn(3) {
+			case 0: // sequential walk
+				if i > 0 {
+					addrs[i] = addrs[i-1] + 4
+				}
+			case 1: // loopy re-reference
+				addrs[i] = uint64(rng.Intn(30)) * 16
+			default: // scattered
+				addrs[i] = uint64(rng.Intn(500)) * 16
+			}
+		}
+		sim, err := NewStackSim(16)
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			sim.Ref(a)
+		}
+		for _, size := range []int{32, 64, 256, 1024, 4096, 16384} {
+			c, err := New(Config{Size: size, LineSize: 16})
+			if err != nil {
+				return false
+			}
+			for _, a := range addrs {
+				c.Access(a, false, 0)
+			}
+			if c.Stats().Misses != sim.Misses(size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackSimMonotone(t *testing.T) {
+	sim, _ := NewStackSim(16)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		sim.Ref(uint64(rng.Intn(400)) * 8)
+	}
+	prev := ^uint64(0)
+	for size := 32; size <= 65536; size *= 2 {
+		m := sim.Misses(size)
+		if m > prev {
+			t.Fatalf("misses increased with size at %d: %d > %d", size, m, prev)
+		}
+		prev = m
+	}
+	// At sizes beyond the footprint only cold misses remain.
+	if sim.Misses(1<<30) != uint64(sim.Footprint()) {
+		t.Fatalf("huge-cache misses = %d, want footprint %d", sim.Misses(1<<30), sim.Footprint())
+	}
+}
+
+func TestStackSimDistanceHistogram(t *testing.T) {
+	s, _ := NewStackSim(16)
+	for _, a := range []uint64{0, 16, 0, 16, 32, 0} {
+		s.Ref(a)
+	}
+	if s.ColdMisses() != 3 {
+		t.Fatalf("cold = %d, want 3", s.ColdMisses())
+	}
+	dist := s.DistanceCounts()
+	// Re-references: 0@d1, 16@d1, 0@d2 -> dist[1]=2, dist[2]=1.
+	if len(dist) < 3 || dist[1] != 2 || dist[2] != 1 {
+		t.Fatalf("dist = %v", dist)
+	}
+	// Histogram must reconstruct the miss counts exactly.
+	for _, size := range []int{16, 32, 48, 64} {
+		var fromHist uint64 = s.ColdMisses()
+		for d := size / 16; d < len(dist); d++ {
+			fromHist += dist[d]
+		}
+		if got := s.Misses(size); got != fromHist {
+			t.Fatalf("size %d: Misses=%d, histogram says %d", size, got, fromHist)
+		}
+	}
+	want := (1.0*2 + 2.0*1) / 3
+	if got := s.MeanDistance(); got != want {
+		t.Fatalf("mean distance = %v, want %v", got, want)
+	}
+	// The copy must not alias internal state.
+	dist[1] = 999
+	if s.DistanceCounts()[1] == 999 {
+		t.Fatal("DistanceCounts must return a copy")
+	}
+}
+
+func TestStackSimMeanDistanceEmpty(t *testing.T) {
+	s, _ := NewStackSim(16)
+	s.Ref(0) // only a cold miss
+	if s.MeanDistance() != 0 {
+		t.Fatal("no re-references -> mean distance 0")
+	}
+}

@@ -1,0 +1,265 @@
+package cache
+
+import (
+	"testing"
+
+	"cacheeval/internal/trace"
+)
+
+func mustSystem(t *testing.T, sc SystemConfig) *System {
+	t.Helper()
+	s, err := NewSystem(sc)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func unifiedSC(size int) SystemConfig {
+	return SystemConfig{Unified: Config{Size: size, LineSize: 16}}
+}
+
+func splitSC(size int) SystemConfig {
+	cfg := Config{Size: size, LineSize: 16}
+	return SystemConfig{Split: true, I: cfg, D: cfg}
+}
+
+func TestSystemValidate(t *testing.T) {
+	if err := (SystemConfig{Unified: Config{Size: 100, LineSize: 16}}).Validate(); err == nil {
+		t.Error("bad unified config must be rejected")
+	}
+	bad := splitSC(256)
+	bad.I.Size = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("bad instruction config must be rejected")
+	}
+	bad = splitSC(256)
+	bad.D.LineSize = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("bad data config must be rejected")
+	}
+	neg := unifiedSC(256)
+	neg.PurgeInterval = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative purge interval must be rejected")
+	}
+	if _, err := NewSystem(SystemConfig{Unified: Config{Size: 100, LineSize: 16}}); err == nil {
+		t.Error("NewSystem must validate")
+	}
+}
+
+func TestSystemRouting(t *testing.T) {
+	s := mustSystem(t, splitSC(256))
+	s.Ref(trace.Ref{Addr: 0x100, Size: 4, Kind: trace.IFetch})
+	s.Ref(trace.Ref{Addr: 0x100, Size: 4, Kind: trace.Read})
+	// The same address went to different caches: both miss.
+	rs := s.RefStats()
+	if rs.Misses[trace.IFetch] != 1 || rs.Misses[trace.Read] != 1 {
+		t.Fatalf("split routing: %+v", rs)
+	}
+	if s.ICache().Stats().Accesses != 1 || s.DCache().Stats().Accesses != 1 {
+		t.Fatal("each cache should have seen exactly one access")
+	}
+	if s.Unified() != nil {
+		t.Fatal("split system has no unified cache")
+	}
+
+	u := mustSystem(t, unifiedSC(256))
+	u.Ref(trace.Ref{Addr: 0x100, Size: 4, Kind: trace.IFetch})
+	u.Ref(trace.Ref{Addr: 0x100, Size: 4, Kind: trace.Read})
+	// Unified: the read hits the line the ifetch loaded.
+	rs = u.RefStats()
+	if rs.Misses[trace.IFetch] != 1 || rs.Misses[trace.Read] != 0 {
+		t.Fatalf("unified routing: %+v", rs)
+	}
+	if u.ICache() != nil || u.DCache() != nil {
+		t.Fatal("unified system has no split caches")
+	}
+}
+
+func TestSystemStraddlingRef(t *testing.T) {
+	s := mustSystem(t, unifiedSC(256))
+	// 8-byte read at offset 12: touches lines 0 and 1, counts once.
+	s.Ref(trace.Ref{Addr: 12, Size: 8, Kind: trace.Read})
+	rs := s.RefStats()
+	if rs.TotalRefs() != 1 || rs.TotalMisses() != 1 {
+		t.Fatalf("straddle: %+v", rs)
+	}
+	st := s.Stats()
+	if st.Accesses != 2 || st.Misses != 2 {
+		t.Fatalf("line-level straddle stats: %+v", st)
+	}
+	if !s.Unified().Contains(0) || !s.Unified().Contains(16) {
+		t.Fatal("both straddled lines must be resident")
+	}
+}
+
+func TestSystemZeroSizeRef(t *testing.T) {
+	s := mustSystem(t, unifiedSC(256))
+	s.Ref(trace.Ref{Addr: 5, Size: 0, Kind: trace.Read}) // treated as 1 byte
+	if s.RefStats().TotalRefs() != 1 {
+		t.Fatal("zero-size ref should count once")
+	}
+	if s.Stats().Accesses != 1 {
+		t.Fatal("zero-size ref should touch one line")
+	}
+}
+
+func TestSystemPurgeInterval(t *testing.T) {
+	sc := unifiedSC(256)
+	sc.PurgeInterval = 10
+	s := mustSystem(t, sc)
+	for i := 0; i < 35; i++ {
+		s.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read})
+	}
+	// Purges occur when crossing each 10-reference boundary: at refs 11,
+	// 21, 31 (the interval counts processed references).
+	if got := s.Purges(); got != 3 {
+		t.Fatalf("purges = %d, want 3", got)
+	}
+	// Each purge forces the next access to miss again.
+	rs := s.RefStats()
+	if rs.Misses[trace.Read] != 4 { // cold + 3 post-purge
+		t.Fatalf("misses = %d, want 4", rs.Misses[trace.Read])
+	}
+}
+
+func TestSystemNoPurge(t *testing.T) {
+	s := mustSystem(t, unifiedSC(256))
+	for i := 0; i < 100000; i++ {
+		s.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read})
+	}
+	if s.Purges() != 0 {
+		t.Fatal("interval 0 must never purge")
+	}
+}
+
+func TestSystemRun(t *testing.T) {
+	refs := make([]trace.Ref, 50)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i) * 16, Size: 4, Kind: trace.Read}
+	}
+	s := mustSystem(t, unifiedSC(256))
+	n, err := s.Run(trace.NewSliceReader(refs), 20)
+	if err != nil || n != 20 {
+		t.Fatalf("Run(max=20) = %d, %v", n, err)
+	}
+	n, err = s.Run(trace.NewSliceReader(refs), 0)
+	if err != nil || n != 50 {
+		t.Fatalf("Run(all) = %d, %v", n, err)
+	}
+}
+
+func TestRefStatsRatios(t *testing.T) {
+	var rs RefStats
+	if rs.MissRatio() != 0 || rs.KindMissRatio(trace.Read) != 0 || rs.DataMissRatio() != 0 {
+		t.Fatal("zero-value RefStats ratios must be 0")
+	}
+	rs.Refs = [3]uint64{10, 6, 4}
+	rs.Misses = [3]uint64{1, 3, 2}
+	if rs.TotalRefs() != 20 || rs.TotalMisses() != 6 {
+		t.Fatalf("totals: %d/%d", rs.TotalRefs(), rs.TotalMisses())
+	}
+	if rs.MissRatio() != 0.3 {
+		t.Fatalf("MissRatio = %v", rs.MissRatio())
+	}
+	if rs.KindMissRatio(trace.IFetch) != 0.1 {
+		t.Fatalf("ifetch ratio = %v", rs.KindMissRatio(trace.IFetch))
+	}
+	if rs.DataMissRatio() != 0.5 {
+		t.Fatalf("DataMissRatio = %v", rs.DataMissRatio())
+	}
+}
+
+func TestTrafficRatio(t *testing.T) {
+	s := mustSystem(t, unifiedSC(32)) // 2 lines: heavy thrashing
+	if s.TrafficRatio() != 0 {
+		t.Fatal("empty system traffic ratio must be 0")
+	}
+	// Alternate among 3 lines so every access misses: each 4-byte request
+	// pulls a 16-byte line -> traffic ratio 4.
+	for i := 0; i < 3000; i++ {
+		s.Ref(trace.Ref{Addr: uint64(i%3) * 16, Size: 4, Kind: trace.Read})
+	}
+	if got := s.TrafficRatio(); got < 3.9 || got > 4.5 {
+		t.Fatalf("thrashing traffic ratio = %v, want ~4", got)
+	}
+	if s.RefBytes() != 12000 {
+		t.Fatalf("RefBytes = %d", s.RefBytes())
+	}
+
+	// A single hot line: traffic ratio far below 1 (the cache working).
+	s2 := mustSystem(t, unifiedSC(256))
+	for i := 0; i < 3000; i++ {
+		s2.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Read})
+	}
+	if got := s2.TrafficRatio(); got > 0.01 {
+		t.Fatalf("hot-line traffic ratio = %v, want ~0", got)
+	}
+}
+
+func TestSystemAggregateStats(t *testing.T) {
+	s := mustSystem(t, splitSC(256))
+	s.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.IFetch})
+	s.Ref(trace.Ref{Addr: 0, Size: 4, Kind: trace.Write})
+	total := s.Stats()
+	if total.Accesses != 2 {
+		t.Fatalf("aggregate accesses = %d, want 2", total.Accesses)
+	}
+	if total.Accesses != s.ICache().Stats().Accesses+s.DCache().Stats().Accesses {
+		t.Fatal("aggregate must equal the sum of the split caches")
+	}
+}
+
+func TestSystemConfigAccessor(t *testing.T) {
+	sc := unifiedSC(256)
+	sc.PurgeInterval = 123
+	s := mustSystem(t, sc)
+	if s.Config().PurgeInterval != 123 {
+		t.Fatal("Config accessor mismatch")
+	}
+}
+
+func TestSystemSectoredMultiUnitRef(t *testing.T) {
+	// An 8-byte read through a 2-byte-sub-block sector cache touches four
+	// fetch units: one reference, four unit accesses, four sub-block
+	// fetches on the cold path — the §1.2 Z80000 accounting.
+	s := mustSystem(t, SystemConfig{
+		Unified: Config{Size: 256, LineSize: 16, SubBlock: 2},
+	})
+	s.Ref(trace.Ref{Addr: 0x10, Size: 8, Kind: trace.Read})
+	rs := s.RefStats()
+	if rs.TotalRefs() != 1 || rs.TotalMisses() != 1 {
+		t.Fatalf("ref stats = %+v", rs)
+	}
+	st := s.Stats()
+	if st.Accesses != 4 {
+		t.Fatalf("unit accesses = %d, want 4", st.Accesses)
+	}
+	if st.BytesFromMemory != 8 {
+		t.Fatalf("fetch bytes = %d, want 8", st.BytesFromMemory)
+	}
+	// Re-reading the same 8 bytes: all units resident, a ref-level hit.
+	s.Ref(trace.Ref{Addr: 0x10, Size: 8, Kind: trace.Read})
+	rs = s.RefStats()
+	if rs.TotalMisses() != 1 {
+		t.Fatalf("second read should hit: %+v", rs)
+	}
+	// A 2-byte read of an unfetched sub-block in the same sector misses.
+	s.Ref(trace.Ref{Addr: 0x18, Size: 2, Kind: trace.Read})
+	if s.RefStats().TotalMisses() != 2 {
+		t.Fatal("unfetched sub-block of a resident sector must miss")
+	}
+}
+
+func TestSystemUnalignedWriteThroughCharge(t *testing.T) {
+	// A 4-byte write straddling two lines must charge exactly 4 bytes of
+	// store traffic in total, not 4 per touched line.
+	s := mustSystem(t, SystemConfig{
+		Unified: Config{Size: 256, LineSize: 16, Write: WriteThrough},
+	})
+	s.Ref(trace.Ref{Addr: 14, Size: 4, Kind: trace.Write})
+	if st := s.Stats(); st.BytesToMemory != 4 {
+		t.Fatalf("store bytes = %d, want 4", st.BytesToMemory)
+	}
+}

@@ -1,0 +1,244 @@
+// Package core is the paper's contribution as a library: a cache-evaluation
+// engine that ties the synthetic workload corpus, the trace-driven cache
+// simulator, and the §4 estimation machinery together behind a small API.
+//
+// The three entry points mirror how the paper expects a designer to work:
+//
+//   - Evaluate runs one cache design against one workload and reports the
+//     figures of merit the paper tracks (miss ratios, memory traffic, the
+//     [Hil84] traffic ratio, write-back behaviour).
+//   - DesignTargets derives conservative design-estimate miss ratios from
+//     the corpus using the §4.1 percentile rule.
+//   - Recommend applies the introduction's cost/performance argument to a
+//     sweep of designs and picks the one with the best performance per cost.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/model"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// Report is the outcome of evaluating one cache design against one
+// workload.
+type Report struct {
+	Design   cache.SystemConfig
+	Workload string
+	Refs     uint64
+
+	MissRatio float64 // overall, reference level
+	InstrMiss float64
+	DataMiss  float64
+	ReadMiss  float64
+	WriteMiss float64
+
+	BytesFromMemory uint64
+	BytesToMemory   uint64
+	// TrafficRatio is memory traffic with the cache over traffic without it
+	// ([Hil84]); the paper's conclusion warns it "needs to be carefully
+	// watched" — prefetching can push it up even as the miss ratio falls.
+	TrafficRatio float64
+
+	// DirtyPushFraction is the Table 3 statistic for the cache serving data
+	// references (the data cache when split, the unified cache otherwise).
+	DirtyPushFraction float64
+	// PrefetchAccuracy is the fraction of prefetched lines used before
+	// being pushed (0 when prefetch is off).
+	PrefetchAccuracy float64
+}
+
+// Evaluate runs the workload mix through the design and reports the
+// paper's figures of merit. A non-positive refLimit runs the mix in full.
+func Evaluate(design cache.SystemConfig, mix workload.Mix, refLimit int) (Report, error) {
+	rd, err := mix.Open()
+	if err != nil {
+		return Report{}, err
+	}
+	if refLimit > 0 {
+		rd = trace.NewLimitReader(rd, refLimit)
+	}
+	sys, err := cache.NewSystem(design)
+	if err != nil {
+		return Report{}, err
+	}
+	if _, err := sys.Run(rd, 0); err != nil {
+		return Report{}, fmt.Errorf("core: evaluating %s: %w", mix.Name, err)
+	}
+	rs := sys.RefStats()
+	dataCache := sys.Unified()
+	if design.Split {
+		dataCache = sys.DCache()
+	}
+	all := sys.Stats()
+	return Report{
+		Design:            design,
+		Workload:          mix.Name,
+		Refs:              rs.TotalRefs(),
+		MissRatio:         rs.MissRatio(),
+		InstrMiss:         rs.KindMissRatio(trace.IFetch),
+		DataMiss:          rs.DataMissRatio(),
+		ReadMiss:          rs.KindMissRatio(trace.Read),
+		WriteMiss:         rs.KindMissRatio(trace.Write),
+		BytesFromMemory:   all.BytesFromMemory,
+		BytesToMemory:     all.BytesToMemory,
+		TrafficRatio:      sys.TrafficRatio(),
+		DirtyPushFraction: dataCache.Stats().FracPushesDirty(),
+		PrefetchAccuracy:  all.PrefetchAccuracy(),
+	}, nil
+}
+
+// EvaluateSpec evaluates a single corpus trace (wrapping it as a
+// single-program mix with its architecture's purge quantum).
+func EvaluateSpec(design cache.SystemConfig, spec workload.Spec, refLimit int) (Report, error) {
+	arch, err := workload.ArchByID(spec.Arch)
+	if err != nil {
+		return Report{}, err
+	}
+	mix := workload.Mix{Name: spec.Name, Specs: []workload.Spec{spec}, Quantum: arch.PurgeInterval}
+	return Evaluate(design, mix, refLimit)
+}
+
+// DesignTarget is a conservative miss-ratio estimate at one cache size.
+type DesignTarget struct {
+	Size    int
+	Unified float64
+}
+
+// DesignTargets derives design-estimate miss ratios across the full corpus
+// at the given sizes using the §4.1 percentile rule (85th percentile of the
+// per-trace distribution, Table 1 configuration). A non-positive refLimit
+// uses each trace's paper run length.
+func DesignTargets(sizes []int, lineSize, refLimit int) ([]DesignTarget, error) {
+	if len(sizes) == 0 {
+		sizes = model.CacheSizes
+	}
+	if lineSize == 0 {
+		lineSize = 16
+	}
+	units := workload.Units()
+	perSize := make([][]float64, len(sizes))
+	for _, spec := range units {
+		rd, err := spec.Open()
+		if err != nil {
+			return nil, err
+		}
+		var lim trace.Reader = rd
+		if refLimit > 0 {
+			lim = trace.NewLimitReader(rd, refLimit)
+		}
+		sim, err := cache.NewStackSim(lineSize)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(lim, 0); err != nil {
+			return nil, err
+		}
+		for i, size := range sizes {
+			perSize[i] = append(perSize[i], sim.MissRatio(size))
+		}
+	}
+	out := make([]DesignTarget, len(sizes))
+	for i, size := range sizes {
+		out[i] = DesignTarget{Size: size, Unified: model.DesignEstimate(perSize[i])}
+	}
+	return out, nil
+}
+
+// PublishedTargets returns the paper's Table 5 design targets for designers
+// who want the published numbers rather than re-derived ones.
+func PublishedTargets() []model.TargetRow { return model.DesignTargets() }
+
+// CostModel prices a cache design and converts miss ratios into machine
+// performance, the introduction's framing: a bigger cache buys hit ratio,
+// but "the higher performing cache [may not be] cost effective".
+type CostModel struct {
+	// BaseCost is the cost of the CPU without any cache, in arbitrary units.
+	BaseCost float64
+	// CostPerKB is the incremental cost per kilobyte of cache.
+	CostPerKB float64
+	// HitCycles and MissCycles are the access times in processor cycles; a
+	// reference costs HitCycles plus MissCycles on a miss.
+	HitCycles  float64
+	MissCycles float64
+}
+
+// DefaultCostModel returns a model loosely calibrated to the
+// introduction's example (halving a high miss ratio buys ~50% performance;
+// pushing 98% hit to 99% buys very little at high relative cost).
+func DefaultCostModel() CostModel {
+	return CostModel{BaseCost: 100, CostPerKB: 2, HitCycles: 1, MissCycles: 10}
+}
+
+// Performance returns relative machine performance (bigger is better) for
+// a given miss ratio: the reciprocal of mean cycles per reference.
+func (cm CostModel) Performance(missRatio float64) float64 {
+	return 1 / (cm.HitCycles + missRatio*cm.MissCycles)
+}
+
+// Cost returns the machine cost with a cache of the given total size.
+func (cm CostModel) Cost(cacheBytes int) float64 {
+	return cm.BaseCost + cm.CostPerKB*float64(cacheBytes)/1024
+}
+
+// Candidate is one evaluated design point in a recommendation sweep.
+type Candidate struct {
+	Size        int
+	MissRatio   float64
+	Performance float64
+	Cost        float64
+	// Value is performance per unit cost, the selection criterion.
+	Value float64
+}
+
+// Recommend evaluates the workload at each cache size (fully associative,
+// LRU, demand, 16-byte lines, the architecture's purge quantum) and returns
+// all candidates sorted by size plus the index of the best value. It
+// returns an error for an empty size list or a failing simulation.
+func Recommend(mix workload.Mix, sizes []int, cm CostModel, refLimit int) ([]Candidate, int, error) {
+	if len(sizes) == 0 {
+		return nil, -1, fmt.Errorf("core: no sizes to evaluate")
+	}
+	sizes = append([]int(nil), sizes...)
+	sort.Ints(sizes)
+	candidates := make([]Candidate, len(sizes))
+	for i, size := range sizes {
+		rep, err := Evaluate(cache.SystemConfig{
+			Unified:       cache.Config{Size: size, LineSize: 16},
+			PurgeInterval: mix.Quantum,
+		}, mix, refLimit)
+		if err != nil {
+			return nil, -1, err
+		}
+		perf := cm.Performance(rep.MissRatio)
+		cost := cm.Cost(size)
+		candidates[i] = Candidate{
+			Size: size, MissRatio: rep.MissRatio,
+			Performance: perf, Cost: cost, Value: perf / cost,
+		}
+	}
+	best := 0
+	for i, c := range candidates {
+		if c.Value > candidates[best].Value {
+			best = i
+		}
+	}
+	return candidates, best, nil
+}
+
+// TransferEstimate applies the §4 fudge factors: estimate a design's miss
+// ratio under workload class `to` from a measurement under class `from`.
+func TransferEstimate(measured float64, from, to model.WorkloadClass) (float64, error) {
+	return model.EstimateMissRatio(measured, from, to)
+}
+
+// Summary of a report for quick printing.
+func (r Report) Summary() string {
+	return fmt.Sprintf(
+		"%s: refs=%d miss=%.4f (i=%.4f d=%.4f) traffic=%.3f dirty=%.2f",
+		r.Workload, r.Refs, r.MissRatio, r.InstrMiss, r.DataMiss,
+		r.TrafficRatio, r.DirtyPushFraction)
+}

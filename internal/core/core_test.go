@@ -1,0 +1,263 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/model"
+	"cacheeval/internal/workload"
+)
+
+func testMix(t *testing.T, name string) workload.Mix {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Mix{Name: name, Specs: []workload.Spec{spec}, Quantum: 20000}
+}
+
+func TestEvaluate(t *testing.T) {
+	mix := testMix(t, "VTEKOFF")
+	design := cache.SystemConfig{
+		Unified:       cache.Config{Size: 4096, LineSize: 16},
+		PurgeInterval: 20000,
+	}
+	rep, err := Evaluate(design, mix, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refs != 10000 {
+		t.Fatalf("refs = %d", rep.Refs)
+	}
+	if rep.Workload != "VTEKOFF" {
+		t.Fatalf("workload = %q", rep.Workload)
+	}
+	for name, v := range map[string]float64{
+		"overall": rep.MissRatio, "instr": rep.InstrMiss, "data": rep.DataMiss,
+		"read": rep.ReadMiss, "write": rep.WriteMiss,
+		"dirty": rep.DirtyPushFraction,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s ratio = %v out of range", name, v)
+		}
+	}
+	if rep.MissRatio == 0 {
+		t.Error("a 4K cache on a real workload should miss sometimes")
+	}
+	if rep.TrafficRatio <= 0 {
+		t.Error("traffic ratio should be positive")
+	}
+	if rep.BytesFromMemory == 0 {
+		t.Error("fetch traffic should be non-zero")
+	}
+	if rep.PrefetchAccuracy != 0 {
+		t.Error("demand fetch must report zero prefetch accuracy")
+	}
+	if !strings.Contains(rep.Summary(), "VTEKOFF") {
+		t.Error("summary incomplete")
+	}
+}
+
+func TestEvaluateSplitUsesDataCacheDirtyFraction(t *testing.T) {
+	mix := testMix(t, "FGO1")
+	cfg := cache.Config{Size: 4096, LineSize: 16}
+	rep, err := Evaluate(cache.SystemConfig{
+		Split: true, I: cfg, D: cfg, PurgeInterval: 20000,
+	}, mix, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DirtyPushFraction <= 0 || rep.DirtyPushFraction >= 1 {
+		t.Fatalf("dirty fraction = %v", rep.DirtyPushFraction)
+	}
+}
+
+func TestEvaluatePrefetchAccuracy(t *testing.T) {
+	mix := testMix(t, "TWOD1") // scan-heavy: prefetch should often be used
+	rep, err := Evaluate(cache.SystemConfig{
+		Unified: cache.Config{Size: 4096, LineSize: 16, Fetch: cache.PrefetchAlways},
+	}, mix, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrefetchAccuracy <= 0 {
+		t.Fatal("prefetch accuracy should be positive on a sequential workload")
+	}
+}
+
+func TestEvaluateInvalidDesign(t *testing.T) {
+	mix := testMix(t, "PLO")
+	if _, err := Evaluate(cache.SystemConfig{
+		Unified: cache.Config{Size: 100, LineSize: 16},
+	}, mix, 100); err == nil {
+		t.Fatal("invalid design must error")
+	}
+	if _, err := Evaluate(cache.SystemConfig{
+		Unified: cache.Config{Size: 1024, LineSize: 16},
+	}, workload.Mix{Name: "empty"}, 100); err == nil {
+		t.Fatal("empty mix must error")
+	}
+}
+
+func TestEvaluateSpec(t *testing.T) {
+	spec, err := workload.ByName("MATCH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EvaluateSpec(cache.SystemConfig{
+		Unified: cache.Config{Size: 1024, LineSize: 16},
+	}, spec, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "MATCH" || rep.Refs != 5000 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestDesignTargets(t *testing.T) {
+	targets, err := DesignTargets([]int{1024, 4096}, 16, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	if targets[0].Unified < targets[1].Unified {
+		t.Error("bigger cache must have a lower design target")
+	}
+	if targets[0].Unified <= 0 || targets[0].Unified > 1 {
+		t.Errorf("target = %v", targets[0].Unified)
+	}
+	// Defaults fill in.
+	targets, err = DesignTargets(nil, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 12 {
+		t.Fatalf("default grid = %d sizes", len(targets))
+	}
+}
+
+func TestPublishedTargets(t *testing.T) {
+	if len(PublishedTargets()) != 12 {
+		t.Fatal("published targets should mirror Table 5")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.Performance(0) <= cm.Performance(0.5) {
+		t.Error("lower miss ratio must mean higher performance")
+	}
+	if cm.Cost(65536) <= cm.Cost(1024) {
+		t.Error("bigger caches must cost more")
+	}
+	if cm.Performance(0) != 1/cm.HitCycles {
+		t.Error("perfect cache performance should be 1/hit-time")
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	mix := testMix(t, "ZGREP")
+	sizes := []int{512, 2048, 8192}
+	candidates, best, err := Recommend(mix, sizes, DefaultCostModel(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(candidates) != 3 {
+		t.Fatalf("candidates = %d", len(candidates))
+	}
+	if best < 0 || best >= len(candidates) {
+		t.Fatalf("best = %d", best)
+	}
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i].Size < candidates[i-1].Size {
+			t.Fatal("candidates must be size-sorted")
+		}
+		if candidates[i].MissRatio > candidates[i-1].MissRatio {
+			t.Error("bigger cache missing more is suspicious for this workload")
+		}
+	}
+	for _, c := range candidates {
+		if c.Value != c.Performance/c.Cost {
+			t.Errorf("value = %v, want perf/cost", c.Value)
+		}
+	}
+	if _, _, err := Recommend(mix, nil, DefaultCostModel(), 100); err == nil {
+		t.Fatal("empty size list must error")
+	}
+}
+
+func TestRecommendFlipsWithCostModel(t *testing.T) {
+	// The introduction's point: the same workload can favour different
+	// designs under different cost structures.
+	mix := testMix(t, "MVS1")
+	sizes := []int{1024, 65536}
+	cheapSRAM := CostModel{BaseCost: 100, CostPerKB: 0.1, HitCycles: 1, MissCycles: 50}
+	deadSRAM := CostModel{BaseCost: 100, CostPerKB: 50, HitCycles: 1, MissCycles: 2}
+	_, bigBest, err := Recommend(mix, sizes, cheapSRAM, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, smallBest, err := Recommend(mix, sizes, deadSRAM, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigBest != 1 || smallBest != 0 {
+		t.Errorf("cost model should flip the choice: cheap->%d, dear->%d", bigBest, smallBest)
+	}
+}
+
+func TestTransferEstimate(t *testing.T) {
+	got, err := TransferEstimate(0.05, model.ClassVAXUnix, model.ClassIBMBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0.05 {
+		t.Errorf("VAX->IBM transfer should inflate: %v", got)
+	}
+	if _, err := TransferEstimate(0.05, model.WorkloadClass(99), model.ClassMVS); err == nil {
+		t.Fatal("unknown class must error")
+	}
+}
+
+func TestEvaluateMatrix(t *testing.T) {
+	designs := []NamedDesign{
+		{Name: "4K unified", Config: cache.SystemConfig{
+			Unified: cache.Config{Size: 4096, LineSize: 16}}},
+		{Name: "16K unified", Config: cache.SystemConfig{
+			Unified: cache.Config{Size: 16384, LineSize: 16}}},
+	}
+	mixes := []workload.Mix{testMix(t, "ZGREP"), testMix(t, "FGO1")}
+	m, err := EvaluateMatrix(designs, mixes, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Reports) != 2 || len(m.Reports[0]) != 2 {
+		t.Fatalf("matrix shape %dx%d", len(m.Reports), len(m.Reports[0]))
+	}
+	best := m.Best()
+	for wi := range mixes {
+		// The bigger cache can never lose under fully-associative LRU
+		// (inclusion); Best keeps the first design on exact ties.
+		if m.Reports[1][wi].MissRatio > m.Reports[0][wi].MissRatio {
+			t.Errorf("workload %d: 16K missed more than 4K", wi)
+		}
+		if best[wi] == 1 && m.Reports[1][wi].MissRatio >= m.Reports[0][wi].MissRatio {
+			t.Errorf("workload %d: Best picked a non-strict winner", wi)
+		}
+	}
+	out := m.Render()
+	if !strings.Contains(out, "16K unified") || !strings.Contains(out, "*") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+	if _, err := EvaluateMatrix(nil, mixes, 100); err == nil {
+		t.Fatal("empty design list must error")
+	}
+	if _, err := EvaluateMatrix(designs, nil, 100); err == nil {
+		t.Fatal("empty workload list must error")
+	}
+}

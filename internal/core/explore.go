@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/workload"
+)
+
+// Space is a design space to sweep: the cross product of its dimensions.
+// Empty dimensions default to a single paper-standard value.
+type Space struct {
+	Sizes     []int
+	Assocs    []int // 0 = fully associative
+	LineSizes []int
+	Fetches   []cache.FetchPolicy
+}
+
+func (s Space) withDefaults() Space {
+	if len(s.Sizes) == 0 {
+		s.Sizes = []int{16384}
+	}
+	if len(s.Assocs) == 0 {
+		s.Assocs = []int{0}
+	}
+	if len(s.LineSizes) == 0 {
+		s.LineSizes = []int{16}
+	}
+	if len(s.Fetches) == 0 {
+		s.Fetches = []cache.FetchPolicy{cache.DemandFetch}
+	}
+	return s
+}
+
+// DesignPoint is one evaluated configuration in an exploration.
+type DesignPoint struct {
+	Config      cache.Config
+	Report      Report
+	Performance float64
+	Cost        float64
+	// Pareto marks configurations no other point dominates (at least as
+	// fast and at least as cheap, strictly better in one).
+	Pareto bool
+}
+
+// Explore evaluates the whole space against one workload (unified cache,
+// the workload's purge quantum), prices each point, and marks the Pareto
+// frontier — the set a designer should choose from.
+func Explore(mix workload.Mix, space Space, cm CostModel, refLimit int) ([]DesignPoint, error) {
+	space = space.withDefaults()
+	var points []DesignPoint
+	for _, size := range space.Sizes {
+		for _, assoc := range space.Assocs {
+			for _, ls := range space.LineSizes {
+				for _, fetch := range space.Fetches {
+					cfg := cache.Config{
+						Size: size, LineSize: ls, Assoc: assoc, Fetch: fetch,
+					}
+					if err := cfg.Validate(); err != nil {
+						// Skip incoherent corners (e.g. assoc > lines)
+						// rather than failing the whole sweep.
+						continue
+					}
+					rep, err := Evaluate(cache.SystemConfig{
+						Unified: cfg, PurgeInterval: mix.Quantum,
+					}, mix, refLimit)
+					if err != nil {
+						return nil, fmt.Errorf("core: exploring %v: %w", cfg, err)
+					}
+					points = append(points, DesignPoint{
+						Config:      cfg,
+						Report:      rep,
+						Performance: cm.Performance(rep.MissRatio),
+						Cost:        cm.Cost(size),
+					})
+				}
+			}
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: design space is empty after validation")
+	}
+	markPareto(points)
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Cost != points[j].Cost {
+			return points[i].Cost < points[j].Cost
+		}
+		return points[i].Performance > points[j].Performance
+	})
+	return points, nil
+}
+
+// markPareto flags the non-dominated points (max performance, min cost).
+func markPareto(points []DesignPoint) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			betterOrEqual := points[j].Performance >= points[i].Performance &&
+				points[j].Cost <= points[i].Cost
+			strictlyBetter := points[j].Performance > points[i].Performance ||
+				points[j].Cost < points[i].Cost
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+// ParetoFrontier filters an exploration to its frontier.
+func ParetoFrontier(points []DesignPoint) []DesignPoint {
+	var out []DesignPoint
+	for _, p := range points {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RenderExploration formats an exploration, frontier points starred.
+func RenderExploration(points []DesignPoint) string {
+	var b strings.Builder
+	b.WriteString("Design-space exploration (* = Pareto frontier: nothing cheaper is faster)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "configuration\tmiss\tperformance\tcost\t")
+	for _, p := range points {
+		marker := ""
+		if p.Pareto {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.1f\t%s\n",
+			p.Config, p.Report.MissRatio, p.Performance, p.Cost, marker)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cacheeval/internal/cache"
+)
+
+func TestExplore(t *testing.T) {
+	mix := testMix(t, "VSPICE")
+	space := Space{
+		Sizes:   []int{1024, 4096, 16384},
+		Assocs:  []int{1, 0},
+		Fetches: []cache.FetchPolicy{cache.DemandFetch, cache.PrefetchAlways},
+	}
+	points, err := Explore(mix, space, DefaultCostModel(), 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 12 { // 3 sizes x 2 assocs x 1 line x 2 fetches
+		t.Fatalf("points = %d, want 12", len(points))
+	}
+	frontier := ParetoFrontier(points)
+	if len(frontier) == 0 || len(frontier) == len(points) {
+		t.Fatalf("frontier = %d of %d (degenerate)", len(frontier), len(points))
+	}
+	// Frontier correctness: no point may dominate a frontier point.
+	for _, f := range frontier {
+		for _, p := range points {
+			if p.Performance >= f.Performance && p.Cost <= f.Cost &&
+				(p.Performance > f.Performance || p.Cost < f.Cost) {
+				t.Fatalf("frontier point %v dominated by %v", f.Config, p.Config)
+			}
+		}
+	}
+	// Sorted by cost.
+	for i := 1; i < len(points); i++ {
+		if points[i].Cost < points[i-1].Cost {
+			t.Fatal("points not cost-sorted")
+		}
+	}
+	out := RenderExploration(points)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "Pareto") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExploreSkipsInvalidCorners(t *testing.T) {
+	mix := testMix(t, "PLO")
+	// assoc 8 is invalid at 64B/16B (only 4 lines); the sweep must skip it,
+	// not fail.
+	points, err := Explore(mix, Space{
+		Sizes:  []int{64, 1024},
+		Assocs: []int{8},
+	}, DefaultCostModel(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d, want 1 (the 1024B corner)", len(points))
+	}
+}
+
+func TestExploreEmptySpace(t *testing.T) {
+	mix := testMix(t, "PLO")
+	if _, err := Explore(mix, Space{Sizes: []int{8}}, DefaultCostModel(), 100); err == nil {
+		t.Fatal("an all-invalid space must error")
+	}
+}
+
+func TestExploreDefaults(t *testing.T) {
+	mix := testMix(t, "PLO")
+	points, err := Explore(mix, Space{}, DefaultCostModel(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("default space = %d points", len(points))
+	}
+	if !points[0].Pareto {
+		t.Fatal("a lone point is trivially Pareto")
+	}
+}
+
+func TestPrefetchOnParetoFrontier(t *testing.T) {
+	// At equal cost, prefetch dominates demand on a sequential workload,
+	// so demand points at the same size must not be on the frontier when a
+	// prefetch twin exists with a lower miss ratio.
+	mix := testMix(t, "TWOD1")
+	points, err := Explore(mix, Space{
+		Sizes:   []int{8192},
+		Fetches: []cache.FetchPolicy{cache.DemandFetch, cache.PrefetchAlways},
+	}, DefaultCostModel(), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demand, prefetch DesignPoint
+	for _, p := range points {
+		if p.Config.Fetch == cache.DemandFetch {
+			demand = p
+		} else {
+			prefetch = p
+		}
+	}
+	if prefetch.Report.MissRatio >= demand.Report.MissRatio {
+		t.Skip("prefetch did not win on this run length")
+	}
+	if demand.Pareto {
+		t.Fatal("dominated demand point marked Pareto")
+	}
+	if !prefetch.Pareto {
+		t.Fatal("dominating prefetch point not marked Pareto")
+	}
+}

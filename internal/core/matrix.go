@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/workload"
+)
+
+// NamedDesign pairs a cache organization with a display label.
+type NamedDesign struct {
+	Name   string
+	Config cache.SystemConfig
+}
+
+// Matrix is the result of evaluating every design against every workload:
+// the table a designer actually wants when the paper says the best choice
+// "depends greatly on the workload to be expected".
+type Matrix struct {
+	Designs   []NamedDesign
+	Workloads []workload.Mix
+	// Reports[d][w] is design d under workload w.
+	Reports [][]Report
+}
+
+// EvaluateMatrix runs the full cross product. A non-positive refLimit runs
+// each mix in full.
+func EvaluateMatrix(designs []NamedDesign, mixes []workload.Mix, refLimit int) (*Matrix, error) {
+	if len(designs) == 0 || len(mixes) == 0 {
+		return nil, fmt.Errorf("core: matrix needs at least one design and one workload")
+	}
+	m := &Matrix{Designs: designs, Workloads: mixes}
+	m.Reports = make([][]Report, len(designs))
+	for di, d := range designs {
+		m.Reports[di] = make([]Report, len(mixes))
+		for wi, mix := range mixes {
+			rep, err := Evaluate(d.Config, mix, refLimit)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s under %s: %w", d.Name, mix.Name, err)
+			}
+			m.Reports[di][wi] = rep
+		}
+	}
+	return m, nil
+}
+
+// Best returns, for each workload, the index of the design with the lowest
+// overall miss ratio.
+func (m *Matrix) Best() []int {
+	best := make([]int, len(m.Workloads))
+	for wi := range m.Workloads {
+		for di := range m.Designs {
+			if m.Reports[di][wi].MissRatio < m.Reports[best[wi]][wi].MissRatio {
+				best[wi] = di
+			}
+		}
+	}
+	return best
+}
+
+// Render formats the miss-ratio matrix, marking each workload's winner.
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	b.WriteString("Design x workload miss-ratio matrix (* = best for that workload)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "design")
+	for _, mix := range m.Workloads {
+		fmt.Fprintf(w, "\t%s", mix.Name)
+	}
+	fmt.Fprintln(w)
+	best := m.Best()
+	for di, d := range m.Designs {
+		fmt.Fprintf(w, "%s", d.Name)
+		for wi := range m.Workloads {
+			marker := ""
+			if best[wi] == di {
+				marker = "*"
+			}
+			fmt.Fprintf(w, "\t%.4f%s", m.Reports[di][wi].MissRatio, marker)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// PurgeAblationRow is one (workload, purge interval) point: the data-cache
+// dirty-push fraction and overall miss ratio of the Table 3 configuration.
+type PurgeAblationRow struct {
+	Mix       string
+	Interval  int // 0 = never purge
+	DirtyFrac float64
+	Miss      float64
+}
+
+// PurgeAblationResult quantifies §3.3's caveat: "We believe that the value
+// 20,000 is reasonable and representative, but the results are definitely
+// sensitive to that figure."
+type PurgeAblationResult struct {
+	Intervals []int
+	Rows      []PurgeAblationRow
+}
+
+// PurgeAblation sweeps the task-switch interval for the four
+// multiprogramming assortments at the Table 3 cache configuration.
+func PurgeAblation(o Options) (*PurgeAblationResult, error) {
+	o = o.withDefaults()
+	intervals := []int{5000, 10000, 20000, 40000, 0}
+	var mixes []workload.Mix
+	for _, m := range workload.StandardMixes() {
+		if len(m.Specs) > 1 {
+			mixes = append(mixes, m)
+		}
+	}
+	res := &PurgeAblationResult{Intervals: intervals}
+	type job struct{ mi, ii int }
+	var jobs []job
+	for mi := range mixes {
+		for ii := range intervals {
+			jobs = append(jobs, job{mi, ii})
+		}
+	}
+	rows := make([]PurgeAblationRow, len(jobs))
+	err := forEach(o.Workers, len(jobs), func(ji int) error {
+		mix := mixes[jobs[ji].mi]
+		interval := intervals[jobs[ji].ii]
+		// The task-switch quantum tracks the purge interval, as in the
+		// paper; a zero interval means a single-pass round-robin with the
+		// default quantum and no purging.
+		if interval > 0 {
+			mix.Quantum = interval
+		}
+		refs, err := o.collectMix(mix)
+		if err != nil {
+			return err
+		}
+		cfg := cache.Config{Size: Table3Size, LineSize: o.LineSize}
+		sys, err := cache.NewSystem(cache.SystemConfig{
+			Split: true, I: cfg, D: cfg, PurgeInterval: interval,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+			return fmt.Errorf("purge ablation %s: %w", mix.Name, err)
+		}
+		rows[ji] = PurgeAblationRow{
+			Mix:       mix.Name,
+			Interval:  interval,
+			DirtyFrac: sys.DCache().Stats().FracPushesDirty(),
+			Miss:      sys.RefStats().MissRatio(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// Render formats the ablation table.
+func (r *PurgeAblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Purge-interval ablation (§3.3 sensitivity): 16K+16K split caches\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "workload")
+	for _, iv := range r.Intervals {
+		if iv == 0 {
+			fmt.Fprint(w, "\tnever: dirty/miss")
+			continue
+		}
+		fmt.Fprintf(w, "\t%dk: dirty/miss", iv/1000)
+	}
+	fmt.Fprintln(w)
+	byMix := map[string]map[int]PurgeAblationRow{}
+	var order []string
+	for _, row := range r.Rows {
+		if _, ok := byMix[row.Mix]; !ok {
+			byMix[row.Mix] = map[int]PurgeAblationRow{}
+			order = append(order, row.Mix)
+		}
+		byMix[row.Mix][row.Interval] = row
+	}
+	for _, mix := range order {
+		fmt.Fprintf(w, "%s", mix)
+		for _, iv := range r.Intervals {
+			row := byMix[mix][iv]
+			fmt.Fprintf(w, "\t%.2f/%.3f", row.DirtyFrac, row.Miss)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ReplacementRow is one (policy, associativity) point of the design-choice
+// ablation: the reference-weighted average miss ratio over a representative
+// workload set at a fixed cache size.
+type ReplacementRow struct {
+	Repl  cache.Replacement
+	Assoc int // 0 = fully associative
+	Miss  []float64
+}
+
+// ReplacementResult covers the mapping/replacement choices the paper's §1
+// enumerates but defers to [Smith82]: how much associativity and policy
+// actually matter for these workloads.
+type ReplacementResult struct {
+	Sizes []int
+	Rows  []ReplacementRow
+}
+
+// replacementWorkloads picks a representative cross-section for ablations.
+var replacementWorkloads = []string{"FGO1", "VCCOM", "ZGREP", "TWOD1", "LISPC-1", "MVS1"}
+
+// ReplacementAblation sweeps replacement policy × associativity over the
+// representative workloads at the option sizes (unified, demand, 16-byte
+// lines, no purging, seed-fixed Random).
+func ReplacementAblation(o Options) (*ReplacementResult, error) {
+	o = o.withDefaults()
+	var streams [][]trace.Ref
+	for _, name := range replacementWorkloads {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		refs, err := o.collectSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, refs)
+	}
+	type variant struct {
+		repl  cache.Replacement
+		assoc int
+	}
+	var variants []variant
+	for _, repl := range []cache.Replacement{cache.LRU, cache.FIFO, cache.Random} {
+		for _, assoc := range []int{1, 2, 4, 8, 0} {
+			variants = append(variants, variant{repl, assoc})
+		}
+	}
+	res := &ReplacementResult{Sizes: o.Sizes, Rows: make([]ReplacementRow, len(variants))}
+	err := forEach(o.Workers, len(variants), func(vi int) error {
+		v := variants[vi]
+		miss := make([]float64, len(o.Sizes))
+		for si, size := range o.Sizes {
+			if v.assoc > size/o.LineSize {
+				miss[si] = -1 // associativity exceeds line count: not applicable
+				continue
+			}
+			var refs, misses uint64
+			for _, stream := range streams {
+				sys, err := cache.NewSystem(cache.SystemConfig{
+					Unified: cache.Config{
+						Size: size, LineSize: o.LineSize, Assoc: v.assoc,
+						Repl: v.repl, Seed: 1,
+					},
+				})
+				if err != nil {
+					return err
+				}
+				if _, err := sys.Run(trace.NewSliceReader(stream), 0); err != nil {
+					return err
+				}
+				rs := sys.RefStats()
+				refs += rs.TotalRefs()
+				misses += rs.TotalMisses()
+			}
+			miss[si] = ratio(float64(misses), float64(refs))
+		}
+		res.Rows[vi] = ReplacementRow{Repl: v.repl, Assoc: v.assoc, Miss: miss}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats the ablation table.
+func (r *ReplacementResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Replacement/mapping ablation: miss ratio over " +
+		strings.Join(replacementWorkloads, ", ") + "\n(unified, demand, 16-byte lines)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "policy\tassoc")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(w, "\t%s", sizeLabel(s))
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		assoc := fmt.Sprintf("%d-way", row.Assoc)
+		if row.Assoc == 0 {
+			assoc = "full"
+		}
+		fmt.Fprintf(w, "%s\t%s", row.Repl, assoc)
+		for _, m := range row.Miss {
+			if m < 0 {
+				fmt.Fprint(w, "\t-")
+				continue
+			}
+			fmt.Fprintf(w, "\t%s", fmtMiss(m))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cacheeval/internal/cache"
+)
+
+func TestBusStudy(t *testing.T) {
+	res, err := BusStudy(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 4 workloads x 2 policies
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKey := map[string]map[cache.FetchPolicy]BusStudyRow{}
+	for _, row := range res.Rows {
+		if byKey[row.Workload] == nil {
+			byKey[row.Workload] = map[cache.FetchPolicy]BusStudyRow{}
+		}
+		byKey[row.Workload][row.Policy] = row
+	}
+	for name, rows := range byKey {
+		d, p := rows[cache.DemandFetch], rows[cache.PrefetchAlways]
+		if p.MissRatio >= d.MissRatio {
+			t.Errorf("%s: prefetch should cut the miss ratio (%.4f -> %.4f)",
+				name, d.MissRatio, p.MissRatio)
+		}
+		if p.TransfersPerRef <= d.TransfersPerRef {
+			t.Errorf("%s: prefetch should add bus transfers", name)
+		}
+		if p.OneProc <= d.OneProc {
+			t.Errorf("%s: prefetch should win with one processor", name)
+		}
+		if d.Knee < 1 || p.Knee < 1 {
+			t.Errorf("%s: invalid knees %d/%d", name, d.Knee, p.Knee)
+		}
+	}
+	if !strings.Contains(res.Render(), "§3.5.2") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestLineSizeStudy(t *testing.T) {
+	res, err := LineSize(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(lineSizeWorkloads)*len(res.LineSizes) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byWorkload := map[string][]LineSizeRow{}
+	for _, row := range res.Rows {
+		byWorkload[row.Workload] = append(byWorkload[row.Workload], row)
+	}
+	for name, rows := range byWorkload {
+		// Miss ratio must fall (weakly) with line size at this cache size
+		// for these sequential-leaning workloads.
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Miss > rows[i-1].Miss*1.05 {
+				t.Errorf("%s: miss rose sharply from %dB to %dB lines (%.4f -> %.4f)",
+					name, rows[i-1].LineSize, rows[i].LineSize, rows[i-1].Miss, rows[i].Miss)
+			}
+		}
+		// Traffic ratio must rise with very large lines.
+		if rows[len(rows)-1].TrafficRatio <= rows[1].TrafficRatio {
+			t.Errorf("%s: 128B-line traffic ratio should exceed 8B's", name)
+		}
+	}
+	// The §4.1 halving rule, at full precision only at full run lengths;
+	// at test scale allow a generous band.
+	for _, name := range lineSizeWorkloads {
+		hr := res.HalvingRatio(name)
+		if hr < 1.2 || hr > 3 {
+			t.Errorf("%s: 8->16B halving ratio %.2f outside [1.2, 3]", name, hr)
+		}
+	}
+	if res.HalvingRatio("NOPE") != 0 {
+		t.Error("unknown workload halving ratio should be 0")
+	}
+	if !strings.Contains(res.Render(), "halving") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestPrefetchPolicies(t *testing.T) {
+	res, err := PrefetchPolicies(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(prefetchPolicyWorkloads)*len(prefetchPolicies) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byWorkload := map[string]map[cache.FetchPolicy]PrefetchPolicyRow{}
+	for _, row := range res.Rows {
+		if byWorkload[row.Workload] == nil {
+			byWorkload[row.Workload] = map[cache.FetchPolicy]PrefetchPolicyRow{}
+		}
+		byWorkload[row.Workload][row.Policy] = row
+	}
+	for name, rows := range byWorkload {
+		d := rows[cache.DemandFetch]
+		om := rows[cache.PrefetchOnMiss]
+		tg := rows[cache.TaggedPrefetch]
+		al := rows[cache.PrefetchAlways]
+		// [Smit78]'s ordering: each policy prefetches at least as often as
+		// the previous, so traffic is ordered...
+		if !(d.Traffic <= om.Traffic && om.Traffic <= tg.Traffic && tg.Traffic <= al.Traffic) {
+			t.Errorf("%s: traffic ordering violated: %d/%d/%d/%d",
+				name, d.Traffic, om.Traffic, tg.Traffic, al.Traffic)
+		}
+		// ...and the stronger policies cut misses further.
+		if !(al.Miss <= tg.Miss && tg.Miss <= om.Miss && om.Miss <= d.Miss) {
+			t.Errorf("%s: miss ordering violated: %.4f/%.4f/%.4f/%.4f",
+				name, d.Miss, om.Miss, tg.Miss, al.Miss)
+		}
+		// Tagged prefetch approaches prefetch-always ([Smit78]'s finding).
+		if tg.Miss > 2*al.Miss+0.005 {
+			t.Errorf("%s: tagged (%.4f) should approach always (%.4f)", name, tg.Miss, al.Miss)
+		}
+	}
+	if !strings.Contains(res.Render(), "tagged-prefetch") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSamplingStudy(t *testing.T) {
+	o := quickOpts()
+	o.RefLimit = 30000
+	res, err := SamplingStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(samplingWorkloads) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Exact <= 0 {
+			t.Errorf("%s: exact miss ratio %v", row.Workload, row.Exact)
+		}
+		if row.Fraction <= 0 || row.Fraction > 0.3 {
+			t.Errorf("%s/%s: sampled fraction %v", row.Workload, row.Estimator, row.Fraction)
+		}
+		// Order of magnitude must survive sampling.
+		if row.Estimate > 10*row.Exact || (row.Estimate > 0 && row.Estimate < row.Exact/10) {
+			t.Errorf("%s/%s: estimate %v wildly off exact %v",
+				row.Workload, row.Estimator, row.Estimate, row.Exact)
+		}
+	}
+	if !strings.Contains(res.Render(), "sampling") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	o := quickOpts()
+	o.RefLimit = 20000
+	res, err := Variance(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(varianceWorkloads) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Mean <= 0 {
+			t.Errorf("%s: mean %v", row.Workload, row.Mean)
+		}
+		if row.Seeds != varianceSeeds {
+			t.Errorf("%s: seeds %d", row.Workload, row.Seeds)
+		}
+		// Re-seeding must perturb, but a workload's identity must survive:
+		// spreads beyond ~50% would mean the corpus is seed-noise.
+		if row.RelSpread <= 0 || row.RelSpread > 0.5 {
+			t.Errorf("%s: relative spread %v out of (0, 0.5]", row.Workload, row.RelSpread)
+		}
+	}
+	if !strings.Contains(res.Render(), "Cur75") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestTable3MatchesPaperBands is the write-back calibration contract: each
+// workload's measured dirty-push fraction must stay within a band of the
+// published Table 3 value (the bands absorb the reduced test run length).
+func TestTable3MatchesPaperBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep; skipped with -short")
+	}
+	o := Options{Sizes: []int{Table3Size}, RefLimit: 60000}
+	sweep, err := Sweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := Table3(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, row := range t3.Rows {
+		diff := row.Measured - row.Paper
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+		if diff > 0.15 {
+			t.Errorf("%s: measured %.2f vs paper %.2f (drifted out of band; re-tune WriteSpread)",
+				row.Workload, row.Measured, row.Paper)
+		}
+	}
+	if avgDiff := t3.MeasuredAverage - t3.PaperAverage; avgDiff > 0.06 || avgDiff < -0.06 {
+		t.Errorf("average dirty fraction %.2f vs paper %.2f", t3.MeasuredAverage, t3.PaperAverage)
+	}
+	t.Logf("worst per-row deviation: %.3f", worst)
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cacheeval/internal/textplot"
+	"cacheeval/internal/trace"
+)
+
+// FigureKind identifies one of the paper's per-workload figure families
+// drawn from the sweep.
+type FigureKind int
+
+const (
+	// Figure3: instruction-cache miss ratio vs size (split, demand).
+	Figure3 FigureKind = iota
+	// Figure4: data-cache miss ratio vs size (split, demand).
+	Figure4
+	// Figure5: unified prefetch/demand miss-ratio ratio.
+	Figure5
+	// Figure6: instruction prefetch/demand miss-ratio ratio.
+	Figure6
+	// Figure7: data prefetch/demand miss-ratio ratio.
+	Figure7
+	// Figure8: unified prefetch/demand memory-traffic factor.
+	Figure8
+	// Figure9: instruction prefetch/demand memory-traffic factor.
+	Figure9
+	// Figure10: data prefetch/demand memory-traffic factor.
+	Figure10
+)
+
+// figureMeta describes each figure family.
+var figureMeta = map[FigureKind]struct {
+	title  string
+	ylabel string
+	logY   bool
+}{
+	Figure3:  {"Figure 3: instruction miss ratio vs cache size (split, demand, purged)", "miss", true},
+	Figure4:  {"Figure 4: data miss ratio vs cache size (split, demand, purged)", "miss", true},
+	Figure5:  {"Figure 5: prefetch/demand miss-ratio ratio, unified cache", "ratio", true},
+	Figure6:  {"Figure 6: prefetch/demand miss-ratio ratio, instruction cache", "ratio", true},
+	Figure7:  {"Figure 7: prefetch/demand miss-ratio ratio, data cache", "ratio", true},
+	Figure8:  {"Figure 8: prefetch/demand memory-traffic factor, unified cache", "factor", false},
+	Figure9:  {"Figure 9: prefetch/demand memory-traffic factor, instruction cache", "factor", false},
+	Figure10: {"Figure 10: prefetch/demand memory-traffic factor, data cache", "factor", false},
+}
+
+// FigureValue extracts one figure's y-value from a sweep cell. A ratio of 0
+// is reported when its denominator is 0 (e.g. no misses at very large
+// caches); renderers drop such points on log axes.
+func FigureValue(kind FigureKind, c SweepCell) float64 {
+	switch kind {
+	case Figure3:
+		return c.SplitDemand.Ref.KindMissRatio(trace.IFetch)
+	case Figure4:
+		return c.SplitDemand.Ref.DataMissRatio()
+	case Figure5:
+		return ratio(c.UnifiedPrefetch.Ref.MissRatio(), c.UnifiedDemand.Ref.MissRatio())
+	case Figure6:
+		return ratio(c.SplitPrefetch.Ref.KindMissRatio(trace.IFetch),
+			c.SplitDemand.Ref.KindMissRatio(trace.IFetch))
+	case Figure7:
+		return ratio(c.SplitPrefetch.Ref.DataMissRatio(), c.SplitDemand.Ref.DataMissRatio())
+	case Figure8:
+		return ratio(float64(c.UnifiedPrefetch.U.MemoryTraffic()), float64(c.UnifiedDemand.U.MemoryTraffic()))
+	case Figure9:
+		return ratio(float64(c.SplitPrefetch.I.MemoryTraffic()), float64(c.SplitDemand.I.MemoryTraffic()))
+	case Figure10:
+		return ratio(float64(c.SplitPrefetch.D.MemoryTraffic()), float64(c.SplitDemand.D.MemoryTraffic()))
+	default:
+		return 0
+	}
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RenderFigure plots one figure family across all workloads in the sweep.
+func (r *SweepResult) RenderFigure(kind FigureKind) string {
+	meta := figureMeta[kind]
+	p := textplot.Plot{
+		Title:  meta.title,
+		XLabel: "cache size (bytes)",
+		YLabel: meta.ylabel,
+		LogX:   true,
+		LogY:   meta.logY,
+	}
+	xs := make([]float64, len(r.Sizes))
+	for i, s := range r.Sizes {
+		xs[i] = float64(s)
+	}
+	for mi, mix := range r.Mixes {
+		ys := make([]float64, len(r.Sizes))
+		for si := range r.Sizes {
+			ys[si] = FigureValue(kind, r.Cells[mi][si])
+		}
+		p.Add(textplot.Series{Name: mix.Name, Xs: xs, Ys: ys})
+	}
+	var b strings.Builder
+	b.WriteString(p.Render())
+	b.WriteString("\nworkload")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(&b, "\t%s", sizeLabel(s))
+	}
+	b.WriteString("\n")
+	for mi, mix := range r.Mixes {
+		fmt.Fprintf(&b, "%s", mix.Name)
+		for si := range r.Sizes {
+			fmt.Fprintf(&b, "\t%.3f", FigureValue(kind, r.Cells[mi][si]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// LineSizeRow is one (workload, line size) point: miss ratio and the
+// [Hil84] traffic ratio at a fixed cache size.
+type LineSizeRow struct {
+	Workload     string
+	LineSize     int
+	Miss         float64
+	TrafficRatio float64
+}
+
+// LineSizeResult is the study the paper's conclusion defers to future work:
+// "the effect of line size on miss ratio needs to be quantified beyond the
+// general statements made here". It sweeps line sizes at fixed capacities
+// and exposes both the miss-ratio gain and the traffic cost (the tension
+// the conclusion's traffic-ratio warning is about). The §4.1 rule of thumb
+// — doubling 8-byte lines to 16 roughly halves the miss ratio at 8K — is
+// checkable directly.
+type LineSizeResult struct {
+	CacheSize int
+	LineSizes []int
+	Rows      []LineSizeRow
+}
+
+// lineSizeWorkloads samples each architecture class.
+var lineSizeWorkloads = []string{"FGO1", "VCCOM", "LISPC-1", "ZGREP", "TWOD1", "MVS1"}
+
+// LineSize sweeps line sizes 4..128 bytes at a fixed 8K unified cache (the
+// VAX 11/780's size, where the paper states the halving rule).
+func LineSize(o Options) (*LineSizeResult, error) {
+	o = o.withDefaults()
+	const cacheSize = 8192
+	lineSizes := []int{4, 8, 16, 32, 64, 128}
+	res := &LineSizeResult{CacheSize: cacheSize, LineSizes: lineSizes}
+	rows := make([]LineSizeRow, len(lineSizeWorkloads)*len(lineSizes))
+	err := forEach(o.Workers, len(lineSizeWorkloads), func(wi int) error {
+		spec, err := workload.ByName(lineSizeWorkloads[wi])
+		if err != nil {
+			return err
+		}
+		refs, err := o.collectSpec(spec)
+		if err != nil {
+			return err
+		}
+		for li, ls := range lineSizes {
+			sys, err := cache.NewSystem(cache.SystemConfig{
+				Unified:       cache.Config{Size: cacheSize, LineSize: ls},
+				PurgeInterval: 20000,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+				return fmt.Errorf("line size %s/%d: %w", spec.Name, ls, err)
+			}
+			rows[wi*len(lineSizes)+li] = LineSizeRow{
+				Workload:     spec.Name,
+				LineSize:     ls,
+				Miss:         sys.RefStats().MissRatio(),
+				TrafficRatio: sys.TrafficRatio(),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// HalvingRatio returns miss(8B)/miss(16B) for a workload — the paper's
+// §4.1 rule of thumb says ~2 at 8K. Returns 0 if either point is missing.
+func (r *LineSizeResult) HalvingRatio(workload string) float64 {
+	var m8, m16 float64
+	for _, row := range r.Rows {
+		if row.Workload != workload {
+			continue
+		}
+		switch row.LineSize {
+		case 8:
+			m8 = row.Miss
+		case 16:
+			m16 = row.Miss
+		}
+	}
+	if m16 == 0 {
+		return 0
+	}
+	return m8 / m16
+}
+
+// Render formats the study.
+func (r *LineSizeResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Line-size study (the conclusion's future work): %dB unified cache, purge 20k\n\n", r.CacheSize)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "workload")
+	for _, ls := range r.LineSizes {
+		fmt.Fprintf(w, "\t%dB miss/traffic", ls)
+	}
+	fmt.Fprintln(w)
+	byWorkload := map[string][]LineSizeRow{}
+	var order []string
+	for _, row := range r.Rows {
+		if _, ok := byWorkload[row.Workload]; !ok {
+			order = append(order, row.Workload)
+		}
+		byWorkload[row.Workload] = append(byWorkload[row.Workload], row)
+	}
+	for _, name := range order {
+		fmt.Fprintf(w, "%s", name)
+		for _, row := range byWorkload[name] {
+			fmt.Fprintf(w, "\t%.4f/%.2f", row.Miss, row.TrafficRatio)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	b.WriteString("\n8B->16B miss halving ratios (paper's §4.1 rule of thumb ~2 at 8K):")
+	for _, name := range order {
+		fmt.Fprintf(&b, " %s %.2f", name, r.HalvingRatio(name))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// PrefetchPolicyRow is one (workload, policy) point of the [Smit78]
+// prefetch-taxonomy ablation.
+type PrefetchPolicyRow struct {
+	Workload string
+	Policy   cache.FetchPolicy
+	Miss     float64
+	Traffic  uint64
+}
+
+// PrefetchPolicyResult compares demand, prefetch-on-miss, tagged prefetch
+// and prefetch-always — the taxonomy of the paper's own [Smit78] citation —
+// at the Table 3 cache configuration.
+type PrefetchPolicyResult struct {
+	CacheSize int
+	Rows      []PrefetchPolicyRow
+}
+
+var prefetchPolicyWorkloads = []string{"FGO1", "VCCOM", "ZGREP", "TWOD1"}
+
+var prefetchPolicies = []cache.FetchPolicy{
+	cache.DemandFetch, cache.PrefetchOnMiss, cache.TaggedPrefetch, cache.PrefetchAlways,
+}
+
+// PrefetchPolicies runs the ablation at an 8K unified cache.
+func PrefetchPolicies(o Options) (*PrefetchPolicyResult, error) {
+	o = o.withDefaults()
+	const cacheSize = 8192
+	res := &PrefetchPolicyResult{CacheSize: cacheSize}
+	rows := make([]PrefetchPolicyRow, len(prefetchPolicyWorkloads)*len(prefetchPolicies))
+	err := forEach(o.Workers, len(prefetchPolicyWorkloads), func(wi int) error {
+		spec, err := workload.ByName(prefetchPolicyWorkloads[wi])
+		if err != nil {
+			return err
+		}
+		refs, err := o.collectSpec(spec)
+		if err != nil {
+			return err
+		}
+		for pi, policy := range prefetchPolicies {
+			sys, err := cache.NewSystem(cache.SystemConfig{
+				Unified:       cache.Config{Size: cacheSize, LineSize: o.LineSize, Fetch: policy},
+				PurgeInterval: 20000,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+				return err
+			}
+			rows[wi*len(prefetchPolicies)+pi] = PrefetchPolicyRow{
+				Workload: spec.Name,
+				Policy:   policy,
+				Miss:     sys.RefStats().MissRatio(),
+				Traffic:  sys.Stats().MemoryTraffic(),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// Render formats the ablation.
+func (r *PrefetchPolicyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Prefetch policy ablation ([Smit78] taxonomy): %dB unified cache, purge 20k\n\n", r.CacheSize)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tpolicy\tmiss\ttraffic bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%d\n", row.Workload, row.Policy, row.Miss, row.Traffic)
+	}
+	w.Flush()
+	return b.String()
+}

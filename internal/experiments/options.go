@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic corpus: one constructor per artifact,
+// returning structured results that render paper-style tables/plots and
+// compare against the published numbers in internal/model.
+//
+// See DESIGN.md §4 for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cacheeval/internal/model"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// Options control simulation scale. The zero value reproduces the paper's
+// parameters.
+type Options struct {
+	// Sizes are the cache sizes to sweep; default model.CacheSizes
+	// (32 bytes .. 64 Kbytes).
+	Sizes []int
+	// LineSize is the cache line size; default 16 bytes, the paper's value.
+	LineSize int
+	// RefLimit caps the references taken from each trace; 0 uses each
+	// trace's paper run length. Tests use small limits.
+	RefLimit int
+	// Workers bounds simulation parallelism; default GOMAXPROCS. Results
+	// are bit-identical regardless of the worker count.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Sizes) == 0 {
+		o.Sizes = model.CacheSizes
+	}
+	if o.LineSize == 0 {
+		o.LineSize = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// limit caps n by the RefLimit option.
+func (o Options) limit(n int) int {
+	if o.RefLimit > 0 && o.RefLimit < n {
+		return o.RefLimit
+	}
+	return n
+}
+
+// openSpec returns a spec's reference stream honouring RefLimit.
+func (o Options) openSpec(s workload.Spec) (trace.Reader, error) {
+	r, err := s.Open()
+	if err != nil {
+		return nil, err
+	}
+	if o.RefLimit > 0 {
+		r = trace.NewLimitReader(r, o.RefLimit)
+	}
+	return r, nil
+}
+
+// collectSpec materializes a spec's trace.
+func (o Options) collectSpec(s workload.Spec) ([]trace.Ref, error) {
+	r, err := o.openSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(r, 0)
+}
+
+// collectMix materializes a mix's interleaved stream. RefLimit applies per
+// member, preserving the round-robin structure at reduced scale.
+func (o Options) collectMix(m workload.Mix) ([]trace.Ref, error) {
+	if o.RefLimit > 0 {
+		limited := m
+		limited.Specs = make([]workload.Spec, len(m.Specs))
+		copy(limited.Specs, m.Specs)
+		for i := range limited.Specs {
+			limited.Specs[i].Refs = o.limit(limited.Specs[i].Refs)
+		}
+		m = limited
+	}
+	r, err := m.Open()
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(r, 0)
+}
+
+// forEach runs fn(i) for i in [0, n) on up to workers goroutines and
+// returns the first error (by lowest index) if any failed.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtMiss formats a miss ratio for tables.
+func fmtMiss(m float64) string { return fmt.Sprintf("%.4f", m) }

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// SimOut captures one simulation's results: reference-level statistics plus
+// per-cache line-level statistics (I and D for split organizations, U for
+// unified).
+type SimOut struct {
+	Ref     cache.RefStats
+	I, D, U cache.Stats
+}
+
+// SweepCell holds the four §3.3-§3.5 simulations of one workload at one
+// cache size: split and unified organizations, each with demand fetch and
+// with prefetch-always.
+type SweepCell struct {
+	SplitDemand     SimOut
+	SplitPrefetch   SimOut
+	UnifiedDemand   SimOut
+	UnifiedPrefetch SimOut
+}
+
+// SweepResult is the master dataset behind Table 3, Figures 3-10 and
+// Table 4: every standard workload mix, swept across cache sizes, under the
+// paper's multiprogramming regime (round-robin task switching with cache
+// purges every quantum; fully associative, LRU, copy-back, 16-byte lines).
+type SweepResult struct {
+	Sizes []int
+	Mixes []workload.Mix
+	Cells [][]SweepCell // [mix][size]
+	opts  Options
+}
+
+// Sweep runs the full §3.3-§3.5 simulation grid: the sixteen Table 3
+// workload units plus the M68000 assortment (which the prefetch figures
+// include, with its 15,000-reference quantum).
+func Sweep(o Options) (*SweepResult, error) {
+	o = o.withDefaults()
+	mixes := append(workload.StandardMixes(), workload.M68000Mix())
+	return SweepMixes(o, mixes)
+}
+
+// SweepMixes runs the sweep grid over a caller-chosen set of mixes.
+func SweepMixes(o Options, mixes []workload.Mix) (*SweepResult, error) {
+	o = o.withDefaults()
+	res := &SweepResult{Sizes: o.Sizes, Mixes: mixes, opts: o}
+	// Materialize each mix's reference stream once; the grid re-reads it
+	// from memory for every (size, organization, fetch-policy) cell.
+	streams := make([][]trace.Ref, len(mixes))
+	err := forEach(o.Workers, len(mixes), func(i int) error {
+		refs, err := o.collectMix(mixes[i])
+		if err != nil {
+			return fmt.Errorf("sweep %s: %w", mixes[i].Name, err)
+		}
+		streams[i] = refs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cells = make([][]SweepCell, len(mixes))
+	for i := range res.Cells {
+		res.Cells[i] = make([]SweepCell, len(o.Sizes))
+	}
+	type job struct{ mi, si int }
+	var jobs []job
+	for mi := range mixes {
+		for si := range o.Sizes {
+			jobs = append(jobs, job{mi, si})
+		}
+	}
+	err = forEach(o.Workers, len(jobs), func(j int) error {
+		mi, si := jobs[j].mi, jobs[j].si
+		cell, err := runCell(o, mixes[mi], streams[mi], o.Sizes[si])
+		if err != nil {
+			return fmt.Errorf("sweep %s @%d: %w", mixes[mi].Name, o.Sizes[si], err)
+		}
+		res.Cells[mi][si] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runCell executes the four simulations of one grid cell.
+func runCell(o Options, mix workload.Mix, refs []trace.Ref, size int) (SweepCell, error) {
+	var cell SweepCell
+	base := cache.Config{Size: size, LineSize: o.LineSize} // fully assoc, LRU, copy-back
+	for _, variant := range []struct {
+		split bool
+		fetch cache.FetchPolicy
+		out   *SimOut
+	}{
+		{true, cache.DemandFetch, &cell.SplitDemand},
+		{true, cache.PrefetchAlways, &cell.SplitPrefetch},
+		{false, cache.DemandFetch, &cell.UnifiedDemand},
+		{false, cache.PrefetchAlways, &cell.UnifiedPrefetch},
+	} {
+		cfg := base
+		cfg.Fetch = variant.fetch
+		sc := cache.SystemConfig{PurgeInterval: mix.Quantum}
+		if variant.split {
+			sc.Split = true
+			sc.I, sc.D = cfg, cfg
+		} else {
+			sc.Unified = cfg
+		}
+		sys, err := cache.NewSystem(sc)
+		if err != nil {
+			return cell, err
+		}
+		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+			return cell, err
+		}
+		variant.out.Ref = sys.RefStats()
+		if variant.split {
+			variant.out.I = sys.ICache().Stats()
+			variant.out.D = sys.DCache().Stats()
+		} else {
+			variant.out.U = sys.Unified().Stats()
+		}
+	}
+	return cell, nil
+}
+
+// SizeIndex returns the index of a cache size in Sizes, or -1.
+func (r *SweepResult) SizeIndex(size int) int {
+	for i, s := range r.Sizes {
+		if s == size {
+			return i
+		}
+	}
+	return -1
+}
+
+// MixIndex returns the index of a mix by name, or -1.
+func (r *SweepResult) MixIndex(name string) int {
+	for i, m := range r.Mixes {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// Table2Row is one trace's workload characteristics (Table 2): reference
+// mix, footprints at 16-byte granularity, total address space touched, and
+// apparent branch frequency under the paper's ±8-byte heuristic.
+type Table2Row struct {
+	Trace         string
+	Group         string
+	Language      string
+	Reconstructed bool
+	C             trace.Characteristics
+}
+
+// Table2Result holds the trace-characteristics reproduction.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 analyzes every trace unit of the corpus.
+func Table2(o Options) (*Table2Result, error) {
+	o = o.withDefaults()
+	units := workload.Units()
+	res := &Table2Result{Rows: make([]Table2Row, len(units))}
+	err := forEach(o.Workers, len(units), func(i int) error {
+		spec := units[i]
+		rd, err := o.openSpec(spec)
+		if err != nil {
+			return err
+		}
+		c, err := trace.Analyze(rd, o.LineSize, 0)
+		if err != nil {
+			return fmt.Errorf("table2 %s: %w", spec.Name, err)
+		}
+		res.Rows[i] = Table2Row{
+			Trace:         spec.Name,
+			Group:         workload.Group(spec),
+			Language:      spec.Language,
+			Reconstructed: spec.Reconstructed,
+			C:             c,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// GroupAverages returns per-group mean characteristics in first-appearance
+// order.
+func (r *Table2Result) GroupAverages() ([]string, map[string]trace.Characteristics) {
+	var groups []string
+	sums := map[string]*trace.Characteristics{}
+	counts := map[string]uint64{}
+	for _, row := range r.Rows {
+		s, ok := sums[row.Group]
+		if !ok {
+			s = &trace.Characteristics{LineSize: row.C.LineSize}
+			sums[row.Group] = s
+			groups = append(groups, row.Group)
+		}
+		s.Refs += row.C.Refs
+		s.IFetch += row.C.IFetch
+		s.Reads += row.C.Reads
+		s.Writes += row.C.Writes
+		s.ILines += row.C.ILines
+		s.DLines += row.C.DLines
+		s.Branchs += row.C.Branchs
+		counts[row.Group]++
+	}
+	out := map[string]trace.Characteristics{}
+	for g, s := range sums {
+		n := counts[g]
+		out[g] = trace.Characteristics{
+			LineSize: s.LineSize,
+			Refs:     s.Refs / n, IFetch: s.IFetch / n, Reads: s.Reads / n,
+			Writes: s.Writes / n, ILines: s.ILines / n, DLines: s.DLines / n,
+			Branchs: s.Branchs / n,
+		}
+	}
+	return groups, out
+}
+
+// Render formats the per-trace characteristics table.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: trace characteristics (16-byte line granularity)\n")
+	b.WriteString("Branch heuristic: successive ifetch address < previous or > previous+8.\n")
+	b.WriteString("Traces marked * have reconstructed names (DESIGN.md §2).\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "trace\tlanguage\trefs\tifetch%\tread%\twrite%\t#Ilines\t#Dlines\tAspace\tbranch%")
+	for _, row := range r.Rows {
+		name := row.Trace
+		if row.Reconstructed {
+			name += "*"
+		}
+		c := row.C
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\t%.1f\n",
+			name, row.Language, c.Refs,
+			100*c.FracIFetch(), 100*c.FracRead(), 100*c.FracWrite(),
+			c.ILines, c.DLines, c.ASpace(), 100*c.FracBranch())
+	}
+	fmt.Fprintln(w)
+	groups, avgs := r.GroupAverages()
+	fmt.Fprintln(w, "group averages\t\t\t\t\t\t\t\t\t")
+	for _, g := range groups {
+		c := avgs[g]
+		fmt.Fprintf(w, "%s\t\t%d\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\t%.1f\n",
+			g, c.Refs,
+			100*c.FracIFetch(), 100*c.FracRead(), 100*c.FracWrite(),
+			c.ILines, c.DLines, c.ASpace(), 100*c.FracBranch())
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/model"
+	"cacheeval/internal/stats"
+)
+
+// Table3Size is the data-cache size of the paper's Table 3 configuration
+// ("a 32K-byte memory is simulated, partitioned into a 16K-byte data cache
+// and 16K-byte instruction cache").
+const Table3Size = 16384
+
+// Table3Row compares one workload's measured fraction-of-data-pushes-dirty
+// with the paper's value.
+type Table3Row struct {
+	Workload string
+	Measured float64
+	Paper    float64
+	HasPaper bool
+}
+
+// Table3Result is the write-back activity reproduction.
+type Table3Result struct {
+	Rows            []Table3Row
+	MeasuredAverage float64
+	MeasuredStdDev  float64
+	PaperAverage    float64
+}
+
+// Table3 extracts the dirty-push fractions from a sweep at the 16K point
+// and matches them against the published table.
+func Table3(sweep *SweepResult) (*Table3Result, error) {
+	si := sweep.SizeIndex(Table3Size)
+	if si < 0 {
+		return nil, fmt.Errorf("table3: sweep lacks the %d-byte size point", Table3Size)
+	}
+	paper := map[string]float64{}
+	for _, row := range model.DirtyPushFractions() {
+		paper[row.Workload] = row.Fraction
+	}
+	res := &Table3Result{PaperAverage: model.Table3Average}
+	var measured []float64
+	for mi, mix := range sweep.Mixes {
+		if mix.Name == "M68000 - Assorted" {
+			// Not part of the paper's Table 3.
+			continue
+		}
+		frac := sweep.Cells[mi][si].SplitDemand.D.FracPushesDirty()
+		p, ok := paper[mix.Name]
+		res.Rows = append(res.Rows, Table3Row{
+			Workload: mix.Name, Measured: frac, Paper: p, HasPaper: ok,
+		})
+		measured = append(measured, frac)
+	}
+	res.MeasuredAverage = stats.Mean(measured)
+	res.MeasuredStdDev = stats.StdDev(measured)
+	return res, nil
+}
+
+// Render formats the comparison table.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: fraction of data-cache line pushes dirty\n")
+	b.WriteString("(16K data + 16K instruction caches, 16-byte lines, purge every quantum)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tmeasured\tpaper")
+	for _, row := range r.Rows {
+		paper := "-"
+		if row.HasPaper {
+			paper = fmt.Sprintf("%.2f", row.Paper)
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%s\n", row.Workload, row.Measured, paper)
+	}
+	fmt.Fprintf(w, "Average\t%.2f\t%.2f\n", r.MeasuredAverage, r.PaperAverage)
+	fmt.Fprintf(w, "Std dev\t%.2f\t%.2f\n", r.MeasuredStdDev, model.Table3StdDev)
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/model"
+)
+
+// Table4Row compares measured and published prefetch traffic factors at one
+// cache size. The average follows the paper: "computed by summing the
+// prefetch traffic for all of the traces and dividing it by the demand
+// fetch traffic; it is not just [the mean of the ratios]".
+type Table4Row struct {
+	Size                   int
+	Unified, Instr, Data   float64
+	PaperU, PaperI, PaperD model.Cell
+	HavePaper              bool
+}
+
+// Table4Result is the traffic-ratio reproduction.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 aggregates a sweep's traffic measurements into ratio-of-sums
+// averages per cache size.
+func Table4(sweep *SweepResult) *Table4Result {
+	paper := map[int]model.TrafficRow{}
+	for _, row := range model.PrefetchTrafficRatios() {
+		paper[row.Size] = row
+	}
+	res := &Table4Result{}
+	for si, size := range sweep.Sizes {
+		var uP, uD, iP, iD, dP, dD float64
+		for mi := range sweep.Mixes {
+			c := sweep.Cells[mi][si]
+			uP += float64(c.UnifiedPrefetch.U.MemoryTraffic())
+			uD += float64(c.UnifiedDemand.U.MemoryTraffic())
+			iP += float64(c.SplitPrefetch.I.MemoryTraffic())
+			iD += float64(c.SplitDemand.I.MemoryTraffic())
+			dP += float64(c.SplitPrefetch.D.MemoryTraffic())
+			dD += float64(c.SplitDemand.D.MemoryTraffic())
+		}
+		row := Table4Row{
+			Size:    size,
+			Unified: ratio(uP, uD),
+			Instr:   ratio(iP, iD),
+			Data:    ratio(dP, dD),
+		}
+		if p, ok := paper[size]; ok {
+			row.PaperU, row.PaperI, row.PaperD = p.Unified, p.Instruction, p.Data
+			row.HavePaper = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the comparison table.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4: average memory-traffic factor, prefetch vs demand\n")
+	b.WriteString("(ratio of summed traffic across workloads; paper cells marked ~ are reconstructed)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "size\tunified\tinstr\tdata\tpaper-unified\tpaper-instr\tpaper-data")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f", sizeLabel(row.Size), row.Unified, row.Instr, row.Data)
+		if row.HavePaper {
+			fmt.Fprintf(w, "\t%s\t%s\t%s", cellStr(row.PaperU), cellStr(row.PaperI), cellStr(row.PaperD))
+		} else {
+			fmt.Fprintf(w, "\t-\t-\t-")
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// cellStr formats a published cell, marking reconstructed values.
+func cellStr(c model.Cell) string {
+	if c.Reconstructed {
+		return fmt.Sprintf("~%.3f", c.V)
+	}
+	return fmt.Sprintf("%.3f", c.V)
+}

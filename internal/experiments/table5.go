@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"cacheeval/internal/model"
+	"cacheeval/internal/stats"
+)
+
+// Table5Row compares one cache size's derived design-target miss ratios
+// with the published Table 5.
+type Table5Row struct {
+	Size                 int
+	Unified, Instr, Data float64
+	Paper                model.TargetRow
+	HavePaper            bool
+}
+
+// Table5Result is the design-target reproduction: the §4.1 percentile rule
+// applied to our distributions — unified from the Table 1 runs, instruction
+// and data from the Figure 3/4 (sweep) runs.
+type Table5Result struct {
+	Percentile float64
+	Rows       []Table5Row
+}
+
+// Table5 derives design targets from the Table 1 result and the sweep.
+// Both must have been run with the same size list.
+func Table5(t1 *Table1Result, sweep *SweepResult) (*Table5Result, error) {
+	if len(t1.Sizes) != len(sweep.Sizes) {
+		return nil, fmt.Errorf("table5: size lists differ (%v vs %v)", t1.Sizes, sweep.Sizes)
+	}
+	for i := range t1.Sizes {
+		if t1.Sizes[i] != sweep.Sizes[i] {
+			return nil, fmt.Errorf("table5: size lists differ (%v vs %v)", t1.Sizes, sweep.Sizes)
+		}
+	}
+	paper := map[int]model.TargetRow{}
+	for _, row := range model.DesignTargets() {
+		paper[row.Size] = row
+	}
+	res := &Table5Result{Percentile: model.DesignPercentile}
+	for si, size := range t1.Sizes {
+		var instr, data []float64
+		for mi := range sweep.Mixes {
+			c := sweep.Cells[mi][si]
+			instr = append(instr, FigureValue(Figure3, c))
+			data = append(data, FigureValue(Figure4, c))
+		}
+		row := Table5Row{
+			Size:    size,
+			Unified: model.DesignEstimate(t1.MissAt(si)),
+			Instr:   stats.Percentile(instr, model.DesignPercentile),
+			Data:    stats.Percentile(data, model.DesignPercentile),
+		}
+		if p, ok := paper[size]; ok {
+			row.Paper, row.HavePaper = p, true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// DoublingImprovement reports the average fractional miss-ratio reduction
+// per cache doubling over a size range, for comparison with §4.1's summary
+// ("doubling the cache size seems to cut the miss ratio by about ... 23%").
+func (r *Table5Result) DoublingImprovement(loSize, hiSize int, col func(Table5Row) float64) float64 {
+	var values []float64
+	for _, row := range r.Rows {
+		if row.Size >= loSize && row.Size <= hiSize {
+			values = append(values, col(row))
+		}
+	}
+	if len(values) < 2 || values[0] <= 0 || values[len(values)-1] <= 0 {
+		return 0
+	}
+	doublings := float64(len(values) - 1)
+	overall := values[len(values)-1] / values[0]
+	// Per-doubling reduction factor r satisfies (1-r)^doublings = overall.
+	return 1 - math.Pow(overall, 1/doublings)
+}
+
+// Render formats the comparison table and the doubling summary.
+func (r *Table5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: design target miss ratios (16-byte lines, %gth percentile of observed)\n", r.Percentile)
+	b.WriteString("Paper cells marked ~ are reconstructed (DESIGN.md §2).\n\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "size\tunified\tinstr\tdata\tpaper-unified\tpaper-instr\tpaper-data")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f", sizeLabel(row.Size), row.Unified, row.Instr, row.Data)
+		if row.HavePaper {
+			fmt.Fprintf(w, "\t%s\t%s\t%s",
+				cellStr(row.Paper.Unified), cellStr(row.Paper.Instruction), cellStr(row.Paper.Data))
+		} else {
+			fmt.Fprintf(w, "\t-\t-\t-")
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	d := model.Doubling()
+	uni := func(t Table5Row) float64 { return t.Unified }
+	fmt.Fprintf(&b, "\nPer-doubling miss reduction (unified): 32B-512B %.0f%% (paper ~%.0f%%), 512B-64K %.0f%% (paper ~%.0f%%), overall %.0f%% (paper ~%.0f%%)\n",
+		100*r.DoublingImprovement(32, 512, uni), 100*d.SmallRange,
+		100*r.DoublingImprovement(512, 65536, uni), 100*d.LargeRange,
+		100*r.DoublingImprovement(32, 65536, uni), 100*d.Overall)
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClarkExperiment(t *testing.T) {
+	o := quickOpts()
+	res, err := Clark(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	var p8, p4, p8w ClarkPoint
+	for _, p := range res.Points {
+		switch {
+		case p.Size == 8192 && p.LineSize == 8:
+			p8 = p
+		case p.Size == 4096 && p.LineSize == 8:
+			p4 = p
+		case p.Size == 8192 && p.LineSize == 16:
+			p8w = p
+		}
+	}
+	if !p8.HasPaper || !p4.HasPaper || p8w.HasPaper {
+		t.Fatal("paper flags wrong")
+	}
+	// Clark's qualitative findings must reproduce: halving the cache makes
+	// everything worse, and wider lines help.
+	if p4.Overall <= p8.Overall {
+		t.Errorf("4K (%.3f) must miss more than 8K (%.3f)", p4.Overall, p8.Overall)
+	}
+	if p8w.Overall >= p8.Overall {
+		t.Errorf("16B lines (%.3f) must beat 8B lines (%.3f) at 8K", p8w.Overall, p8.Overall)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Clark") || !strings.Contains(out, "0.103") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestZ80000Experiment(t *testing.T) {
+	res, err := Z80000(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Paper256 != 0.30 {
+		t.Fatalf("paper 256B estimate = %v", res.Paper256)
+	}
+	byKey := map[string]map[int]Z80000Row{}
+	for _, r := range res.Rows {
+		if byKey[r.Workload] == nil {
+			byKey[r.Workload] = map[int]Z80000Row{}
+		}
+		byKey[r.Workload][r.FetchBytes] = r
+	}
+	z := byKey["Z8000 traces"]
+	ibm := byKey["32-bit workload (IBM 370 group)"]
+	// Smaller fetch blocks mean more misses.
+	if !(z[2].Miss >= z[4].Miss && z[4].Miss >= z[16].Miss) {
+		t.Errorf("Z8000 misses must fall with fetch size: %v/%v/%v", z[2].Miss, z[4].Miss, z[16].Miss)
+	}
+	// The paper's core claim: the 32-bit workload is far worse than the
+	// Z8000-trace numbers at every fetch size.
+	for _, fb := range []int{2, 4, 16} {
+		if ibm[fb].Miss <= z[fb].Miss*1.5 {
+			t.Errorf("fetch %dB: 32-bit miss %v not clearly above Z8000 %v",
+				fb, ibm[fb].Miss, z[fb].Miss)
+		}
+	}
+	// Alpert flags only on the Z8000 rows.
+	if !z[2].HasAlpert || ibm[2].HasAlpert {
+		t.Error("Alpert comparison flags wrong")
+	}
+	if !strings.Contains(res.Render(), "Alp83") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestM68020Experiment(t *testing.T) {
+	res, err := M68020(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// §3.4's reasoning: 4-byte blocks capture little sequentiality, so
+		// they must miss more than 16-byte blocks.
+		if row.Miss4 <= row.Miss16 {
+			t.Errorf("%s: 4B blocks (%.3f) should miss more than 16B (%.3f)",
+				row.Group, row.Miss4, row.Miss16)
+		}
+	}
+	if res.Band.MissLo != 0.2 || res.Band.MissHi != 0.6 {
+		t.Fatalf("band = %+v", res.Band)
+	}
+	if !strings.Contains(res.Render(), "M68020") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestPurgeAblation(t *testing.T) {
+	res, err := PurgeAblation(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 5 {
+		t.Fatalf("intervals = %v", res.Intervals)
+	}
+	// 4 multiprogramming mixes x 5 intervals.
+	if len(res.Rows) != 20 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// For each mix: never-purging must miss no more than 5k purging.
+	byMix := map[string]map[int]PurgeAblationRow{}
+	for _, r := range res.Rows {
+		if byMix[r.Mix] == nil {
+			byMix[r.Mix] = map[int]PurgeAblationRow{}
+		}
+		byMix[r.Mix][r.Interval] = r
+	}
+	for mix, rows := range byMix {
+		if rows[0].Miss > rows[5000].Miss {
+			t.Errorf("%s: never-purge miss %v above 5k-purge %v",
+				mix, rows[0].Miss, rows[5000].Miss)
+		}
+	}
+	if !strings.Contains(res.Render(), "never") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestReplacementAblation(t *testing.T) {
+	o := quickOpts()
+	o.Sizes = []int{256, 1024, 4096}
+	res, err := ReplacementAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 15 { // 3 policies x 5 associativities
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	find := func(repl string, assoc int) ReplacementRow {
+		for _, r := range res.Rows {
+			if r.Repl.String() == repl && r.Assoc == assoc {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%d missing", repl, assoc)
+		return ReplacementRow{}
+	}
+	// Fully-associative LRU should beat direct-mapped LRU at every size
+	// (with these loopy workloads and no pathological conflict patterns).
+	lruFull, lruDM := find("LRU", 0), find("LRU", 1)
+	for i := range res.Sizes {
+		if lruFull.Miss[i] > lruDM.Miss[i]*1.05 {
+			t.Errorf("size %d: full-assoc LRU (%.4f) much worse than direct-mapped (%.4f)",
+				res.Sizes[i], lruFull.Miss[i], lruDM.Miss[i])
+		}
+	}
+	if !strings.Contains(res.Render(), "Random") {
+		t.Error("render incomplete")
+	}
+}

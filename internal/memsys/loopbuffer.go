@@ -1,0 +1,93 @@
+package memsys
+
+import (
+	"fmt"
+
+	"cacheeval/internal/trace"
+)
+
+// LoopBuffer models the small instruction buffers of §1.1's fifth caveat:
+// "the sequence of memory addresses presented to the cache can vary with
+// hardware buffers such as prefetch buffers and loop buffers". A buffer of
+// a few fetch units absorbs the instruction fetches of tight loops, so the
+// trace recorded downstream of it under-reports instruction references —
+// one reason the paper's VAX and CDC trace assumptions differ.
+//
+// The buffer holds the most recent Entries fetch units of UnitBytes each
+// (fully associative, LRU). Instruction fetches that hit the buffer are
+// absorbed; everything else passes through and (for instruction fetches)
+// refills the buffer.
+type LoopBuffer struct {
+	unitBytes uint64
+	units     []uint64 // most recent first
+}
+
+// NewLoopBuffer returns a buffer of entries units of unitBytes each.
+func NewLoopBuffer(entries, unitBytes int) (*LoopBuffer, error) {
+	if entries < 1 {
+		return nil, fmt.Errorf("memsys: loop buffer needs at least one entry")
+	}
+	if !trace.IsPow2(unitBytes) {
+		return nil, fmt.Errorf("memsys: loop buffer unit %d is not a power of two", unitBytes)
+	}
+	return &LoopBuffer{
+		unitBytes: uint64(unitBytes),
+		units:     make([]uint64, 0, entries),
+	}, nil
+}
+
+// Absorbs reports whether an instruction fetch of addr would be served from
+// the buffer, updating recency (and filling on miss).
+func (lb *LoopBuffer) Absorbs(addr uint64) bool {
+	unit := addr / lb.unitBytes
+	for i, u := range lb.units {
+		if u == unit {
+			copy(lb.units[1:i+1], lb.units[:i])
+			lb.units[0] = unit
+			return true
+		}
+	}
+	if len(lb.units) < cap(lb.units) {
+		lb.units = lb.units[:len(lb.units)+1]
+	}
+	copy(lb.units[1:], lb.units)
+	lb.units[0] = unit
+	return false
+}
+
+// Flush empties the buffer (e.g. on a task switch).
+func (lb *LoopBuffer) Flush() { lb.units = lb.units[:0] }
+
+// LoopBufferReader filters a reference stream through a LoopBuffer:
+// absorbed instruction fetches are removed, everything else passes.
+type LoopBufferReader struct {
+	src trace.Reader
+	lb  *LoopBuffer
+	// Absorbed counts the instruction fetches the buffer served.
+	Absorbed uint64
+}
+
+// NewLoopBufferReader wraps src with an instruction buffer of entries units
+// of unitBytes.
+func NewLoopBufferReader(src trace.Reader, entries, unitBytes int) (*LoopBufferReader, error) {
+	lb, err := NewLoopBuffer(entries, unitBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &LoopBufferReader{src: src, lb: lb}, nil
+}
+
+// Read returns the next reference that reaches memory.
+func (r *LoopBufferReader) Read() (trace.Ref, error) {
+	for {
+		ref, err := r.src.Read()
+		if err != nil {
+			return trace.Ref{}, err
+		}
+		if ref.Kind == trace.IFetch && r.lb.Absorbs(ref.Addr) {
+			r.Absorbed++
+			continue
+		}
+		return ref, nil
+	}
+}

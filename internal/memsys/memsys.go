@@ -1,0 +1,189 @@
+// Package memsys models the "design architecture" layer the paper's §1.1
+// discusses: the memory interface between processor and cache shapes the
+// reference stream a trace records. Fetching two four-byte instructions
+// takes 4, 2 or 1 memory references depending on whether the interface is 2,
+// 4 or 8 bytes wide, and fewer still if the interface "remembers" the last
+// unit it fetched.
+//
+// A Shaper converts a functional-architecture reference stream (whole
+// instructions and data items) into the memory reference stream the cache
+// sees under a given interface. The per-architecture interfaces of the
+// paper's trace set are provided as ready-made values.
+package memsys
+
+import (
+	"fmt"
+
+	"cacheeval/internal/trace"
+)
+
+// Interface describes a processor-memory interface.
+type Interface struct {
+	Name string
+	// IFetchWidth is the number of bytes transferred per instruction-fetch
+	// memory reference. An instruction longer than the width is fetched in
+	// multiple width-aligned units.
+	IFetchWidth int
+	// DataWidth is the maximum bytes per data memory reference; larger data
+	// items are split into width-aligned units.
+	DataWidth int
+	// ILatch: the instruction interface remembers the last unit fetched, so
+	// a sequential fetch within the same unit costs no memory reference
+	// (e.g. the VAX 11/780 instruction buffer). Without it, "all bytes are
+	// discarded after each individual fetch" (the 360/91 traces).
+	ILatch bool
+	// DLatch: same for data references (rare; off for all paper machines).
+	DLatch bool
+}
+
+// Validate reports whether the interface widths are usable.
+func (itf Interface) Validate() error {
+	if !trace.IsPow2(itf.IFetchWidth) {
+		return fmt.Errorf("memsys: ifetch width %d is not a power of two", itf.IFetchWidth)
+	}
+	if !trace.IsPow2(itf.DataWidth) {
+		return fmt.Errorf("memsys: data width %d is not a power of two", itf.DataWidth)
+	}
+	return nil
+}
+
+// Ready-made interfaces for the architectures in the trace corpus. Widths
+// follow the paper's descriptions; where the text is silent a width matching
+// the machine's natural word is used.
+var (
+	// IBM370 models the Amdahl-traced 370s: 8-byte doubleword interface
+	// with latching (sequential halfword ifetches within a doubleword cost
+	// one reference).
+	IBM370 = Interface{Name: "IBM 370", IFetchWidth: 8, DataWidth: 8, ILatch: true}
+	// IBM360_91: "an 8 byte interface with memory, but with no memory; all
+	// bytes are discarded after each individual fetch".
+	IBM360_91 = Interface{Name: "IBM 360/91", IFetchWidth: 8, DataWidth: 8}
+	// VAX780 has the complex ifetch buffer; we model it as a latching 4-byte
+	// interface (the paper notes VAX traces may overstate ifetch frequency,
+	// which a modest width reproduces).
+	VAX780 = Interface{Name: "VAX 11/780", IFetchWidth: 4, DataWidth: 4, ILatch: true}
+	// Z8000 is a 16-bit machine: 2-byte interface, no latching.
+	Z8000 = Interface{Name: "Zilog Z8000", IFetchWidth: 2, DataWidth: 2}
+	// CDC6400: "a one word (60 bit) memory interface for data and a one
+	// instruction (15 or 30 bit) interface for instructions; i.e. there is
+	// no memory in the instruction interface". We byte-address the 6400
+	// with 8-byte words and 4-byte instruction parcels.
+	CDC6400 = Interface{Name: "CDC 6400", IFetchWidth: 4, DataWidth: 8}
+	// M68000: 16-bit bus microprocessor, hardware-monitor traces reflect the
+	// real implementation; 2-byte units, no latching.
+	M68000 = Interface{Name: "Motorola 68000", IFetchWidth: 2, DataWidth: 2}
+)
+
+// Shaper converts functional references into memory references under an
+// Interface and forwards them to a trace.Writer. It implements trace.Writer
+// itself, so it can sit between a generator and any consumer.
+type Shaper struct {
+	itf   Interface
+	out   trace.Writer
+	lastI uint64 // last instruction unit fetched (valid when haveI)
+	lastD uint64
+	haveI bool
+	haveD bool
+}
+
+// NewShaper returns a Shaper emitting to out.
+func NewShaper(itf Interface, out trace.Writer) (*Shaper, error) {
+	if err := itf.Validate(); err != nil {
+		return nil, err
+	}
+	return &Shaper{itf: itf, out: out}, nil
+}
+
+// Write decomposes one functional reference into memory references.
+func (s *Shaper) Write(r trace.Ref) error {
+	width, latch := s.itf.DataWidth, s.itf.DLatch
+	last, have := &s.lastD, &s.haveD
+	if r.Kind == trace.IFetch {
+		width, latch = s.itf.IFetchWidth, s.itf.ILatch
+		last, have = &s.lastI, &s.haveI
+	}
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	w := uint64(width)
+	firstUnit := r.Addr / w
+	lastUnit := (r.Addr + size - 1) / w
+	for unit := firstUnit; ; unit++ {
+		if latch && *have && unit == *last {
+			if unit == lastUnit {
+				break
+			}
+			continue
+		}
+		if err := s.out.Write(trace.Ref{Addr: unit * w, Size: uint8(width), Kind: r.Kind}); err != nil {
+			return err
+		}
+		// Writes invalidate a data latch holding the same unit on real
+		// hardware; our model simply updates the latch to the unit touched.
+		*last, *have = unit, true
+		if unit == lastUnit {
+			break
+		}
+	}
+	return nil
+}
+
+// ResetLatch clears any remembered units, e.g. across a simulated task
+// switch.
+func (s *Shaper) ResetLatch() { s.haveI, s.haveD = false, false }
+
+// ShapedReader adapts a functional-architecture reference stream into the
+// memory reference stream seen through an interface, streaming (one
+// functional reference may expand to several memory references, or to none
+// under latching).
+type ShapedReader struct {
+	src trace.Reader
+	sh  *Shaper
+	buf trace.Recorder
+	pos int
+}
+
+// NewShapedReader returns a Reader producing itf's view of src.
+func NewShapedReader(itf Interface, src trace.Reader) (*ShapedReader, error) {
+	r := &ShapedReader{src: src}
+	sh, err := NewShaper(itf, &r.buf)
+	if err != nil {
+		return nil, err
+	}
+	r.sh = sh
+	return r, nil
+}
+
+// Read returns the next memory reference.
+func (r *ShapedReader) Read() (trace.Ref, error) {
+	for r.pos >= len(r.buf.Refs) {
+		r.buf.Refs, r.pos = r.buf.Refs[:0], 0
+		ref, err := r.src.Read()
+		if err != nil {
+			return trace.Ref{}, err
+		}
+		if err := r.sh.Write(ref); err != nil {
+			return trace.Ref{}, err
+		}
+	}
+	ref := r.buf.Refs[r.pos]
+	r.pos++
+	return ref, nil
+}
+
+// Shape converts a whole functional reference stream into a memory reference
+// slice, a convenience for tests and small runs.
+func Shape(itf Interface, refs []trace.Ref) ([]trace.Ref, error) {
+	var rec trace.Recorder
+	sh, err := NewShaper(itf, &rec)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		if err := sh.Write(r); err != nil {
+			return nil, err
+		}
+	}
+	return rec.Refs, nil
+}

@@ -1,0 +1,192 @@
+package memsys
+
+import (
+	"io"
+	"testing"
+
+	"cacheeval/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Interface{
+		{IFetchWidth: 0, DataWidth: 4},
+		{IFetchWidth: 4, DataWidth: 0},
+		{IFetchWidth: 3, DataWidth: 4},
+		{IFetchWidth: 4, DataWidth: 6},
+	}
+	for _, itf := range bad {
+		if err := itf.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", itf)
+		}
+	}
+	for _, itf := range []Interface{IBM370, IBM360_91, VAX780, Z8000, CDC6400, M68000} {
+		if err := itf.Validate(); err != nil {
+			t.Errorf("built-in %s invalid: %v", itf.Name, err)
+		}
+	}
+	if _, err := NewShaper(Interface{IFetchWidth: 3, DataWidth: 4}, nil); err == nil {
+		t.Error("NewShaper must validate")
+	}
+}
+
+func TestWidthSplitting(t *testing.T) {
+	// An 8-byte instruction through a 2-byte interface: 4 references.
+	itf := Interface{Name: "narrow", IFetchWidth: 2, DataWidth: 2}
+	out, err := Shape(itf, []trace.Ref{{Addr: 0x100, Size: 8, Kind: trace.IFetch}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d refs, want 4", len(out))
+	}
+	for i, r := range out {
+		if r.Addr != 0x100+uint64(i)*2 || r.Size != 2 || r.Kind != trace.IFetch {
+			t.Errorf("ref %d = %+v", i, r)
+		}
+	}
+	// The same instruction through an 8-byte interface: 1 reference.
+	wide := Interface{Name: "wide", IFetchWidth: 8, DataWidth: 8}
+	out, _ = Shape(wide, []trace.Ref{{Addr: 0x100, Size: 8, Kind: trace.IFetch}})
+	if len(out) != 1 || out[0].Size != 8 {
+		t.Fatalf("wide = %+v", out)
+	}
+}
+
+func TestUnalignedSpansUnits(t *testing.T) {
+	// A 4-byte item at offset 6 through a 4-byte interface spans 2 units.
+	itf := Interface{IFetchWidth: 4, DataWidth: 4}
+	out, _ := Shape(itf, []trace.Ref{{Addr: 6, Size: 4, Kind: trace.Read}})
+	if len(out) != 2 || out[0].Addr != 4 || out[1].Addr != 8 {
+		t.Fatalf("unaligned = %+v", out)
+	}
+}
+
+func TestLatching(t *testing.T) {
+	itf := Interface{IFetchWidth: 8, DataWidth: 8, ILatch: true}
+	in := []trace.Ref{
+		{Addr: 0x100, Size: 4, Kind: trace.IFetch}, // fetches unit 0x100
+		{Addr: 0x104, Size: 4, Kind: trace.IFetch}, // same unit: latched, free
+		{Addr: 0x108, Size: 4, Kind: trace.IFetch}, // next unit
+	}
+	out, _ := Shape(itf, in)
+	if len(out) != 2 {
+		t.Fatalf("latched stream = %d refs, want 2: %+v", len(out), out)
+	}
+	// Without latching, the same stream costs 3 references — the 360/91
+	// behaviour ("all bytes are discarded after each individual fetch").
+	noLatch := Interface{IFetchWidth: 8, DataWidth: 8}
+	out, _ = Shape(noLatch, in)
+	if len(out) != 3 {
+		t.Fatalf("unlatched stream = %d refs, want 3", len(out))
+	}
+}
+
+func TestLatchPerStream(t *testing.T) {
+	// Data references must not disturb the instruction latch.
+	itf := Interface{IFetchWidth: 8, DataWidth: 8, ILatch: true}
+	in := []trace.Ref{
+		{Addr: 0x100, Size: 4, Kind: trace.IFetch},
+		{Addr: 0x2000, Size: 8, Kind: trace.Read},
+		{Addr: 0x104, Size: 4, Kind: trace.IFetch}, // still latched
+	}
+	out, _ := Shape(itf, in)
+	if len(out) != 2 {
+		t.Fatalf("got %d refs, want 2 (latch must survive data refs): %+v", len(out), out)
+	}
+}
+
+func TestResetLatch(t *testing.T) {
+	var rec trace.Recorder
+	itf := Interface{IFetchWidth: 8, DataWidth: 8, ILatch: true}
+	sh, err := NewShaper(itf, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Write(trace.Ref{Addr: 0x100, Size: 4, Kind: trace.IFetch})
+	sh.ResetLatch()
+	sh.Write(trace.Ref{Addr: 0x104, Size: 4, Kind: trace.IFetch})
+	if len(rec.Refs) != 2 {
+		t.Fatalf("after reset = %d refs, want 2", len(rec.Refs))
+	}
+}
+
+func TestZeroSizeRef(t *testing.T) {
+	itf := Interface{IFetchWidth: 4, DataWidth: 4}
+	out, _ := Shape(itf, []trace.Ref{{Addr: 9, Size: 0, Kind: trace.Read}})
+	if len(out) != 1 || out[0].Addr != 8 {
+		t.Fatalf("zero-size = %+v", out)
+	}
+}
+
+func TestShapedReader(t *testing.T) {
+	in := []trace.Ref{
+		{Addr: 0, Size: 8, Kind: trace.IFetch},
+		{Addr: 0x1000, Size: 2, Kind: trace.Write},
+	}
+	sr, err := NewShapedReader(Interface{IFetchWidth: 2, DataWidth: 2}, trace.NewSliceReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := trace.Collect(sr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 { // 4 ifetch units + 1 write
+		t.Fatalf("shaped = %d refs, want 5", len(out))
+	}
+	if _, err := sr.Read(); err != io.EOF {
+		t.Fatalf("drained reader err = %v", err)
+	}
+}
+
+func TestShapedReaderLatchSkips(t *testing.T) {
+	// A fully latched repeat stream produces fewer refs than it consumes;
+	// the reader must keep pulling until something is emitted.
+	in := []trace.Ref{
+		{Addr: 0x100, Size: 2, Kind: trace.IFetch},
+		{Addr: 0x102, Size: 2, Kind: trace.IFetch}, // latched away
+		{Addr: 0x104, Size: 2, Kind: trace.IFetch}, // latched away
+		{Addr: 0x208, Size: 2, Kind: trace.IFetch}, // new unit
+	}
+	sr, err := NewShapedReader(Interface{IFetchWidth: 8, DataWidth: 8, ILatch: true}, trace.NewSliceReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := trace.Collect(sr, 0)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("latched shaped = %d refs, %v", len(out), err)
+	}
+	if out[0].Addr != 0x100 || out[1].Addr != 0x208 {
+		t.Fatalf("refs = %+v", out)
+	}
+}
+
+func TestInterfaceWidthChangesMix(t *testing.T) {
+	// The §1.2 effect: the same functional program shows a much higher
+	// instruction-fetch fraction through a narrow interface.
+	in := make([]trace.Ref, 0, 300)
+	for i := 0; i < 100; i++ {
+		in = append(in,
+			trace.Ref{Addr: uint64(i) * 4, Size: 4, Kind: trace.IFetch},
+			trace.Ref{Addr: 0x1000 + uint64(i)*4, Size: 4, Kind: trace.Read},
+		)
+	}
+	frac := func(itf Interface) float64 {
+		out, err := Shape(itf, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ifetch := 0
+		for _, r := range out {
+			if r.Kind == trace.IFetch {
+				ifetch++
+			}
+		}
+		return float64(ifetch) / float64(len(out))
+	}
+	narrow := frac(Interface{IFetchWidth: 2, DataWidth: 4})
+	wide := frac(Interface{IFetchWidth: 8, DataWidth: 4, ILatch: true})
+	if narrow <= wide {
+		t.Fatalf("narrow interface ifetch fraction %v should exceed wide %v", narrow, wide)
+	}
+}

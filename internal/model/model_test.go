@@ -1,0 +1,349 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheSizesGrid(t *testing.T) {
+	if len(CacheSizes) != 12 || CacheSizes[0] != 32 || CacheSizes[11] != 65536 {
+		t.Fatalf("CacheSizes = %v", CacheSizes)
+	}
+	for i := 1; i < len(CacheSizes); i++ {
+		if CacheSizes[i] != 2*CacheSizes[i-1] {
+			t.Fatalf("sizes must double: %v", CacheSizes)
+		}
+	}
+}
+
+func TestDesignTargetsTable(t *testing.T) {
+	rows := DesignTargets()
+	if len(rows) != len(CacheSizes) {
+		t.Fatalf("Table 5 has %d rows", len(rows))
+	}
+	for i, row := range rows {
+		if row.Size != CacheSizes[i] {
+			t.Errorf("row %d size %d", i, row.Size)
+		}
+		for _, c := range []Cell{row.Unified, row.Instruction, row.Data} {
+			if c.V <= 0 || c.V > 1 {
+				t.Errorf("size %d: miss ratio %v out of range", row.Size, c.V)
+			}
+		}
+		if i > 0 {
+			prev := rows[i-1]
+			if row.Unified.V > prev.Unified.V ||
+				row.Instruction.V > prev.Instruction.V ||
+				row.Data.V > prev.Data.V {
+				t.Errorf("Table 5 not monotone at size %d", row.Size)
+			}
+		}
+	}
+}
+
+func TestDesignTargetsTextCrossChecks(t *testing.T) {
+	// Cells the paper's prose pins down must be encoded verbatim.
+	bysize := map[int]TargetRow{}
+	for _, r := range DesignTargets() {
+		bysize[r.Size] = r
+	}
+	checks := []struct {
+		size int
+		cell Cell
+		want float64
+	}{
+		{256, bysize[256].Unified, 0.30},     // "we predict about 30%"
+		{256, bysize[256].Instruction, 0.25}, // "0.25 is a reasonable point estimate"
+		{4096, bysize[4096].Unified, 0.12},   // "our prediction of 12%"
+		{8192, bysize[8192].Unified, 0.08},   // "our figure of 8%"
+	}
+	for _, c := range checks {
+		if c.cell.Reconstructed {
+			t.Errorf("size %d: prose-confirmed cell flagged reconstructed", c.size)
+		}
+		if c.cell.V != c.want {
+			t.Errorf("size %d = %v, want %v", c.size, c.cell.V, c.want)
+		}
+	}
+	// The data column is wholly reconstructed.
+	for _, r := range DesignTargets() {
+		if !r.Data.Reconstructed {
+			t.Errorf("size %d: data column must be flagged reconstructed", r.Size)
+		}
+	}
+}
+
+func TestPrefetchTrafficRatiosTable(t *testing.T) {
+	rows := PrefetchTrafficRatios()
+	if len(rows) != len(CacheSizes) {
+		t.Fatalf("Table 4 has %d rows", len(rows))
+	}
+	for _, row := range rows {
+		for _, c := range []Cell{row.Unified, row.Instruction, row.Data} {
+			if c.V < 1 {
+				t.Errorf("size %d: traffic factor %v < 1 (prefetch can only add traffic)", row.Size, c.V)
+			}
+			if c.V > 3 {
+				t.Errorf("size %d: traffic factor %v implausibly high", row.Size, c.V)
+			}
+		}
+	}
+	// The verbatim anchor cells.
+	if rows[0].Unified.V != 2.870 || rows[0].Unified.Reconstructed {
+		t.Error("32B unified traffic cell should be 2.870, verbatim")
+	}
+	if rows[11].Instruction.V != 1.191 {
+		t.Error("64K instruction traffic cell should be 1.191")
+	}
+}
+
+func TestDirtyPushFractionsTable(t *testing.T) {
+	rows := DirtyPushFractions()
+	if len(rows) != 16 {
+		t.Fatalf("Table 3 has %d rows, want 16", len(rows))
+	}
+	var sum, min, max float64
+	min, max = 1, 0
+	multi := 0
+	for _, r := range rows {
+		if r.Fraction <= 0 || r.Fraction >= 1 {
+			t.Errorf("%s: fraction %v out of range", r.Workload, r.Fraction)
+		}
+		sum += r.Fraction
+		min = math.Min(min, r.Fraction)
+		max = math.Max(max, r.Fraction)
+		if r.Multiprogram {
+			multi++
+		}
+	}
+	if multi != 4 {
+		t.Errorf("multiprogram rows = %d, want 4", multi)
+	}
+	if min != Table3Min || max != Table3Max {
+		t.Errorf("range = [%v, %v], want [%v, %v]", min, max, Table3Min, Table3Max)
+	}
+	if avg := sum / float64(len(rows)); math.Abs(avg-Table3Average) > 0.01 {
+		t.Errorf("average = %v, want %v", avg, Table3Average)
+	}
+}
+
+func TestHard80Curves(t *testing.T) {
+	sup, prob := Hard80()
+	// Problem state reproduces the hit ratios quoted in §1.2 within OCR
+	// noise: ~0.982/0.984/0.987 at 16K/32K/64K.
+	for _, c := range []struct {
+		kb  float64
+		hit float64
+	}{{16, 0.982}, {32, 0.984}, {64, 0.987}} {
+		got := 1 - prob.Eval(c.kb)
+		if math.Abs(got-c.hit) > 0.002 {
+			t.Errorf("problem hit @%vK = %v, want ~%v", c.kb, got, c.hit)
+		}
+	}
+	// Supervisor is much worse than problem state everywhere in range.
+	for _, kb := range []float64{4, 16, 64} {
+		if sup.Eval(kb) <= prob.Eval(kb) {
+			t.Errorf("supervisor must miss more than problem state at %vK", kb)
+		}
+	}
+	// Both fall with size.
+	if sup.Eval(64) >= sup.Eval(16) || prob.Eval(64) >= prob.Eval(16) {
+		t.Error("Hard80 curves must decrease with cache size")
+	}
+}
+
+func TestClarkMeasurements(t *testing.T) {
+	full, half := ClarkMeasurements()
+	if full.CacheSize != 8192 || full.LineSize != 8 {
+		t.Fatalf("full = %+v", full)
+	}
+	if full.Overall != 0.103 || full.Data != 0.165 || full.Instruction != 0.086 {
+		t.Fatalf("full miss ratios = %+v", full)
+	}
+	if half.CacheSize != 4096 || half.Overall != 0.175 {
+		t.Fatalf("half = %+v", half)
+	}
+	// Halving the cache makes everything worse.
+	if half.Data <= full.Data || half.Instruction <= full.Instruction {
+		t.Error("4K cache must miss more than 8K")
+	}
+}
+
+func TestZ80000Projections(t *testing.T) {
+	ps := Z80000Projections()
+	if len(ps) != 3 {
+		t.Fatalf("projections = %d", len(ps))
+	}
+	want := map[int]float64{2: 0.62, 4: 0.75, 16: 0.88}
+	for _, p := range ps {
+		if want[p.FetchBytes] != p.HitRatio {
+			t.Errorf("fetch %d hit = %v, want %v", p.FetchBytes, p.HitRatio, want[p.FetchBytes])
+		}
+	}
+}
+
+func TestM68020Band(t *testing.T) {
+	m := M68020()
+	if m.CacheSize != 256 || m.BlockSize != 4 || m.MissLo != 0.2 || m.MissHi != 0.6 {
+		t.Fatalf("M68020 = %+v", m)
+	}
+}
+
+func TestDoubling(t *testing.T) {
+	d := Doubling()
+	if d.SmallRange != 0.14 || d.LargeRange != 0.27 || d.Overall != 0.23 {
+		t.Fatalf("Doubling = %+v", d)
+	}
+}
+
+func TestDesignEstimate(t *testing.T) {
+	// 85th percentile: "towards the worst of the values observed".
+	xs := []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10}
+	got := DesignEstimate(xs)
+	if got < 0.08 || got > 0.10 {
+		t.Fatalf("DesignEstimate = %v, want near the top of the range", got)
+	}
+}
+
+func TestComplexityInterpolations(t *testing.T) {
+	if got := InstrPerDataRef(ComplexityVAX); got != 1 {
+		t.Errorf("VAX instr:data = %v, want 1", got)
+	}
+	if got := InstrPerDataRef(ComplexityRISC); got != 3 {
+		t.Errorf("RISC instr:data = %v, want 3", got)
+	}
+	mid := InstrPerDataRef(Complexity(0.5))
+	if mid <= 1 || mid >= 3 {
+		t.Errorf("mid complexity = %v", mid)
+	}
+	// Clamping.
+	if InstrPerDataRef(Complexity(-1)) != 3 || InstrPerDataRef(Complexity(2)) != 1 {
+		t.Error("complexity must clamp to [0,1]")
+	}
+}
+
+func TestEstimateMix(t *testing.T) {
+	fi, fr, fw := EstimateMix(ComplexityVAX)
+	if math.Abs(fi+fr+fw-1) > 1e-12 {
+		t.Fatalf("mix must sum to 1: %v+%v+%v", fi, fr, fw)
+	}
+	if math.Abs(fi-0.5) > 1e-12 {
+		t.Errorf("VAX ifetch = %v, want 0.5 (the paper's rule of thumb)", fi)
+	}
+	if math.Abs(fr/fw-2) > 1e-9 {
+		t.Errorf("read:write = %v, want 2 (the paper's 2:1)", fr/fw)
+	}
+	fiR, _, _ := EstimateMix(ComplexityRISC)
+	if fiR <= fi {
+		t.Error("simpler architectures must fetch relatively more instructions")
+	}
+}
+
+func TestBranchFrequency(t *testing.T) {
+	if got := BranchFrequency(ComplexityVAX); math.Abs(got-0.175) > 1e-9 {
+		t.Errorf("VAX branch freq = %v", got)
+	}
+	if got := BranchFrequency(ComplexityCDC6400); math.Abs(got-0.042) > 1e-9 {
+		t.Errorf("CDC branch freq = %v", got)
+	}
+	if BranchFrequency(Complexity370) <= BranchFrequency(ComplexityZ8000) {
+		t.Error("branch frequency must rise with complexity")
+	}
+}
+
+func TestFudgeFactors(t *testing.T) {
+	f, err := FudgeFactor(ClassZ8000Utility, ClassIBMBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Z80000 critique: small-utility numbers must be inflated ~5-6x.
+	if f < 4 || f > 7 {
+		t.Errorf("Z8000->IBM fudge = %v, want ~5.5", f)
+	}
+	if _, err := FudgeFactor(WorkloadClass(99), ClassMVS); err == nil {
+		t.Error("unknown class must error")
+	}
+	// Round trips are inverse.
+	ab, _ := FudgeFactor(ClassVAXUnix, ClassLISP)
+	ba, _ := FudgeFactor(ClassLISP, ClassVAXUnix)
+	if math.Abs(ab*ba-1) > 1e-12 {
+		t.Errorf("fudge factors not inverse: %v * %v", ab, ba)
+	}
+	// Identity.
+	if id, _ := FudgeFactor(ClassMVS, ClassMVS); id != 1 {
+		t.Errorf("self-fudge = %v", id)
+	}
+}
+
+func TestFudgeFactorTransitivity(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		ca := WorkloadClass(int(a) % int(numClasses))
+		cb := WorkloadClass(int(b) % int(numClasses))
+		cc := WorkloadClass(int(c) % int(numClasses))
+		ab, err1 := FudgeFactor(ca, cb)
+		bc, err2 := FudgeFactor(cb, cc)
+		ac, err3 := FudgeFactor(ca, cc)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return math.Abs(ab*bc-ac) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateMissRatio(t *testing.T) {
+	got, err := EstimateMissRatio(0.031, ClassZ8000Utility, ClassIBMBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.17) > 0.001 {
+		t.Errorf("transfer = %v, want ~0.17 (the class level)", got)
+	}
+	// Clamps to [0,1].
+	if clamped, _ := EstimateMissRatio(0.9, ClassM68000Toy, ClassMVS); clamped != 1 {
+		t.Errorf("clamp high = %v", clamped)
+	}
+	if _, err := EstimateMissRatio(0.1, WorkloadClass(99), ClassMVS); err == nil {
+		t.Error("unknown class must error")
+	}
+}
+
+func TestClassLevelAndString(t *testing.T) {
+	l, err := ClassLevel(ClassVAXUnix)
+	if err != nil || l != 0.048 {
+		t.Fatalf("ClassLevel = %v, %v", l, err)
+	}
+	if _, err := ClassLevel(WorkloadClass(99)); err == nil {
+		t.Error("unknown class must error")
+	}
+	for c := WorkloadClass(0); c < numClasses; c++ {
+		if c.String() == "" || c.String()[0] == 'W' {
+			t.Errorf("class %d has default String %q", c, c.String())
+		}
+	}
+	if WorkloadClass(99).String() == "" {
+		t.Error("unknown class String must be non-empty")
+	}
+}
+
+func TestClassLevelsOrdered(t *testing.T) {
+	// The paper's §3.1 ordering: toys best, MVS worst.
+	order := []WorkloadClass{
+		ClassM68000Toy, ClassZ8000Utility, ClassVAXUnix,
+		ClassCDCBatch, ClassLISP, ClassIBMBatch, ClassMVS,
+	}
+	prev := -1.0
+	for _, c := range order {
+		l, err := ClassLevel(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l <= prev {
+			t.Errorf("%v level %v not above previous %v", c, l, prev)
+		}
+		prev = l
+	}
+}

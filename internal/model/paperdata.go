@@ -1,0 +1,140 @@
+// Package model encodes the published numbers the paper reports or cites —
+// the design-target miss ratios (Table 5), the prefetch traffic ratios
+// (Table 4), the dirty-push fractions (Table 3), the [Hard80] power-law
+// curves (Figure 2), Clark's VAX 11/780 measurements, and the Z80000
+// projections — together with the paper's §4 estimation machinery
+// (percentile design estimates and cross-architecture "fudge factors").
+//
+// Every value carries provenance: cells lost to OCR damage in the source
+// text are reconstructed per the rules in DESIGN.md §2 and flagged, so the
+// experiment reports can distinguish "paper says" from "we inferred".
+package model
+
+// CacheSizes are the cache sizes (bytes) of Tables 4 and 5 and of the
+// paper's figures: 32 bytes through 64 Kbytes by powers of two.
+var CacheSizes = []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Cell is one published number plus its provenance.
+type Cell struct {
+	V float64
+	// Reconstructed marks values not directly recoverable from the source
+	// text (OCR-damaged or absent) that were filled in per DESIGN.md §2.
+	Reconstructed bool
+}
+
+// TargetRow is one row of Table 5, the design target miss ratios for a
+// 32-bit architecture running large programs and a mature operating system,
+// with 16-byte lines.
+type TargetRow struct {
+	Size        int
+	Unified     Cell
+	Instruction Cell
+	Data        Cell
+}
+
+// DesignTargets returns Table 5. Provenance: the unified column and the
+// instruction column are as printed (the text cross-checks several cells:
+// unified .30@256 and .12@4096 in the Z80000 and Clark discussions,
+// instruction .25@256 in §3.4, unified .08@8192 in §4.1). Two instruction
+// cells are OCR-garbled non-monotone values (.45@64, .28@512) and are
+// replaced by monotone interpolants; the data column was lost entirely and
+// is reconstructed as approximately equal to the instruction column with a
+// small penalty at small sizes, following §4.1's "we claim miss ratios for
+// the two that are approximately equal".
+func DesignTargets() []TargetRow {
+	r := func(v float64) Cell { return Cell{V: v, Reconstructed: true} }
+	c := func(v float64) Cell { return Cell{V: v} }
+	return []TargetRow{
+		{32, c(.50), c(.35), r(.42)},
+		{64, c(.40), r(.30), r(.35)},
+		{128, c(.35), c(.27), r(.30)},
+		{256, c(.30), c(.25), r(.27)},
+		{512, c(.27), r(.20), r(.22)},
+		{1024, c(.21), c(.16), r(.17)},
+		{2048, c(.17), c(.12), r(.13)},
+		{4096, c(.12), c(.10), r(.10)},
+		{8192, c(.08), c(.06), r(.07)},
+		{16384, c(.06), c(.05), r(.05)},
+		{32768, c(.04), c(.04), r(.04)},
+		{65536, c(.03), c(.03), r(.03)},
+	}
+}
+
+// TrafficRow is one row of Table 4: the factor by which "prefetch always"
+// inflates memory traffic relative to demand fetch, averaged as a ratio of
+// summed traffic over all traces (not a mean of ratios).
+type TrafficRow struct {
+	Size        int
+	Unified     Cell
+	Instruction Cell
+	Data        Cell
+}
+
+// PrefetchTrafficRatios returns Table 4. Provenance: the source table
+// printed two numeric columns (unified and instruction); the data column is
+// reconstructed between the two neighbours, flagged accordingly. Two cells
+// in the printed columns are OCR-suspect non-monotone values and are
+// smoothed (.64 unified printed as 1.139, restored to 2.139; 128 unified
+// printed 1.879 kept; 1024 unified 1.602 kept — the paper notes these
+// averages are not monotone in general).
+func PrefetchTrafficRatios() []TrafficRow {
+	r := func(v float64) Cell { return Cell{V: v, Reconstructed: true} }
+	c := func(v float64) Cell { return Cell{V: v} }
+	return []TrafficRow{
+		{32, c(2.870), c(1.519), r(2.2)},
+		{64, r(2.139), c(1.463), r(1.8)},
+		{128, c(1.879), c(1.368), r(1.6)},
+		{256, c(1.679), c(1.356), r(1.5)},
+		{512, c(1.547), c(1.407), r(1.5)},
+		{1024, c(1.602), c(1.313), r(1.45)},
+		{2048, c(1.476), c(1.309), r(1.4)},
+		{4096, c(1.537), c(1.246), r(1.4)},
+		{8192, c(1.399), c(1.258), r(1.35)},
+		{16384, c(1.269), c(1.194), r(1.25)},
+		{32768, c(1.213), c(1.191), r(1.2)},
+		{65536, c(1.209), c(1.191), r(1.2)},
+	}
+}
+
+// DirtyRow is one row of the paper's Table 3: the fraction of data-cache
+// line pushes that were dirty, under a 16K data / 16K instruction split
+// with 16-byte lines and purges every 20,000 references.
+type DirtyRow struct {
+	Workload string
+	Fraction float64
+	// Multiprogram marks the four round-robin assorted-trace simulations.
+	Multiprogram bool
+}
+
+// DirtyPushFractions returns Table 3 verbatim (fully recoverable from the
+// text). The paper's average is 0.47 with standard deviation 0.18.
+func DirtyPushFractions() []DirtyRow {
+	return []DirtyRow{
+		{"LISP Compiler - 5 Sections", 0.26, true},
+		{"VAXIMA - 5 Sections", 0.23, true},
+		{"VCCOM", 0.63, false},
+		{"VSPICE", 0.37, false},
+		{"VOTMD1", 0.49, false},
+		{"VPUZZLE", 0.77, false},
+		{"VTEKOFF", 0.27, false},
+		{"FGO1", 0.56, false},
+		{"FGO2", 0.43, false},
+		{"CGO1", 0.35, false},
+		{"FCOMP1", 0.63, false},
+		{"CCOMP1", 0.22, false},
+		{"MVS1", 0.48, false},
+		{"MVS2", 0.56, false},
+		{"Z8000 - Assorted", 0.48, true},
+		{"CDC 6400 - Assorted", 0.80, true},
+	}
+}
+
+// Table3Average is the paper's average dirty-push fraction ("close enough
+// to 0.5 to say that as a rule of thumb, half of the data lines pushed will
+// be dirty") and its reported standard deviation and range.
+const (
+	Table3Average = 0.47
+	Table3StdDev  = 0.18
+	Table3Min     = 0.22
+	Table3Max     = 0.80
+)

@@ -1,0 +1,207 @@
+// Package sampling implements trace-sampling estimators and quantifies
+// their error — the methodological side of the paper's §1.1 caveats: "a
+// trace is only a very small sample of a real workload" and "computer time
+// is a limited resource" (the reason the paper's runs stop at 250,000
+// references). Two classic estimators are provided:
+//
+//   - time sampling: simulate periodic windows of the trace, discarding a
+//     per-window warm-up from the counts to control cold-start bias;
+//   - set sampling: simulate only the references that map to a subset of
+//     cache sets (a proportionally smaller cache), which keeps every phase
+//     of the trace but only a fraction of its volume.
+package sampling
+
+import (
+	"fmt"
+	"io"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// Estimate is a sampled miss-ratio estimate.
+type Estimate struct {
+	// MissRatio is the estimated overall miss ratio.
+	MissRatio float64
+	// CountedRefs are the references that contributed to the estimate;
+	// SimulatedRefs includes warm-up references simulated but not counted;
+	// TotalRefs is the full trace length consumed.
+	CountedRefs   uint64
+	SimulatedRefs uint64
+	TotalRefs     uint64
+}
+
+// SampledFraction returns the fraction of the trace actually simulated.
+func (e Estimate) SampledFraction() float64 {
+	if e.TotalRefs == 0 {
+		return 0
+	}
+	return float64(e.SimulatedRefs) / float64(e.TotalRefs)
+}
+
+// TimeSampler simulates Window references out of every Period, discarding
+// the first Warmup references of each window from the counts (they refill
+// the cache after the skipped gap).
+type TimeSampler struct {
+	Window int
+	Period int
+	Warmup int
+}
+
+// Validate reports whether the sampler is usable.
+func (ts TimeSampler) Validate() error {
+	if ts.Window <= 0 || ts.Period <= 0 {
+		return fmt.Errorf("sampling: window %d and period %d must be positive", ts.Window, ts.Period)
+	}
+	if ts.Window > ts.Period {
+		return fmt.Errorf("sampling: window %d exceeds period %d", ts.Window, ts.Period)
+	}
+	if ts.Warmup < 0 || ts.Warmup >= ts.Window {
+		return fmt.Errorf("sampling: warmup %d must be in [0, window)", ts.Warmup)
+	}
+	return nil
+}
+
+// Estimate drives sc from rd, simulating only the sampled windows.
+func (ts TimeSampler) Estimate(rd trace.Reader, sc cache.SystemConfig) (Estimate, error) {
+	if err := ts.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	sys, err := cache.NewSystem(sc)
+	if err != nil {
+		return Estimate{}, err
+	}
+	var est Estimate
+	var counted, missed uint64
+	pos := 0
+	var atWindowStart cache.RefStats
+	for {
+		ref, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return est, err
+		}
+		inPeriod := pos % ts.Period
+		pos++
+		est.TotalRefs++
+		if inPeriod >= ts.Window {
+			continue // skipped gap
+		}
+		if inPeriod == ts.Warmup {
+			// Warm-up done: count everything from here to window end.
+			atWindowStart = sys.RefStats()
+		}
+		sys.Ref(ref)
+		est.SimulatedRefs++
+		if inPeriod == ts.Window-1 {
+			now := sys.RefStats()
+			counted += now.TotalRefs() - atWindowStart.TotalRefs()
+			missed += now.TotalMisses() - atWindowStart.TotalMisses()
+		}
+	}
+	// A final partial window already past warm-up contributes its delta.
+	if last := pos % ts.Period; last > ts.Warmup && last < ts.Window {
+		now := sys.RefStats()
+		counted += now.TotalRefs() - atWindowStart.TotalRefs()
+		missed += now.TotalMisses() - atWindowStart.TotalMisses()
+	}
+	est.CountedRefs = counted
+	if counted > 0 {
+		est.MissRatio = float64(missed) / float64(counted)
+	}
+	return est, nil
+}
+
+// SetSampler simulates only the references whose line maps into 1/2^Bits of
+// the line-address space, against a cache scaled down by the same factor —
+// constant-bits set sampling.
+type SetSampler struct {
+	// Bits is the number of line-address bits that must be zero for a
+	// reference to be sampled; the sampled fraction is 2^-Bits.
+	Bits int
+}
+
+// Validate reports whether the sampler is usable.
+func (ss SetSampler) Validate() error {
+	if ss.Bits < 1 || ss.Bits > 16 {
+		return fmt.Errorf("sampling: bits %d must be in [1, 16]", ss.Bits)
+	}
+	return nil
+}
+
+// Estimate drives a proportionally scaled-down copy of sc with the sampled
+// references. The configuration's cache sizes must remain valid after
+// scaling (size/2^Bits >= line size).
+func (ss SetSampler) Estimate(rd trace.Reader, sc cache.SystemConfig) (Estimate, error) {
+	if err := ss.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	scaled := sc
+	shrink := func(c cache.Config) cache.Config {
+		c.Size >>= ss.Bits
+		return c
+	}
+	if sc.Split {
+		scaled.I, scaled.D = shrink(sc.I), shrink(sc.D)
+	} else {
+		scaled.Unified = shrink(sc.Unified)
+	}
+	sys, err := cache.NewSystem(scaled)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("sampling: scaled config invalid: %w", err)
+	}
+	lineSize := scaled.Unified.LineSize
+	if sc.Split {
+		lineSize = scaled.I.LineSize
+	}
+	lineShift := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		lineShift++
+	}
+	mask := uint64(1)<<ss.Bits - 1
+	var est Estimate
+	for {
+		ref, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return est, err
+		}
+		est.TotalRefs++
+		if (ref.Addr>>lineShift)&mask != 0 {
+			continue
+		}
+		// Strip the sampled bits so the scaled cache indexes densely.
+		ref.Addr = (ref.Addr>>lineShift>>ss.Bits)<<lineShift | ref.Addr&(uint64(lineSize)-1)
+		sys.Ref(ref)
+		est.SimulatedRefs++
+	}
+	est.CountedRefs = est.SimulatedRefs
+	rs := sys.RefStats()
+	if rs.TotalRefs() > 0 {
+		est.MissRatio = rs.MissRatio()
+	}
+	return est, nil
+}
+
+// FullRun computes the exact miss ratio, for error comparisons.
+func FullRun(rd trace.Reader, sc cache.SystemConfig) (Estimate, error) {
+	sys, err := cache.NewSystem(sc)
+	if err != nil {
+		return Estimate{}, err
+	}
+	n, err := sys.Run(rd, 0)
+	if err != nil {
+		return Estimate{}, err
+	}
+	rs := sys.RefStats()
+	return Estimate{
+		MissRatio:     rs.MissRatio(),
+		CountedRefs:   uint64(n),
+		SimulatedRefs: uint64(n),
+		TotalRefs:     uint64(n),
+	}, nil
+}

@@ -1,0 +1,193 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+func testConfig() cache.SystemConfig {
+	return cache.SystemConfig{Unified: cache.Config{Size: 4096, LineSize: 16}}
+}
+
+func corpusReader(t *testing.T, name string, n int) trace.Reader {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := spec.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.NewLimitReader(rd, n)
+}
+
+func TestTimeSamplerValidate(t *testing.T) {
+	bad := []TimeSampler{
+		{Window: 0, Period: 10},
+		{Window: 10, Period: 0},
+		{Window: 20, Period: 10},
+		{Window: 10, Period: 20, Warmup: -1},
+		{Window: 10, Period: 20, Warmup: 10},
+	}
+	for _, ts := range bad {
+		if err := ts.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", ts)
+		}
+		if _, err := ts.Estimate(trace.NewSliceReader(nil), testConfig()); err == nil {
+			t.Errorf("%+v: Estimate must validate", ts)
+		}
+	}
+	if err := (TimeSampler{Window: 10, Period: 20, Warmup: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSamplerFullCoverageMatchesExact(t *testing.T) {
+	// Window == Period with no warm-up simulates everything: the estimate
+	// must equal the exact miss ratio.
+	full, err := FullRun(corpusReader(t, "ZGREP", 40000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TimeSampler{Window: 1000, Period: 1000}
+	est, err := ts.Estimate(corpusReader(t, "ZGREP", 40000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MissRatio != full.MissRatio {
+		t.Fatalf("full-coverage estimate %v != exact %v", est.MissRatio, full.MissRatio)
+	}
+	if est.SimulatedRefs != 40000 || est.TotalRefs != 40000 {
+		t.Fatalf("coverage accounting: %+v", est)
+	}
+}
+
+func TestTimeSamplerAccuracy(t *testing.T) {
+	full, err := FullRun(corpusReader(t, "FGO1", 250000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% time sample with a warm-up third.
+	ts := TimeSampler{Window: 3000, Period: 30000, Warmup: 1000}
+	est, err := ts.Estimate(corpusReader(t, "FGO1", 250000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := est.SampledFraction(); f < 0.08 || f > 0.12 {
+		t.Fatalf("sampled fraction = %v, want ~0.10", f)
+	}
+	rel := math.Abs(est.MissRatio-full.MissRatio) / full.MissRatio
+	if rel > 0.30 {
+		t.Fatalf("time-sampled estimate %v vs exact %v: %.0f%% error",
+			est.MissRatio, full.MissRatio, 100*rel)
+	}
+}
+
+func TestTimeSamplerWarmupReducesBias(t *testing.T) {
+	// Without warm-up the post-gap cold misses inflate the estimate; with
+	// warm-up the estimate must move toward (or below) the no-warm-up one.
+	exact, err := FullRun(corpusReader(t, "VCCOM", 250000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noWarm, err := TimeSampler{Window: 2000, Period: 20000}.
+		Estimate(corpusReader(t, "VCCOM", 250000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := TimeSampler{Window: 2000, Period: 20000, Warmup: 1000}.
+		Estimate(corpusReader(t, "VCCOM", 250000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noWarm.MissRatio <= exact.MissRatio {
+		t.Skipf("no-warm-up estimate %v not inflated vs %v on this trace",
+			noWarm.MissRatio, exact.MissRatio)
+	}
+	biasNo := noWarm.MissRatio - exact.MissRatio
+	biasWarm := math.Abs(warm.MissRatio - exact.MissRatio)
+	if biasWarm >= biasNo {
+		t.Fatalf("warm-up did not reduce bias: %v vs %v (exact %v)",
+			warm.MissRatio, noWarm.MissRatio, exact.MissRatio)
+	}
+}
+
+func TestSetSamplerValidate(t *testing.T) {
+	for _, bits := range []int{0, -1, 17} {
+		ss := SetSampler{Bits: bits}
+		if err := ss.Validate(); err == nil {
+			t.Errorf("bits %d should be invalid", bits)
+		}
+	}
+	// Scaling a 32-byte cache by 8 underflows the line size.
+	ss := SetSampler{Bits: 3}
+	sc := cache.SystemConfig{Unified: cache.Config{Size: 32, LineSize: 16}}
+	if _, err := ss.Estimate(trace.NewSliceReader(nil), sc); err == nil {
+		t.Error("under-scaled config must be rejected")
+	}
+}
+
+func TestSetSamplerAccuracy(t *testing.T) {
+	full, err := FullRun(corpusReader(t, "FGO1", 250000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := SetSampler{Bits: 3} // 1/8 of the lines
+	est, err := ss.Estimate(corpusReader(t, "FGO1", 250000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := est.SampledFraction(); f < 0.08 || f > 0.18 {
+		t.Fatalf("sampled fraction = %v, want ~1/8", f)
+	}
+	rel := math.Abs(est.MissRatio-full.MissRatio) / full.MissRatio
+	if rel > 0.30 {
+		t.Fatalf("set-sampled estimate %v vs exact %v: %.0f%% error",
+			est.MissRatio, full.MissRatio, 100*rel)
+	}
+}
+
+func TestSetSamplerSplit(t *testing.T) {
+	cfg := cache.Config{Size: 8192, LineSize: 16}
+	sc := cache.SystemConfig{Split: true, I: cfg, D: cfg}
+	est, err := SetSampler{Bits: 2}.Estimate(corpusReader(t, "ZVI", 100000), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MissRatio <= 0 || est.MissRatio >= 1 {
+		t.Fatalf("split set-sample miss = %v", est.MissRatio)
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	var e Estimate
+	if e.SampledFraction() != 0 {
+		t.Error("empty estimate fraction must be 0")
+	}
+	e = Estimate{SimulatedRefs: 25, TotalRefs: 100}
+	if e.SampledFraction() != 0.25 {
+		t.Errorf("fraction = %v", e.SampledFraction())
+	}
+}
+
+func TestFullRunMatchesDirectSimulation(t *testing.T) {
+	sys, err := cache.NewSystem(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(corpusReader(t, "PLO", 20000), 0); err != nil {
+		t.Fatal(err)
+	}
+	full, err := FullRun(corpusReader(t, "PLO", 20000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.MissRatio != sys.RefStats().MissRatio() {
+		t.Fatal("FullRun disagrees with a direct simulation")
+	}
+}

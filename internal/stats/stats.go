@@ -1,0 +1,226 @@
+// Package stats provides small numeric helpers used throughout the
+// cache-evaluation library: means, percentiles, ratios-of-sums, and the
+// log-log regression used to fit power-law miss-ratio curves.
+//
+// All functions are pure and operate on float64 slices. Functions that
+// require a non-empty input document their behaviour on empty input
+// explicitly; none of them panic on empty input.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns sum(w_i*x_i)/sum(w_i). It returns 0 when the inputs
+// are empty, of different lengths, or when the total weight is zero.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return 0
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += x * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// skipped; it returns 0 if no positive entries remain.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 for fewer
+// than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input. Input
+// order is preserved (an internal copy is sorted).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// RatioOfSums returns sum(num)/sum(den). This is how the paper averages
+// traffic ratios in Table 4 ("the average is computed by summing the
+// prefetch traffic for all of the traces and dividing it by the demand fetch
+// traffic; it is not just the mean of the ratios"). Returns 0 when the
+// denominator sums to 0.
+func RatioOfSums(num, den []float64) float64 {
+	var n, d float64
+	for _, x := range num {
+		n += x
+	}
+	for _, x := range den {
+		d += x
+	}
+	if d == 0 {
+		return 0
+	}
+	return n / d
+}
+
+// MinMax returns the smallest and largest values in xs, or (0, 0) for empty
+// input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// PowerLaw is a curve of the form y = A * x^B, the standard analytic form
+// for cache miss-ratio-versus-size curves (cf. the [Hard80] fits reproduced
+// in the paper's Figure 2).
+type PowerLaw struct {
+	A float64 // multiplicative coefficient
+	B float64 // exponent (negative for decreasing miss-ratio curves)
+}
+
+// Eval returns A * x^B. Eval(0) returns +Inf for negative B and 0 for
+// positive B, following math.Pow.
+func (p PowerLaw) Eval(x float64) float64 { return p.A * math.Pow(x, p.B) }
+
+// FitPowerLaw performs a least-squares regression of log(y) on log(x) and
+// returns the implied power law. Pairs with non-positive x or y are skipped.
+// The second return value reports how many points were used; a fit over
+// fewer than 2 points returns the zero PowerLaw and that count.
+func FitPowerLaw(xs, ys []float64) (PowerLaw, int) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	var sx, sy, sxx, sxy float64
+	used := 0
+	for i := 0; i < n; i++ {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		used++
+	}
+	if used < 2 {
+		return PowerLaw{}, used
+	}
+	fn := float64(used)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return PowerLaw{}, used
+	}
+	b := (fn*sxy - sx*sy) / den
+	a := math.Exp((sy - b*sx) / fn)
+	return PowerLaw{A: a, B: b}, used
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the range
+// are clamped into the first/last bin so that total counts are preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	N      uint64
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over [lo, hi).
+// It returns nil if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		return nil
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// Fraction returns the fraction of observations that fell in bin i, or 0
+// when the histogram is empty or i is out of range.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 || i < 0 || i >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, name string, got, want, eps float64) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, eps)
+	}
+}
+
+func TestMean(t *testing.T) {
+	almost(t, "Mean", Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12)
+	almost(t, "Mean single", Mean([]float64{7}), 7, 1e-12)
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	almost(t, "WeightedMean", WeightedMean([]float64{1, 3}, []float64{1, 3}), 2.5, 1e-12)
+	almost(t, "equal weights", WeightedMean([]float64{2, 4}, []float64{5, 5}), 3, 1e-12)
+	if got := WeightedMean([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Errorf("mismatched lengths = %v, want 0", got)
+	}
+	if got := WeightedMean([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("zero weight = %v, want 0", got)
+	}
+	if got := WeightedMean(nil, nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	almost(t, "GeoMean", GeoMean([]float64{1, 4}), 2, 1e-12)
+	almost(t, "skips nonpositive", GeoMean([]float64{-5, 0, 1, 4}), 2, 1e-12)
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("all nonpositive = %v, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	almost(t, "StdDev", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2, 1e-12)
+	if got := StdDev([]float64{3}); got != 0 {
+		t.Errorf("single sample = %v, want 0", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	almost(t, "p0", Percentile(xs, 0), 1, 1e-12)
+	almost(t, "p100", Percentile(xs, 100), 4, 1e-12)
+	almost(t, "p50", Percentile(xs, 50), 2.5, 1e-12)
+	almost(t, "p25", Percentile(xs, 25), 1.75, 1e-12)
+	almost(t, "clamp low", Percentile(xs, -5), 1, 1e-12)
+	almost(t, "clamp high", Percentile(xs, 200), 4, 1e-12)
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+	almost(t, "Median", Median([]float64{9, 1, 5}), 5, 1e-12)
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, p)
+		min, max := MinMax(xs)
+		return v >= min && v <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMonotoneInP(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7, 2}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 5 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("Percentile not monotone: p=%v gives %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRatioOfSums(t *testing.T) {
+	almost(t, "RatioOfSums", RatioOfSums([]float64{2, 4}, []float64{1, 2}), 2, 1e-12)
+	if got := RatioOfSums([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("zero denominator = %v, want 0", got)
+	}
+	// Ratio-of-sums differs from mean-of-ratios: the paper insists on this.
+	num, den := []float64{10, 1}, []float64{100, 1}
+	if got, mean := RatioOfSums(num, den), (0.1+1.0)/2; math.Abs(got-mean) < 1e-9 {
+		t.Errorf("ratio-of-sums %v should differ from mean-of-ratios %v", got, mean)
+	}
+	almost(t, "ratio-of-sums value", RatioOfSums(num, den), 11.0/101, 1e-12)
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = (%v, %v), want (0, 0)", min, max)
+	}
+}
+
+func TestPowerLawEval(t *testing.T) {
+	p := PowerLaw{A: 2, B: -1}
+	almost(t, "Eval", p.Eval(4), 0.5, 1e-12)
+	almost(t, "Eval(1)", p.Eval(1), 2, 1e-12)
+}
+
+func TestFitPowerLawRecovers(t *testing.T) {
+	want := PowerLaw{A: 0.5249, B: -0.5309} // the Hard80 supervisor curve
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		xs = append(xs, x)
+		ys = append(ys, want.Eval(x))
+	}
+	got, used := FitPowerLaw(xs, ys)
+	if used != len(xs) {
+		t.Fatalf("used %d points, want %d", used, len(xs))
+	}
+	almost(t, "A", got.A, want.A, 1e-9)
+	almost(t, "B", got.B, want.B, 1e-9)
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	got, used := FitPowerLaw([]float64{-1, 0, 2, 4}, []float64{1, 1, 4, 8})
+	if used != 2 {
+		t.Fatalf("used %d points, want 2", used)
+	}
+	if got.A == 0 && got.B == 0 {
+		t.Fatal("fit over 2 valid points should succeed")
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if _, used := FitPowerLaw([]float64{1}, []float64{2}); used != 1 {
+		t.Errorf("single point used = %d", used)
+	}
+	p, _ := FitPowerLaw([]float64{1}, []float64{2})
+	if p.A != 0 || p.B != 0 {
+		t.Errorf("degenerate fit = %+v, want zero", p)
+	}
+	// Identical x values make the regression singular.
+	p, used := FitPowerLaw([]float64{3, 3, 3}, []float64{1, 2, 3})
+	if used != 3 || p.A != 0 || p.B != 0 {
+		t.Errorf("singular fit = %+v (used %d), want zero", p, used)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h == nil {
+		t.Fatal("NewHistogram returned nil")
+	}
+	for _, x := range []float64{0.1, 0.3, 0.3, 0.9, -5, 5} {
+		h.Add(x)
+	}
+	if h.N != 6 {
+		t.Fatalf("N = %d, want 6", h.N)
+	}
+	if h.Counts[0] != 2 { // 0.1 and the clamped -5
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin 1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[3] != 2 { // 0.9 and the clamped 5
+		t.Errorf("bin 3 = %d, want 2", h.Counts[3])
+	}
+	almost(t, "Fraction", h.Fraction(0), 2.0/6, 1e-12)
+	if h.Fraction(-1) != 0 || h.Fraction(99) != 0 {
+		t.Error("out-of-range Fraction should be 0")
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if NewHistogram(0, 1, 0) != nil {
+		t.Error("bins=0 should be rejected")
+	}
+	if NewHistogram(1, 1, 4) != nil {
+		t.Error("hi<=lo should be rejected")
+	}
+	var h *Histogram = NewHistogram(0, 1, 1)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram Fraction should be 0")
+	}
+}

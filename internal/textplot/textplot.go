@@ -1,0 +1,184 @@
+// Package textplot renders simple ASCII line charts, used to display the
+// paper's figures in terminal output. It supports multiple named series,
+// logarithmic axes (cache sizes are powers of two, miss ratios span decades)
+// and automatic bounds.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a plot.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Plot is a chart under construction.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	series []Series
+}
+
+// markers are assigned to series in order.
+const markers = "*o+x#@%&=~"
+
+// Add appends a series. Points with non-positive coordinates on a log axis
+// are dropped at render time.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+// Render draws the chart. It returns a note instead of axes when no
+// plottable points exist.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	type pt struct{ x, y float64 }
+	var pts [][]pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		var sp []pt
+		n := len(s.Xs)
+		if len(s.Ys) < n {
+			n = len(s.Ys)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.Xs[i], s.Ys[i]
+			if p.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log2(x)
+			}
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log2(y)
+			}
+			sp = append(sp, pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		pts = append(pts, sp)
+	}
+	if math.IsInf(minX, 1) {
+		return p.Title + "\n(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, sp := range pts {
+		m := markers[si%len(markers)]
+		var prevC, prevR int
+		for i, q := range sp {
+			c := int((q.x - minX) / (maxX - minX) * float64(w-1))
+			r := h - 1 - int((q.y-minY)/(maxY-minY)*float64(h-1))
+			if i > 0 {
+				drawLine(grid, prevC, prevR, c, r, '.')
+			}
+			grid[r][c] = m
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yHi, yLo := p.axisValue(maxY, p.LogY), p.axisValue(minY, p.LogY)
+	fmt.Fprintf(&b, "%10s +%s+\n", trimNum(yHi), strings.Repeat("-", w))
+	for i, row := range grid {
+		label := strings.Repeat(" ", 10)
+		if i == h/2 && p.YLabel != "" {
+			label = fmt.Sprintf("%10s", clip(p.YLabel, 10))
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", trimNum(yLo), strings.Repeat("-", w))
+	xLo, xHi := p.axisValue(minX, p.LogX), p.axisValue(maxX, p.LogX)
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", trimNum(xLo), w-len(trimNum(xHi)), p.XLabel, trimNum(xHi))
+	var legend []string
+	for i, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[i%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "            %s\n", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// axisValue maps a (possibly log-transformed) axis coordinate back to the
+// data domain for labeling.
+func (p *Plot) axisValue(v float64, logScale bool) float64 {
+	if logScale {
+		return math.Pow(2, v)
+	}
+	return v
+}
+
+func trimNum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// drawLine draws a faint connector between consecutive points, never
+// overwriting existing markers.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, ch byte) {
+	steps := abs(c1-c0) + abs(r1-r0)
+	if steps == 0 {
+		return
+	}
+	for i := 1; i < steps; i++ {
+		c := c0 + (c1-c0)*i/steps
+		r := r0 + (r1-r0)*i/steps
+		if r >= 0 && r < len(grid) && c >= 0 && c < len(grid[r]) && grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,111 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := Plot{Title: "test plot", XLabel: "x", YLabel: "y"}
+	p.Add(Series{Name: "a", Xs: []float64{1, 2, 3}, Ys: []float64{1, 4, 9}})
+	p.Add(Series{Name: "b", Xs: []float64{1, 2, 3}, Ys: []float64{3, 2, 1}})
+	out := p.Render()
+	for _, want := range []string{"test plot", "* a", "o b", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Error("plot should have multiple rows")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := Plot{Title: "empty"}
+	out := p.Render()
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestLogAxesDropNonPositive(t *testing.T) {
+	p := Plot{LogX: true, LogY: true}
+	p.Add(Series{Name: "s", Xs: []float64{0, -1, 2}, Ys: []float64{1, 1, 0.5}})
+	out := p.Render()
+	// Only one valid point (2, 0.5); still renders.
+	if strings.Contains(out, "no plottable points") {
+		t.Errorf("one valid point should plot:\n%s", out)
+	}
+
+	allBad := Plot{LogY: true}
+	allBad.Add(Series{Name: "s", Xs: []float64{1, 2}, Ys: []float64{0, -1}})
+	if !strings.Contains(allBad.Render(), "no plottable points") {
+		t.Error("all-nonpositive log-y series should yield the empty message")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	p := Plot{}
+	p.Add(Series{Name: "point", Xs: []float64{5}, Ys: []float64{7}})
+	out := p.Render()
+	if strings.Contains(out, "no plottable points") {
+		t.Error("single point should render")
+	}
+	flat := Plot{}
+	flat.Add(Series{Name: "flat", Xs: []float64{1, 2, 3}, Ys: []float64{4, 4, 4}})
+	if !strings.Contains(flat.Render(), "flat") {
+		t.Error("flat series should render with widened bounds")
+	}
+}
+
+func TestMismatchedLengths(t *testing.T) {
+	p := Plot{}
+	p.Add(Series{Name: "s", Xs: []float64{1, 2, 3}, Ys: []float64{1}})
+	out := p.Render() // must not panic; uses the shorter length
+	if out == "" {
+		t.Error("render returned nothing")
+	}
+}
+
+func TestMarkerCycling(t *testing.T) {
+	p := Plot{}
+	for i := 0; i < 12; i++ { // more series than markers
+		p.Add(Series{Name: "s", Xs: []float64{1, 2}, Ys: []float64{float64(i), float64(i + 1)}})
+	}
+	out := p.Render()
+	if out == "" || strings.Contains(out, "no plottable") {
+		t.Error("many series should still render")
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	p := Plot{Width: 20, Height: 5}
+	p.Add(Series{Name: "s", Xs: []float64{1, 2}, Ys: []float64{1, 2}})
+	out := p.Render()
+	lines := strings.Split(out, "\n")
+	var plotRows int
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotRows++
+		}
+	}
+	if plotRows != 5 {
+		t.Errorf("plot rows = %d, want 5", plotRows)
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	p := Plot{XLabel: "cache size", YLabel: "miss", LogX: true}
+	p.Add(Series{Name: "s", Xs: []float64{32, 65536}, Ys: []float64{0.5, 0.01}})
+	out := p.Render()
+	if !strings.Contains(out, "cache size") {
+		t.Error("x label missing")
+	}
+	if !strings.Contains(out, "miss") {
+		t.Error("y label missing")
+	}
+	// Log axis endpoints label with the data values, not the logs.
+	if !strings.Contains(out, "32") {
+		t.Errorf("x-min label missing:\n%s", out)
+	}
+}

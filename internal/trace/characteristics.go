@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Characteristics are the per-trace workload statistics of the paper's
+// Table 2: the reference mix, the instruction/data footprints in lines, the
+// total address space touched, and the apparent branch frequency.
+type Characteristics struct {
+	LineSize int // line size used for the footprint counts (the paper uses 16)
+
+	Refs    uint64 // total references analyzed
+	IFetch  uint64
+	Reads   uint64
+	Writes  uint64
+	ILines  uint64 // distinct lines referenced by instruction fetches ("#Ilines")
+	DLines  uint64 // distinct lines referenced by data reads/writes ("#Dlines")
+	Branchs uint64 // ifetches counted as taken branches ("%Branch" numerator)
+}
+
+// branchWindow is the forward distance (bytes) within which a successive
+// instruction fetch is still considered sequential. The paper: "If the
+// second one is either less than the first or is more than 8 bytes greater,
+// then the first is counted as a branch."
+const branchWindow = 8
+
+// Analyzer incrementally computes Characteristics from a reference stream.
+type Analyzer struct {
+	c          Characteristics
+	iLines     map[uint64]struct{}
+	dLines     map[uint64]struct{}
+	lastIFetch uint64
+	haveIFetch bool
+}
+
+// NewAnalyzer returns an Analyzer counting footprints at the given line
+// size, which must be a positive power of two.
+func NewAnalyzer(lineSize int) (*Analyzer, error) {
+	if !IsPow2(lineSize) {
+		return nil, fmt.Errorf("trace: line size %d is not a power of two", lineSize)
+	}
+	return &Analyzer{
+		c:      Characteristics{LineSize: lineSize},
+		iLines: make(map[uint64]struct{}),
+		dLines: make(map[uint64]struct{}),
+	}, nil
+}
+
+// Add accounts one reference.
+func (a *Analyzer) Add(r Ref) {
+	a.c.Refs++
+	switch r.Kind {
+	case IFetch:
+		a.c.IFetch++
+		a.iLines[r.Line(a.c.LineSize)] = struct{}{}
+		if a.haveIFetch {
+			if r.Addr < a.lastIFetch || r.Addr > a.lastIFetch+branchWindow {
+				a.c.Branchs++
+			}
+		}
+		a.lastIFetch = r.Addr
+		a.haveIFetch = true
+	case Read:
+		a.c.Reads++
+		a.dLines[r.Line(a.c.LineSize)] = struct{}{}
+	case Write:
+		a.c.Writes++
+		a.dLines[r.Line(a.c.LineSize)] = struct{}{}
+	}
+}
+
+// Characteristics returns a snapshot of the statistics so far.
+func (a *Analyzer) Characteristics() Characteristics {
+	c := a.c
+	c.ILines = uint64(len(a.iLines))
+	c.DLines = uint64(len(a.dLines))
+	return c
+}
+
+// Analyze drains r (up to max references when max > 0) and returns its
+// characteristics.
+func Analyze(r Reader, lineSize, max int) (Characteristics, error) {
+	a, err := NewAnalyzer(lineSize)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	n := 0
+	for max <= 0 || n < max {
+		ref, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return a.Characteristics(), err
+		}
+		a.Add(ref)
+		n++
+	}
+	return a.Characteristics(), nil
+}
+
+// FracIFetch returns the fraction of references that are instruction
+// fetches, or 0 for an empty trace.
+func (c Characteristics) FracIFetch() float64 { return frac(c.IFetch, c.Refs) }
+
+// FracRead returns the fraction of references that are data reads.
+func (c Characteristics) FracRead() float64 { return frac(c.Reads, c.Refs) }
+
+// FracWrite returns the fraction of references that are data writes.
+func (c Characteristics) FracWrite() float64 { return frac(c.Writes, c.Refs) }
+
+// FracBranch returns the fraction of instruction fetches that appear to be
+// successful branches under the paper's ±8-byte heuristic.
+func (c Characteristics) FracBranch() float64 { return frac(c.Branchs, c.IFetch) }
+
+// ASpace returns the total bytes touched: LineSize * (#Ilines + #Dlines),
+// Table 2's "Aspace" column.
+func (c Characteristics) ASpace() uint64 {
+	return uint64(c.LineSize) * (c.ILines + c.DLines)
+}
+
+func frac(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzerMixAndFootprints(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x00, Size: 4, Kind: IFetch},
+		{Addr: 0x04, Size: 4, Kind: IFetch},
+		{Addr: 0x10, Size: 4, Kind: IFetch}, // second I-line
+		{Addr: 0x1000, Size: 8, Kind: Read},
+		{Addr: 0x1008, Size: 8, Kind: Read}, // same D-line
+		{Addr: 0x2000, Size: 8, Kind: Write},
+	}
+	c, err := Analyze(NewSliceReader(refs), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Refs != 6 || c.IFetch != 3 || c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.ILines != 2 {
+		t.Errorf("ILines = %d, want 2", c.ILines)
+	}
+	if c.DLines != 2 {
+		t.Errorf("DLines = %d, want 2", c.DLines)
+	}
+	if got, want := c.ASpace(), uint64(16*4); got != want {
+		t.Errorf("ASpace = %d, want %d", got, want)
+	}
+	if math.Abs(c.FracIFetch()-0.5) > 1e-12 {
+		t.Errorf("FracIFetch = %v", c.FracIFetch())
+	}
+	if math.Abs(c.FracRead()-2.0/6) > 1e-12 {
+		t.Errorf("FracRead = %v", c.FracRead())
+	}
+	if math.Abs(c.FracWrite()-1.0/6) > 1e-12 {
+		t.Errorf("FracWrite = %v", c.FracWrite())
+	}
+}
+
+func TestBranchHeuristic(t *testing.T) {
+	// The paper: the first of a pair of successive ifetches is a branch if
+	// the second is less than the first or more than 8 bytes greater.
+	cases := []struct {
+		name string
+		a, b uint64
+		want uint64 // branch count after both refs
+	}{
+		{"sequential +4", 100, 104, 0},
+		{"boundary +8 is sequential", 100, 108, 0},
+		{"+9 is a branch", 100, 109, 1},
+		{"backward is a branch", 100, 96, 1},
+		{"same address is sequential", 100, 100, 0},
+		{"far jump", 100, 5000, 1},
+	}
+	for _, c := range cases {
+		a, err := NewAnalyzer(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Add(Ref{Addr: c.a, Kind: IFetch})
+		a.Add(Ref{Addr: c.b, Kind: IFetch})
+		if got := a.Characteristics().Branchs; got != c.want {
+			t.Errorf("%s: branches = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBranchIgnoresData(t *testing.T) {
+	a, _ := NewAnalyzer(16)
+	a.Add(Ref{Addr: 100, Kind: IFetch})
+	a.Add(Ref{Addr: 0x9000, Kind: Read}) // intervening data must not count
+	a.Add(Ref{Addr: 104, Kind: IFetch})
+	c := a.Characteristics()
+	if c.Branchs != 0 {
+		t.Fatalf("branches = %d, want 0 (data refs must not break ifetch pairing)", c.Branchs)
+	}
+	if c.FracBranch() != 0 {
+		t.Fatalf("FracBranch = %v", c.FracBranch())
+	}
+}
+
+func TestFracBranchDenominator(t *testing.T) {
+	a, _ := NewAnalyzer(16)
+	for i := 0; i < 10; i++ {
+		a.Add(Ref{Addr: uint64(i) * 100, Kind: IFetch}) // every pair is a branch
+	}
+	c := a.Characteristics()
+	if c.Branchs != 9 {
+		t.Fatalf("branches = %d, want 9", c.Branchs)
+	}
+	if math.Abs(c.FracBranch()-0.9) > 1e-12 {
+		t.Fatalf("FracBranch = %v, want 0.9", c.FracBranch())
+	}
+}
+
+func TestAnalyzerLineSizeValidation(t *testing.T) {
+	if _, err := NewAnalyzer(0); err == nil {
+		t.Error("line size 0 should be rejected")
+	}
+	if _, err := NewAnalyzer(24); err == nil {
+		t.Error("line size 24 should be rejected")
+	}
+	if _, err := Analyze(NewSliceReader(nil), 3, 0); err == nil {
+		t.Error("Analyze must validate line size")
+	}
+}
+
+func TestAnalyzeMax(t *testing.T) {
+	refs := make([]Ref, 100)
+	c, err := Analyze(NewSliceReader(refs), 16, 10)
+	if err != nil || c.Refs != 10 {
+		t.Fatalf("Analyze(max=10) = %d refs, %v", c.Refs, err)
+	}
+}
+
+func TestEmptyCharacteristics(t *testing.T) {
+	var c Characteristics
+	if c.FracIFetch() != 0 || c.FracRead() != 0 || c.FracWrite() != 0 || c.FracBranch() != 0 {
+		t.Error("zero-value Characteristics fractions must be 0")
+	}
+	if c.ASpace() != 0 {
+		t.Error("zero-value ASpace must be 0")
+	}
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+// One reference per line: "<kind> <hex address> <size>", e.g. "i 4f0 4".
+// Kind is i/r/w (also accepted: 0/1/2 as used by dinero's din format, where
+// 0=read, 1=write, 2=ifetch). Lines starting with '#' and blank lines are
+// ignored. The size field may be omitted; it defaults to 4.
+
+// TextWriter encodes references in the text format.
+type TextWriter struct {
+	bw *bufio.Writer
+}
+
+// NewTextWriter returns a TextWriter emitting to w. Call Flush when done.
+func NewTextWriter(w io.Writer) *TextWriter { return &TextWriter{bw: bufio.NewWriter(w)} }
+
+// Write encodes one reference.
+func (t *TextWriter) Write(r Ref) error {
+	_, err := fmt.Fprintf(t.bw, "%s %x %d\n", r.Kind, r.Addr, r.Size)
+	return err
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (t *TextWriter) Flush() error { return t.bw.Flush() }
+
+// TextReader decodes the text format.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader returns a TextReader decoding from r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &TextReader{sc: sc}
+}
+
+// Read decodes the next reference, skipping comments and blank lines.
+func (t *TextReader) Read() (Ref, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ref, err := parseTextRef(line)
+		if err != nil {
+			return Ref{}, fmt.Errorf("trace: line %d: %w", t.line, err)
+		}
+		return ref, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return Ref{}, err
+	}
+	return Ref{}, io.EOF
+}
+
+func parseTextRef(line string) (Ref, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Ref{}, fmt.Errorf("want at least 2 fields, got %q", line)
+	}
+	var kind Kind
+	switch fields[0] {
+	case "i", "I", "2":
+		kind = IFetch
+	case "r", "R", "0":
+		kind = Read
+	case "w", "W", "1":
+		kind = Write
+	default:
+		return Ref{}, fmt.Errorf("unknown kind %q", fields[0])
+	}
+	addr, err := strconv.ParseUint(fields[1], 16, 64)
+	if err != nil {
+		return Ref{}, fmt.Errorf("bad address %q: %v", fields[1], err)
+	}
+	size := uint64(4)
+	if len(fields) >= 3 {
+		size, err = strconv.ParseUint(fields[2], 10, 8)
+		if err != nil {
+			return Ref{}, fmt.Errorf("bad size %q: %v", fields[2], err)
+		}
+	}
+	return Ref{Addr: addr, Size: uint8(size), Kind: kind}, nil
+}
+
+// Binary format
+//
+// A compact delta-encoded stream: an 8-byte magic header "CTRACE1\n", then
+// per reference one header byte (bits 0-1 kind, bits 2-7 size) followed by
+// the zig-zag varint delta of the address relative to the previous reference
+// of the same kind. Addresses of instruction and data streams are tracked
+// separately because each is individually near-sequential, which keeps the
+// deltas (and so the encoding) small.
+
+var binaryMagic = [8]byte{'C', 'T', 'R', 'A', 'C', 'E', '1', '\n'}
+
+// BinaryWriter encodes references in the binary format.
+type BinaryWriter struct {
+	bw    *bufio.Writer
+	prev  [2]uint64 // previous address per stream: 0=instruction, 1=data
+	wrote bool
+	buf   [binary.MaxVarintLen64]byte
+}
+
+// NewBinaryWriter returns a BinaryWriter emitting to w. The magic header is
+// written lazily on the first Write. Call Flush when done.
+func NewBinaryWriter(w io.Writer) *BinaryWriter { return &BinaryWriter{bw: bufio.NewWriter(w)} }
+
+func streamIndex(k Kind) int {
+	if k == IFetch {
+		return 0
+	}
+	return 1
+}
+
+// Write encodes one reference. Size must fit in 6 bits (<= 63 bytes).
+func (b *BinaryWriter) Write(r Ref) error {
+	if !r.Kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %d", r.Kind)
+	}
+	if r.Size > 63 {
+		return fmt.Errorf("trace: size %d exceeds binary format maximum 63", r.Size)
+	}
+	if !b.wrote {
+		if _, err := b.bw.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		b.wrote = true
+	}
+	if err := b.bw.WriteByte(byte(r.Kind) | r.Size<<2); err != nil {
+		return err
+	}
+	si := streamIndex(r.Kind)
+	delta := int64(r.Addr - b.prev[si])
+	b.prev[si] = r.Addr
+	n := binary.PutVarint(b.buf[:], delta)
+	_, err := b.bw.Write(b.buf[:n])
+	return err
+}
+
+// Flush flushes buffered output. An empty trace still gets its header.
+func (b *BinaryWriter) Flush() error {
+	if !b.wrote {
+		if _, err := b.bw.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		b.wrote = true
+	}
+	return b.bw.Flush()
+}
+
+// BinaryReader decodes the binary format.
+type BinaryReader struct {
+	br      *bufio.Reader
+	prev    [2]uint64
+	started bool
+}
+
+// NewBinaryReader returns a BinaryReader decoding from r.
+func NewBinaryReader(r io.Reader) *BinaryReader { return &BinaryReader{br: bufio.NewReader(r)} }
+
+// Read decodes the next reference. The first call validates the header.
+func (b *BinaryReader) Read() (Ref, error) {
+	if !b.started {
+		var hdr [8]byte
+		if _, err := io.ReadFull(b.br, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				err = fmt.Errorf("trace: truncated binary header")
+			}
+			return Ref{}, err
+		}
+		if hdr != binaryMagic {
+			return Ref{}, fmt.Errorf("trace: bad binary magic %q", hdr[:])
+		}
+		b.started = true
+	}
+	hb, err := b.br.ReadByte()
+	if err != nil {
+		return Ref{}, err // io.EOF here is clean end-of-trace
+	}
+	kind := Kind(hb & 3)
+	if !kind.Valid() {
+		return Ref{}, fmt.Errorf("trace: invalid kind byte %#x", hb)
+	}
+	delta, err := binary.ReadVarint(b.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Ref{}, fmt.Errorf("trace: truncated reference: %v", err)
+	}
+	si := streamIndex(kind)
+	b.prev[si] += uint64(delta)
+	return Ref{Addr: b.prev[si], Size: hb >> 2, Kind: kind}, nil
+}

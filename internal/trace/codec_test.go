@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRefs() []Ref {
+	return []Ref{
+		{Addr: 0x1000, Size: 4, Kind: IFetch},
+		{Addr: 0x1004, Size: 4, Kind: IFetch},
+		{Addr: 0x4000_0000, Size: 8, Kind: Read},
+		{Addr: 0x4000_0010, Size: 2, Kind: Write},
+		{Addr: 0x0ff8, Size: 4, Kind: IFetch}, // backward jump: negative delta
+		{Addr: 0x3fff_fff0, Size: 1, Kind: Read},
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	for _, r := range sampleRefs() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewTextReader(&buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRefs()
+	if len(got) != len(want) {
+		t.Fatalf("got %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ref %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTextReaderTolerance(t *testing.T) {
+	in := strings.NewReader(`
+# a comment
+i 100 4
+
+r 200 8
+2 300 2
+0 400 4
+1 500 1
+w ff
+`)
+	got, err := Collect(NewTextReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ref{
+		{0x100, 4, IFetch},
+		{0x200, 8, Read},
+		{0x300, 2, IFetch}, // din kind 2
+		{0x400, 4, Read},   // din kind 0
+		{0x500, 1, Write},  // din kind 1
+		{0xff, 4, Write},   // default size
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ref %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":  "q 100 4\n",
+		"bad address":   "i zz 4\n",
+		"bad size":      "i 100 nope\n",
+		"size overflow": "i 100 300\n",
+		"too few":       "i\n",
+	}
+	for name, in := range cases {
+		_, err := NewTextReader(strings.NewReader(in)).Read()
+		if err == nil || err == io.EOF {
+			t.Errorf("%s: err = %v, want parse error", name, err)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range sampleRefs() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewBinaryReader(&buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRefs()
+	if len(got) != len(want) {
+		t.Fatalf("got %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ref %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("empty trace = %d bytes, want 8 (header)", buf.Len())
+	}
+	if _, err := NewBinaryReader(&buf).Read(); err != io.EOF {
+		t.Fatalf("empty trace read err = %v, want io.EOF", err)
+	}
+}
+
+func TestBinaryRejects(t *testing.T) {
+	w := NewBinaryWriter(&bytes.Buffer{})
+	if err := w.Write(Ref{Size: 64}); err == nil {
+		t.Error("size 64 should be rejected")
+	}
+	if err := w.Write(Ref{Kind: Kind(3), Size: 4}); err == nil {
+		t.Error("invalid kind should be rejected")
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader("NOTATRACE"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("bad magic should error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	// Header only 4 bytes.
+	if _, err := NewBinaryReader(strings.NewReader("CTRA")).Read(); err == nil {
+		t.Fatal("truncated header should error")
+	}
+	// Valid header + header byte but missing varint.
+	var buf bytes.Buffer
+	buf.WriteString("CTRACE1\n")
+	buf.WriteByte(byte(IFetch) | 4<<2)
+	if _, err := NewBinaryReader(&buf).Read(); err == nil {
+		t.Fatal("truncated reference should error")
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// Sequential streams should encode in ~2 bytes per reference.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	n := 10000
+	for i := 0; i < n; i++ {
+		r := Ref{Addr: uint64(i) * 4, Size: 4, Kind: IFetch}
+		if i%3 == 0 {
+			r = Ref{Addr: 0x4000_0000 + uint64(i)*8, Size: 8, Kind: Read}
+		}
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if perRef := float64(buf.Len()) / float64(n); perRef > 2.5 {
+		t.Errorf("binary encoding uses %.2f bytes/ref, want <= 2.5", perRef)
+	}
+}
+
+func TestCodecQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]Ref, int(n)%64+1)
+		for i := range refs {
+			refs[i] = Ref{
+				Addr: rng.Uint64() >> uint(rng.Intn(40)),
+				Size: uint8(1 << rng.Intn(5)),
+				Kind: Kind(rng.Intn(3)),
+			}
+		}
+		var tb, bb bytes.Buffer
+		tw, bw := NewTextWriter(&tb), NewBinaryWriter(&bb)
+		for _, r := range refs {
+			if tw.Write(r) != nil || bw.Write(r) != nil {
+				return false
+			}
+		}
+		if tw.Flush() != nil || bw.Flush() != nil {
+			return false
+		}
+		gt, err1 := Collect(NewTextReader(&tb), 0)
+		gb, err2 := Collect(NewBinaryReader(&bb), 0)
+		if err1 != nil || err2 != nil || len(gt) != len(refs) || len(gb) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if gt[i] != refs[i] || gb[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+func kinds(refs []Ref) []Kind {
+	out := make([]Kind, len(refs))
+	for i, r := range refs {
+		out[i] = r.Kind
+	}
+	return out
+}
+
+func TestLimitReader(t *testing.T) {
+	src := NewSliceReader(make([]Ref, 10))
+	l := NewLimitReader(src, 3)
+	if l.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", l.Remaining())
+	}
+	got, err := Collect(l, 0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Collect = %d, %v", len(got), err)
+	}
+	if l.Remaining() != 0 {
+		t.Fatalf("Remaining after drain = %d", l.Remaining())
+	}
+	if _, err := l.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestLimitReaderNonPositive(t *testing.T) {
+	l := NewLimitReader(NewSliceReader(make([]Ref, 5)), 0)
+	if _, err := l.Read(); err != io.EOF {
+		t.Fatalf("limit 0 should be empty, got %v", err)
+	}
+	l = NewLimitReader(NewSliceReader(make([]Ref, 5)), -3)
+	if l.Remaining() != 0 {
+		t.Fatalf("negative limit Remaining = %d, want 0", l.Remaining())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSliceReader([]Ref{{Addr: 1}, {Addr: 2}})
+	b := NewSliceReader(nil)
+	c := NewSliceReader([]Ref{{Addr: 3}})
+	got, err := Collect(NewConcat(a, b, c), 0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Collect = %d, %v", len(got), err)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if got[i].Addr != want {
+			t.Errorf("ref %d = %d, want %d", i, got[i].Addr, want)
+		}
+	}
+	if _, err := NewConcat().Read(); err != io.EOF {
+		t.Errorf("empty concat err = %v", err)
+	}
+}
+
+func TestFilterAndOnly(t *testing.T) {
+	refs := []Ref{
+		{Addr: 1, Kind: IFetch}, {Addr: 2, Kind: Read},
+		{Addr: 3, Kind: Write}, {Addr: 4, Kind: IFetch},
+	}
+	got, _ := Collect(OnlyKind(NewSliceReader(refs), IFetch), 0)
+	if len(got) != 2 || got[0].Addr != 1 || got[1].Addr != 4 {
+		t.Fatalf("OnlyKind(IFetch) = %+v", got)
+	}
+	got, _ = Collect(OnlyData(NewSliceReader(refs)), 0)
+	if len(got) != 2 || got[0].Kind != Read || got[1].Kind != Write {
+		t.Fatalf("OnlyData = %v", kinds(got))
+	}
+	odd := NewFilterReader(NewSliceReader(refs), func(r Ref) bool { return r.Addr%2 == 1 })
+	got, _ = Collect(odd, 0)
+	if len(got) != 2 {
+		t.Fatalf("odd filter = %d refs", len(got))
+	}
+}
+
+func TestMapAndRebase(t *testing.T) {
+	refs := []Ref{{Addr: 0x10, Kind: Read}, {Addr: 0x20, Kind: Write}}
+	dbl := NewMapReader(NewSliceReader(refs), func(r Ref) Ref {
+		r.Addr *= 2
+		return r
+	})
+	got, _ := Collect(dbl, 0)
+	if got[0].Addr != 0x20 || got[1].Addr != 0x40 {
+		t.Fatalf("MapReader = %+v", got)
+	}
+	base := uint64(7) << 33
+	got, _ = Collect(Rebase(NewSliceReader(refs), base), 0)
+	for i, r := range got {
+		if r.Addr != refs[i].Addr|base {
+			t.Errorf("Rebase ref %d = %#x", i, r.Addr)
+		}
+		if r.Kind != refs[i].Kind {
+			t.Errorf("Rebase changed kind of ref %d", i)
+		}
+	}
+}
+
+func TestRebaseDisjoint(t *testing.T) {
+	// Two streams with identical addresses must not alias after rebasing
+	// with distinct bases — the multiprogramming requirement.
+	refs := []Ref{{Addr: 0x4000_0000}}
+	a, _ := Collect(Rebase(NewSliceReader(refs), 1<<33), 0)
+	b, _ := Collect(Rebase(NewSliceReader(refs), 2<<33), 0)
+	if a[0].Addr == b[0].Addr {
+		t.Fatal("rebased streams alias")
+	}
+	if a[0].Line(16) == b[0].Line(16) {
+		t.Fatal("rebased streams alias at line granularity")
+	}
+}
+
+func TestTeeReader(t *testing.T) {
+	var rec Recorder
+	src := NewSliceReader([]Ref{{Addr: 1}, {Addr: 2}})
+	tee := NewTeeReader(src, &rec)
+	got, err := Collect(tee, 0)
+	if err != nil || len(got) != 2 || len(rec.Refs) != 2 {
+		t.Fatalf("tee: %d read, %d recorded, %v", len(got), len(rec.Refs), err)
+	}
+	if _, err := tee.Read(); err != io.EOF {
+		t.Fatalf("tee at EOF: %v", err)
+	}
+}
+
+func TestTeeReaderWriteError(t *testing.T) {
+	tee := NewTeeReader(NewSliceReader([]Ref{{Addr: 1}}), failWriter{})
+	if _, err := tee.Read(); err == nil {
+		t.Fatal("tee should surface write errors")
+	}
+}

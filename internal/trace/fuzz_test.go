@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the decoders must never panic and must either produce
+// well-formed references or a clean error, whatever bytes arrive.
+
+func FuzzTextReader(f *testing.F) {
+	f.Add("i 100 4\nr 200 8\n")
+	f.Add("# comment\n\nw ff 2\n")
+	f.Add("2 0 1\n0 10 4\n1 20 8\n")
+	f.Add("garbage line\n")
+	f.Add("i zzzz 4\n")
+	f.Add(strings.Repeat("i 0 1\n", 100))
+	f.Fuzz(func(t *testing.T, in string) {
+		rd := NewTextReader(strings.NewReader(in))
+		for i := 0; i < 1000; i++ {
+			ref, err := rd.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // clean parse error is fine
+			}
+			if !ref.Kind.Valid() {
+				t.Fatalf("decoder produced invalid kind %d", ref.Kind)
+			}
+		}
+	})
+}
+
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a valid trace and with corruptions of it.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for i := 0; i < 20; i++ {
+		w.Write(Ref{Addr: uint64(i) * 16, Size: 4, Kind: Kind(i % 3)})
+	}
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0xff))
+	f.Add([]byte("CTRACE1\n"))
+	f.Add([]byte("NOTMAGIC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		rd := NewBinaryReader(bytes.NewReader(in))
+		for i := 0; i < 10000; i++ {
+			ref, err := rd.Read()
+			if err != nil {
+				return // EOF or a clean decode error
+			}
+			if !ref.Kind.Valid() {
+				t.Fatalf("decoder produced invalid kind %d", ref.Kind)
+			}
+			if ref.Size > 63 {
+				t.Fatalf("decoder produced out-of-range size %d", ref.Size)
+			}
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip: anything the writer accepts must decode back
+// bit-identically.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint8(4), uint8(0))
+	f.Add(uint64(0), uint8(1), uint8(2))
+	f.Add(^uint64(0)>>1, uint8(63), uint8(1))
+	f.Fuzz(func(t *testing.T, addr uint64, size, kind uint8) {
+		ref := Ref{Addr: addr, Size: size % 64, Kind: Kind(kind % 3)}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		if err := w.Write(ref); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewBinaryReader(&buf).Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("round trip: %+v -> %+v", ref, got)
+		}
+	})
+}

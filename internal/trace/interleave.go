@@ -1,0 +1,115 @@
+package trace
+
+import "io"
+
+// Interleaver round-robins between several reference streams, switching
+// after each quantum of references. This models the multiprogramming
+// simulations of §3.3: "the traces were run through the simulator in a round
+// robin manner, switching and purging every 20,000 memory references".
+//
+// Each source may optionally be restartable; exhausted non-restartable
+// sources are dropped from the rotation. The stream ends when every source
+// is exhausted.
+type Interleaver struct {
+	sources  []Source
+	quantum  int
+	cur      int
+	inSlice  int // references delivered in the current quantum
+	onSwitch func(from, to int)
+}
+
+// Source is a trace stream participating in a multiprogramming mix. If
+// Restart is non-nil it is called when the stream hits io.EOF and must
+// return a fresh Reader replaying the same program; this mirrors the paper's
+// practice of cycling short traces to fill a run. A nil Restart drops the
+// source once exhausted.
+type Source struct {
+	Name    string
+	Reader  Reader
+	Restart func() Reader
+}
+
+// NewInterleaver returns an Interleaver over sources with the given switch
+// quantum (in references). A quantum < 1 is treated as 1.
+func NewInterleaver(quantum int, sources ...Source) *Interleaver {
+	if quantum < 1 {
+		quantum = 1
+	}
+	cp := make([]Source, len(sources))
+	copy(cp, sources)
+	return &Interleaver{sources: cp, quantum: quantum}
+}
+
+// OnSwitch registers a callback invoked at every task switch with the old
+// and new rotation indices. A cache simulation hooks its purge here.
+func (il *Interleaver) OnSwitch(fn func(from, to int)) { il.onSwitch = fn }
+
+// Read returns the next reference of the interleaved stream.
+func (il *Interleaver) Read() (Ref, error) {
+	for len(il.sources) > 0 {
+		if il.inSlice >= il.quantum {
+			il.advance()
+			continue
+		}
+		src := &il.sources[il.cur]
+		ref, err := src.Reader.Read()
+		if err == nil {
+			il.inSlice++
+			return ref, nil
+		}
+		if err != io.EOF {
+			return Ref{}, err
+		}
+		if src.Restart != nil {
+			src.Reader = src.Restart()
+			// A restarted source continues its quantum; guard against a
+			// Restart that returns an immediately-empty reader by checking
+			// one read before looping forever.
+			ref, err := src.Reader.Read()
+			if err == nil {
+				il.inSlice++
+				return ref, nil
+			}
+			if err != io.EOF {
+				return Ref{}, err
+			}
+		}
+		il.drop(il.cur)
+	}
+	return Ref{}, io.EOF
+}
+
+// advance moves the rotation to the next source and fires the switch
+// callback. With a single live source the quantum counter still resets but
+// no callback fires (a machine running one task does not purge).
+func (il *Interleaver) advance() {
+	il.inSlice = 0
+	if len(il.sources) <= 1 {
+		return
+	}
+	from := il.cur
+	il.cur = (il.cur + 1) % len(il.sources)
+	if il.onSwitch != nil {
+		il.onSwitch(from, il.cur)
+	}
+}
+
+// drop removes source i, fixing up the rotation index. Dropping counts as a
+// switch when other sources remain and we were mid-quantum.
+func (il *Interleaver) drop(i int) {
+	from := il.cur
+	il.sources = append(il.sources[:i], il.sources[i+1:]...)
+	if len(il.sources) == 0 {
+		return
+	}
+	if il.cur >= len(il.sources) {
+		il.cur = 0
+	}
+	il.inSlice = 0
+	if il.onSwitch != nil {
+		il.onSwitch(from, il.cur)
+	}
+}
+
+// Live returns how many sources remain in the rotation.
+func (il *Interleaver) Live() int { return len(il.sources) }

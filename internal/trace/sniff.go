@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format identifies a trace file encoding.
+type Format int
+
+const (
+	// FormatAuto sniffs the binary magic and falls back to text.
+	FormatAuto Format = iota
+	// FormatText is the one-reference-per-line format.
+	FormatText
+	// FormatBinary is the delta-encoded binary format.
+	FormatBinary
+)
+
+// ParseFormat resolves a format name ("auto", "text", "binary").
+func ParseFormat(name string) (Format, error) {
+	switch strings.ToLower(name) {
+	case "auto", "":
+		return FormatAuto, nil
+	case "text":
+		return FormatText, nil
+	case "binary":
+		return FormatBinary, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %q (want auto, text or binary)", name)
+	}
+}
+
+// String returns the format name.
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatText:
+		return "text"
+	case FormatBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// NewFormatReader returns a Reader decoding src in the given format.
+// FormatAuto peeks at the stream: the binary magic selects the binary
+// decoder, anything else the text decoder. An empty stream decodes as an
+// empty text trace.
+func NewFormatReader(src io.Reader, f Format) (Reader, error) {
+	switch f {
+	case FormatText:
+		return NewTextReader(src), nil
+	case FormatBinary:
+		return NewBinaryReader(src), nil
+	case FormatAuto:
+		br := bufio.NewReader(src)
+		head, err := br.Peek(len(binaryMagic))
+		if err == nil && string(head) == string(binaryMagic[:]) {
+			return NewBinaryReader(br), nil
+		}
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, err
+		}
+		return NewTextReader(br), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown format %v", f)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"auto": FormatAuto, "": FormatAuto,
+		"text": FormatText, "TEXT": FormatText,
+		"binary": FormatBinary, "Binary": FormatBinary,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("din"); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatAuto.String() != "auto" || FormatText.String() != "text" || FormatBinary.String() != "binary" {
+		t.Error("Format.String mismatch")
+	}
+	if !strings.Contains(Format(9).String(), "9") {
+		t.Error("unknown Format should include the value")
+	}
+}
+
+func TestAutoSniffsBinary(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	want := Ref{Addr: 0x1234, Size: 4, Kind: Read}
+	if err := w.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewFormatReader(&buf, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Read()
+	if err != nil || got != want {
+		t.Fatalf("sniffed binary read = %+v, %v", got, err)
+	}
+}
+
+func TestAutoSniffsText(t *testing.T) {
+	rd, err := NewFormatReader(strings.NewReader("i 100 4\n"), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Read()
+	if err != nil || got.Addr != 0x100 || got.Kind != IFetch {
+		t.Fatalf("sniffed text read = %+v, %v", got, err)
+	}
+}
+
+func TestAutoEmptyStream(t *testing.T) {
+	rd, err := NewFormatReader(strings.NewReader(""), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Read(); err == nil {
+		t.Fatal("empty stream should hit EOF")
+	}
+}
+
+func TestAutoShortTextStream(t *testing.T) {
+	// Shorter than the 8-byte magic: must still decode as text.
+	rd, err := NewFormatReader(strings.NewReader("i 1 1"), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Read()
+	if err != nil || got.Addr != 1 {
+		t.Fatalf("short text = %+v, %v", got, err)
+	}
+}
+
+func TestExplicitFormats(t *testing.T) {
+	if _, err := NewFormatReader(strings.NewReader("x"), Format(42)); err == nil {
+		t.Error("unknown format must error")
+	}
+	rd, err := NewFormatReader(strings.NewReader("r 20 8\n"), FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := rd.Read(); got.Kind != Read {
+		t.Error("explicit text reader broken")
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{IFetch, "i"}, {Read, "r"}, {Write, "w"}, {Kind(9), "Kind(9)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !IFetch.Valid() || !Read.Valid() || !Write.Valid() {
+		t.Error("defined kinds must be valid")
+	}
+	if Kind(3).Valid() {
+		t.Error("Kind(3) must be invalid")
+	}
+	if IFetch.IsData() {
+		t.Error("IFetch is not data")
+	}
+	if !Read.IsData() || !Write.IsData() {
+		t.Error("Read and Write are data")
+	}
+}
+
+func TestRefLine(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		line int
+		want uint64
+	}{
+		{0, 16, 0},
+		{15, 16, 0},
+		{16, 16, 1},
+		{0x1234, 16, 0x123},
+		{0x1234, 4, 0x48d},
+		{7, 1, 7},
+	}
+	for _, c := range cases {
+		r := Ref{Addr: c.addr}
+		if got := r.Line(c.line); got != c.want {
+			t.Errorf("Ref{%#x}.Line(%d) = %#x, want %#x", c.addr, c.line, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024, 1 << 30} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, -2, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	refs := []Ref{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	r := NewSliceReader(refs)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	for i := 0; i < 3; i++ {
+		got, err := r.Read()
+		if err != nil || got.Addr != uint64(i+1) {
+			t.Fatalf("Read %d = %+v, %v", i, got, err)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("exhausted Read err = %v, want io.EOF", err)
+	}
+	r.Reset()
+	got, err := r.Read()
+	if err != nil || got.Addr != 1 {
+		t.Fatalf("after Reset: %+v, %v", got, err)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var rec Recorder
+	for i := 0; i < 5; i++ {
+		if err := rec.Write(Ref{Addr: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := rec.Reader()
+	got, err := Collect(rd, 0)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("Collect = %d refs, %v", len(got), err)
+	}
+	for i, r := range got {
+		if r.Addr != uint64(i) {
+			t.Errorf("ref %d addr = %d", i, r.Addr)
+		}
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	r := NewSliceReader(make([]Ref, 10))
+	got, err := Collect(r, 4)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("Collect(max=4) = %d, %v", len(got), err)
+	}
+}
+
+func TestCollectError(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	r := ReaderFunc(func() (Ref, error) {
+		n++
+		if n > 2 {
+			return Ref{}, boom
+		}
+		return Ref{Addr: uint64(n)}, nil
+	})
+	got, err := Collect(r, 0)
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("partial refs = %d, want 2", len(got))
+	}
+}
+
+func TestCopy(t *testing.T) {
+	src := NewSliceReader([]Ref{{Addr: 1}, {Addr: 2}, {Addr: 3}})
+	var rec Recorder
+	n, err := Copy(&rec, src, 2)
+	if err != nil || n != 2 || len(rec.Refs) != 2 {
+		t.Fatalf("Copy = %d, %v (%d recorded)", n, err, len(rec.Refs))
+	}
+	n, err = Copy(&rec, src, 0)
+	if err != nil || n != 1 {
+		t.Fatalf("Copy rest = %d, %v", n, err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(Ref) error { return errors.New("disk full") }
+
+func TestCopyWriterError(t *testing.T) {
+	src := NewSliceReader([]Ref{{Addr: 1}})
+	if _, err := Copy(failWriter{}, src, 0); err == nil {
+		t.Fatal("want writer error")
+	}
+}
+
+func TestReaderFunc(t *testing.T) {
+	called := false
+	r := ReaderFunc(func() (Ref, error) {
+		called = true
+		return Ref{Addr: 42}, nil
+	})
+	got, err := r.Read()
+	if !called || err != nil || got.Addr != 42 {
+		t.Fatalf("ReaderFunc: %+v, %v (called=%v)", got, err, called)
+	}
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+
+	"cacheeval/internal/memsys"
+)
+
+// ArchID identifies one of the six machine architectures of the paper's
+// trace corpus (§2).
+type ArchID int
+
+const (
+	IBM370 ArchID = iota
+	IBM360_91
+	VAX
+	Z8000
+	CDC6400
+	M68000
+	numArchs
+)
+
+// String returns the architecture name.
+func (a ArchID) String() string {
+	switch a {
+	case IBM370:
+		return "IBM 370"
+	case IBM360_91:
+		return "IBM 360/91"
+	case VAX:
+		return "VAX 11/780"
+	case Z8000:
+		return "Zilog Z8000"
+	case CDC6400:
+		return "CDC 6400"
+	case M68000:
+		return "Motorola 68000"
+	default:
+		return fmt.Sprintf("ArchID(%d)", int(a))
+	}
+}
+
+// Arch bundles the per-architecture facts the corpus builds on: the memory
+// interface (design architecture), the default generator parameters
+// calibrated to the paper's per-architecture aggregates, and the purge
+// interval its multiprogramming simulations use.
+type Arch struct {
+	ID        ArchID
+	Name      string
+	WordBytes int
+	Interface memsys.Interface
+	// PurgeInterval is the task-switch interval used for this architecture's
+	// traces in §3.3-§3.5: 20,000 references, "except for the M68000 traces,
+	// where the interval was 15,000".
+	PurgeInterval int
+	// Defaults are the baseline generator parameters; individual corpus
+	// traces override them.
+	Defaults GenParams
+}
+
+// Archs returns the architecture table, indexed by ArchID.
+//
+// Calibration targets (from the paper's text):
+//
+//	arch       %ifetch %branch  Aspace(avg)  miss@1K(avg)
+//	IBM 370     ~.50    .140     58439        ~.17 (MVS worse)
+//	IBM 360/91  ~.52    .160     28396        ~.17 with 370
+//	VAX         ~.50    .175     23032         .048
+//	(VAX LISP)  ~.50    .141     61598         .111/.055/.024/.0155 @1/4/16/64K
+//	Z8000        .751   .105     11351         .031
+//	CDC 6400     .772   .042     21305        middle of group
+//	M68000      (fetch vs write only) 2868     .017
+func Archs() []Arch {
+	return []Arch{
+		{
+			ID: IBM370, Name: "IBM 370", WordBytes: 8, Interface: memsys.IBM370, PurgeInterval: 20000,
+			Defaults: GenParams{
+				FracIFetch: 0.50, FracRead: 0.33,
+				IFetchUnit: 8, DataElem: 8,
+				SeqRunRefs: 6.7,
+				CodeLines:  1300, DataLines: 2300,
+				CodeK0: 6, CodeAlpha: 1.45,
+				DataK0: 8, DataAlpha: 1.3,
+				LoopFrac: 0.35, MeanLoopIters: 3,
+				SeqFrac: 0.30, MeanScanLines: 16, ScanLocal: 0.7,
+				WriteSpread: 0.45, HotK0: 8, ScanWriteShare: 0.4,
+			},
+		},
+		{
+			ID: IBM360_91, Name: "IBM 360/91", WordBytes: 8, Interface: memsys.IBM360_91, PurgeInterval: 20000,
+			Defaults: GenParams{
+				FracIFetch: 0.52, FracRead: 0.32,
+				IFetchUnit: 8, DataElem: 8,
+				SeqRunRefs: 5.45,
+				CodeLines:  800, DataLines: 1000,
+				CodeK0: 6, CodeAlpha: 1.5,
+				DataK0: 8, DataAlpha: 1.35,
+				LoopFrac: 0.35, MeanLoopIters: 3,
+				SeqFrac: 0.30, MeanScanLines: 14, ScanLocal: 0.7,
+				WriteSpread: 0.45, HotK0: 8, ScanWriteShare: 0.4,
+			},
+		},
+		{
+			ID: VAX, Name: "VAX 11/780", WordBytes: 4, Interface: memsys.VAX780, PurgeInterval: 20000,
+			Defaults: GenParams{
+				FracIFetch: 0.50, FracRead: 0.33,
+				IFetchUnit: 4, DataElem: 4,
+				SeqRunRefs: 4.55,
+				CodeLines:  520, DataLines: 920,
+				CodeK0: 3, CodeAlpha: 2.0,
+				DataK0: 5, DataAlpha: 1.8,
+				LoopFrac: 0.45, MeanLoopIters: 4,
+				SeqFrac: 0.30, MeanScanLines: 12, ScanLocal: 0.75,
+				WriteSpread: 0.40, HotK0: 6, ScanWriteShare: 0.35,
+			},
+		},
+		{
+			ID: Z8000, Name: "Zilog Z8000", WordBytes: 2, Interface: memsys.Z8000, PurgeInterval: 20000,
+			Defaults: GenParams{
+				FracIFetch: 0.751, FracRead: 0.170,
+				IFetchUnit: 2, DataElem: 2,
+				SeqRunRefs: 8.95,
+				CodeLines:  420, DataLines: 290,
+				CodeK0: 4, CodeAlpha: 1.8,
+				DataK0: 7, DataAlpha: 1.6,
+				LoopFrac: 0.25, MeanLoopIters: 3,
+				SeqFrac: 0.35, MeanScanLines: 8, ScanLocal: 0.55,
+				WriteSpread: 0.45, HotK0: 5, ScanWriteShare: 0.4,
+			},
+		},
+		{
+			ID: CDC6400, Name: "CDC 6400", WordBytes: 8, Interface: memsys.CDC6400, PurgeInterval: 20000,
+			Defaults: GenParams{
+				FracIFetch: 0.772, FracRead: 0.150,
+				IFetchUnit: 4, DataElem: 8,
+				SeqRunRefs: 22.3,
+				CodeLines:  520, DataLines: 810,
+				CodeK0: 5, CodeAlpha: 1.5,
+				DataK0: 10, DataAlpha: 1.25,
+				LoopFrac: 0.6, MeanLoopIters: 8,
+				SeqFrac: 0.60, MeanScanLines: 40, ScanLocal: 0.8,
+				WriteSpread: 0.85, HotK0: 6, ScanWriteShare: 0.85,
+			},
+		},
+		{
+			ID: M68000, Name: "Motorola 68000", WordBytes: 2, Interface: memsys.M68000, PurgeInterval: 15000,
+			Defaults: GenParams{
+				FracIFetch: 0.55, FracRead: 0.32,
+				IFetchUnit: 2, DataElem: 2,
+				SeqRunRefs: 8.3,
+				CodeLines:  100, DataLines: 80,
+				CodeK0: 2, CodeAlpha: 2.2,
+				DataK0: 3, DataAlpha: 2.0,
+				LoopFrac: 0.35, MeanLoopIters: 4,
+				SeqFrac: 0.30, MeanScanLines: 6, ScanLocal: 0.6,
+				WriteSpread: 0.40, HotK0: 4, ScanWriteShare: 0.35,
+			},
+		},
+	}
+}
+
+// ArchByID returns the Arch for id.
+func ArchByID(id ArchID) (Arch, error) {
+	if id < 0 || id >= numArchs {
+		return Arch{}, fmt.Errorf("workload: unknown architecture id %d", int(id))
+	}
+	return Archs()[id], nil
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"cacheeval/internal/trace"
+)
+
+func TestCorpusSize(t *testing.T) {
+	all := All()
+	if len(all) != 49 {
+		t.Fatalf("corpus has %d traces, want 49 (the paper's count)", len(all))
+	}
+	units := Units()
+	if len(units) != 57 {
+		t.Fatalf("units = %d, want 57 (LISP and VAXIMA as five each)", len(units))
+	}
+}
+
+func TestCorpusArchCounts(t *testing.T) {
+	want := map[ArchID]int{
+		IBM370: 12, IBM360_91: 4, VAX: 14, Z8000: 10, CDC6400: 5, M68000: 4,
+	}
+	for arch, n := range want {
+		if got := len(ByArch(arch)); got != n {
+			t.Errorf("%v has %d traces, want %d", arch, got, n)
+		}
+	}
+}
+
+func TestCorpusSpecsValid(t *testing.T) {
+	for _, s := range Units() {
+		if err := s.Params.Validate(); err != nil {
+			t.Errorf("%s: invalid params: %v", s.Name, err)
+		}
+		if s.Refs <= 0 || s.Refs > 500000 {
+			t.Errorf("%s: run length %d outside the paper's range", s.Name, s.Refs)
+		}
+		if s.Language == "" {
+			t.Errorf("%s: missing language", s.Name)
+		}
+	}
+}
+
+func TestCorpusSeedsUnique(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, s := range Units() {
+		if other, dup := seen[s.Seed]; dup {
+			t.Errorf("seed collision: %s and %s", s.Name, other)
+		}
+		seen[s.Seed] = s.Name
+	}
+}
+
+func TestCorpusNamesUniqueAndSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 49 {
+		t.Fatalf("Names() = %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("Names not sorted/unique at %q", names[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("MVS1")
+	if err != nil || s.Name != "MVS1" || s.Arch != IBM370 {
+		t.Fatalf("ByName(MVS1) = %+v, %v", s, err)
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	sec, err := ByName("LISPC-3")
+	if err != nil || sec.Name != "LISPC-3" {
+		t.Fatalf("ByName(LISPC-3) = %+v, %v", sec, err)
+	}
+	if _, err := ByName("LISPC-9"); err == nil {
+		t.Fatal("out-of-range section must error")
+	}
+	if _, err := ByName("VAXIMA-1"); err != nil {
+		t.Fatalf("VAXIMA-1: %v", err)
+	}
+}
+
+func TestSections(t *testing.T) {
+	base, _ := ByName("LISPC")
+	secs := Sections(base)
+	if len(secs) != 5 {
+		t.Fatalf("sections = %d", len(secs))
+	}
+	for i, s := range secs {
+		if s.Name != base.Name+"-"+string(rune('1'+i)) {
+			t.Errorf("section %d named %q", i, s.Name)
+		}
+		if s.Seed == base.Seed {
+			t.Errorf("section %d shares the base seed", i)
+		}
+		if err := s.Params.Validate(); err != nil {
+			t.Errorf("section %d invalid: %v", i, err)
+		}
+	}
+	// Phases drift: later sections touch more heap.
+	if secs[4].Params.DataLines <= secs[0].Params.DataLines {
+		t.Error("later sections should have larger data footprints")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	cases := map[string]string{
+		"MVS1":     "IBM 370",
+		"WATEX":    "IBM 360/91",
+		"VCCOM":    "VAX (no LISP)",
+		"LISPC-2":  "VAX LISP",
+		"VAXIMA-5": "VAX LISP",
+		"ZGREP":    "Zilog Z8000",
+		"TWOD1":    "CDC 6400",
+		"PLO":      "Motorola 68000",
+	}
+	for name, want := range cases {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := Group(s); got != want {
+			t.Errorf("Group(%s) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestReconstructedFlags(t *testing.T) {
+	recon := 0
+	for _, s := range All() {
+		if s.Reconstructed {
+			recon++
+		}
+	}
+	// DESIGN.md: names not recoverable from the OCR'd table are flagged.
+	if recon == 0 {
+		t.Fatal("some corpus names are documented as reconstructed; none flagged")
+	}
+	if recon > 20 {
+		t.Fatalf("%d reconstructed names — most of the corpus should be from the text", recon)
+	}
+	for _, name := range []string{"MVS1", "WATFIV", "VCCOM", "ZVI", "TWOD1", "PLO"} {
+		s, _ := ByName(name)
+		if s.Reconstructed {
+			t.Errorf("%s appears in the paper's text and must not be flagged", name)
+		}
+	}
+}
+
+func TestSpecOpen(t *testing.T) {
+	s, _ := ByName("ZECHO")
+	rd, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != s.Refs {
+		t.Fatalf("trace length = %d, want %d", len(refs), s.Refs)
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Fatal("spec stream must end with io.EOF")
+	}
+}
+
+func TestSpecOpenDeterministic(t *testing.T) {
+	s, _ := ByName("PLO")
+	a, _ := trace.Collect(s.MustOpen(), 100)
+	b, _ := trace.Collect(s.MustOpen(), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus trace not reproducible")
+		}
+	}
+}
+
+func TestUnitsExpandSections(t *testing.T) {
+	var lisp, vaxima int
+	for _, s := range Units() {
+		if strings.HasPrefix(s.Name, "LISPC-") {
+			lisp++
+		}
+		if strings.HasPrefix(s.Name, "VAXIMA-") {
+			vaxima++
+		}
+		if s.Name == "LISPC" || s.Name == "VAXIMA" {
+			t.Errorf("Units must not contain the unexpanded base %s", s.Name)
+		}
+	}
+	if lisp != 5 || vaxima != 5 {
+		t.Fatalf("sections: LISPC %d, VAXIMA %d, want 5 each", lisp, vaxima)
+	}
+}
+
+func TestZ8000CodeHeavy(t *testing.T) {
+	// §3.2: the traces with more instruction lines than data lines are
+	// (mostly) the Z8000's.
+	for _, s := range ByArch(Z8000) {
+		if s.Params.CodeLines <= s.Params.DataLines {
+			t.Errorf("%s: Z8000 traces should be code-heavy (%d vs %d)",
+				s.Name, s.Params.CodeLines, s.Params.DataLines)
+		}
+	}
+	heavy := 0
+	for _, s := range ByArch(IBM370) {
+		if s.Params.DataLines > s.Params.CodeLines {
+			heavy++
+		}
+	}
+	if heavy < 10 {
+		t.Errorf("370 traces should be data-heavy; only %d/12 are", heavy)
+	}
+}
+
+func TestArchByID(t *testing.T) {
+	a, err := ArchByID(VAX)
+	if err != nil || a.Name != "VAX 11/780" {
+		t.Fatalf("ArchByID(VAX) = %+v, %v", a, err)
+	}
+	if _, err := ArchByID(ArchID(99)); err == nil {
+		t.Fatal("bad arch id must error")
+	}
+	if _, err := ArchByID(ArchID(-1)); err == nil {
+		t.Fatal("negative arch id must error")
+	}
+}
+
+func TestArchTable(t *testing.T) {
+	archs := Archs()
+	if len(archs) != int(numArchs) {
+		t.Fatalf("arch table has %d entries", len(archs))
+	}
+	for i, a := range archs {
+		if a.ID != ArchID(i) {
+			t.Errorf("arch %d has ID %v — table must be indexed by ArchID", i, a.ID)
+		}
+		if err := a.Defaults.Validate(); err != nil {
+			t.Errorf("%s defaults invalid: %v", a.Name, err)
+		}
+		if err := a.Interface.Validate(); err != nil {
+			t.Errorf("%s interface invalid: %v", a.Name, err)
+		}
+		want := 20000
+		if a.ID == M68000 {
+			want = 15000
+		}
+		if a.PurgeInterval != want {
+			t.Errorf("%s purge interval = %d, want %d", a.Name, a.PurgeInterval, want)
+		}
+	}
+}
+
+func TestArchIDString(t *testing.T) {
+	if IBM370.String() != "IBM 370" || M68000.String() != "Motorola 68000" {
+		t.Error("ArchID.String mismatch")
+	}
+	if !strings.Contains(ArchID(42).String(), "42") {
+		t.Error("unknown ArchID should include the value")
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+
+	"cacheeval/internal/trace"
+)
+
+// Mix is a (possibly single-program) multiprogramming workload: the unit of
+// the paper's §3.3-§3.5 simulations. Multi-program mixes are run round-robin
+// with a task-switch quantum equal to the cache purge interval.
+type Mix struct {
+	Name string
+	// Specs are the member traces. A single-spec mix is just that trace.
+	Specs []Spec
+	// Quantum is the task-switch interval in references (and the purge
+	// interval the matching cache simulation should use).
+	Quantum int
+}
+
+// TotalRefs returns the combined reference count of all members.
+func (m Mix) TotalRefs() int {
+	total := 0
+	for _, s := range m.Specs {
+		total += s.Refs
+	}
+	return total
+}
+
+// Open returns the mix's reference stream. Multi-program mixes interleave
+// their members round-robin on the quantum, with each member rebased into a
+// disjoint address-space prefix (as distinct virtual address spaces are, at
+// least as far as a purged cache is concerned).
+func (m Mix) Open() (trace.Reader, error) {
+	if len(m.Specs) == 0 {
+		return nil, fmt.Errorf("workload: mix %q has no members", m.Name)
+	}
+	if len(m.Specs) == 1 {
+		return m.Specs[0].Open()
+	}
+	sources := make([]trace.Source, len(m.Specs))
+	for i, s := range m.Specs {
+		r, err := s.Open()
+		if err != nil {
+			return nil, err
+		}
+		base := uint64(i+1) << 33 // clear of the code/data region bits
+		sources[i] = trace.Source{Name: s.Name, Reader: trace.Rebase(r, base)}
+	}
+	return trace.NewInterleaver(m.Quantum, sources...), nil
+}
+
+// mustSpec resolves a corpus name, panicking on registry bugs (the standard
+// mixes reference only built-in names, so failure is programmer error).
+func mustSpec(name string) Spec {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// mixOf builds a Mix from corpus trace names.
+func mixOf(name string, quantum int, members ...string) Mix {
+	specs := make([]Spec, len(members))
+	for i, n := range members {
+		specs[i] = mustSpec(n)
+	}
+	return Mix{Name: name, Specs: specs, Quantum: quantum}
+}
+
+// singleMix wraps one corpus trace as a Mix with its architecture's purge
+// quantum.
+func singleMix(name string) Mix {
+	s := mustSpec(name)
+	return Mix{Name: name, Specs: []Spec{s}, Quantum: Archs()[s.Arch].PurgeInterval}
+}
+
+// StandardMixes returns the sixteen workload units of the paper's Table 3
+// (and reused by the §3.4 split-cache and §3.5 prefetch simulations): twelve
+// individual traces and four round-robin multiprogramming assortments.
+func StandardMixes() []Mix {
+	lispc := mustSpec("LISPC")
+	vaxima := mustSpec("VAXIMA")
+	return []Mix{
+		{Name: "LISP Compiler - 5 Sections", Specs: Sections(lispc), Quantum: 20000},
+		{Name: "VAXIMA - 5 Sections", Specs: Sections(vaxima), Quantum: 20000},
+		singleMix("VCCOM"),
+		singleMix("VSPICE"),
+		singleMix("VOTMD1"),
+		singleMix("VPUZZLE"),
+		singleMix("VTEKOFF"),
+		singleMix("FGO1"),
+		singleMix("FGO2"),
+		singleMix("CGO1"),
+		singleMix("FCOMP1"),
+		singleMix("CCOMP1"),
+		singleMix("MVS1"),
+		singleMix("MVS2"),
+		mixOf("Z8000 - Assorted", 20000, "ZVI", "ZGREP", "ZPR", "ZOD", "ZSORT"),
+		mixOf("CDC 6400 - Assorted", 20000, "TWOD1", "PPAS", "PPAL", "DIPOLE", "MOTIS"),
+	}
+}
+
+// M68000Mix returns the four M68000 traces as a round-robin mix with the
+// paper's 15,000-reference quantum (§3.5).
+func M68000Mix() Mix {
+	return mixOf("M68000 - Assorted", 15000, "PLO", "MATCH", "SORT", "STAT")
+}

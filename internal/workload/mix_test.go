@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"cacheeval/internal/trace"
+)
+
+func TestStandardMixes(t *testing.T) {
+	mixes := StandardMixes()
+	if len(mixes) != 16 {
+		t.Fatalf("standard mixes = %d, want 16 (Table 3's rows)", len(mixes))
+	}
+	multi := 0
+	for _, m := range mixes {
+		if len(m.Specs) == 0 {
+			t.Errorf("%s: empty mix", m.Name)
+		}
+		if m.Quantum != 20000 {
+			t.Errorf("%s: quantum = %d, want 20000", m.Name, m.Quantum)
+		}
+		if len(m.Specs) > 1 {
+			multi++
+		}
+	}
+	if multi != 4 {
+		t.Fatalf("multiprogramming mixes = %d, want 4", multi)
+	}
+	names := map[string]bool{}
+	for _, m := range mixes {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"LISP Compiler - 5 Sections", "VAXIMA - 5 Sections",
+		"Z8000 - Assorted", "CDC 6400 - Assorted", "MVS1", "CCOMP1",
+	} {
+		if !names[want] {
+			t.Errorf("missing Table 3 row %q", want)
+		}
+	}
+}
+
+func TestM68000Mix(t *testing.T) {
+	m := M68000Mix()
+	if len(m.Specs) != 4 {
+		t.Fatalf("M68000 mix has %d members", len(m.Specs))
+	}
+	if m.Quantum != 15000 {
+		t.Fatalf("M68000 quantum = %d, want 15000", m.Quantum)
+	}
+}
+
+func TestMixTotalRefs(t *testing.T) {
+	m := M68000Mix()
+	want := 0
+	for _, s := range m.Specs {
+		want += s.Refs
+	}
+	if got := m.TotalRefs(); got != want {
+		t.Fatalf("TotalRefs = %d, want %d", got, want)
+	}
+}
+
+func TestMixOpenSingle(t *testing.T) {
+	mixes := StandardMixes()
+	var single Mix
+	for _, m := range mixes {
+		if m.Name == "VPUZZLE" {
+			single = m
+		}
+	}
+	rd, err := single.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(rd, 0)
+	if err != nil || len(refs) != single.Specs[0].Refs {
+		t.Fatalf("single mix = %d refs, %v", len(refs), err)
+	}
+}
+
+func TestMixOpenEmpty(t *testing.T) {
+	if _, err := (Mix{Name: "empty"}).Open(); err == nil {
+		t.Fatal("empty mix must error")
+	}
+}
+
+func TestMixOpenInterleavesAndRebases(t *testing.T) {
+	m := mixOf("test", 1000, "PLO", "MATCH")
+	rd, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != m.TotalRefs() {
+		t.Fatalf("interleaved length = %d, want %d", len(refs), m.TotalRefs())
+	}
+	// Address spaces must be disjoint above bit 33.
+	bases := map[uint64]bool{}
+	for _, r := range refs {
+		bases[r.Addr>>33] = true
+	}
+	if len(bases) != 2 {
+		t.Fatalf("distinct address-space prefixes = %d, want 2", len(bases))
+	}
+	// The first quantum must come entirely from the first member.
+	firstBase := refs[0].Addr >> 33
+	for i := 0; i < 1000; i++ {
+		if refs[i].Addr>>33 != firstBase {
+			t.Fatalf("ref %d switched before the quantum", i)
+		}
+	}
+	if refs[1000].Addr>>33 == firstBase {
+		t.Fatal("quantum boundary did not switch tasks")
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	open := func() []trace.Ref {
+		m := mixOf("det", 500, "SORT", "STAT")
+		rd, err := m.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs, _ := trace.Collect(rd, 2000)
+		return refs
+	}
+	a, b := open(), open()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mix stream not reproducible")
+		}
+	}
+}

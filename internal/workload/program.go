@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cacheeval/internal/trace"
+)
+
+// ProgramParams describe a program at the functional-architecture level:
+// whole instructions with byte lengths, procedures, a call stack, and
+// operand references. Combined with a memsys.Interface, the resulting
+// stream shows how the same program looks through different memory
+// interfaces — the paper's §1.1 point that a trace "reflects not only the
+// program traced and the functional architecture... but also the design
+// architecture".
+type ProgramParams struct {
+	// Instruction lengths are uniform in [MinInstrBytes, MaxInstrBytes],
+	// in steps of InstrAlign bytes (e.g. the VAX averages ~3-4 bytes with
+	// byte alignment; the Z8000 2-6 bytes with 2-byte alignment).
+	MinInstrBytes int
+	MaxInstrBytes int
+	InstrAlign    int
+
+	// Procedures is the number of procedures; each is MeanProcBytes long on
+	// average (exponential-ish, at least one basic block).
+	Procedures    int
+	MeanProcBytes int
+
+	// MeanBlockInstrs is the mean basic-block length in instructions. At a
+	// block boundary the program loops back (LoopProb, iterating
+	// Geometric(MeanLoopIters) times), calls another procedure (CallProb,
+	// biased toward a hot subset), returns (ReturnProb), or falls through.
+	MeanBlockInstrs float64
+	LoopProb        float64
+	MeanLoopIters   float64
+	CallProb        float64
+	ReturnProb      float64
+
+	// Operand traffic per instruction.
+	ReadsPerInstr  float64
+	WritesPerInstr float64
+	OperandBytes   int
+
+	// Data segments, in 16-byte lines: globals get Lomax-distributed reuse,
+	// the stack tracks the call depth, the heap is scanned sequentially.
+	GlobalLines int
+	HeapLines   int
+	// StackFrameBytes is the activation-record size per call.
+	StackFrameBytes int
+
+	// GlobalK0/GlobalAlpha shape global-data reuse.
+	GlobalK0    float64
+	GlobalAlpha float64
+	// HeapScanFrac is the fraction of reads that walk the heap
+	// sequentially; the rest hit globals. Writes split the same way.
+	HeapScanFrac float64
+}
+
+// Validate reports whether the parameters are self-consistent.
+func (p ProgramParams) Validate() error {
+	if p.MinInstrBytes < 1 || p.MaxInstrBytes < p.MinInstrBytes {
+		return fmt.Errorf("workload: bad instruction length range [%d,%d]", p.MinInstrBytes, p.MaxInstrBytes)
+	}
+	if p.InstrAlign < 1 || p.MinInstrBytes%p.InstrAlign != 0 {
+		return fmt.Errorf("workload: instruction alignment %d incompatible with min length %d", p.InstrAlign, p.MinInstrBytes)
+	}
+	if p.Procedures < 1 || p.MeanProcBytes < p.MaxInstrBytes {
+		return fmt.Errorf("workload: need at least one procedure of at least one instruction")
+	}
+	if p.MeanBlockInstrs < 1 {
+		return fmt.Errorf("workload: MeanBlockInstrs %v < 1", p.MeanBlockInstrs)
+	}
+	if p.LoopProb < 0 || p.CallProb < 0 || p.ReturnProb < 0 ||
+		p.LoopProb+p.CallProb+p.ReturnProb > 1 {
+		return fmt.Errorf("workload: block-exit probabilities must be non-negative and sum <= 1")
+	}
+	if p.ReadsPerInstr < 0 || p.ReadsPerInstr > 4 || p.WritesPerInstr < 0 || p.WritesPerInstr > 4 {
+		return fmt.Errorf("workload: operand rates out of range")
+	}
+	if !trace.IsPow2(p.OperandBytes) || p.OperandBytes > LineBytes {
+		return fmt.Errorf("workload: operand size %d must be a power of two <= %d", p.OperandBytes, LineBytes)
+	}
+	if p.GlobalLines < 1 || p.HeapLines < 1 || p.StackFrameBytes < 1 {
+		return fmt.Errorf("workload: data segments must be non-empty")
+	}
+	if p.GlobalK0 <= 0 || p.GlobalAlpha <= 0 {
+		return fmt.Errorf("workload: global locality parameters must be positive")
+	}
+	if p.HeapScanFrac < 0 || p.HeapScanFrac > 1 {
+		return fmt.Errorf("workload: HeapScanFrac must be in [0,1]")
+	}
+	if p.MeanLoopIters < 1 && p.LoopProb > 0 {
+		return fmt.Errorf("workload: MeanLoopIters %v < 1 with LoopProb > 0", p.MeanLoopIters)
+	}
+	return nil
+}
+
+// VAXProgram returns parameters modeling a mid-size VAX Unix program.
+func VAXProgram() ProgramParams {
+	return ProgramParams{
+		MinInstrBytes: 2, MaxInstrBytes: 6, InstrAlign: 1,
+		Procedures: 40, MeanProcBytes: 200,
+		MeanBlockInstrs: 5, LoopProb: 0.35, MeanLoopIters: 4,
+		CallProb: 0.08, ReturnProb: 0.08,
+		ReadsPerInstr: 0.6, WritesPerInstr: 0.3, OperandBytes: 4,
+		GlobalLines: 400, HeapLines: 500, StackFrameBytes: 48,
+		GlobalK0: 8, GlobalAlpha: 1.6, HeapScanFrac: 0.35,
+	}
+}
+
+// IBM370Program returns parameters modeling a 370 batch job: 2/4/6-byte
+// halfword-aligned instructions, mature-compiler code with moderate blocks,
+// and a large data space.
+func IBM370Program() ProgramParams {
+	return ProgramParams{
+		MinInstrBytes: 2, MaxInstrBytes: 6, InstrAlign: 2,
+		Procedures: 60, MeanProcBytes: 260,
+		MeanBlockInstrs: 6, LoopProb: 0.35, MeanLoopIters: 4,
+		CallProb: 0.06, ReturnProb: 0.06,
+		ReadsPerInstr: 0.65, WritesPerInstr: 0.35, OperandBytes: 8,
+		GlobalLines: 900, HeapLines: 1400, StackFrameBytes: 72,
+		GlobalK0: 10, GlobalAlpha: 1.4, HeapScanFrac: 0.4,
+	}
+}
+
+// CDC6400Program returns parameters modeling a CDC 6400 Fortran job: fixed
+// 4-byte parcels (our byte-addressed stand-in for 15/30-bit parcels), very
+// long basic blocks, heavy loop iteration, streaming array access.
+func CDC6400Program() ProgramParams {
+	return ProgramParams{
+		MinInstrBytes: 4, MaxInstrBytes: 4, InstrAlign: 4,
+		Procedures: 30, MeanProcBytes: 400,
+		MeanBlockInstrs: 20, LoopProb: 0.55, MeanLoopIters: 8,
+		CallProb: 0.02, ReturnProb: 0.02,
+		ReadsPerInstr: 0.18, WritesPerInstr: 0.10, OperandBytes: 8,
+		GlobalLines: 250, HeapLines: 650, StackFrameBytes: 40,
+		GlobalK0: 8, GlobalAlpha: 1.4, HeapScanFrac: 0.7,
+	}
+}
+
+// Z8000Program returns parameters modeling a small Z8000 C utility: short
+// word-aligned instructions, long basic blocks (the paper blames the naive
+// C compiler for "an inordinately large number of sequential instructions
+// between loads, stores and branches"), small footprints.
+func Z8000Program() ProgramParams {
+	return ProgramParams{
+		MinInstrBytes: 2, MaxInstrBytes: 6, InstrAlign: 2,
+		Procedures: 25, MeanProcBytes: 160,
+		MeanBlockInstrs: 5, LoopProb: 0.3, MeanLoopIters: 3,
+		CallProb: 0.05, ReturnProb: 0.05,
+		ReadsPerInstr: 0.45, WritesPerInstr: 0.22, OperandBytes: 2,
+		GlobalLines: 150, HeapLines: 120, StackFrameBytes: 24,
+		GlobalK0: 5, GlobalAlpha: 1.7, HeapScanFrac: 0.3,
+	}
+}
+
+// Program generates a functional-architecture reference stream. It
+// implements trace.Reader, producing whole-instruction fetches (Size =
+// instruction length) interleaved with operand reads and writes; it never
+// returns an error. Feed it through memsys.Shape/Shaper to obtain the
+// memory reference stream a particular interface would generate.
+type Program struct {
+	p   ProgramParams
+	rng *rand.Rand
+
+	procStart []uint64 // procedure entry addresses
+	procEnd   []uint64
+	codeEnd   uint64
+
+	pc        uint64
+	proc      int
+	blockLeft int // instructions left in the current basic block
+	blockAddr uint64
+	loopLeft  int
+
+	callStack []frame
+	stackTop  uint64 // current stack pointer (grows up from StackBase)
+
+	globals  *lruStack
+	heapAddr uint64
+
+	pending []trace.Ref // operand refs queued behind the current ifetch
+}
+
+// frame is one call-stack entry.
+type frame struct {
+	retPC   uint64
+	retProc int
+}
+
+// Memory layout for functional programs.
+const (
+	// StackBase is where the call stack lives, above the data region.
+	StackBase = 0x7000_0000
+	// HeapBase is where the scanned heap lives.
+	HeapBase = 0x5000_0000
+)
+
+// NewProgram returns a deterministic functional program generator.
+func NewProgram(p ProgramParams, seed uint64) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Program{
+		p:       p,
+		rng:     rand.New(rand.NewSource(int64(seed))),
+		globals: newLRUStack(p.GlobalLines),
+	}
+	// Lay out procedures contiguously with exponential-ish sizes.
+	addr := uint64(CodeBase)
+	for i := 0; i < p.Procedures; i++ {
+		size := uint64(geometric(g.rng, float64(p.MeanProcBytes)))
+		if size < uint64(p.MaxInstrBytes) {
+			size = uint64(p.MaxInstrBytes)
+		}
+		g.procStart = append(g.procStart, addr)
+		g.procEnd = append(g.procEnd, addr+size)
+		addr += size
+	}
+	g.codeEnd = addr
+	g.enterProc(0)
+	g.stackTop = StackBase
+	g.heapAddr = HeapBase
+	return g, nil
+}
+
+// enterProc jumps to a procedure's entry and starts a block.
+func (g *Program) enterProc(i int) {
+	g.proc = i
+	g.pc = g.procStart[i]
+	g.newBlock()
+}
+
+// newBlock begins a basic block at the current pc.
+func (g *Program) newBlock() {
+	g.blockAddr = g.pc
+	g.blockLeft = geometric(g.rng, g.p.MeanBlockInstrs)
+}
+
+// Read returns the next functional reference.
+func (g *Program) Read() (trace.Ref, error) {
+	if len(g.pending) > 0 {
+		ref := g.pending[0]
+		g.pending = g.pending[1:]
+		return ref, nil
+	}
+	ref := g.instruction()
+	// Queue this instruction's operand references.
+	if g.rng.Float64() < g.p.ReadsPerInstr {
+		g.pending = append(g.pending, g.operand(trace.Read))
+	}
+	if g.rng.Float64() < g.p.WritesPerInstr {
+		g.pending = append(g.pending, g.operand(trace.Write))
+	}
+	return ref, nil
+}
+
+// instruction emits the next instruction fetch and advances control flow.
+func (g *Program) instruction() trace.Ref {
+	length := g.instrLen()
+	ref := trace.Ref{Addr: g.pc, Size: uint8(length), Kind: trace.IFetch}
+	g.pc += uint64(length)
+	g.blockLeft--
+	if g.pc >= g.procEnd[g.proc] {
+		// Fell off the end of the procedure: return or restart.
+		g.doReturn()
+		return ref
+	}
+	if g.blockLeft <= 0 {
+		g.blockExit()
+	}
+	return ref
+}
+
+// instrLen samples an aligned instruction length.
+func (g *Program) instrLen() int {
+	steps := (g.p.MaxInstrBytes-g.p.MinInstrBytes)/g.p.InstrAlign + 1
+	return g.p.MinInstrBytes + g.rng.Intn(steps)*g.p.InstrAlign
+}
+
+// blockExit picks the control transfer at a basic-block boundary.
+func (g *Program) blockExit() {
+	u := g.rng.Float64()
+	switch {
+	case g.loopLeft > 0:
+		g.loopLeft--
+		g.pc = g.blockAddr
+		g.blockLeft = geometric(g.rng, g.p.MeanBlockInstrs)
+	case u < g.p.LoopProb:
+		g.loopLeft = geometric(g.rng, g.p.MeanLoopIters) - 1
+		g.pc = g.blockAddr
+		g.blockLeft = geometric(g.rng, g.p.MeanBlockInstrs)
+	case u < g.p.LoopProb+g.p.CallProb && len(g.callStack) < 64:
+		g.doCall()
+	case u < g.p.LoopProb+g.p.CallProb+g.p.ReturnProb:
+		g.doReturn()
+	default:
+		g.newBlock() // fall through into the next block
+	}
+}
+
+// doCall pushes a frame and enters a callee biased toward low-numbered
+// (hot) procedures.
+func (g *Program) doCall() {
+	g.callStack = append(g.callStack, frame{retPC: g.pc, retProc: g.proc})
+	g.stackTop += uint64(g.p.StackFrameBytes)
+	// Zipf-ish bias: square a uniform variate toward 0.
+	u := g.rng.Float64()
+	callee := int(u * u * float64(len(g.procStart)))
+	if callee >= len(g.procStart) {
+		callee = len(g.procStart) - 1
+	}
+	g.enterProc(callee)
+}
+
+// doReturn pops a frame, or restarts at a fresh procedure when the stack is
+// empty (the program's top-level driver loop).
+func (g *Program) doReturn() {
+	if len(g.callStack) == 0 {
+		g.enterProc(g.rng.Intn(len(g.procStart)))
+		return
+	}
+	f := g.callStack[len(g.callStack)-1]
+	g.callStack = g.callStack[:len(g.callStack)-1]
+	if g.stackTop >= uint64(g.p.StackFrameBytes) {
+		g.stackTop -= uint64(g.p.StackFrameBytes)
+	}
+	g.proc = f.retProc
+	g.pc = f.retPC
+	if g.pc >= g.procEnd[g.proc] {
+		g.enterProc(g.rng.Intn(len(g.procStart)))
+		return
+	}
+	g.newBlock()
+}
+
+// operand produces one data reference: stack-local, global, or heap scan.
+func (g *Program) operand(kind trace.Kind) trace.Ref {
+	opb := uint64(g.p.OperandBytes)
+	u := g.rng.Float64()
+	switch {
+	case u < 0.4:
+		// Stack-relative access near the frame top.
+		off := uint64(g.rng.Intn(g.p.StackFrameBytes)) / opb * opb
+		return trace.Ref{Addr: g.stackTop + off, Size: uint8(opb), Kind: kind}
+	case u < 0.4+g.p.HeapScanFrac*0.6:
+		// Sequential heap walk.
+		ref := trace.Ref{Addr: g.heapAddr, Size: uint8(opb), Kind: kind}
+		g.heapAddr += opb
+		if g.heapAddr >= HeapBase+uint64(g.p.HeapLines)*LineBytes {
+			g.heapAddr = HeapBase
+		}
+		return ref
+	default:
+		line := g.globals.Sample(g.rng, g.p.GlobalK0, g.p.GlobalAlpha)
+		off := uint64(g.rng.Intn(LineBytes/g.p.OperandBytes)) * opb
+		return trace.Ref{Addr: DataBase + uint64(line)*LineBytes + off, Size: uint8(opb), Kind: kind}
+	}
+}
+
+var _ trace.Reader = (*Program)(nil)

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cacheeval/internal/trace"
+)
+
+func TestProgramPresetsValid(t *testing.T) {
+	for name, p := range map[string]ProgramParams{
+		"VAX": VAXProgram(), "Z8000": Z8000Program(),
+		"IBM370": IBM370Program(), "CDC6400": CDC6400Program(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+}
+
+func TestProgramParamsValidate(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*ProgramParams)
+	}{
+		{"instr range", func(p *ProgramParams) { p.MaxInstrBytes = 1 }},
+		{"min zero", func(p *ProgramParams) { p.MinInstrBytes = 0 }},
+		{"align", func(p *ProgramParams) { p.InstrAlign = 0 }},
+		{"align incompatible", func(p *ProgramParams) { p.InstrAlign = 4; p.MinInstrBytes = 2 }},
+		{"no procs", func(p *ProgramParams) { p.Procedures = 0 }},
+		{"tiny proc", func(p *ProgramParams) { p.MeanProcBytes = 1 }},
+		{"block len", func(p *ProgramParams) { p.MeanBlockInstrs = 0 }},
+		{"probs sum", func(p *ProgramParams) { p.LoopProb, p.CallProb, p.ReturnProb = 0.5, 0.4, 0.3 }},
+		{"neg prob", func(p *ProgramParams) { p.LoopProb = -0.1 }},
+		{"operand rate", func(p *ProgramParams) { p.ReadsPerInstr = 9 }},
+		{"operand size", func(p *ProgramParams) { p.OperandBytes = 3 }},
+		{"globals", func(p *ProgramParams) { p.GlobalLines = 0 }},
+		{"heap", func(p *ProgramParams) { p.HeapLines = 0 }},
+		{"stack frame", func(p *ProgramParams) { p.StackFrameBytes = 0 }},
+		{"global k0", func(p *ProgramParams) { p.GlobalK0 = 0 }},
+		{"heap frac", func(p *ProgramParams) { p.HeapScanFrac = 1.5 }},
+		{"loop iters", func(p *ProgramParams) { p.MeanLoopIters = 0 }},
+	}
+	for _, m := range mutations {
+		p := VAXProgram()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+		if _, err := NewProgram(p, 1); err == nil {
+			t.Errorf("%s: NewProgram must validate", m.name)
+		}
+	}
+}
+
+func TestProgramDeterminism(t *testing.T) {
+	read := func() []trace.Ref {
+		g, err := NewProgram(VAXProgram(), 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs, _ := trace.Collect(trace.NewLimitReader(g, 3000), 0)
+		return refs
+	}
+	a, b := read(), read()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("program stream not reproducible")
+		}
+	}
+}
+
+func TestProgramRefsWellFormed(t *testing.T) {
+	p := VAXProgram()
+	g, err := NewProgram(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawKind := map[trace.Kind]bool{}
+	for i := 0; i < 50000; i++ {
+		r, err := g.Read()
+		if err != nil {
+			t.Fatalf("Read error at %d: %v", i, err)
+		}
+		sawKind[r.Kind] = true
+		switch r.Kind {
+		case trace.IFetch:
+			if int(r.Size) < p.MinInstrBytes || int(r.Size) > p.MaxInstrBytes {
+				t.Fatalf("instruction length %d outside [%d,%d]", r.Size, p.MinInstrBytes, p.MaxInstrBytes)
+			}
+			if r.Addr < CodeBase || r.Addr >= StackBase {
+				t.Fatalf("ifetch at %#x outside code region", r.Addr)
+			}
+		case trace.Read, trace.Write:
+			if int(r.Size) != p.OperandBytes {
+				t.Fatalf("operand size %d", r.Size)
+			}
+			inGlobals := r.Addr >= DataBase && r.Addr < DataBase+uint64(p.GlobalLines)*LineBytes
+			inHeap := r.Addr >= HeapBase && r.Addr < HeapBase+uint64(p.HeapLines)*LineBytes
+			inStack := r.Addr >= StackBase && r.Addr < StackBase+64*uint64(p.StackFrameBytes)+uint64(p.StackFrameBytes)
+			if !inGlobals && !inHeap && !inStack {
+				t.Fatalf("data ref at %#x outside all regions", r.Addr)
+			}
+		}
+	}
+	for _, k := range []trace.Kind{trace.IFetch, trace.Read, trace.Write} {
+		if !sawKind[k] {
+			t.Errorf("no %v references generated", k)
+		}
+	}
+}
+
+func TestProgramMixRates(t *testing.T) {
+	p := VAXProgram()
+	g, _ := NewProgram(p, 9)
+	var instr, reads, writes float64
+	for i := 0; i < 100000; i++ {
+		r, _ := g.Read()
+		switch r.Kind {
+		case trace.IFetch:
+			instr++
+		case trace.Read:
+			reads++
+		case trace.Write:
+			writes++
+		}
+	}
+	if math.Abs(reads/instr-p.ReadsPerInstr) > 0.05 {
+		t.Errorf("reads/instr = %v, want %v", reads/instr, p.ReadsPerInstr)
+	}
+	if math.Abs(writes/instr-p.WritesPerInstr) > 0.05 {
+		t.Errorf("writes/instr = %v, want %v", writes/instr, p.WritesPerInstr)
+	}
+}
+
+func TestProgramThroughShaperLooksLikeAProgram(t *testing.T) {
+	// End-to-end: functional model -> memory interface -> Table-2 analyzer.
+	g, err := NewProgram(Z8000Program(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := trace.Analyze(trace.NewLimitReader(g, 50000), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.FracIFetch() < 0.3 || ch.FracIFetch() > 0.9 {
+		t.Errorf("functional ifetch frac = %v", ch.FracIFetch())
+	}
+	if ch.FracBranch() == 0 {
+		t.Error("a program with loops and calls must show branches")
+	}
+	if ch.ILines == 0 || ch.DLines == 0 {
+		t.Error("footprints must be non-empty")
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// lomax samples from the Lomax (shifted Pareto) distribution with scale k0
+// and shape alpha: P(D >= k) = (1 + k/k0)^(-alpha). It is the classic
+// heavy-tailed model for LRU stack distances; the tail weight alpha directly
+// shapes how fast a program's miss ratio falls with cache size, since for a
+// fully-associative LRU cache of L lines the steady-state miss ratio of a
+// stream with stack-distance distribution D is approximately P(D >= L).
+func lomax(rng *rand.Rand, k0, alpha float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	// Inverse CDF: k = k0 * (u^(-1/alpha) - 1).
+	return k0 * (math.Pow(u, -1/alpha) - 1)
+}
+
+// geometric samples a strictly positive run length with the given mean
+// (mean >= 1). It is the natural model for the number of sequential
+// references between taken branches.
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	// Inverse-CDF sampling of a geometric starting at 1.
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	n := int(math.Log(u)/math.Log(1-p)) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// lruStack is an explicit LRU stack over the line indices [0, n): element 0
+// is the most recently used. It supports sampling a line at a given stack
+// depth and promoting a line to the top, the two operations the generators
+// use to realize a target stack-distance distribution.
+//
+// The stack is pre-filled with all n lines in address order, so depth d
+// initially corresponds to line d; as the program runs, recency reorders it.
+type lruStack struct {
+	lines []uint32 // stack order, [0] = MRU
+	pos   []int32  // line -> index in lines
+}
+
+func newLRUStack(n int) *lruStack {
+	s := &lruStack{lines: make([]uint32, n), pos: make([]int32, n)}
+	for i := range s.lines {
+		s.lines[i] = uint32(i)
+		s.pos[i] = int32(i)
+	}
+	return s
+}
+
+// Len returns the footprint size in lines.
+func (s *lruStack) Len() int { return len(s.lines) }
+
+// AtDepth returns the line at stack depth d, clamped to the deepest entry.
+func (s *lruStack) AtDepth(d int) uint32 {
+	if d >= len(s.lines) {
+		d = len(s.lines) - 1
+	}
+	if d < 0 {
+		d = 0
+	}
+	return s.lines[d]
+}
+
+// Touch promotes line to the top of the stack.
+func (s *lruStack) Touch(line uint32) {
+	p := s.pos[line]
+	if p == 0 {
+		return
+	}
+	copy(s.lines[1:p+1], s.lines[:p])
+	s.lines[0] = line
+	for i := int32(0); i <= p; i++ {
+		s.pos[s.lines[i]] = i
+	}
+}
+
+// Sample draws a stack depth from Lomax(k0, alpha), returns the line found
+// there and promotes it. This single operation gives the reference stream a
+// stack-distance distribution matching the Lomax parameters.
+func (s *lruStack) Sample(rng *rand.Rand, k0, alpha float64) uint32 {
+	d := int(lomax(rng, k0, alpha))
+	line := s.AtDepth(d)
+	s.Touch(line)
+	return line
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLomaxTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const k0, alpha = 10.0, 1.5
+	n := 200000
+	countGE := func(samples []float64, k float64) float64 {
+		c := 0
+		for _, s := range samples {
+			if s >= k {
+				c++
+			}
+		}
+		return float64(c) / float64(len(samples))
+	}
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = lomax(rng, k0, alpha)
+	}
+	// P(D >= k) = (1 + k/k0)^(-alpha); check a few quantiles within 2%.
+	for _, k := range []float64{5, 10, 50, 200} {
+		want := math.Pow(1+k/k0, -alpha)
+		got := countGE(samples, k)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("P(D>=%v) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLomaxNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if lomax(rng, 5, 1.2) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, mean := range []float64{1, 2, 7.25, 24} {
+		var sum float64
+		n := 100000
+		for i := 0; i < n; i++ {
+			g := geometric(rng, mean)
+			if g < 1 {
+				t.Fatalf("geometric(%v) returned %d < 1", mean, g)
+			}
+			sum += float64(g)
+		}
+		got := sum / float64(n)
+		// The discretized geometric is within ~10% of the requested mean.
+		if mean > 1 && math.Abs(got-mean)/mean > 0.1 {
+			t.Errorf("geometric mean for %v = %v", mean, got)
+		}
+		if mean <= 1 && got != 1 {
+			t.Errorf("mean <= 1 must give constant 1, got %v", got)
+		}
+	}
+}
+
+func TestLRUStackBasics(t *testing.T) {
+	s := newLRUStack(5)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Pre-filled in address order.
+	for d := 0; d < 5; d++ {
+		if got := s.AtDepth(d); got != uint32(d) {
+			t.Fatalf("AtDepth(%d) = %d", d, got)
+		}
+	}
+	s.Touch(3)
+	if s.AtDepth(0) != 3 {
+		t.Fatalf("after Touch(3), top = %d", s.AtDepth(0))
+	}
+	// The rest shift down preserving order: 0,1,2,4.
+	want := []uint32{3, 0, 1, 2, 4}
+	for d, w := range want {
+		if got := s.AtDepth(d); got != w {
+			t.Fatalf("depth %d = %d, want %d", d, got, w)
+		}
+	}
+	// Touching the top is a no-op.
+	s.Touch(3)
+	if s.AtDepth(0) != 3 || s.AtDepth(1) != 0 {
+		t.Fatal("touching MRU must not reorder")
+	}
+}
+
+func TestLRUStackClamps(t *testing.T) {
+	s := newLRUStack(3)
+	if s.AtDepth(99) != s.AtDepth(2) {
+		t.Error("deep AtDepth must clamp to the deepest entry")
+	}
+	if s.AtDepth(-1) != s.AtDepth(0) {
+		t.Error("negative AtDepth must clamp to the top")
+	}
+}
+
+// TestLRUStackInvariant checks pos[] stays the exact inverse of lines[]
+// under arbitrary touch sequences.
+func TestLRUStackInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		s := newLRUStack(n)
+		for i := 0; i < 500; i++ {
+			if rng.Intn(2) == 0 {
+				s.Touch(uint32(rng.Intn(n)))
+			} else {
+				s.Sample(rng, 3, 1.5)
+			}
+		}
+		seen := make(map[uint32]bool, n)
+		for i, line := range s.lines {
+			if int(line) >= n || seen[line] {
+				return false
+			}
+			seen[line] = true
+			if s.pos[line] != int32(i) {
+				return false
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUStackSamplePromotes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := newLRUStack(100)
+	line := s.Sample(rng, 10, 1.5)
+	if s.AtDepth(0) != line {
+		t.Fatal("Sample must promote the chosen line")
+	}
+}
