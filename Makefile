@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench repro examples fmt clean
+.PHONY: all ci build vet fmt-check test test-short test-race bench repro serve examples fmt clean
 
-all: build vet test
+# `all` is `ci` plus the full (non-short) test suite; vet/gofmt run once via
+# the ci target rather than being listed twice.
+all: ci test
+
+# ci mirrors .github/workflows/ci.yml locally: build, vet, gofmt check,
+# short tests, and short tests under the race detector.
+ci: build vet fmt-check test-short test-race
 
 build:
 	$(GO) build ./...
@@ -12,11 +18,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -short ./...
 
 # One benchmark per paper artifact plus the microbenchmarks (reduced scale).
 bench:
@@ -25,6 +39,10 @@ bench:
 # Regenerate every table and figure at the paper's run lengths (~1 min).
 repro:
 	$(GO) run ./cmd/paperrepro
+
+# Run the evaluation service on :8080.
+serve:
+	$(GO) run ./cmd/cacheserved
 
 # Run all example programs.
 examples:

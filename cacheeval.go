@@ -25,6 +25,8 @@
 package cacheeval
 
 import (
+	"context"
+
 	"cacheeval/internal/busmodel"
 	"cacheeval/internal/cache"
 	"cacheeval/internal/core"
@@ -215,6 +217,12 @@ func Evaluate(design SystemConfig, mix Mix, refLimit int) (Report, error) {
 	return core.Evaluate(design, mix, refLimit)
 }
 
+// EvaluateContext is Evaluate with cancellation: the simulation aborts
+// shortly after ctx is done with an error wrapping ctx.Err().
+func EvaluateContext(ctx context.Context, design SystemConfig, mix Mix, refLimit int) (Report, error) {
+	return core.EvaluateContext(ctx, design, mix, refLimit)
+}
+
 // Recommend sweeps cache sizes and picks the best performance per cost.
 func Recommend(mix Mix, sizes []int, cm CostModel, refLimit int) ([]Candidate, int, error) {
 	return core.Recommend(mix, sizes, cm, refLimit)
@@ -246,6 +254,12 @@ func Table1(o ExperimentOptions) (*Table1Result, error) { return experiments.Tab
 // Sweep regenerates the master dataset behind Table 3, Figures 3-10 and
 // Table 4.
 func Sweep(o ExperimentOptions) (*SweepResult, error) { return experiments.Sweep(o) }
+
+// SweepContext is Sweep with cancellation: the grid aborts shortly after
+// ctx is done with an error wrapping ctx.Err().
+func SweepContext(ctx context.Context, o ExperimentOptions) (*SweepResult, error) {
+	return experiments.SweepContext(ctx, o)
+}
 
 // Analyze computes Table 2-style characteristics of a reference stream.
 func Analyze(r Reader, lineSize, max int) (Characteristics, error) {

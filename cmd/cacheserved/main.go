@@ -1,0 +1,104 @@
+// Command cacheserved serves the cache-evaluation engine over HTTP: a
+// long-lived process that runs simulations on a bounded worker pool,
+// memoizes results, dedupes concurrent identical requests, honours
+// per-request deadlines, and drains gracefully on SIGTERM.
+//
+//	cacheserved -addr :8080
+//	curl -s localhost:8080/v1/mixes | head
+//	curl -s -X POST localhost:8080/v1/evaluate \
+//	    -d '{"mix":"FGO1","ref_limit":100000}'
+//
+// See the package comment of internal/server for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"cacheeval/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cacheserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains; factored out of main for
+// testing. The bound address is printed to stdout (useful with ":0").
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cacheserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	memo := fs.Int("memo", 256, "memoized results to keep (negative disables)")
+	maxConc := fs.Int("max-concurrent", 0, "simulations running at once (0 = GOMAXPROCS)")
+	simWorkers := fs.Int("sim-workers", 1, "worker goroutines inside each sweep request")
+	timeout := fs.Duration("timeout", 0, "default per-request deadline (0 = none)")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown drain budget")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		MaxBodyBytes:   *maxBody,
+		MemoEntries:    *memo,
+		MaxConcurrent:  *maxConc,
+		SimWorkers:     *simWorkers,
+		DefaultTimeout: *timeout,
+	})
+	publishOnce(srv)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "cacheserved: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight simulations finish
+	// within the grace budget, then cancel whatever is left.
+	fmt.Fprintln(stdout, "cacheserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	err = hs.Shutdown(drainCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(stdout, "cacheserved: stopped")
+	return nil
+}
+
+// publishOnce registers the process-wide expvar name, which can be bound
+// only once even if run is invoked repeatedly (as tests do).
+var publishGuard sync.Once
+
+func publishOnce(srv *server.Server) {
+	publishGuard.Do(func() { expvar.Publish("cacheserved", srv.ExpvarFunc()) })
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run writes from its own
+// goroutine while the test polls.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-grace", "5s"}, &out)
+	}()
+
+	// Wait for the bound address to appear on stdout.
+	addrRE := regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never reported its address; output: %q", out.String())
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post("http://"+addr+"/v1/evaluate", "application/json",
+		strings.NewReader(`{"mix":"FGO1","ref_limit":5000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"report"`) {
+		t.Fatalf("evaluate: %d %s", resp.StatusCode, body)
+	}
+
+	// Cancellation (standing in for SIGTERM) must drain and return nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+	if !strings.Contains(out.String(), "stopped") {
+		t.Errorf("missing shutdown log; output: %q", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}, &out); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

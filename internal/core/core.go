@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -54,6 +55,13 @@ type Report struct {
 // Evaluate runs the workload mix through the design and reports the
 // paper's figures of merit. A non-positive refLimit runs the mix in full.
 func Evaluate(design cache.SystemConfig, mix workload.Mix, refLimit int) (Report, error) {
+	return EvaluateContext(context.Background(), design, mix, refLimit)
+}
+
+// EvaluateContext is Evaluate with cancellation: the simulation aborts
+// shortly after ctx is done, returning an error wrapping ctx.Err() (check
+// with errors.Is against context.Canceled or context.DeadlineExceeded).
+func EvaluateContext(ctx context.Context, design cache.SystemConfig, mix workload.Mix, refLimit int) (Report, error) {
 	rd, err := mix.Open()
 	if err != nil {
 		return Report{}, err
@@ -61,6 +69,7 @@ func Evaluate(design cache.SystemConfig, mix workload.Mix, refLimit int) (Report
 	if refLimit > 0 {
 		rd = trace.NewLimitReader(rd, refLimit)
 	}
+	rd = trace.NewContextReader(ctx, rd)
 	sys, err := cache.NewSystem(design)
 	if err != nil {
 		return Report{}, err

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,8 +28,14 @@ type Options struct {
 	// RefLimit caps the references taken from each trace; 0 uses each
 	// trace's paper run length. Tests use small limits.
 	RefLimit int
-	// Workers bounds simulation parallelism; default GOMAXPROCS. Results
-	// are bit-identical regardless of the worker count.
+	// Workers bounds simulation parallelism. Zero or negative selects
+	// GOMAXPROCS; values larger than the number of independent jobs in a
+	// given experiment are clamped down to the job count by each driver
+	// (see forEach), so over-provisioning never spawns idle goroutines.
+	// Workers=1 runs every job sequentially in index order on the calling
+	// goroutine. Results are bit-identical regardless of the worker count:
+	// each job writes only its own slot, so scheduling order never shows
+	// through in the output.
 	Workers int
 }
 
@@ -77,6 +84,12 @@ func (o Options) collectSpec(s workload.Spec) ([]trace.Ref, error) {
 // collectMix materializes a mix's interleaved stream. RefLimit applies per
 // member, preserving the round-robin structure at reduced scale.
 func (o Options) collectMix(m workload.Mix) ([]trace.Ref, error) {
+	return o.collectMixCtx(context.Background(), m)
+}
+
+// collectMixCtx is collectMix with cancellation; synthesizing a long trace
+// is itself slow enough to need a context check.
+func (o Options) collectMixCtx(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
 	if o.RefLimit > 0 {
 		limited := m
 		limited.Specs = make([]workload.Spec, len(m.Specs))
@@ -90,17 +103,29 @@ func (o Options) collectMix(m workload.Mix) ([]trace.Ref, error) {
 	if err != nil {
 		return nil, err
 	}
-	return trace.Collect(r, 0)
+	return trace.Collect(trace.NewContextReader(ctx, r), 0)
 }
 
 // forEach runs fn(i) for i in [0, n) on up to workers goroutines and
 // returns the first error (by lowest index) if any failed.
 func forEach(workers, n int, fn func(i int) error) error {
+	return forEachCtx(context.Background(), workers, n, fn)
+}
+
+// forEachCtx is forEach with cancellation: once ctx is done no further
+// indices are dispatched, in-flight fn calls are left to observe ctx
+// themselves, and ctx.Err() is reported unless an fn error at a lower index
+// takes precedence. All worker goroutines have exited by the time it
+// returns.
+func forEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -119,8 +144,14 @@ func forEach(workers, n int, fn func(i int) error) error {
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -129,7 +160,7 @@ func forEach(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // fmtMiss formats a miss ratio for tables.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cacheeval/internal/cache"
@@ -41,20 +42,34 @@ type SweepResult struct {
 // workload units plus the M68000 assortment (which the prefetch figures
 // include, with its 15,000-reference quantum).
 func Sweep(o Options) (*SweepResult, error) {
+	return SweepContext(context.Background(), o)
+}
+
+// SweepContext is Sweep with cancellation: the grid aborts shortly after
+// ctx is done, returning an error wrapping ctx.Err().
+func SweepContext(ctx context.Context, o Options) (*SweepResult, error) {
 	o = o.withDefaults()
 	mixes := append(workload.StandardMixes(), workload.M68000Mix())
-	return SweepMixes(o, mixes)
+	return SweepMixesContext(ctx, o, mixes)
 }
 
 // SweepMixes runs the sweep grid over a caller-chosen set of mixes.
 func SweepMixes(o Options, mixes []workload.Mix) (*SweepResult, error) {
+	return SweepMixesContext(context.Background(), o, mixes)
+}
+
+// SweepMixesContext is SweepMixes with cancellation. Cancellation is
+// honoured both between grid cells (no new cell starts once ctx is done)
+// and inside one (each simulation's reference stream is context-checked),
+// so even a single-cell sweep over a long trace aborts promptly.
+func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*SweepResult, error) {
 	o = o.withDefaults()
 	res := &SweepResult{Sizes: o.Sizes, Mixes: mixes, opts: o}
 	// Materialize each mix's reference stream once; the grid re-reads it
 	// from memory for every (size, organization, fetch-policy) cell.
 	streams := make([][]trace.Ref, len(mixes))
-	err := forEach(o.Workers, len(mixes), func(i int) error {
-		refs, err := o.collectMix(mixes[i])
+	err := forEachCtx(ctx, o.Workers, len(mixes), func(i int) error {
+		refs, err := o.collectMixCtx(ctx, mixes[i])
 		if err != nil {
 			return fmt.Errorf("sweep %s: %w", mixes[i].Name, err)
 		}
@@ -75,9 +90,9 @@ func SweepMixes(o Options, mixes []workload.Mix) (*SweepResult, error) {
 			jobs = append(jobs, job{mi, si})
 		}
 	}
-	err = forEach(o.Workers, len(jobs), func(j int) error {
+	err = forEachCtx(ctx, o.Workers, len(jobs), func(j int) error {
 		mi, si := jobs[j].mi, jobs[j].si
-		cell, err := runCell(o, mixes[mi], streams[mi], o.Sizes[si])
+		cell, err := runCell(ctx, o, mixes[mi], streams[mi], o.Sizes[si])
 		if err != nil {
 			return fmt.Errorf("sweep %s @%d: %w", mixes[mi].Name, o.Sizes[si], err)
 		}
@@ -91,7 +106,7 @@ func SweepMixes(o Options, mixes []workload.Mix) (*SweepResult, error) {
 }
 
 // runCell executes the four simulations of one grid cell.
-func runCell(o Options, mix workload.Mix, refs []trace.Ref, size int) (SweepCell, error) {
+func runCell(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, size int) (SweepCell, error) {
 	var cell SweepCell
 	base := cache.Config{Size: size, LineSize: o.LineSize} // fully assoc, LRU, copy-back
 	for _, variant := range []struct {
@@ -117,7 +132,7 @@ func runCell(o Options, mix workload.Mix, refs []trace.Ref, size int) (SweepCell
 		if err != nil {
 			return cell, err
 		}
-		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+		if _, err := sys.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
 			return cell, err
 		}
 		variant.out.Ref = sys.RefStats()

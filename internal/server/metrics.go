@@ -1,0 +1,84 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Metrics are the server's operational counters, held as expvar vars so the
+// embedding process can also expvar.Publish them on /debug/vars. They are
+// per-Server (not package globals) so independent servers — and tests — do
+// not collide in the process-wide expvar registry.
+type Metrics struct {
+	// Requests counts every API request received, including rejected ones.
+	Requests expvar.Int
+	// MemoHits / MemoMisses count completed simulation requests answered
+	// from (respectively missing) the LRU result cache.
+	MemoHits   expvar.Int
+	MemoMisses expvar.Int
+	// FlightJoins counts requests that attached to an identical in-progress
+	// computation instead of starting their own (singleflight dedup).
+	FlightJoins expvar.Int
+	// InFlight is the number of simulations currently holding a worker slot.
+	InFlight expvar.Int
+	// SimRuns counts simulations actually executed (memoized and deduped
+	// requests do not run).
+	SimRuns expvar.Int
+	// SimSeconds accumulates wall-clock seconds spent inside simulations.
+	SimSeconds expvar.Float
+	// Timeouts counts requests that ended with a deadline or cancellation.
+	Timeouts expvar.Int
+	// Errors counts requests answered with a non-2xx status.
+	Errors expvar.Int
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters, shaped for JSON.
+type MetricsSnapshot struct {
+	Requests    int64   `json:"requests"`
+	MemoHits    int64   `json:"memo_hits"`
+	MemoMisses  int64   `json:"memo_misses"`
+	FlightJoins int64   `json:"flight_joins"`
+	InFlight    int64   `json:"in_flight"`
+	SimRuns     int64   `json:"sim_runs"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	Timeouts    int64   `json:"timeouts"`
+	Errors      int64   `json:"errors"`
+	MemoEntries int     `json:"memo_entries"`
+}
+
+// Snapshot copies the current counter values. The memo entry count is read
+// under the server's lock by the caller (see Server.snapshot).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:    m.Requests.Value(),
+		MemoHits:    m.MemoHits.Value(),
+		MemoMisses:  m.MemoMisses.Value(),
+		FlightJoins: m.FlightJoins.Value(),
+		InFlight:    m.InFlight.Value(),
+		SimRuns:     m.SimRuns.Value(),
+		SimSeconds:  m.SimSeconds.Value(),
+		Timeouts:    m.Timeouts.Value(),
+		Errors:      m.Errors.Value(),
+	}
+}
+
+// snapshot extends the counter snapshot with lock-guarded state.
+func (s *Server) snapshot() MetricsSnapshot {
+	snap := s.metrics.Snapshot()
+	s.mu.Lock()
+	snap.MemoEntries = s.memo.len()
+	s.mu.Unlock()
+	return snap
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// ExpvarFunc returns an expvar.Func suitable for
+// expvar.Publish("cacheserved", srv.ExpvarFunc()), for processes that also
+// serve the standard /debug/vars endpoint.
+func (s *Server) ExpvarFunc() expvar.Func {
+	return func() any { return s.snapshot() }
+}

@@ -1,0 +1,491 @@
+// Package server exposes the cache-evaluation engine as an HTTP JSON
+// service: the batch drivers under internal/experiments become a long-lived
+// process that serves, dedupes and cancels simulation work.
+//
+//	POST /v1/evaluate  — run one cache design against one workload
+//	POST /v1/sweep     — run the §3.3-§3.5 grid over chosen mixes and sizes
+//	GET  /v1/mixes     — list the workloads the server can simulate
+//	GET  /healthz      — liveness
+//	GET  /metrics      — operational counters (expvar-backed JSON)
+//
+// Three properties make it serviceable under load:
+//
+//   - a bounded worker pool: at most MaxConcurrent simulations run at once,
+//     the rest queue;
+//   - memoization: results are cached in an LRU keyed by a canonical hash
+//     of (design, workload, options), and concurrent identical requests
+//     share one computation (singleflight);
+//   - cancellation: every request carries a deadline; a simulation whose
+//     last waiter has gone is cancelled mid-run via context propagation
+//     through the experiment layer.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/core"
+	"cacheeval/internal/experiments"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// Config tunes a Server. The zero value is production-ready.
+type Config struct {
+	// MaxBodyBytes bounds request bodies; default 1 MiB.
+	MaxBodyBytes int64
+	// MemoEntries bounds the LRU result cache; default 256 entries.
+	// Negative disables memoization (singleflight dedup still applies).
+	MemoEntries int
+	// MaxConcurrent bounds simultaneously running simulations; default
+	// GOMAXPROCS. Queued work still honours its deadline while waiting.
+	MaxConcurrent int
+	// SimWorkers is the intra-sweep parallelism (experiments.Options.Workers)
+	// of each sweep request; default 1 so one sweep cannot monopolize the
+	// pool — concurrency across requests comes from MaxConcurrent.
+	SimWorkers int
+	// DefaultTimeout applies to requests that set no timeout_ms; 0 means
+	// no server-imposed deadline.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MemoEntries == 0 {
+		c.MemoEntries = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = 1
+	}
+	return c
+}
+
+// Server is the evaluation service. Create with New, mount via Handler,
+// release background resources with Close.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *Metrics
+
+	mu      sync.Mutex
+	memo    *memoLRU
+	flights map[string]*flight
+
+	workers chan struct{}
+
+	baseCtx   context.Context
+	closeBase context.CancelFunc
+
+	catalog  map[string]workload.Mix
+	mixInfos []MixInfo
+}
+
+// MixInfo describes one servable workload.
+type MixInfo struct {
+	Name      string `json:"name"`
+	Programs  int    `json:"programs"`
+	Quantum   int    `json:"quantum"`
+	TotalRefs int    `json:"total_refs"`
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		metrics:   &Metrics{},
+		memo:      newMemoLRU(cfg.MemoEntries),
+		flights:   make(map[string]*flight),
+		workers:   make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:   base,
+		closeBase: cancel,
+	}
+	s.buildCatalog()
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/mixes", s.handleMixes)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Close cancels every in-flight computation. Call after draining the HTTP
+// listener (http.Server.Shutdown) so active requests finish first.
+func (s *Server) Close() { s.closeBase() }
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Metrics exposes the server's counters, e.g. for expvar publication.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// buildCatalog indexes every workload the server can simulate by name: the
+// corpus traces (and their LISPC/VAXIMA section expansions) as single-program
+// mixes with their architecture's purge quantum, plus the paper's standard
+// multiprogramming mixes.
+func (s *Server) buildCatalog() {
+	s.catalog = make(map[string]workload.Mix)
+	add := func(m workload.Mix) {
+		if _, ok := s.catalog[m.Name]; ok {
+			return
+		}
+		s.catalog[m.Name] = m
+		s.mixInfos = append(s.mixInfos, MixInfo{
+			Name: m.Name, Programs: len(m.Specs),
+			Quantum: m.Quantum, TotalRefs: m.TotalRefs(),
+		})
+	}
+	asMix := func(spec workload.Spec) workload.Mix {
+		return workload.Mix{
+			Name:    spec.Name,
+			Specs:   []workload.Spec{spec},
+			Quantum: workload.Archs()[spec.Arch].PurgeInterval,
+		}
+	}
+	for _, spec := range workload.All() {
+		add(asMix(spec))
+	}
+	for _, spec := range workload.Units() {
+		add(asMix(spec))
+	}
+	for _, m := range workload.StandardMixes() {
+		add(m)
+	}
+	add(workload.M68000Mix())
+	sort.Slice(s.mixInfos, func(i, j int) bool { return s.mixInfos[i].Name < s.mixInfos[j].Name })
+}
+
+// EvaluateRequest is the POST /v1/evaluate body. Design uses the library's
+// SystemConfig field names verbatim (e.g. {"Unified":{"Size":16384,
+// "LineSize":16},"PurgeInterval":20000}); an omitted design defaults to a
+// unified 16K cache with 16-byte lines purged on the mix's quantum.
+type EvaluateRequest struct {
+	Design    cache.SystemConfig `json:"design"`
+	Mix       string             `json:"mix"`
+	RefLimit  int                `json:"ref_limit"`
+	TimeoutMS int                `json:"timeout_ms"`
+}
+
+// EvaluateResponse is the POST /v1/evaluate reply.
+type EvaluateResponse struct {
+	Report core.Report `json:"report"`
+	// Cached reports a memoization hit; Shared reports singleflight dedup
+	// against a concurrent identical request.
+	Cached    bool    `json:"cached"`
+	Shared    bool    `json:"shared"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	mix, ok := s.catalog[req.Mix]
+	if !ok {
+		s.error(w, http.StatusBadRequest, "unknown mix "+strconvQuote(req.Mix)+"; see GET /v1/mixes")
+		return
+	}
+	if req.RefLimit < 0 {
+		s.error(w, http.StatusBadRequest, "ref_limit must be >= 0")
+		return
+	}
+	design := req.Design
+	if design == (cache.SystemConfig{}) {
+		design = cache.SystemConfig{
+			Unified:       cache.Config{Size: 16384, LineSize: 16},
+			PurgeInterval: mix.Quantum,
+		}
+	}
+	if _, err := cache.NewSystem(design); err != nil {
+		s.error(w, http.StatusBadRequest, "invalid design: "+err.Error())
+		return
+	}
+	key, err := requestKey("evaluate", struct {
+		Design   cache.SystemConfig
+		Mix      string
+		RefLimit int
+	}{design, mix.Name, req.RefLimit})
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
+		return s.timedSim(func() (any, error) {
+			return core.EvaluateContext(fctx, design, mix, req.RefLimit)
+		})
+	})
+	if err != nil {
+		s.simError(w, err)
+		return
+	}
+	s.countOutcome(hit, shared)
+	writeJSON(w, http.StatusOK, EvaluateResponse{
+		Report: val.(core.Report), Cached: hit, Shared: shared,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// SweepRequest is the POST /v1/sweep body. Empty mixes selects the paper's
+// seventeen standard workload units; empty sizes selects the paper's
+// 32B-64KB grid.
+type SweepRequest struct {
+	Mixes     []string `json:"mixes"`
+	Sizes     []int    `json:"sizes"`
+	LineSize  int      `json:"line_size"`
+	RefLimit  int      `json:"ref_limit"`
+	TimeoutMS int      `json:"timeout_ms"`
+}
+
+// VariantOut summarizes one of a sweep cell's four simulations.
+type VariantOut struct {
+	MissRatio    float64 `json:"miss_ratio"`
+	InstrMiss    float64 `json:"instr_miss"`
+	DataMiss     float64 `json:"data_miss"`
+	TrafficBytes uint64  `json:"traffic_bytes"`
+}
+
+// SweepCellOut summarizes one (mix, size) grid cell.
+type SweepCellOut struct {
+	SplitDemand     VariantOut `json:"split_demand"`
+	SplitPrefetch   VariantOut `json:"split_prefetch"`
+	UnifiedDemand   VariantOut `json:"unified_demand"`
+	UnifiedPrefetch VariantOut `json:"unified_prefetch"`
+}
+
+// sweepPayload is the memoized portion of a sweep response.
+type sweepPayload struct {
+	Sizes []int            `json:"sizes"`
+	Mixes []string         `json:"mixes"`
+	Cells [][]SweepCellOut `json:"cells"`
+}
+
+// SweepResponse is the POST /v1/sweep reply; Cells is indexed [mix][size].
+type SweepResponse struct {
+	sweepPayload
+	Cached    bool    `json:"cached"`
+	Shared    bool    `json:"shared"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var mixes []workload.Mix
+	if len(req.Mixes) == 0 {
+		mixes = append(workload.StandardMixes(), workload.M68000Mix())
+		for _, m := range mixes {
+			req.Mixes = append(req.Mixes, m.Name)
+		}
+	} else {
+		for _, name := range req.Mixes {
+			m, ok := s.catalog[name]
+			if !ok {
+				s.error(w, http.StatusBadRequest, "unknown mix "+strconvQuote(name)+"; see GET /v1/mixes")
+				return
+			}
+			mixes = append(mixes, m)
+		}
+	}
+	for _, size := range req.Sizes {
+		if size <= 0 {
+			s.error(w, http.StatusBadRequest, "sizes must be positive")
+			return
+		}
+	}
+	if req.RefLimit < 0 || req.LineSize < 0 {
+		s.error(w, http.StatusBadRequest, "ref_limit and line_size must be >= 0")
+		return
+	}
+	opts := experiments.Options{
+		Sizes: req.Sizes, LineSize: req.LineSize,
+		RefLimit: req.RefLimit, Workers: s.cfg.SimWorkers,
+	}
+	key, err := requestKey("sweep", struct {
+		Mixes    []string
+		Sizes    []int
+		LineSize int
+		RefLimit int
+	}{req.Mixes, req.Sizes, req.LineSize, req.RefLimit})
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
+		return s.timedSim(func() (any, error) {
+			res, err := experiments.SweepMixesContext(fctx, opts, mixes)
+			if err != nil {
+				return nil, err
+			}
+			return summarizeSweep(res), nil
+		})
+	})
+	if err != nil {
+		s.simError(w, err)
+		return
+	}
+	s.countOutcome(hit, shared)
+	writeJSON(w, http.StatusOK, SweepResponse{
+		sweepPayload: val.(sweepPayload), Cached: hit, Shared: shared,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// summarizeSweep flattens a SweepResult into its JSON summary.
+func summarizeSweep(res *experiments.SweepResult) sweepPayload {
+	out := sweepPayload{Sizes: res.Sizes}
+	for _, m := range res.Mixes {
+		out.Mixes = append(out.Mixes, m.Name)
+	}
+	variant := func(o experiments.SimOut, split bool) VariantOut {
+		traffic := o.U.MemoryTraffic()
+		if split {
+			traffic = o.I.MemoryTraffic() + o.D.MemoryTraffic()
+		}
+		return VariantOut{
+			MissRatio:    o.Ref.MissRatio(),
+			InstrMiss:    o.Ref.KindMissRatio(trace.IFetch),
+			DataMiss:     o.Ref.DataMissRatio(),
+			TrafficBytes: traffic,
+		}
+	}
+	out.Cells = make([][]SweepCellOut, len(res.Cells))
+	for mi, row := range res.Cells {
+		out.Cells[mi] = make([]SweepCellOut, len(row))
+		for si, cell := range row {
+			out.Cells[mi][si] = SweepCellOut{
+				SplitDemand:     variant(cell.SplitDemand, true),
+				SplitPrefetch:   variant(cell.SplitPrefetch, true),
+				UnifiedDemand:   variant(cell.UnifiedDemand, false),
+				UnifiedPrefetch: variant(cell.UnifiedPrefetch, false),
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleMixes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Mixes []MixInfo `json:"mixes"`
+	}{s.mixInfos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Mixes  int    `json:"mixes"`
+	}{"ok", len(s.mixInfos)})
+}
+
+// requestCtx derives the request's working context: the client disconnect
+// context plus the request's (or server's default) deadline.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// timedSim wraps one simulation execution with the run counters.
+func (s *Server) timedSim(fn func() (any, error)) (any, error) {
+	s.metrics.SimRuns.Add(1)
+	t0 := time.Now()
+	defer func() { s.metrics.SimSeconds.Add(time.Since(t0).Seconds()) }()
+	return fn()
+}
+
+// countOutcome updates the memoization counters for a successful request.
+func (s *Server) countOutcome(hit, shared bool) {
+	if hit {
+		s.metrics.MemoHits.Add(1)
+		return
+	}
+	s.metrics.MemoMisses.Add(1)
+	if shared {
+		s.metrics.FlightJoins.Add(1)
+	}
+}
+
+// decode parses a JSON request body under the size limit, writing the error
+// response itself when it reports false.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.error(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+			return false
+		}
+		s.error(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// simError maps a simulation failure to a status: deadline/cancellation
+// becomes 504, anything else 500 (designs and mixes were validated before
+// the simulation started).
+func (s *Server) simError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.metrics.Timeouts.Add(1)
+		s.error(w, http.StatusGatewayTimeout, "simulation deadline exceeded")
+		return
+	}
+	s.error(w, http.StatusInternalServerError, "simulation failed: "+err.Error())
+}
+
+// error writes a JSON error response and counts it.
+func (s *Server) error(w http.ResponseWriter, code int, msg string) {
+	s.metrics.Errors.Add(1)
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// strconvQuote quotes a user-supplied name for error messages.
+func strconvQuote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer builds a server + httptest listener and tears both down.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// post sends a JSON body and returns the status code and response bytes.
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestHandlerErrors(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxBodyBytes: 512})
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"bad json", "POST", "/v1/evaluate", "{not json", http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/evaluate", `{"mixx":"FGO1"}`, http.StatusBadRequest},
+		{"unknown mix", "POST", "/v1/evaluate", `{"mix":"NOPE"}`, http.StatusBadRequest},
+		{"negative ref limit", "POST", "/v1/evaluate", `{"mix":"FGO1","ref_limit":-1}`, http.StatusBadRequest},
+		{"invalid design", "POST", "/v1/evaluate",
+			`{"mix":"FGO1","design":{"Unified":{"Size":12345,"LineSize":16}}}`, http.StatusBadRequest},
+		{"oversized body", "POST", "/v1/evaluate",
+			`{"mix":"` + strings.Repeat("x", 600) + `"}`, http.StatusRequestEntityTooLarge},
+		{"sweep unknown mix", "POST", "/v1/sweep", `{"mixes":["NOPE"]}`, http.StatusBadRequest},
+		{"sweep bad size", "POST", "/v1/sweep", `{"mixes":["FGO1"],"sizes":[-4]}`, http.StatusBadRequest},
+		{"wrong method evaluate", "GET", "/v1/evaluate", "", http.StatusMethodNotAllowed},
+		{"wrong method mixes", "POST", "/v1/mixes", "", http.StatusMethodNotAllowed},
+		{"unknown path", "GET", "/v1/nope", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, hs.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s: got status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	body := `{"mix":"FGO1","ref_limit":20000}`
+
+	code, b := post(t, hs.URL+"/v1/evaluate", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var first EvaluateResponse
+	if err := json.Unmarshal(b, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first request reported cached")
+	}
+	if first.Report.Refs != 20000 {
+		t.Errorf("got %d refs, want 20000", first.Report.Refs)
+	}
+	if first.Report.MissRatio <= 0 || first.Report.MissRatio >= 1 {
+		t.Errorf("implausible miss ratio %v", first.Report.MissRatio)
+	}
+
+	// The identical request again must be a memoization hit with the same
+	// report, visible in /metrics.
+	code, b = post(t, hs.URL+"/v1/evaluate", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var second EvaluateResponse
+	if err := json.Unmarshal(b, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("identical request was not memoized")
+	}
+	if second.Report != first.Report {
+		t.Errorf("memoized report differs:\n%+v\n%+v", second.Report, first.Report)
+	}
+	snap := s.snapshot()
+	if snap.MemoHits != 1 || snap.MemoMisses != 1 || snap.SimRuns != 1 {
+		t.Errorf("metrics: %+v, want 1 hit / 1 miss / 1 run", snap)
+	}
+	if snap.SimSeconds <= 0 {
+		t.Errorf("sim_seconds not accounted: %+v", snap)
+	}
+
+	// A different ref_limit is a different key.
+	code, b = post(t, hs.URL+"/v1/evaluate", `{"mix":"FGO1","ref_limit":10000}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var third EvaluateResponse
+	if err := json.Unmarshal(b, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Error("different request reported cached")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxConcurrent: 2})
+	const clients = 8
+	body := `{"mix":"VSPICE","ref_limit":200000}`
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	shared := make([]bool, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(hs.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			var er EvaluateResponse
+			if json.NewDecoder(resp.Body).Decode(&er) == nil {
+				shared[i] = er.Shared || er.Cached
+			}
+		}(i)
+	}
+	wg.Wait()
+	joined := 0
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, code)
+		}
+		if shared[i] {
+			joined++
+		}
+	}
+	snap := s.snapshot()
+	if snap.SimRuns != 1 {
+		t.Errorf("%d simulations ran for %d identical concurrent requests, want 1 (metrics %+v)",
+			snap.SimRuns, clients, snap)
+	}
+	if snap.FlightJoins+snap.MemoHits != clients-1 {
+		t.Errorf("joins+hits = %d, want %d (metrics %+v)",
+			snap.FlightJoins+snap.MemoHits, clients-1, snap)
+	}
+	if joined != clients-1 {
+		t.Errorf("%d clients reported shared/cached, want %d", joined, clients-1)
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	body := `{"mixes":["FGO1","CGO1"],"sizes":[1024,4096],"ref_limit":20000}`
+	code, b := post(t, hs.URL+"/v1/sweep", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var res SweepResponse
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || len(res.Cells[0]) != 2 {
+		t.Fatalf("cells shape %dx%d, want 2x2", len(res.Cells), len(res.Cells[0]))
+	}
+	for mi, row := range res.Cells {
+		for si, cell := range row {
+			if cell.UnifiedDemand.MissRatio <= 0 {
+				t.Errorf("cell[%d][%d] empty: %+v", mi, si, cell)
+			}
+		}
+	}
+	// Bigger cache must not miss more on the same workload.
+	if res.Cells[0][1].UnifiedDemand.MissRatio > res.Cells[0][0].UnifiedDemand.MissRatio {
+		t.Errorf("4K misses more than 1K: %+v", res.Cells[0])
+	}
+}
+
+// TestCancellationMidSweep exercises the tentpole deadline path: a sweep big
+// enough to run for seconds gets a ~1ms deadline, must come back promptly
+// with 504, and must not leak its worker goroutines (the abandoned flight is
+// cancelled once its last waiter gives up).
+func TestCancellationMidSweep(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	before := runtime.NumGoroutine()
+
+	body := `{"ref_limit":2000000,"timeout_ms":1}` // all 17 standard mixes: seconds of work
+	start := time.Now()
+	code, b := post(t, hs.URL+"/v1/sweep", body)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", code, b)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+	if snap := s.snapshot(); snap.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1 (metrics %+v)", snap.Timeouts, snap)
+	}
+
+	// The abandoned simulation must wind down: goroutine count returns to
+	// its pre-request neighbourhood instead of holding a running sweep.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Drop keep-alive connection goroutines (client read/write loops and
+		// the server's conn handler) so only simulation leaks would remain.
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after cancellation: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if snap := s.snapshot(); snap.InFlight != 0 {
+		t.Errorf("in_flight = %d after cancellation, want 0", snap.InFlight)
+	}
+}
+
+func TestMixesHealthzMetrics(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	code, b := get(t, hs.URL+"/v1/mixes")
+	if code != http.StatusOK {
+		t.Fatalf("mixes status %d", code)
+	}
+	var mixes struct {
+		Mixes []MixInfo `json:"mixes"`
+	}
+	if err := json.Unmarshal(b, &mixes); err != nil {
+		t.Fatal(err)
+	}
+	// 49 corpus traces + 8 LISPC/VAXIMA section units + 4 multiprogram mixes.
+	if len(mixes.Mixes) < 57 {
+		t.Errorf("catalog has %d mixes, want >= 57", len(mixes.Mixes))
+	}
+	seen := map[string]bool{}
+	for _, m := range mixes.Mixes {
+		if seen[m.Name] {
+			t.Errorf("duplicate catalog entry %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	for _, want := range []string{"FGO1", "LISPC", "LISPC-3", "Z8000 - Assorted", "M68000 - Assorted"} {
+		if !seen[want] {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+
+	code, b = get(t, hs.URL+"/healthz")
+	if code != http.StatusOK || !bytes.Contains(b, []byte(`"ok"`)) {
+		t.Errorf("healthz: %d %s", code, b)
+	}
+
+	code, b = get(t, hs.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("metrics not parseable: %v\n%s", err, b)
+	}
+	if snap.Requests < 2 {
+		t.Errorf("requests = %d, want >= 2", snap.Requests)
+	}
+}
+
+func TestMemoLRUEviction(t *testing.T) {
+	c := newMemoLRU(2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes oldest
+		t.Fatal("a missing")
+	}
+	c.add("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Error("b not evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Error("a lost")
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Error("c lost")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Disabled cache never stores.
+	off := newMemoLRU(-1)
+	off.add("a", 1)
+	if _, ok := off.get("a"); ok {
+		t.Error("disabled cache stored a value")
+	}
+}
+
+func TestDefaultTimeout(t *testing.T) {
+	// Server-imposed default deadline applies when the request sets none.
+	_, hs := newTestServer(t, Config{DefaultTimeout: time.Millisecond})
+	code, b := post(t, hs.URL+"/v1/sweep", `{"ref_limit":2000000}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", code, b)
+	}
+}
+
+func BenchmarkEvaluateMemoized(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	body := `{"mix":"FGO1","ref_limit":20000}`
+	if code, rb := benchPost(b, hs.URL+"/v1/evaluate", body); code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", code, rb)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, _ := benchPost(b, hs.URL+"/v1/evaluate", body)
+		if code != http.StatusOK {
+			b.Fatal("bad status")
+		}
+	}
+}
+
+func benchPost(tb testing.TB, url, body string) (int, []byte) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// TestCatalogQuantum spot-checks that single-trace catalog entries carry
+// their architecture's purge quantum (what MixByName would give).
+func TestCatalogQuantum(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	m, ok := s.catalog["FGO1"]
+	if !ok {
+		t.Fatal("FGO1 missing")
+	}
+	if m.Quantum <= 0 {
+		t.Errorf("FGO1 quantum = %d, want > 0", m.Quantum)
+	}
+	if fmt.Sprint(m.Specs[0].Name) != "FGO1" {
+		t.Errorf("spec name %q", m.Specs[0].Name)
+	}
+}
