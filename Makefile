@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test test-short test-race bench repro serve examples fmt clean
+.PHONY: all ci build vet fmt-check test test-short test-race bench bench-smoke benchjson repro serve examples fmt clean
 
 # `all` is `ci` plus the full (non-short) test suite; vet/gofmt run once via
 # the ci target rather than being listed twice.
@@ -35,6 +35,19 @@ test-race:
 # One benchmark per paper artifact plus the microbenchmarks (reduced scale).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Smoke-run every benchmark once so the bench targets cannot silently rot;
+# mirrors the CI bench job.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Record the perf trajectory: run the artifact + simulator benchmarks and
+# merge the numbers into BENCH_2.json under the "after" key (use
+# BENCHKEY=before to record a baseline first).
+BENCHKEY ?= after
+benchjson:
+	$(GO) test -run '^$$' -bench 'Table|Figure|Cache|StackSim|MultiSystem' -benchmem . \
+		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_2.json
 
 # Regenerate every table and figure at the paper's run lengths (~1 min).
 repro:

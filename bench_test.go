@@ -201,6 +201,33 @@ func BenchmarkCachePrefetch(b *testing.B) {
 	benchCacheAccess(b, benchSystemConfig(0, cacheeval.PrefetchAlways))
 }
 
+// BenchmarkMultiSystem measures the one-pass multi-size engine over the
+// paper's full 32B-64KB size grid — the pass that replaces twelve per-size
+// demand simulations in each sweep.
+func BenchmarkMultiSystem(b *testing.B) {
+	refs := benchRefs(b, "FGO1", 100000)
+	sizes := make([]int, 0, 12)
+	for s := 32; s <= 65536; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := cacheeval.NewMultiSystem(cacheeval.MultiConfig{
+			Sizes: sizes, LineSize: 16, PurgeInterval: 20000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ms.Run(trace.NewSliceReader(refs), 0); err != nil {
+			b.Fatal(err)
+		}
+		if ms.Results()[0].Ref.TotalRefs() == 0 {
+			b.Fatal("empty results")
+		}
+	}
+	b.SetBytes(int64(len(refs)))
+}
+
 func BenchmarkStackSim(b *testing.B) {
 	refs := benchRefs(b, "FGO1", 100000)
 	b.ResetTimer()

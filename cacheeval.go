@@ -73,6 +73,13 @@ type (
 	RefStats = cache.RefStats
 	// StackSim is the one-pass all-sizes LRU simulator.
 	StackSim = cache.StackSim
+	// MultiConfig configures the one-pass multi-size sweep engine.
+	MultiConfig = cache.MultiConfig
+	// MultiSystem simulates a demand-LRU system at every configured size in
+	// one pass over the reference stream.
+	MultiSystem = cache.MultiSystem
+	// SizeResult is one cache size's statistics from a MultiSystem pass.
+	SizeResult = cache.SizeResult
 	// Replacement selects LRU, FIFO or Random.
 	Replacement = cache.Replacement
 	// WritePolicy selects copy-back or write-through.
@@ -183,6 +190,9 @@ func NewSystem(sc SystemConfig) (*System, error) { return cache.NewSystem(sc) }
 
 // NewStackSim builds a one-pass all-sizes LRU simulator.
 func NewStackSim(lineSize int) (*StackSim, error) { return cache.NewStackSim(lineSize) }
+
+// NewMultiSystem builds the one-pass multi-size sweep engine.
+func NewMultiSystem(cfg MultiConfig) (*MultiSystem, error) { return cache.NewMultiSystem(cfg) }
 
 // Corpus returns the 49 named traces of the paper's workload.
 func Corpus() []Spec { return workload.All() }

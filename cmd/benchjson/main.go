@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench -benchmem` output into a JSON
+// record of the performance trajectory. It reads benchmark output on stdin
+// and merges the parsed results into an output file under a caller-chosen
+// key, so successive runs can record before/after pairs:
+//
+//	go test -bench . -benchmem | benchjson -key before -o BENCH.json
+//	... apply the optimization ...
+//	go test -bench . -benchmem | benchjson -key after -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements. Fields beyond ns/op are
+// zero when the benchmark did not report them.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	key := fs.String("key", "after", `record under this key: "before" or "after"`)
+	out := fs.String("o", "BENCH.json", "output JSON file (merged in place)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key != "before" && *key != "after" {
+		return fmt.Errorf("-key must be \"before\" or \"after\", got %q", *key)
+	}
+	results, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return errors.New("no benchmark lines found on stdin")
+	}
+	doc := map[string]map[string]Result{}
+	if b, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a benchjson file: %w", *out, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	doc[*key] = results
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, append(b, '\n'), 0o644)
+}
+
+// parseBench extracts benchmark result lines from go test output. A result
+// line is "BenchmarkName[-P] <iterations> <value> <unit> ..." with
+// tab-or-space separated measurement pairs; any -P GOMAXPROCS suffix is
+// stripped from the name.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, err = strconv.ParseFloat(val, 64)
+				seen = seen || err == nil
+			case "MB/s":
+				res.MBPerS, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if !seen {
+			continue
+		}
+		results[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

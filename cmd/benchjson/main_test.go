@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cacheeval
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable3            	       2	5242112967 ns/op	235929936 B/op	   13837 allocs/op
+BenchmarkCacheFullyAssoc-8 	       2	   4484088 ns/op	  22.30 MB/s	   86864 B/op	      11 allocs/op
+BenchmarkNoMem             	     100	     12345 ns/op
+PASS
+ok  	cacheeval	31.461s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Result{
+		"BenchmarkTable3": {
+			Iterations: 2, NsPerOp: 5242112967,
+			BytesPerOp: 235929936, AllocsPerOp: 13837,
+		},
+		"BenchmarkCacheFullyAssoc": {
+			Iterations: 2, NsPerOp: 4484088, MBPerS: 22.30,
+			BytesPerOp: 86864, AllocsPerOp: 11,
+		},
+		"BenchmarkNoMem": {Iterations: 100, NsPerOp: 12345},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s:\n got %+v\nwant %+v", name, got[name], w)
+		}
+	}
+}
+
+func TestRunMergesKeys(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-key", "before", "-o", out},
+		strings.NewReader(sampleOutput), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(sampleOutput, "5242112967", "1242112967")
+	if err := run([]string{"-key", "after", "-o", out},
+		strings.NewReader(faster), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]Result
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["before"]["BenchmarkTable3"].NsPerOp != 5242112967 {
+		t.Errorf("before lost: %+v", doc["before"]["BenchmarkTable3"])
+	}
+	if doc["after"]["BenchmarkTable3"].NsPerOp != 1242112967 {
+		t.Errorf("after wrong: %+v", doc["after"]["BenchmarkTable3"])
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-key", "during", "-o", out},
+		strings.NewReader(sampleOutput), os.Stderr); err == nil {
+		t.Error("bad key accepted")
+	}
+	if err := run([]string{"-key", "after", "-o", out},
+		strings.NewReader("no benchmarks here\n"), os.Stderr); err == nil {
+		t.Error("empty input accepted")
+	}
+}

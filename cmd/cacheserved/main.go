@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -49,6 +50,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "default per-request deadline (0 = none)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown drain budget")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	enablePprof := fs.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,8 +68,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	handler := srv.Handler()
+	if *enablePprof {
+		handler = withPprof(handler)
+	}
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -93,6 +99,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "cacheserved: stopped")
 	return nil
+}
+
+// withPprof mounts the net/http/pprof handlers in front of the API, opt-in
+// via -pprof: profiling endpoints expose internals (and the profile
+// endpoints can be made to burn CPU), so a production deployment should
+// leave them off or firewall them.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
 }
 
 // publishOnce registers the process-wide expvar name, which can be bound

@@ -90,6 +90,74 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 	}
 }
 
+// startTestServer launches run with extra flags and returns the bound
+// address plus a shutdown function.
+func startTestServer(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-grace", "5s"}, extra...)
+	go func() { done <- run(ctx, args, &out) }()
+	addrRE := regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		cancel()
+		t.Fatalf("server never reported its address; output: %q", out.String())
+	}
+	return addr, func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("run did not shut down")
+		}
+	}
+}
+
+// TestPprofFlag checks that the profiling endpoints are mounted only when
+// -pprof is given and that the API still serves in front of them.
+func TestPprofFlag(t *testing.T) {
+	status := func(addr, path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	addr, stop := startTestServer(t, "-pprof")
+	if got := status(addr, "/debug/pprof/"); got != http.StatusOK {
+		t.Errorf("pprof index with -pprof: status %d", got)
+	}
+	if got := status(addr, "/debug/pprof/cmdline"); got != http.StatusOK {
+		t.Errorf("pprof cmdline with -pprof: status %d", got)
+	}
+	if got := status(addr, "/healthz"); got != http.StatusOK {
+		t.Errorf("healthz with -pprof: status %d", got)
+	}
+	stop()
+
+	addr, stop = startTestServer(t)
+	defer stop()
+	if got := status(addr, "/debug/pprof/"); got == http.StatusOK {
+		t.Error("pprof index served without -pprof")
+	}
+	if got := status(addr, "/healthz"); got != http.StatusOK {
+		t.Errorf("healthz without -pprof: status %d", got)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var out syncBuffer
 	if err := run(context.Background(), []string{"-nope"}, &out); err == nil {

@@ -3,7 +3,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
+	"math/rand/v2"
 )
 
 // Cache simulates a single cache array. It operates on byte addresses; the
@@ -22,7 +22,8 @@ type Cache struct {
 	cfg       Config
 	lineShift uint
 	subShift  uint
-	subsPer   uint // sub-blocks per line
+	subSize   uint64 // fetch granularity in bytes (1 << subShift)
+	subMask   uint64 // sub-block index mask (subs per line - 1)
 	setMask   uint64
 	sets      []set
 	stats     Stats
@@ -47,14 +48,127 @@ type node struct {
 	prefetched bool // set when loaded by prefetch, cleared on first demand hit
 }
 
-// set is one associativity set: a tag->frame map plus a doubly linked list
-// ordered most-recent (LRU) or newest-inserted (FIFO) first.
+// linearScanAssoc is the largest associativity for which a set finds tags
+// by scanning its frames directly; larger sets use an open-addressed table.
+const linearScanAssoc = 8
+
+// set is one associativity set: a doubly linked list of frames ordered
+// most-recent (LRU) or newest-inserted (FIFO) first, plus a tag index.
+//
+// The index keeps the per-reference path allocation-free. Small sets
+// (assoc <= linearScanAssoc) leave table nil and scan frames directly —
+// at typical associativities a handful of comparisons beats any hashing.
+// Larger sets (fully associative caches route every line here) use an
+// open-addressed table of (tag, frame) slots with Fibonacci hashing,
+// linear probing at load factor <= 1/2, and backward-shift deletion
+// (Knuth vol. 3 §6.4, Algorithm R) so probe chains never grow tombstones.
+// Tags live in the slots so a probe costs one cache line, not a dependent
+// load into the frame array.
 type set struct {
 	nodes []node
-	index map[uint64]int32
 	head  int32
 	tail  int32
 	used  int32
+	table []tagSlot
+	shift uint // 64 - log2(len(table)); home slot = (tag * phi) >> shift
+}
+
+// tagSlot is one open-addressing slot: the stored tag and its frame index
+// (-1 = empty).
+type tagSlot struct {
+	tag uint64
+	ni  int32
+}
+
+// fibMult is 2^64 / golden ratio, the Fibonacci-hashing multiplier.
+const fibMult = 0x9E3779B97F4A7C15
+
+func newSet(assoc int) set {
+	s := set{nodes: make([]node, assoc), head: -1, tail: -1}
+	if assoc > linearScanAssoc {
+		m := 1
+		for m < 2*assoc {
+			m <<= 1
+		}
+		s.table = make([]tagSlot, m)
+		for i := range s.table {
+			s.table[i].ni = -1
+		}
+		s.shift = 64 - uint(bits.TrailingZeros(uint(m)))
+	}
+	return s
+}
+
+// home returns a tag's preferred table slot.
+func (s *set) home(tag uint64) uint32 {
+	return uint32((tag * fibMult) >> s.shift)
+}
+
+// lookup finds the frame holding tag, if resident.
+func (s *set) lookup(tag uint64) (int32, bool) {
+	if s.table == nil {
+		for i := int32(0); i < s.used; i++ {
+			if n := &s.nodes[i]; n.present && n.tag == tag {
+				return i, true
+			}
+		}
+		return -1, false
+	}
+	mask := uint32(len(s.table) - 1)
+	for i := s.home(tag); ; i = (i + 1) & mask {
+		sl := &s.table[i]
+		if sl.ni < 0 {
+			return -1, false
+		}
+		if sl.tag == tag {
+			return sl.ni, true
+		}
+	}
+}
+
+// idxInsert records that frame ni now holds tag. The tag must be absent.
+func (s *set) idxInsert(tag uint64, ni int32) {
+	if s.table == nil {
+		return
+	}
+	mask := uint32(len(s.table) - 1)
+	i := s.home(tag)
+	for s.table[i].ni >= 0 {
+		i = (i + 1) & mask
+	}
+	s.table[i] = tagSlot{tag: tag, ni: ni}
+}
+
+// idxDelete removes a resident tag from the table, back-shifting the probe
+// chain into the hole so later lookups need no tombstones.
+func (s *set) idxDelete(tag uint64) {
+	if s.table == nil {
+		return
+	}
+	mask := uint32(len(s.table) - 1)
+	i := s.home(tag)
+	for s.table[i].ni < 0 || s.table[i].tag != tag {
+		i = (i + 1) & mask
+	}
+	for {
+		s.table[i].ni = -1
+		j := i
+		for {
+			j = (j + 1) & mask
+			sl := s.table[j]
+			if sl.ni < 0 {
+				return
+			}
+			// Leave sl in place if its home lies cyclically in (i, j] —
+			// moving it to i would put it before its probe chain starts.
+			if (j-s.home(sl.tag))&mask < (j-i)&mask {
+				continue
+			}
+			s.table[i] = sl
+			break
+		}
+		i = j
+	}
 }
 
 // New returns a Cache for cfg. It returns an error if cfg is invalid.
@@ -67,21 +181,17 @@ func New(cfg Config) (*Cache, error) {
 		cfg:       cfg,
 		lineShift: log2(cfg.LineSize),
 		subShift:  log2(sub),
-		subsPer:   uint(cfg.LineSize / sub),
+		subSize:   uint64(sub),
+		subMask:   uint64(cfg.LineSize/sub) - 1,
 		setMask:   uint64(cfg.Sets() - 1),
 	}
 	assoc := cfg.EffectiveAssoc()
 	c.sets = make([]set, cfg.Sets())
 	for i := range c.sets {
-		c.sets[i] = set{
-			nodes: make([]node, assoc),
-			index: make(map[uint64]int32, assoc),
-			head:  -1,
-			tail:  -1,
-		}
+		c.sets[i] = newSet(assoc)
 	}
 	if cfg.Repl == Random {
-		c.rng = rand.New(rand.NewSource(int64(cfg.Seed)))
+		c.rng = rand.New(rand.NewPCG(cfg.Seed, 0))
 	}
 	return c, nil
 }
@@ -106,11 +216,11 @@ func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
 func (c *Cache) LineShift() uint { return c.lineShift }
 
 // subBytes returns the fetch granularity in bytes.
-func (c *Cache) subBytes() uint64 { return 1 << c.subShift }
+func (c *Cache) subBytes() uint64 { return c.subSize }
 
 // subIndex returns the sub-block index of addr within its line.
 func (c *Cache) subIndex(addr uint64) uint {
-	return uint(addr>>c.subShift) & (uint(c.subsPer) - 1)
+	return uint((addr >> c.subShift) & c.subMask)
 }
 
 // Contains reports whether the sub-block holding addr is resident, without
@@ -118,7 +228,7 @@ func (c *Cache) subIndex(addr uint64) uint {
 func (c *Cache) Contains(addr uint64) bool {
 	line := c.LineOf(addr)
 	s := &c.sets[line&c.setMask]
-	ni, ok := s.index[line]
+	ni, ok := s.lookup(line)
 	if !ok {
 		return false
 	}
@@ -144,7 +254,7 @@ func (c *Cache) Access(addr uint64, write bool, storeBytes int) bool {
 		trigger = !hit || firstUse
 	}
 	if trigger {
-		next := (addr &^ (c.subBytes() - 1)) + c.subBytes()
+		next := (addr | (c.subSize - 1)) + 1
 		c.prefetch(next)
 	}
 	return hit
@@ -164,7 +274,7 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 		c.combineLive = false
 	}
 	s := &c.sets[line&c.setMask]
-	ni, ok := s.index[line]
+	ni, ok := s.lookup(line)
 	if ok && s.nodes[ni].valid&(1<<sub) != 0 {
 		n := &s.nodes[ni]
 		if n.prefetched {
@@ -196,7 +306,7 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 			s.moveToFront(ni)
 		}
 		c.stats.DemandFetches++
-		c.stats.BytesFromMemory += c.subBytes()
+		c.stats.BytesFromMemory += c.subSize
 		c.applyWrite(n, sub, addr, write, storeBytes)
 		return false, false
 	}
@@ -204,7 +314,7 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 	// (fetch-on-write under copy-back; write-allocate under write-through).
 	ni = c.insert(s, line, 1<<sub, false)
 	c.stats.DemandFetches++
-	c.stats.BytesFromMemory += c.subBytes()
+	c.stats.BytesFromMemory += c.subSize
 	c.applyWrite(&s.nodes[ni], sub, addr, write, storeBytes)
 	return false, false
 }
@@ -249,7 +359,7 @@ func (c *Cache) prefetch(addr uint64) {
 	line := c.LineOf(addr)
 	sub := c.subIndex(addr)
 	s := &c.sets[line&c.setMask]
-	if ni, ok := s.index[line]; ok {
+	if ni, ok := s.lookup(line); ok {
 		n := &s.nodes[ni]
 		if n.valid&(1<<sub) != 0 {
 			return
@@ -259,7 +369,7 @@ func (c *Cache) prefetch(addr uint64) {
 		c.insert(s, line, 1<<sub, true)
 	}
 	c.stats.PrefetchFetches++
-	c.stats.BytesFromMemory += c.subBytes()
+	c.stats.BytesFromMemory += c.subSize
 }
 
 // insert places line into s with the given initial valid mask, evicting if
@@ -280,7 +390,7 @@ func (c *Cache) insert(s *set, line uint64, valid uint64, prefetched bool) int32
 	n.valid = valid
 	n.dirty = 0
 	n.prefetched = prefetched
-	s.index[line] = ni
+	s.idxInsert(line, ni)
 	s.pushFront(ni)
 	return ni
 }
@@ -291,7 +401,7 @@ func (c *Cache) victim(s *set) int32 {
 	case LRU, FIFO:
 		return s.tail
 	case Random:
-		return int32(c.rng.Intn(len(s.nodes)))
+		return int32(c.rng.IntN(len(s.nodes)))
 	default:
 		panic(fmt.Sprintf("cache: unknown replacement %v", c.cfg.Repl))
 	}
@@ -309,9 +419,9 @@ func (c *Cache) push(s *set, ni int32, purge bool) {
 	if n.dirty != 0 {
 		c.stats.DirtyPushes++
 		c.stats.WriteTransactions++
-		c.stats.BytesToMemory += uint64(bits.OnesCount64(n.dirty)) * c.subBytes()
+		c.stats.BytesToMemory += uint64(bits.OnesCount64(n.dirty)) * c.subSize
 	}
-	delete(s.index, n.tag)
+	s.idxDelete(n.tag)
 	s.unlink(ni)
 	n.present = false
 	n.valid = 0
@@ -382,7 +492,7 @@ func (c *Cache) checkInvariants() error {
 	total := 0
 	for si := range c.sets {
 		s := &c.sets[si]
-		// Walk the list forward, confirming linkage and map agreement.
+		// Walk the list forward, confirming linkage and index agreement.
 		seen := 0
 		prev := int32(-1)
 		for ni := s.head; ni != -1; ni = s.nodes[ni].next {
@@ -393,8 +503,8 @@ func (c *Cache) checkInvariants() error {
 			if n.prev != prev {
 				return fmt.Errorf("set %d: node %d prev mismatch", si, ni)
 			}
-			if got, ok := s.index[n.tag]; !ok || got != ni {
-				return fmt.Errorf("set %d: map mismatch for tag %#x", si, n.tag)
+			if got, ok := s.lookup(n.tag); !ok || got != ni {
+				return fmt.Errorf("set %d: index mismatch for tag %#x", si, n.tag)
 			}
 			if int(n.tag)&int(c.setMask) != si {
 				return fmt.Errorf("set %d: tag %#x maps to wrong set", si, n.tag)
@@ -411,8 +521,20 @@ func (c *Cache) checkInvariants() error {
 		if prev != s.tail {
 			return fmt.Errorf("set %d: tail mismatch", si)
 		}
-		if seen != len(s.index) {
-			return fmt.Errorf("set %d: list has %d nodes, map has %d", si, seen, len(s.index))
+		if s.table != nil {
+			occupied := 0
+			for _, sl := range s.table {
+				if sl.ni < 0 {
+					continue
+				}
+				occupied++
+				if !s.nodes[sl.ni].present || s.nodes[sl.ni].tag != sl.tag {
+					return fmt.Errorf("set %d: table slot for tag %#x disagrees with frame %d", si, sl.tag, sl.ni)
+				}
+			}
+			if occupied != seen {
+				return fmt.Errorf("set %d: list has %d nodes, table has %d", si, seen, occupied)
+			}
 		}
 		total += seen
 	}

@@ -157,21 +157,25 @@ func (s *System) Ref(r trace.Ref) {
 	// A reference touches every fetch unit (sub-block, or whole line when
 	// unsectored) it spans; it counts once at the reference level and is a
 	// miss if any touched unit missed.
-	unit := uint64(c.Config().EffectiveSubBlock())
+	unit := c.subSize
 	first := r.Addr &^ (unit - 1)
 	last := (r.Addr + uint64(size) - 1) &^ (unit - 1)
-	units := int((last-first)/unit) + 1
-	storeBytes := size / units // exact for aligned power-of-two accesses
-	if storeBytes < 1 {
-		storeBytes = 1
-	}
 	miss := false
-	for a := first; ; a += unit {
-		if !c.Access(a, write, storeBytes) {
-			miss = true
+	if first == last {
+		miss = !c.Access(first, write, size)
+	} else {
+		units := int((last-first)>>c.subShift) + 1
+		storeBytes := size / units // exact for aligned power-of-two accesses
+		if storeBytes < 1 {
+			storeBytes = 1
 		}
-		if a >= last {
-			break
+		for a := first; ; a += unit {
+			if !c.Access(a, write, storeBytes) {
+				miss = true
+			}
+			if a >= last {
+				break
+			}
 		}
 	}
 	s.refs.Refs[r.Kind]++

@@ -69,13 +69,25 @@ func EvaluateContext(ctx context.Context, design cache.SystemConfig, mix workloa
 	if refLimit > 0 {
 		rd = trace.NewLimitReader(rd, refLimit)
 	}
+	return evaluateReader(ctx, design, mix.Name, rd)
+}
+
+// EvaluateRefsContext evaluates a design against an already-materialized
+// reference stream, skipping workload synthesis entirely. Callers that
+// evaluate many designs over the same stream (the evaluation service's
+// stream cache) use it to pay for materialization once.
+func EvaluateRefsContext(ctx context.Context, design cache.SystemConfig, name string, refs []trace.Ref) (Report, error) {
+	return evaluateReader(ctx, design, name, trace.NewSliceReader(refs))
+}
+
+func evaluateReader(ctx context.Context, design cache.SystemConfig, name string, rd trace.Reader) (Report, error) {
 	rd = trace.NewContextReader(ctx, rd)
 	sys, err := cache.NewSystem(design)
 	if err != nil {
 		return Report{}, err
 	}
 	if _, err := sys.Run(rd, 0); err != nil {
-		return Report{}, fmt.Errorf("core: evaluating %s: %w", mix.Name, err)
+		return Report{}, fmt.Errorf("core: evaluating %s: %w", name, err)
 	}
 	rs := sys.RefStats()
 	dataCache := sys.Unified()
@@ -85,7 +97,7 @@ func EvaluateContext(ctx context.Context, design cache.SystemConfig, mix workloa
 	all := sys.Stats()
 	return Report{
 		Design:            design,
-		Workload:          mix.Name,
+		Workload:          name,
 		Refs:              rs.TotalRefs(),
 		MissRatio:         rs.MissRatio(),
 		InstrMiss:         rs.KindMissRatio(trace.IFetch),
@@ -207,25 +219,41 @@ type Candidate struct {
 // LRU, demand, 16-byte lines, the architecture's purge quantum) and returns
 // all candidates sorted by size plus the index of the best value. It
 // returns an error for an empty size list or a failing simulation.
+//
+// The size sweep is a single generalized stack-simulation pass
+// (cache.MultiSystem): demand-LRU caches obey stack inclusion, so one pass
+// over the stream yields the miss ratio at every candidate size, identical
+// to per-size Evaluate runs.
 func Recommend(mix workload.Mix, sizes []int, cm CostModel, refLimit int) ([]Candidate, int, error) {
 	if len(sizes) == 0 {
 		return nil, -1, fmt.Errorf("core: no sizes to evaluate")
 	}
 	sizes = append([]int(nil), sizes...)
 	sort.Ints(sizes)
+	ms, err := cache.NewMultiSystem(cache.MultiConfig{
+		Sizes: sizes, LineSize: 16, PurgeInterval: mix.Quantum,
+	})
+	if err != nil {
+		return nil, -1, err
+	}
+	rd, err := mix.Open()
+	if err != nil {
+		return nil, -1, err
+	}
+	var lim trace.Reader = rd
+	if refLimit > 0 {
+		lim = trace.NewLimitReader(rd, refLimit)
+	}
+	if _, err := ms.Run(lim, 0); err != nil {
+		return nil, -1, fmt.Errorf("core: evaluating %s: %w", mix.Name, err)
+	}
 	candidates := make([]Candidate, len(sizes))
-	for i, size := range sizes {
-		rep, err := Evaluate(cache.SystemConfig{
-			Unified:       cache.Config{Size: size, LineSize: 16},
-			PurgeInterval: mix.Quantum,
-		}, mix, refLimit)
-		if err != nil {
-			return nil, -1, err
-		}
-		perf := cm.Performance(rep.MissRatio)
-		cost := cm.Cost(size)
+	for i, r := range ms.Results() {
+		miss := r.Ref.MissRatio()
+		perf := cm.Performance(miss)
+		cost := cm.Cost(r.Size)
 		candidates[i] = Candidate{
-			Size: size, MissRatio: rep.MissRatio,
+			Size: r.Size, MissRatio: miss,
 			Performance: perf, Cost: cost, Value: perf / cost,
 		}
 	}

@@ -37,6 +37,13 @@ type Options struct {
 	// each job writes only its own slot, so scheduling order never shows
 	// through in the output.
 	Workers int
+	// StreamSource, when non-nil, supplies a mix's materialized reference
+	// stream instead of synthesizing it from the mix's specs. Callers that
+	// run many experiments over the same mixes (the evaluation service)
+	// use it to share one materialization across requests. The source must
+	// honour the same RefLimit semantics as collectMixCtx (per-member
+	// limits) and callers must not mutate the returned slice.
+	StreamSource func(ctx context.Context, m workload.Mix) ([]trace.Ref, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -87,9 +94,20 @@ func (o Options) collectMix(m workload.Mix) ([]trace.Ref, error) {
 	return o.collectMixCtx(context.Background(), m)
 }
 
+// CollectMixContext materializes a mix's interleaved reference stream
+// exactly as the sweep drivers do (RefLimit per member, StreamSource
+// honoured). Exported for callers that cache streams across runs — the
+// evaluation service feeds the result back in via StreamSource.
+func (o Options) CollectMixContext(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
+	return o.collectMixCtx(ctx, m)
+}
+
 // collectMixCtx is collectMix with cancellation; synthesizing a long trace
 // is itself slow enough to need a context check.
 func (o Options) collectMixCtx(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
+	if o.StreamSource != nil {
+		return o.StreamSource(ctx, m)
+	}
 	if o.RefLimit > 0 {
 		limited := m
 		limited.Specs = make([]workload.Spec, len(m.Specs))

@@ -59,14 +59,21 @@ func SweepMixes(o Options, mixes []workload.Mix) (*SweepResult, error) {
 }
 
 // SweepMixesContext is SweepMixes with cancellation. Cancellation is
-// honoured both between grid cells (no new cell starts once ctx is done)
+// honoured both between grid jobs (no new job starts once ctx is done)
 // and inside one (each simulation's reference stream is context-checked),
 // so even a single-cell sweep over a long trace aborts promptly.
+//
+// The demand-fetch half of the grid exploits LRU stack inclusion: one
+// split pass and one unified pass per mix produce the statistics at every
+// size simultaneously (cache.MultiSystem), bit-identical to the per-size
+// simulations they replace. The prefetch variants break inclusion
+// (prefetched lines enter the stack without being referenced), so they
+// keep the per-size path.
 func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*SweepResult, error) {
 	o = o.withDefaults()
 	res := &SweepResult{Sizes: o.Sizes, Mixes: mixes, opts: o}
 	// Materialize each mix's reference stream once; the grid re-reads it
-	// from memory for every (size, organization, fetch-policy) cell.
+	// from memory for every job.
 	streams := make([][]trace.Ref, len(mixes))
 	err := forEachCtx(ctx, o.Workers, len(mixes), func(i int) error {
 		refs, err := o.collectMixCtx(ctx, mixes[i])
@@ -83,20 +90,35 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	for i := range res.Cells {
 		res.Cells[i] = make([]SweepCell, len(o.Sizes))
 	}
-	type job struct{ mi, si int }
+	// Job list: per mix, one all-sizes demand pass per organization; per
+	// (mix, size), one job running both prefetch variants. Each job writes
+	// only its own cell fields, so results are bit-identical regardless of
+	// the worker count.
+	type job struct {
+		mi    int
+		si    int  // -1 for the all-sizes demand jobs
+		split bool // organization of the demand job
+	}
 	var jobs []job
 	for mi := range mixes {
+		jobs = append(jobs, job{mi, -1, true}, job{mi, -1, false})
 		for si := range o.Sizes {
-			jobs = append(jobs, job{mi, si})
+			jobs = append(jobs, job{mi: mi, si: si})
 		}
 	}
 	err = forEachCtx(ctx, o.Workers, len(jobs), func(j int) error {
-		mi, si := jobs[j].mi, jobs[j].si
-		cell, err := runCell(ctx, o, mixes[mi], streams[mi], o.Sizes[si])
-		if err != nil {
-			return fmt.Errorf("sweep %s @%d: %w", mixes[mi].Name, o.Sizes[si], err)
+		jb := jobs[j]
+		mix, refs := mixes[jb.mi], streams[jb.mi]
+		if jb.si < 0 {
+			if err := runDemandPass(ctx, o, mix, refs, jb.split, res.Cells[jb.mi]); err != nil {
+				return fmt.Errorf("sweep %s demand: %w", mix.Name, err)
+			}
+			return nil
 		}
-		res.Cells[mi][si] = cell
+		size := o.Sizes[jb.si]
+		if err := runPrefetchCell(ctx, o, mix, refs, size, &res.Cells[jb.mi][jb.si]); err != nil {
+			return fmt.Errorf("sweep %s @%d: %w", mix.Name, size, err)
+		}
 		return nil
 	})
 	if err != nil {
@@ -105,45 +127,62 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	return res, nil
 }
 
-// runCell executes the four simulations of one grid cell.
-func runCell(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, size int) (SweepCell, error) {
-	var cell SweepCell
-	base := cache.Config{Size: size, LineSize: o.LineSize} // fully assoc, LRU, copy-back
-	for _, variant := range []struct {
-		split bool
-		fetch cache.FetchPolicy
-		out   *SimOut
-	}{
-		{true, cache.DemandFetch, &cell.SplitDemand},
-		{true, cache.PrefetchAlways, &cell.SplitPrefetch},
-		{false, cache.DemandFetch, &cell.UnifiedDemand},
-		{false, cache.PrefetchAlways, &cell.UnifiedPrefetch},
-	} {
-		cfg := base
-		cfg.Fetch = variant.fetch
-		sc := cache.SystemConfig{PurgeInterval: mix.Quantum}
-		if variant.split {
-			sc.Split = true
-			sc.I, sc.D = cfg, cfg
+// runDemandPass executes one organization's demand simulations at every
+// size in a single pass and scatters the per-size results into the mix's
+// cell row.
+func runDemandPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split bool, row []SweepCell) error {
+	ms, err := cache.NewMultiSystem(cache.MultiConfig{
+		Sizes: o.Sizes, LineSize: o.LineSize,
+		Split: split, PurgeInterval: mix.Quantum,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := ms.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
+		return err
+	}
+	for si, r := range ms.Results() {
+		out := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
+		if split {
+			row[si].SplitDemand = out
 		} else {
-			sc.Unified = cfg
+			row[si].UnifiedDemand = out
+		}
+	}
+	return nil
+}
+
+// runPrefetchCell executes the two prefetch-always simulations of one grid
+// cell (split and unified) the classic way: prefetching violates stack
+// inclusion, so each size needs its own pass.
+func runPrefetchCell(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, size int, cell *SweepCell) error {
+	base := cache.Config{Size: size, LineSize: o.LineSize, Fetch: cache.PrefetchAlways}
+	for _, split := range []bool{true, false} {
+		sc := cache.SystemConfig{PurgeInterval: mix.Quantum}
+		if split {
+			sc.Split = true
+			sc.I, sc.D = base, base
+		} else {
+			sc.Unified = base
 		}
 		sys, err := cache.NewSystem(sc)
 		if err != nil {
-			return cell, err
+			return err
 		}
 		if _, err := sys.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
-			return cell, err
+			return err
 		}
-		variant.out.Ref = sys.RefStats()
-		if variant.split {
-			variant.out.I = sys.ICache().Stats()
-			variant.out.D = sys.DCache().Stats()
+		out := SimOut{Ref: sys.RefStats()}
+		if split {
+			out.I = sys.ICache().Stats()
+			out.D = sys.DCache().Stats()
+			cell.SplitPrefetch = out
 		} else {
-			variant.out.U = sys.Unified().Stats()
+			out.U = sys.Unified().Stats()
+			cell.UnifiedPrefetch = out
 		}
 	}
-	return cell, nil
+	return nil
 }
 
 // SizeIndex returns the index of a cache size in Sizes, or -1.

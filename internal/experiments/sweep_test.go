@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// classicCell runs one grid cell the pre-one-pass way: four independent
+// per-size simulations. It is the behavioural oracle for the sweep rewrite.
+func classicCell(t *testing.T, o Options, mix workload.Mix, refs []trace.Ref, size int) SweepCell {
+	t.Helper()
+	var cell SweepCell
+	for _, variant := range []struct {
+		out      *SimOut
+		split    bool
+		prefetch bool
+	}{
+		{&cell.SplitDemand, true, false},
+		{&cell.SplitPrefetch, true, true},
+		{&cell.UnifiedDemand, false, false},
+		{&cell.UnifiedPrefetch, false, true},
+	} {
+		base := cache.Config{Size: size, LineSize: o.LineSize}
+		if variant.prefetch {
+			base.Fetch = cache.PrefetchAlways
+		}
+		sc := cache.SystemConfig{PurgeInterval: mix.Quantum}
+		if variant.split {
+			sc.Split = true
+			sc.I, sc.D = base, base
+		} else {
+			sc.Unified = base
+		}
+		sys, err := cache.NewSystem(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+			t.Fatal(err)
+		}
+		variant.out.Ref = sys.RefStats()
+		if variant.split {
+			variant.out.I = sys.ICache().Stats()
+			variant.out.D = sys.DCache().Stats()
+		} else {
+			variant.out.U = sys.Unified().Stats()
+		}
+	}
+	return cell
+}
+
+// TestSweepMatchesClassicPerSizeRuns pins the sweep rewrite to the old
+// behaviour: every cell of the grid — demand cells now produced by the
+// one-pass multi-size engine — is bit-identical to four independent
+// per-size System simulations.
+func TestSweepMatchesClassicPerSizeRuns(t *testing.T) {
+	o := Options{
+		Sizes:    []int{32, 128, 1024, 8192},
+		RefLimit: 1500,
+		Workers:  3,
+	}.withDefaults()
+	mixes := []workload.Mix{
+		workload.StandardMixes()[0],
+		workload.M68000Mix(),
+	}
+	res, err := SweepMixesContext(context.Background(), o, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, mix := range mixes {
+		refs, err := o.collectMix(mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, size := range o.Sizes {
+			want := classicCell(t, o, mix, refs, size)
+			if got := res.Cells[mi][si]; got != want {
+				t.Errorf("%s @%d:\n got %+v\nwant %+v", mix.Name, size, got, want)
+			}
+		}
+	}
+}
+
+// TestSweepStreamSource checks that a StreamSource hook overrides stream
+// synthesis for sweeps.
+func TestSweepStreamSource(t *testing.T) {
+	mix := workload.StandardMixes()[0]
+	base := Options{Sizes: []int{64, 512}, RefLimit: 800, Workers: 1}.withDefaults()
+	refs, err := base.collectMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	hooked := base
+	hooked.StreamSource = func(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
+		if m.Name != mix.Name {
+			t.Errorf("StreamSource got mix %q, want %q", m.Name, mix.Name)
+		}
+		calls++
+		return refs, nil
+	}
+	want, err := SweepMixes(base, []workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SweepMixes(hooked, []workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("StreamSource was never called")
+	}
+	for si := range base.Sizes {
+		if got.Cells[0][si] != want.Cells[0][si] {
+			t.Errorf("size %d: StreamSource sweep diverged", base.Sizes[si])
+		}
+	}
+}

@@ -30,35 +30,44 @@ type Metrics struct {
 	Timeouts expvar.Int
 	// Errors counts requests answered with a non-2xx status.
 	Errors expvar.Int
+	// StreamHits / StreamMisses count materialized-workload-stream lookups
+	// answered from (respectively missing) the stream LRU.
+	StreamHits   expvar.Int
+	StreamMisses expvar.Int
 }
 
 // MetricsSnapshot is a point-in-time copy of the counters, shaped for JSON.
 type MetricsSnapshot struct {
-	Requests    int64   `json:"requests"`
-	MemoHits    int64   `json:"memo_hits"`
-	MemoMisses  int64   `json:"memo_misses"`
-	FlightJoins int64   `json:"flight_joins"`
-	InFlight    int64   `json:"in_flight"`
-	SimRuns     int64   `json:"sim_runs"`
-	SimSeconds  float64 `json:"sim_seconds"`
-	Timeouts    int64   `json:"timeouts"`
-	Errors      int64   `json:"errors"`
-	MemoEntries int     `json:"memo_entries"`
+	Requests      int64   `json:"requests"`
+	MemoHits      int64   `json:"memo_hits"`
+	MemoMisses    int64   `json:"memo_misses"`
+	FlightJoins   int64   `json:"flight_joins"`
+	InFlight      int64   `json:"in_flight"`
+	SimRuns       int64   `json:"sim_runs"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	Timeouts      int64   `json:"timeouts"`
+	Errors        int64   `json:"errors"`
+	StreamHits    int64   `json:"stream_hits"`
+	StreamMisses  int64   `json:"stream_misses"`
+	MemoEntries   int     `json:"memo_entries"`
+	StreamEntries int     `json:"stream_entries"`
 }
 
 // Snapshot copies the current counter values. The memo entry count is read
 // under the server's lock by the caller (see Server.snapshot).
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Requests:    m.Requests.Value(),
-		MemoHits:    m.MemoHits.Value(),
-		MemoMisses:  m.MemoMisses.Value(),
-		FlightJoins: m.FlightJoins.Value(),
-		InFlight:    m.InFlight.Value(),
-		SimRuns:     m.SimRuns.Value(),
-		SimSeconds:  m.SimSeconds.Value(),
-		Timeouts:    m.Timeouts.Value(),
-		Errors:      m.Errors.Value(),
+		Requests:     m.Requests.Value(),
+		MemoHits:     m.MemoHits.Value(),
+		MemoMisses:   m.MemoMisses.Value(),
+		FlightJoins:  m.FlightJoins.Value(),
+		InFlight:     m.InFlight.Value(),
+		SimRuns:      m.SimRuns.Value(),
+		SimSeconds:   m.SimSeconds.Value(),
+		Timeouts:     m.Timeouts.Value(),
+		Errors:       m.Errors.Value(),
+		StreamHits:   m.StreamHits.Value(),
+		StreamMisses: m.StreamMisses.Value(),
 	}
 }
 
@@ -67,6 +76,7 @@ func (s *Server) snapshot() MetricsSnapshot {
 	snap := s.metrics.Snapshot()
 	s.mu.Lock()
 	snap.MemoEntries = s.memo.len()
+	snap.StreamEntries = s.streams.len()
 	s.mu.Unlock()
 	return snap
 }

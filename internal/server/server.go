@@ -44,6 +44,11 @@ type Config struct {
 	// MemoEntries bounds the LRU result cache; default 256 entries.
 	// Negative disables memoization (singleflight dedup still applies).
 	MemoEntries int
+	// StreamEntries bounds the LRU cache of materialized workload reference
+	// streams shared across sweep/evaluate requests; default 8 entries
+	// (streams are large — megabytes per mix at paper run lengths).
+	// Negative disables stream caching.
+	StreamEntries int
 	// MaxConcurrent bounds simultaneously running simulations; default
 	// GOMAXPROCS. Queued work still honours its deadline while waiting.
 	MaxConcurrent int
@@ -63,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.MemoEntries == 0 {
 		c.MemoEntries = 256
 	}
+	if c.StreamEntries == 0 {
+		c.StreamEntries = 8
+	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
@@ -81,6 +89,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	memo    *memoLRU
+	streams *memoLRU
 	flights map[string]*flight
 
 	workers chan struct{}
@@ -109,6 +118,7 @@ func New(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 		metrics:   &Metrics{},
 		memo:      newMemoLRU(cfg.MemoEntries),
+		streams:   newMemoLRU(cfg.StreamEntries),
 		flights:   make(map[string]*flight),
 		workers:   make(chan struct{}, cfg.MaxConcurrent),
 		baseCtx:   base,
@@ -234,7 +244,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
 		return s.timedSim(func() (any, error) {
-			return core.EvaluateContext(fctx, design, mix, req.RefLimit)
+			refs, err := s.mixStreamTotal(fctx, mix, req.RefLimit)
+			if err != nil {
+				return nil, err
+			}
+			return core.EvaluateRefsContext(fctx, design, mix.Name, refs)
 		})
 	})
 	if err != nil {
@@ -324,6 +338,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	opts := experiments.Options{
 		Sizes: req.Sizes, LineSize: req.LineSize,
 		RefLimit: req.RefLimit, Workers: s.cfg.SimWorkers,
+		StreamSource: func(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
+			return s.mixStreamPerMember(ctx, m, req.RefLimit)
+		},
 	}
 	key, err := requestKey("sweep", struct {
 		Mixes    []string

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestStreamCacheAcrossEvaluates checks that distinct designs over the same
+// mix share one materialized stream and produce the same reports as the
+// uncached path.
+func TestStreamCacheAcrossEvaluates(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	design := func(size int) string {
+		return fmt.Sprintf(
+			`{"mix":"FGO1","ref_limit":20000,"design":{"Unified":{"Size":%d,"LineSize":16},"PurgeInterval":20000}}`,
+			size)
+	}
+	var reports []EvaluateResponse
+	for _, size := range []int{4096, 16384, 4096} {
+		code, b := post(t, hs.URL+"/v1/evaluate", design(size))
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, b)
+		}
+		var resp EvaluateResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, resp)
+	}
+	// Third request repeats the first design: memo hit, no new stream work.
+	if !reports[2].Cached {
+		t.Error("repeated design was not memoized")
+	}
+	if reports[2].Report != reports[0].Report {
+		t.Errorf("memoized report differs:\n%+v\n%+v", reports[2].Report, reports[0].Report)
+	}
+	if reports[0].Report.MissRatio <= reports[1].Report.MissRatio {
+		t.Errorf("4K cache should miss more than 16K: %v vs %v",
+			reports[0].Report.MissRatio, reports[1].Report.MissRatio)
+	}
+	snap := s.snapshot()
+	// Two simulations ran (two distinct designs) but the mix materialized
+	// once: the second run hit the stream cache.
+	if snap.SimRuns != 2 {
+		t.Errorf("sim_runs = %d, want 2", snap.SimRuns)
+	}
+	if snap.StreamMisses != 1 {
+		t.Errorf("stream_misses = %d, want 1", snap.StreamMisses)
+	}
+	if snap.StreamHits != 1 {
+		t.Errorf("stream_hits = %d, want 1", snap.StreamHits)
+	}
+	if snap.StreamEntries != 1 {
+		t.Errorf("stream_entries = %d, want 1", snap.StreamEntries)
+	}
+}
+
+// TestStreamCacheSweepSemantics checks that sweep (per-member limit) and
+// evaluate (total limit) streams do not share cache entries, and that a
+// re-sweep with different sizes reuses the sweep stream.
+func TestStreamCacheSweepSemantics(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	sweep := func(sizes string) {
+		t.Helper()
+		body := fmt.Sprintf(`{"mixes":["FGO1"],"sizes":%s,"ref_limit":5000}`, sizes)
+		code, b := post(t, hs.URL+"/v1/sweep", body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, b)
+		}
+	}
+	sweep(`[1024]`)
+	sweep(`[2048]`) // different memo key, same stream
+	snap := s.snapshot()
+	if snap.StreamMisses != 1 || snap.StreamHits != 1 {
+		t.Errorf("after two sweeps: misses=%d hits=%d, want 1/1",
+			snap.StreamMisses, snap.StreamHits)
+	}
+	// Same mix and ref limit under evaluate semantics must re-materialize:
+	// the total-stream limit truncates differently than per-member limits.
+	code, b := post(t, hs.URL+"/v1/evaluate", `{"mix":"FGO1","ref_limit":5000}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	snap = s.snapshot()
+	if snap.StreamMisses != 2 {
+		t.Errorf("evaluate after sweep: stream_misses = %d, want 2 (distinct semantics)", snap.StreamMisses)
+	}
+	if snap.StreamEntries != 2 {
+		t.Errorf("stream_entries = %d, want 2", snap.StreamEntries)
+	}
+}
+
+// TestStreamCacheDisabled checks that a negative StreamEntries disables
+// caching without breaking requests.
+func TestStreamCacheDisabled(t *testing.T) {
+	s, hs := newTestServer(t, Config{StreamEntries: -1})
+	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf(`{"mix":"FGO1","ref_limit":5000,"design":{"Unified":{"Size":%d,"LineSize":16}}}`, 1024<<i)
+		code, b := post(t, hs.URL+"/v1/evaluate", body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, b)
+		}
+	}
+	snap := s.snapshot()
+	if snap.StreamHits != 0 {
+		t.Errorf("stream_hits = %d with caching disabled", snap.StreamHits)
+	}
+	if snap.StreamEntries != 0 {
+		t.Errorf("stream_entries = %d with caching disabled", snap.StreamEntries)
+	}
+}
