@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test test-short test-race bench bench-smoke benchjson repro serve examples fmt clean
+.PHONY: all ci build vet fmt-check test test-short test-race bench bench-smoke benchjson benchcheck repro serve examples fmt clean
 
 # `all` is `ci` plus the full (non-short) test suite; vet/gofmt run once via
 # the ci target rather than being listed twice.
@@ -42,12 +42,22 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # Record the perf trajectory: run the artifact + simulator benchmarks and
-# merge the numbers into BENCH_2.json under the "after" key (use
+# merge the numbers into BENCH_3.json under the "after" key (use
 # BENCHKEY=before to record a baseline first).
 BENCHKEY ?= after
+BENCHREGEX = Table|Figure|Cache|StackSim|MultiSystem|FanoutSystem
 benchjson:
-	$(GO) test -run '^$$' -bench 'Table|Figure|Cache|StackSim|MultiSystem' -benchmem . \
-		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_2.json
+	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_3.json
+
+# Regression gate: one quick iteration of the recorded benchmarks, checked
+# against the BENCH_3.json record. Non-blocking in CI (absolute timings are
+# machine-specific); run locally on the machine that recorded the baseline
+# for a meaningful verdict.
+BENCHTHRESHOLD ?= 1.5
+benchcheck:
+	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson -against BENCH_3.json -threshold $(BENCHTHRESHOLD)
 
 # Regenerate every table and figure at the paper's run lengths (~1 min).
 repro:

@@ -161,7 +161,7 @@ func benchRefs(b *testing.B, name string, n int) []trace.Ref {
 	if err != nil {
 		b.Fatal(err)
 	}
-	refs, err := trace.Collect(rd, n)
+	refs, err := trace.Collect(rd, n, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,6 +222,33 @@ func BenchmarkMultiSystem(b *testing.B) {
 			b.Fatal(err)
 		}
 		if ms.Results()[0].Ref.TotalRefs() == 0 {
+			b.Fatal("empty results")
+		}
+	}
+	b.SetBytes(int64(len(refs)))
+}
+
+// BenchmarkFanoutSystem measures the one-pass multi-size prefetch engine
+// over the same 32B-64KB grid — the pass that replaces twelve per-size
+// prefetch-always simulations in each sweep.
+func BenchmarkFanoutSystem(b *testing.B) {
+	refs := benchRefs(b, "FGO1", 100000)
+	sizes := make([]int, 0, 12)
+	for s := 32; s <= 65536; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := cacheeval.NewFanoutSystem(cacheeval.FanoutConfig{
+			Sizes: sizes, LineSize: 16, PurgeInterval: 20000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Run(trace.NewSliceReader(refs), 0); err != nil {
+			b.Fatal(err)
+		}
+		if fs.Results()[0].Ref.TotalRefs() == 0 {
 			b.Fatal("empty results")
 		}
 	}

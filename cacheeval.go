@@ -80,6 +80,11 @@ type (
 	MultiSystem = cache.MultiSystem
 	// SizeResult is one cache size's statistics from a MultiSystem pass.
 	SizeResult = cache.SizeResult
+	// FanoutConfig configures the one-pass prefetch sweep engine.
+	FanoutConfig = cache.FanoutConfig
+	// FanoutSystem simulates a prefetch-always system at every configured
+	// size in one pass over the reference stream.
+	FanoutSystem = cache.FanoutSystem
 	// Replacement selects LRU, FIFO or Random.
 	Replacement = cache.Replacement
 	// WritePolicy selects copy-back or write-through.
@@ -194,6 +199,9 @@ func NewStackSim(lineSize int) (*StackSim, error) { return cache.NewStackSim(lin
 // NewMultiSystem builds the one-pass multi-size sweep engine.
 func NewMultiSystem(cfg MultiConfig) (*MultiSystem, error) { return cache.NewMultiSystem(cfg) }
 
+// NewFanoutSystem builds the one-pass multi-size prefetch sweep engine.
+func NewFanoutSystem(cfg FanoutConfig) (*FanoutSystem, error) { return cache.NewFanoutSystem(cfg) }
+
 // Corpus returns the 49 named traces of the paper's workload.
 func Corpus() []Spec { return workload.All() }
 
@@ -236,6 +244,12 @@ func EvaluateContext(ctx context.Context, design SystemConfig, mix Mix, refLimit
 // Recommend sweeps cache sizes and picks the best performance per cost.
 func Recommend(mix Mix, sizes []int, cm CostModel, refLimit int) ([]Candidate, int, error) {
 	return core.Recommend(mix, sizes, cm, refLimit)
+}
+
+// RecommendFetch is Recommend with a caller-chosen fetch policy; demand and
+// prefetch-always sweeps each run as a single pass over the stream.
+func RecommendFetch(mix Mix, sizes []int, cm CostModel, refLimit int, fetch FetchPolicy) ([]Candidate, int, error) {
+	return core.RecommendFetch(mix, sizes, cm, refLimit, fetch)
 }
 
 // DefaultCostModel returns the cost model used by examples.

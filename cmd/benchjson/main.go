@@ -6,6 +6,11 @@
 //	go test -bench . -benchmem | benchjson -key before -o BENCH.json
 //	... apply the optimization ...
 //	go test -bench . -benchmem | benchjson -key after -o BENCH.json
+//
+// With -against it instead compares stdin to a recorded file and exits
+// non-zero when any shared benchmark's ns/op regresses past -threshold:
+//
+//	go test -bench . | benchjson -against BENCH.json -threshold 1.3
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +48,8 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	key := fs.String("key", "after", `record under this key: "before" or "after"`)
 	out := fs.String("o", "BENCH.json", "output JSON file (merged in place)")
+	against := fs.String("against", "", "compare mode: baseline benchjson file to check stdin against")
+	threshold := fs.Float64("threshold", 1.3, "compare mode: fail when ns/op exceeds baseline by this ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +62,9 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 	}
 	if len(results) == 0 {
 		return errors.New("no benchmark lines found on stdin")
+	}
+	if *against != "" {
+		return compare(results, *against, *threshold, stderr)
 	}
 	doc := map[string]map[string]Result{}
 	if b, err := os.ReadFile(*out); err == nil {
@@ -69,6 +80,63 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, append(b, '\n'), 0o644)
+}
+
+// compare checks stdin's results against the baseline file's most recent
+// record ("after" when present, else "before"). Only benchmarks present on
+// both sides are compared — absolute timings are machine-specific, so this
+// gate is about catching same-machine regressions, and a missing benchmark
+// is the bench-smoke job's concern, not this one's. Any shared benchmark
+// whose ns/op exceeds baseline·threshold fails the run.
+func compare(results map[string]Result, against string, threshold float64, stderr io.Writer) error {
+	if threshold <= 0 {
+		return fmt.Errorf("-threshold must be positive, got %v", threshold)
+	}
+	b, err := os.ReadFile(against)
+	if err != nil {
+		return err
+	}
+	doc := map[string]map[string]Result{}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("%s is not a benchjson file: %w", against, err)
+	}
+	base, ok := doc["after"]
+	if !ok {
+		base = doc["before"]
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("%s has no \"after\" or \"before\" record", against)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmarks shared with %s", against)
+	}
+	regressed := 0
+	for _, name := range names {
+		got, want := results[name].NsPerOp, base[name].NsPerOp
+		if want <= 0 {
+			continue
+		}
+		ratio := got / want
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(stderr, "%-28s %12.0f ns/op  baseline %12.0f  ratio %.2f  %s\n",
+			name, got, want, ratio, status)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed past %.2fx of %s",
+			regressed, len(names), threshold, against)
+	}
+	return nil
 }
 
 // parseBench extracts benchmark result lines from go test output. A result

@@ -72,6 +72,90 @@ func TestRunMergesKeys(t *testing.T) {
 	}
 }
 
+func TestCompareMode(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-key", "after", "-o", base},
+		strings.NewReader(sampleOutput), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	// Identical numbers pass.
+	if err := run([]string{"-against", base},
+		strings.NewReader(sampleOutput), os.Stderr); err != nil {
+		t.Errorf("same numbers should pass: %v", err)
+	}
+	// A 2x slowdown on one benchmark trips the default 1.3 threshold...
+	slower := strings.ReplaceAll(sampleOutput, "     12345 ns/op", "     24690 ns/op")
+	err := run([]string{"-against", base}, strings.NewReader(slower), os.Stderr)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("2x slowdown should fail: %v", err)
+	}
+	// ...but passes a looser one.
+	if err := run([]string{"-against", base, "-threshold", "2.5"},
+		strings.NewReader(slower), os.Stderr); err != nil {
+		t.Errorf("2x slowdown within 2.5x threshold should pass: %v", err)
+	}
+	// Benchmarks absent from the baseline are ignored, not failures.
+	extra := sampleOutput + "BenchmarkNew 	  10	 999999999 ns/op\n"
+	if err := run([]string{"-against", base},
+		strings.NewReader(extra), os.Stderr); err != nil {
+		t.Errorf("unknown benchmark should be ignored: %v", err)
+	}
+	// Compare mode never writes the baseline file.
+	before, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-against", base, "-o", base},
+		strings.NewReader(sampleOutput), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("compare mode must not rewrite the baseline")
+	}
+}
+
+func TestCompareModeErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-against", filepath.Join(dir, "missing.json")},
+		strings.NewReader(sampleOutput), os.Stderr); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-against", bad},
+		strings.NewReader(sampleOutput), os.Stderr); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-against", empty},
+		strings.NewReader(sampleOutput), os.Stderr); err == nil {
+		t.Error("baseline without records accepted")
+	}
+	base := filepath.Join(dir, "BENCH.json")
+	if err := run([]string{"-key", "after", "-o", base},
+		strings.NewReader(sampleOutput), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-against", base, "-threshold", "0"},
+		strings.NewReader(sampleOutput), os.Stderr); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	disjoint := "BenchmarkOther 	  10	 100 ns/op\n"
+	if err := run([]string{"-against", base},
+		strings.NewReader(disjoint), os.Stderr); err == nil {
+		t.Error("disjoint benchmark sets should error")
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
 	if err := run([]string{"-key", "during", "-o", out},

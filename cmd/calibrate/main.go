@@ -66,7 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		if *refLimit > 0 {
 			rd = trace.NewLimitReader(rd, *refLimit)
 		}
-		refs, err := trace.Collect(rd, 0)
+		refs, err := trace.Collect(rd, 0, 0)
 		if err != nil {
 			return err
 		}

@@ -30,7 +30,7 @@ func TestRunCorpusTraceText(t *testing.T) {
 	if err := run([]string{"-trace", "PLO", "-n", "500"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	refs, err := trace.Collect(trace.NewTextReader(&out), 0)
+	refs, err := trace.Collect(trace.NewTextReader(&out), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestRunBinaryToFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	refs, err := trace.Collect(trace.NewBinaryReader(f), 0)
+	refs, err := trace.Collect(trace.NewBinaryReader(f), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +86,11 @@ func TestRunFunctionalPipeline(t *testing.T) {
 	if err := run([]string{"-functional", "vax", "-interface", "z8000", "-n", "1000"}, &shaped); err != nil {
 		t.Fatal(err)
 	}
-	pr, err := trace.Collect(trace.NewTextReader(&plain), 0)
+	pr, err := trace.Collect(trace.NewTextReader(&plain), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr, err := trace.Collect(trace.NewTextReader(&shaped), 0)
+	sr, err := trace.Collect(trace.NewTextReader(&shaped), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestRunLoopBuffer(t *testing.T) {
 		if err := run(args, &out); err != nil {
 			t.Fatal(err)
 		}
-		refs, err := trace.Collect(trace.NewTextReader(&out), 0)
+		refs, err := trace.Collect(trace.NewTextReader(&out), 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

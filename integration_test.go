@@ -38,7 +38,7 @@ func corpusRefs(t testing.TB, name string, n int) []trace.Ref {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refs, err := trace.Collect(rd, n)
+	refs, err := trace.Collect(rd, n, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestCodecPreservesSimulation(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	decoded, err := trace.Collect(trace.NewBinaryReader(&buf), 0)
+	decoded, err := trace.Collect(trace.NewBinaryReader(&buf), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestPurgingNeverHelps(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		refs, err := trace.Collect(trace.NewLimitReader(g, 30000), 0)
+		refs, err := trace.Collect(trace.NewLimitReader(g, 30000), 0, 0)
 		if err != nil {
 			return false
 		}
@@ -251,7 +251,7 @@ func TestMixPurgeIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refs, err := trace.Collect(rd, 0)
+	refs, err := trace.Collect(rd, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestMixPurgeIsolation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srefs, err := trace.Collect(srd, 0)
+		srefs, err := trace.Collect(srd, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"cacheeval/internal/trace"
+)
+
+// prefetchReferenceRun drives the classic per-size System with
+// prefetch-always over refs and returns its results in SizeResult shape —
+// the behavioural oracle for FanoutSystem.
+func prefetchReferenceRun(t *testing.T, refs []trace.Ref, cfg FanoutConfig) []SizeResult {
+	t.Helper()
+	out := make([]SizeResult, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		base := Config{Size: size, LineSize: cfg.LineSize, Fetch: PrefetchAlways}
+		sc := SystemConfig{PurgeInterval: cfg.PurgeInterval}
+		if cfg.Split {
+			sc.Split = true
+			sc.I, sc.D = base, base
+		} else {
+			sc.Unified = base
+		}
+		sys, err := NewSystem(sc)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = SizeResult{Size: size, Ref: sys.RefStats()}
+		if cfg.Split {
+			out[i].I = sys.ICache().Stats()
+			out[i].D = sys.DCache().Stats()
+		} else {
+			out[i].U = sys.Unified().Stats()
+		}
+	}
+	return out
+}
+
+// fanoutRun drives the one-pass fan-out engine over refs.
+func fanoutRun(t *testing.T, refs []trace.Ref, cfg FanoutConfig) []SizeResult {
+	t.Helper()
+	fs, err := NewFanoutSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Run(trace.NewSliceReader(refs), 0); err != nil {
+		t.Fatal(err)
+	}
+	return fs.Results()
+}
+
+// TestFanoutMatchesPerSizeRuns is the deterministic equivalence oracle:
+// across workload shapes, size grids, organizations and purge quanta, the
+// fan-out engine's per-size statistics are bit-identical to independent
+// per-size prefetch-always System simulations.
+func TestFanoutMatchesPerSizeRuns(t *testing.T) {
+	sizeGrids := [][]int{
+		{32, 64, 128, 256, 1024, 4096},
+		{16, 16384},
+		{512},
+	}
+	quanta := []int{0, 37, 500}
+	for seed := int64(1); seed <= 4; seed++ {
+		refs := synthStream(seed, 4000)
+		for _, sizes := range sizeGrids {
+			for _, q := range quanta {
+				for _, split := range []bool{false, true} {
+					cfg := FanoutConfig{Sizes: sizes, LineSize: 16, Split: split, PurgeInterval: q}
+					got := fanoutRun(t, refs, cfg)
+					want := prefetchReferenceRun(t, refs, cfg)
+					label := "unified"
+					if split {
+						label = "split"
+					}
+					compareRuns(t, label, got, want)
+					if t.Failed() {
+						t.Fatalf("divergence at seed=%d sizes=%v quantum=%d split=%v",
+							seed, sizes, q, split)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFanoutRandomizedEquivalence sweeps randomly drawn configurations —
+// stream shape, line size, size set, organization, and purge quantum
+// (including the paper's M68000 15,000-reference quantum) — through the
+// fan-out engine and the per-size oracle. The generator is seeded so
+// failures reproduce.
+func TestFanoutRandomizedEquivalence(t *testing.T) {
+	trials := 12
+	streamLen := 4000
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(99))
+	quanta := []int{0, 15000, 20000, 53, 800}
+	for trial := 0; trial < trials; trial++ {
+		lineSize := 4 << rng.Intn(4) // 4..32 bytes
+		var sizes []int
+		for n := 1 + rng.Intn(5); len(sizes) < n; {
+			sizes = append(sizes, lineSize<<rng.Intn(10))
+		}
+		q := quanta[rng.Intn(len(quanta))]
+		n := streamLen
+		if q > streamLen {
+			// Make sure large quanta (the M68000's 15,000) actually purge.
+			n = q*2 + 500
+		}
+		refs := synthStream(rng.Int63(), n)
+		cfg := FanoutConfig{
+			Sizes: sizes, LineSize: lineSize,
+			Split: rng.Intn(2) == 0, PurgeInterval: q,
+		}
+		got := fanoutRun(t, refs, cfg)
+		want := prefetchReferenceRun(t, refs, cfg)
+		compareRuns(t, "randomized", got, want)
+		if t.Failed() {
+			t.Fatalf("divergence at trial=%d cfg=%+v", trial, cfg)
+		}
+	}
+}
+
+// TestFanoutUnsortedDuplicateSizes checks that result order follows the
+// requested size order even when it is unsorted and contains duplicates.
+func TestFanoutUnsortedDuplicateSizes(t *testing.T) {
+	refs := synthStream(9, 2000)
+	cfg := FanoutConfig{Sizes: []int{1024, 32, 1024, 256}, LineSize: 16, PurgeInterval: 100}
+	got := fanoutRun(t, refs, cfg)
+	want := prefetchReferenceRun(t, refs, cfg)
+	compareRuns(t, "dup", got, want)
+	if got[0].U != got[2].U {
+		t.Error("duplicate sizes must report identical stats")
+	}
+}
+
+// TestFanoutResultsSnapshot documents that Results does not end the run:
+// the engine keeps simulating and a later snapshot matches an oracle over
+// the longer stream.
+func TestFanoutResultsSnapshot(t *testing.T) {
+	refs := synthStream(3, 3000)
+	cfg := FanoutConfig{Sizes: []int{64, 512}, LineSize: 16, PurgeInterval: 250}
+	fs, err := NewFanoutSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Run(trace.NewSliceReader(refs[:1000]), 0); err != nil {
+		t.Fatal(err)
+	}
+	mid := fs.Results()
+	compareRuns(t, "snapshot-mid", mid, prefetchReferenceRun(t, refs[:1000], cfg))
+	if _, err := fs.Run(trace.NewSliceReader(refs[1000:]), 0); err != nil {
+		t.Fatal(err)
+	}
+	compareRuns(t, "snapshot-end", fs.Results(), prefetchReferenceRun(t, refs, cfg))
+}
+
+// TestFanoutValidation mirrors the per-size construction errors.
+func TestFanoutValidation(t *testing.T) {
+	cases := []FanoutConfig{
+		{Sizes: nil, LineSize: 16},
+		{Sizes: []int{100}, LineSize: 16}, // not a power of two
+		{Sizes: []int{8}, LineSize: 16},   // line larger than cache
+		{Sizes: []int{64}, LineSize: 0},   // invalid line size
+		{Sizes: []int{64}, LineSize: 16, PurgeInterval: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewFanoutSystem(cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}

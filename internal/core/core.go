@@ -220,22 +220,24 @@ type Candidate struct {
 // all candidates sorted by size plus the index of the best value. It
 // returns an error for an empty size list or a failing simulation.
 //
-// The size sweep is a single generalized stack-simulation pass
-// (cache.MultiSystem): demand-LRU caches obey stack inclusion, so one pass
-// over the stream yields the miss ratio at every candidate size, identical
-// to per-size Evaluate runs.
+// The size sweep is a single pass over the stream (see RecommendFetch).
 func Recommend(mix workload.Mix, sizes []int, cm CostModel, refLimit int) ([]Candidate, int, error) {
+	return RecommendFetch(mix, sizes, cm, refLimit, cache.DemandFetch)
+}
+
+// RecommendFetch is Recommend with a caller-chosen fetch policy. Both
+// policies run the whole size sweep in one pass over the stream: demand-LRU
+// caches obey stack inclusion, so generalized stack simulation
+// (cache.MultiSystem) yields every size's miss ratio at once; prefetch
+// breaks inclusion, so prefetch-always instead fans one decoded stream out
+// to per-size caches (cache.FanoutSystem). Either way the results are
+// bit-identical to per-size Evaluate runs.
+func RecommendFetch(mix workload.Mix, sizes []int, cm CostModel, refLimit int, fetch cache.FetchPolicy) ([]Candidate, int, error) {
 	if len(sizes) == 0 {
 		return nil, -1, fmt.Errorf("core: no sizes to evaluate")
 	}
 	sizes = append([]int(nil), sizes...)
 	sort.Ints(sizes)
-	ms, err := cache.NewMultiSystem(cache.MultiConfig{
-		Sizes: sizes, LineSize: 16, PurgeInterval: mix.Quantum,
-	})
-	if err != nil {
-		return nil, -1, err
-	}
 	rd, err := mix.Open()
 	if err != nil {
 		return nil, -1, err
@@ -244,11 +246,12 @@ func Recommend(mix workload.Mix, sizes []int, cm CostModel, refLimit int) ([]Can
 	if refLimit > 0 {
 		lim = trace.NewLimitReader(rd, refLimit)
 	}
-	if _, err := ms.Run(lim, 0); err != nil {
+	results, err := recommendSweep(sizes, mix.Quantum, fetch, lim)
+	if err != nil {
 		return nil, -1, fmt.Errorf("core: evaluating %s: %w", mix.Name, err)
 	}
 	candidates := make([]Candidate, len(sizes))
-	for i, r := range ms.Results() {
+	for i, r := range results {
 		miss := r.Ref.MissRatio()
 		perf := cm.Performance(miss)
 		cost := cm.Cost(r.Size)
@@ -264,6 +267,56 @@ func Recommend(mix workload.Mix, sizes []int, cm CostModel, refLimit int) ([]Can
 		}
 	}
 	return candidates, best, nil
+}
+
+// recommendSweep runs the one-pass engine matching the fetch policy, or
+// falls back to per-size System runs for policies without one.
+func recommendSweep(sizes []int, quantum int, fetch cache.FetchPolicy, rd trace.Reader) ([]cache.SizeResult, error) {
+	switch fetch {
+	case cache.DemandFetch:
+		ms, err := cache.NewMultiSystem(cache.MultiConfig{
+			Sizes: sizes, LineSize: 16, PurgeInterval: quantum,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ms.Run(rd, 0); err != nil {
+			return nil, err
+		}
+		return ms.Results(), nil
+	case cache.PrefetchAlways:
+		fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
+			Sizes: sizes, LineSize: 16, PurgeInterval: quantum,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fs.Run(rd, 0); err != nil {
+			return nil, err
+		}
+		return fs.Results(), nil
+	}
+	// No single-pass engine for this policy: materialize once, then run each
+	// size independently.
+	refs, err := trace.Collect(rd, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cache.SizeResult, len(sizes))
+	for i, size := range sizes {
+		sys, err := cache.NewSystem(cache.SystemConfig{
+			Unified:       cache.Config{Size: size, LineSize: 16, Fetch: fetch},
+			PurgeInterval: quantum,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
+			return nil, err
+		}
+		out[i] = cache.SizeResult{Size: size, Ref: sys.RefStats(), U: sys.Unified().Stats()}
+	}
+	return out, nil
 }
 
 // TransferEstimate applies the §4 fudge factors: estimate a design's miss

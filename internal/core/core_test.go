@@ -191,6 +191,40 @@ func TestRecommend(t *testing.T) {
 	}
 }
 
+// TestRecommendFetchMatchesEvaluate pins each RecommendFetch engine —
+// MultiSystem for demand, FanoutSystem for prefetch-always, the per-size
+// fallback for tagged prefetch — to independent Evaluate runs of the same
+// designs.
+func TestRecommendFetchMatchesEvaluate(t *testing.T) {
+	mix := testMix(t, "ZGREP")
+	sizes := []int{512, 2048, 8192}
+	const refLimit = 20000
+	for _, fetch := range []cache.FetchPolicy{
+		cache.DemandFetch, cache.PrefetchAlways, cache.TaggedPrefetch,
+	} {
+		candidates, best, err := RecommendFetch(mix, sizes, DefaultCostModel(), refLimit, fetch)
+		if err != nil {
+			t.Fatalf("fetch %v: %v", fetch, err)
+		}
+		if best < 0 || best >= len(candidates) {
+			t.Fatalf("fetch %v: best = %d", fetch, best)
+		}
+		for _, c := range candidates {
+			rep, err := Evaluate(cache.SystemConfig{
+				Unified:       cache.Config{Size: c.Size, LineSize: 16, Fetch: fetch},
+				PurgeInterval: mix.Quantum,
+			}, mix, refLimit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.MissRatio != rep.MissRatio {
+				t.Errorf("fetch %v size %d: miss = %v, Evaluate says %v",
+					fetch, c.Size, c.MissRatio, rep.MissRatio)
+			}
+		}
+	}
+}
+
 func TestRecommendFlipsWithCostModel(t *testing.T) {
 	// The introduction's point: the same workload can favour different
 	// designs under different cost structures.

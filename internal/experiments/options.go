@@ -85,7 +85,7 @@ func (o Options) collectSpec(s workload.Spec) ([]trace.Ref, error) {
 	if err != nil {
 		return nil, err
 	}
-	return trace.Collect(r, 0)
+	return trace.Collect(r, 0, o.limit(s.Refs))
 }
 
 // collectMix materializes a mix's interleaved stream. RefLimit applies per
@@ -121,7 +121,9 @@ func (o Options) collectMixCtx(ctx context.Context, m workload.Mix) ([]trace.Ref
 	if err != nil {
 		return nil, err
 	}
-	return trace.Collect(trace.NewContextReader(ctx, r), 0)
+	// The (possibly limited) mix knows its exact interleaved length, so the
+	// stream materializes in one allocation instead of append-growth.
+	return trace.Collect(trace.NewContextReader(ctx, r), 0, m.TotalRefs())
 }
 
 // forEach runs fn(i) for i in [0, n) on up to workers goroutines and

@@ -63,12 +63,15 @@ func SweepMixes(o Options, mixes []workload.Mix) (*SweepResult, error) {
 // and inside one (each simulation's reference stream is context-checked),
 // so even a single-cell sweep over a long trace aborts promptly.
 //
-// The demand-fetch half of the grid exploits LRU stack inclusion: one
-// split pass and one unified pass per mix produce the statistics at every
-// size simultaneously (cache.MultiSystem), bit-identical to the per-size
-// simulations they replace. The prefetch variants break inclusion
-// (prefetched lines enter the stack without being referenced), so they
-// keep the per-size path.
+// Both halves of the grid run one pass per (mix, organization). The
+// demand-fetch half exploits LRU stack inclusion: one split pass and one
+// unified pass per mix produce the statistics at every size simultaneously
+// (cache.MultiSystem). The prefetch variants break inclusion (prefetched
+// lines enter the stack without being referenced), so each size keeps its
+// own cache state — but the size-independent per-reference work (purge
+// scheduling, straddle decomposition, per-kind counting) is computed once
+// and fanned out to every size (cache.FanoutSystem). Both engines are
+// bit-identical to the per-size simulations they replace.
 func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*SweepResult, error) {
 	o = o.withDefaults()
 	res := &SweepResult{Sizes: o.Sizes, Mixes: mixes, opts: o}
@@ -90,34 +93,31 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	for i := range res.Cells {
 		res.Cells[i] = make([]SweepCell, len(o.Sizes))
 	}
-	// Job list: per mix, one all-sizes demand pass per organization; per
-	// (mix, size), one job running both prefetch variants. Each job writes
-	// only its own cell fields, so results are bit-identical regardless of
-	// the worker count.
+	// Job list: per mix, one all-sizes pass per (fetch policy,
+	// organization). Each job writes only its own cell fields, so results
+	// are bit-identical regardless of the worker count.
 	type job struct {
-		mi    int
-		si    int  // -1 for the all-sizes demand jobs
-		split bool // organization of the demand job
+		mi       int
+		split    bool
+		prefetch bool
 	}
 	var jobs []job
 	for mi := range mixes {
-		jobs = append(jobs, job{mi, -1, true}, job{mi, -1, false})
-		for si := range o.Sizes {
-			jobs = append(jobs, job{mi: mi, si: si})
-		}
+		jobs = append(jobs,
+			job{mi, true, false}, job{mi, false, false},
+			job{mi, true, true}, job{mi, false, true})
 	}
 	err = forEachCtx(ctx, o.Workers, len(jobs), func(j int) error {
 		jb := jobs[j]
 		mix, refs := mixes[jb.mi], streams[jb.mi]
-		if jb.si < 0 {
-			if err := runDemandPass(ctx, o, mix, refs, jb.split, res.Cells[jb.mi]); err != nil {
-				return fmt.Errorf("sweep %s demand: %w", mix.Name, err)
+		if jb.prefetch {
+			if err := runPrefetchPass(ctx, o, mix, refs, jb.split, res.Cells[jb.mi]); err != nil {
+				return fmt.Errorf("sweep %s prefetch: %w", mix.Name, err)
 			}
 			return nil
 		}
-		size := o.Sizes[jb.si]
-		if err := runPrefetchCell(ctx, o, mix, refs, size, &res.Cells[jb.mi][jb.si]); err != nil {
-			return fmt.Errorf("sweep %s @%d: %w", mix.Name, size, err)
+		if err := runDemandPass(ctx, o, mix, refs, jb.split, res.Cells[jb.mi]); err != nil {
+			return fmt.Errorf("sweep %s demand: %w", mix.Name, err)
 		}
 		return nil
 	})
@@ -152,34 +152,26 @@ func runDemandPass(ctx context.Context, o Options, mix workload.Mix, refs []trac
 	return nil
 }
 
-// runPrefetchCell executes the two prefetch-always simulations of one grid
-// cell (split and unified) the classic way: prefetching violates stack
-// inclusion, so each size needs its own pass.
-func runPrefetchCell(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, size int, cell *SweepCell) error {
-	base := cache.Config{Size: size, LineSize: o.LineSize, Fetch: cache.PrefetchAlways}
-	for _, split := range []bool{true, false} {
-		sc := cache.SystemConfig{PurgeInterval: mix.Quantum}
+// runPrefetchPass executes one organization's prefetch-always simulations
+// at every size in a single fan-out pass and scatters the per-size results
+// into the mix's cell row.
+func runPrefetchPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split bool, row []SweepCell) error {
+	fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
+		Sizes: o.Sizes, LineSize: o.LineSize,
+		Split: split, PurgeInterval: mix.Quantum,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fs.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
+		return err
+	}
+	for si, r := range fs.Results() {
+		out := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
 		if split {
-			sc.Split = true
-			sc.I, sc.D = base, base
+			row[si].SplitPrefetch = out
 		} else {
-			sc.Unified = base
-		}
-		sys, err := cache.NewSystem(sc)
-		if err != nil {
-			return err
-		}
-		if _, err := sys.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
-			return err
-		}
-		out := SimOut{Ref: sys.RefStats()}
-		if split {
-			out.I = sys.ICache().Stats()
-			out.D = sys.DCache().Stats()
-			cell.SplitPrefetch = out
-		} else {
-			out.U = sys.Unified().Stats()
-			cell.UnifiedPrefetch = out
+			row[si].UnifiedPrefetch = out
 		}
 	}
 	return nil

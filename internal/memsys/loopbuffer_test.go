@@ -71,7 +71,7 @@ func TestLoopBufferReaderFilters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := trace.Collect(r, 0)
+	out, err := trace.Collect(r, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

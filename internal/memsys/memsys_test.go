@@ -127,7 +127,7 @@ func TestShapedReader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := trace.Collect(sr, 0)
+	out, err := trace.Collect(sr, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestShapedReaderLatchSkips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := trace.Collect(sr, 0)
+	out, err := trace.Collect(sr, 0, 0)
 	if err != nil || len(out) != 2 {
 		t.Fatalf("latched shaped = %d refs, %v", len(out), err)
 	}

@@ -34,40 +34,56 @@ type Metrics struct {
 	// answered from (respectively missing) the stream LRU.
 	StreamHits   expvar.Int
 	StreamMisses expvar.Int
+	// EvaluateRequests / SweepRequests count requests entering the two
+	// simulation endpoints, and EvaluateNs / SweepNs accumulate their
+	// wall-clock handler time (including memo hits and error paths), so the
+	// stream-LRU hit rates can be read against time actually spent.
+	EvaluateRequests expvar.Int
+	SweepRequests    expvar.Int
+	EvaluateNs       expvar.Int
+	SweepNs          expvar.Int
 }
 
 // MetricsSnapshot is a point-in-time copy of the counters, shaped for JSON.
 type MetricsSnapshot struct {
-	Requests      int64   `json:"requests"`
-	MemoHits      int64   `json:"memo_hits"`
-	MemoMisses    int64   `json:"memo_misses"`
-	FlightJoins   int64   `json:"flight_joins"`
-	InFlight      int64   `json:"in_flight"`
-	SimRuns       int64   `json:"sim_runs"`
-	SimSeconds    float64 `json:"sim_seconds"`
-	Timeouts      int64   `json:"timeouts"`
-	Errors        int64   `json:"errors"`
-	StreamHits    int64   `json:"stream_hits"`
-	StreamMisses  int64   `json:"stream_misses"`
-	MemoEntries   int     `json:"memo_entries"`
-	StreamEntries int     `json:"stream_entries"`
+	Requests         int64   `json:"requests"`
+	MemoHits         int64   `json:"memo_hits"`
+	MemoMisses       int64   `json:"memo_misses"`
+	FlightJoins      int64   `json:"flight_joins"`
+	InFlight         int64   `json:"in_flight"`
+	SimRuns          int64   `json:"sim_runs"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	Timeouts         int64   `json:"timeouts"`
+	Errors           int64   `json:"errors"`
+	StreamHits       int64   `json:"stream_hits"`
+	StreamMisses     int64   `json:"stream_misses"`
+	EvaluateRequests int64   `json:"evaluate_requests"`
+	SweepRequests    int64   `json:"sweep_requests"`
+	EvaluateNsTotal  int64   `json:"evaluate_ns_total"`
+	SweepNsTotal     int64   `json:"sweep_ns_total"`
+	MemoEntries      int     `json:"memo_entries"`
+	StreamEntries    int     `json:"stream_entries"`
 }
 
 // Snapshot copies the current counter values. The memo entry count is read
 // under the server's lock by the caller (see Server.snapshot).
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Requests:     m.Requests.Value(),
-		MemoHits:     m.MemoHits.Value(),
-		MemoMisses:   m.MemoMisses.Value(),
-		FlightJoins:  m.FlightJoins.Value(),
-		InFlight:     m.InFlight.Value(),
-		SimRuns:      m.SimRuns.Value(),
-		SimSeconds:   m.SimSeconds.Value(),
-		Timeouts:     m.Timeouts.Value(),
-		Errors:       m.Errors.Value(),
-		StreamHits:   m.StreamHits.Value(),
-		StreamMisses: m.StreamMisses.Value(),
+		Requests:         m.Requests.Value(),
+		MemoHits:         m.MemoHits.Value(),
+		MemoMisses:       m.MemoMisses.Value(),
+		FlightJoins:      m.FlightJoins.Value(),
+		InFlight:         m.InFlight.Value(),
+		SimRuns:          m.SimRuns.Value(),
+		SimSeconds:       m.SimSeconds.Value(),
+		Timeouts:         m.Timeouts.Value(),
+		Errors:           m.Errors.Value(),
+		StreamHits:       m.StreamHits.Value(),
+		StreamMisses:     m.StreamMisses.Value(),
+		EvaluateRequests: m.EvaluateRequests.Value(),
+		SweepRequests:    m.SweepRequests.Value(),
+		EvaluateNsTotal:  m.EvaluateNs.Value(),
+		SweepNsTotal:     m.SweepNs.Value(),
 	}
 }
 

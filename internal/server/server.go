@@ -206,6 +206,9 @@ type EvaluateResponse struct {
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.EvaluateRequests.Add(1)
+	t0 := time.Now()
+	defer func() { s.metrics.EvaluateNs.Add(time.Since(t0).Nanoseconds()) }()
 	var req EvaluateRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -305,6 +308,9 @@ type SweepResponse struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SweepRequests.Add(1)
+	t0 := time.Now()
+	defer func() { s.metrics.SweepNs.Add(time.Since(t0).Nanoseconds()) }()
 	var req SweepRequest
 	if !s.decode(w, r, &req) {
 		return

@@ -141,6 +141,12 @@ func TestEvaluateEndToEnd(t *testing.T) {
 	if snap.SimSeconds <= 0 {
 		t.Errorf("sim_seconds not accounted: %+v", snap)
 	}
+	if snap.EvaluateRequests != 2 || snap.SweepRequests != 0 {
+		t.Errorf("endpoint counters: %+v, want 2 evaluate / 0 sweep", snap)
+	}
+	if snap.EvaluateNsTotal <= 0 || snap.SweepNsTotal != 0 {
+		t.Errorf("endpoint timers: %+v, want evaluate_ns_total > 0 only", snap)
+	}
 
 	// A different ref_limit is a different key.
 	code, b = post(t, hs.URL+"/v1/evaluate", `{"mix":"FGO1","ref_limit":10000}`)
@@ -204,7 +210,7 @@ func TestSingleflightDedup(t *testing.T) {
 }
 
 func TestSweepEndToEnd(t *testing.T) {
-	_, hs := newTestServer(t, Config{})
+	s, hs := newTestServer(t, Config{})
 	body := `{"mixes":["FGO1","CGO1"],"sizes":[1024,4096],"ref_limit":20000}`
 	code, b := post(t, hs.URL+"/v1/sweep", body)
 	if code != http.StatusOK {
@@ -227,6 +233,10 @@ func TestSweepEndToEnd(t *testing.T) {
 	// Bigger cache must not miss more on the same workload.
 	if res.Cells[0][1].UnifiedDemand.MissRatio > res.Cells[0][0].UnifiedDemand.MissRatio {
 		t.Errorf("4K misses more than 1K: %+v", res.Cells[0])
+	}
+	snap := s.snapshot()
+	if snap.SweepRequests != 1 || snap.SweepNsTotal <= 0 {
+		t.Errorf("sweep endpoint metrics: %+v, want 1 request with time accounted", snap)
 	}
 }
 

@@ -61,10 +61,14 @@ func (s *Server) mixStreamTotal(ctx context.Context, mix workload.Mix, refLimit 
 			return nil, err
 		}
 		var lim trace.Reader = rd
+		hint := mix.TotalRefs()
 		if refLimit > 0 {
 			lim = trace.NewLimitReader(rd, refLimit)
+			if refLimit < hint {
+				hint = refLimit
+			}
 		}
-		return trace.Collect(trace.NewContextReader(ctx, lim), 0)
+		return trace.Collect(trace.NewContextReader(ctx, lim), 0, hint)
 	})
 }
 

@@ -31,7 +31,7 @@ func TestTextRoundTrip(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Collect(NewTextReader(&buf), 0)
+	got, err := Collect(NewTextReader(&buf), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ r 200 8
 1 500 1
 w ff
 `)
-	got, err := Collect(NewTextReader(in), 0)
+	got, err := Collect(NewTextReader(in), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Collect(NewBinaryReader(&buf), 0)
+	got, err := Collect(NewBinaryReader(&buf), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,8 +209,8 @@ func TestCodecQuickRoundTrip(t *testing.T) {
 		if tw.Flush() != nil || bw.Flush() != nil {
 			return false
 		}
-		gt, err1 := Collect(NewTextReader(&tb), 0)
-		gb, err2 := Collect(NewBinaryReader(&bb), 0)
+		gt, err1 := Collect(NewTextReader(&tb), 0, 0)
+		gb, err2 := Collect(NewBinaryReader(&bb), 0, 0)
 		if err1 != nil || err2 != nil || len(gt) != len(refs) || len(gb) != len(refs) {
 			return false
 		}

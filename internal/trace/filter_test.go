@@ -19,7 +19,7 @@ func TestLimitReader(t *testing.T) {
 	if l.Remaining() != 3 {
 		t.Fatalf("Remaining = %d", l.Remaining())
 	}
-	got, err := Collect(l, 0)
+	got, err := Collect(l, 0, 0)
 	if err != nil || len(got) != 3 {
 		t.Fatalf("Collect = %d, %v", len(got), err)
 	}
@@ -46,7 +46,7 @@ func TestConcat(t *testing.T) {
 	a := NewSliceReader([]Ref{{Addr: 1}, {Addr: 2}})
 	b := NewSliceReader(nil)
 	c := NewSliceReader([]Ref{{Addr: 3}})
-	got, err := Collect(NewConcat(a, b, c), 0)
+	got, err := Collect(NewConcat(a, b, c), 0, 0)
 	if err != nil || len(got) != 3 {
 		t.Fatalf("Collect = %d, %v", len(got), err)
 	}
@@ -65,16 +65,16 @@ func TestFilterAndOnly(t *testing.T) {
 		{Addr: 1, Kind: IFetch}, {Addr: 2, Kind: Read},
 		{Addr: 3, Kind: Write}, {Addr: 4, Kind: IFetch},
 	}
-	got, _ := Collect(OnlyKind(NewSliceReader(refs), IFetch), 0)
+	got, _ := Collect(OnlyKind(NewSliceReader(refs), IFetch), 0, 0)
 	if len(got) != 2 || got[0].Addr != 1 || got[1].Addr != 4 {
 		t.Fatalf("OnlyKind(IFetch) = %+v", got)
 	}
-	got, _ = Collect(OnlyData(NewSliceReader(refs)), 0)
+	got, _ = Collect(OnlyData(NewSliceReader(refs)), 0, 0)
 	if len(got) != 2 || got[0].Kind != Read || got[1].Kind != Write {
 		t.Fatalf("OnlyData = %v", kinds(got))
 	}
 	odd := NewFilterReader(NewSliceReader(refs), func(r Ref) bool { return r.Addr%2 == 1 })
-	got, _ = Collect(odd, 0)
+	got, _ = Collect(odd, 0, 0)
 	if len(got) != 2 {
 		t.Fatalf("odd filter = %d refs", len(got))
 	}
@@ -86,12 +86,12 @@ func TestMapAndRebase(t *testing.T) {
 		r.Addr *= 2
 		return r
 	})
-	got, _ := Collect(dbl, 0)
+	got, _ := Collect(dbl, 0, 0)
 	if got[0].Addr != 0x20 || got[1].Addr != 0x40 {
 		t.Fatalf("MapReader = %+v", got)
 	}
 	base := uint64(7) << 33
-	got, _ = Collect(Rebase(NewSliceReader(refs), base), 0)
+	got, _ = Collect(Rebase(NewSliceReader(refs), base), 0, 0)
 	for i, r := range got {
 		if r.Addr != refs[i].Addr|base {
 			t.Errorf("Rebase ref %d = %#x", i, r.Addr)
@@ -106,8 +106,8 @@ func TestRebaseDisjoint(t *testing.T) {
 	// Two streams with identical addresses must not alias after rebasing
 	// with distinct bases — the multiprogramming requirement.
 	refs := []Ref{{Addr: 0x4000_0000}}
-	a, _ := Collect(Rebase(NewSliceReader(refs), 1<<33), 0)
-	b, _ := Collect(Rebase(NewSliceReader(refs), 2<<33), 0)
+	a, _ := Collect(Rebase(NewSliceReader(refs), 1<<33), 0, 0)
+	b, _ := Collect(Rebase(NewSliceReader(refs), 2<<33), 0, 0)
 	if a[0].Addr == b[0].Addr {
 		t.Fatal("rebased streams alias")
 	}
@@ -120,7 +120,7 @@ func TestTeeReader(t *testing.T) {
 	var rec Recorder
 	src := NewSliceReader([]Ref{{Addr: 1}, {Addr: 2}})
 	tee := NewTeeReader(src, &rec)
-	got, err := Collect(tee, 0)
+	got, err := Collect(tee, 0, 0)
 	if err != nil || len(got) != 2 || len(rec.Refs) != 2 {
 		t.Fatalf("tee: %d read, %d recorded, %v", len(got), len(rec.Refs), err)
 	}

@@ -19,7 +19,7 @@ func TestInterleaverRoundRobin(t *testing.T) {
 		Source{Name: "a", Reader: tagged(1, 4)},
 		Source{Name: "b", Reader: tagged(2, 4)},
 	)
-	got, err := Collect(il, 0)
+	got, err := Collect(il, 0, 0)
 	if err != nil || len(got) != 8 {
 		t.Fatalf("Collect = %d, %v", len(got), err)
 	}
@@ -38,7 +38,7 @@ func TestInterleaverOnSwitch(t *testing.T) {
 	)
 	var switches []int
 	il.OnSwitch(func(from, to int) { switches = append(switches, to) })
-	if _, err := Collect(il, 0); err != nil {
+	if _, err := Collect(il, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	// 12 refs at quantum 3: switches after refs 3, 6, 9, 12 and drops.
@@ -52,7 +52,7 @@ func TestInterleaverDropsExhausted(t *testing.T) {
 		Source{Reader: tagged(1, 2)}, // exhausted after first quantum
 		Source{Reader: tagged(2, 6)},
 	)
-	got, err := Collect(il, 0)
+	got, err := Collect(il, 0, 0)
 	if err != nil || len(got) != 8 {
 		t.Fatalf("Collect = %d, %v", len(got), err)
 	}
@@ -77,7 +77,7 @@ func TestInterleaverRestart(t *testing.T) {
 		return tagged(1, 2)
 	}
 	il := NewInterleaver(4, Source{Reader: tagged(1, 2), Restart: restart})
-	got, err := Collect(il, 20)
+	got, err := Collect(il, 20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestInterleaverSingleSourceNoSwitch(t *testing.T) {
 	il := NewInterleaver(2, Source{Reader: tagged(1, 5)})
 	fired := false
 	il.OnSwitch(func(from, to int) { fired = true })
-	got, err := Collect(il, 0)
+	got, err := Collect(il, 0, 0)
 	if err != nil || len(got) != 5 {
 		t.Fatalf("Collect = %d, %v", len(got), err)
 	}
@@ -105,7 +105,7 @@ func TestInterleaverSingleSourceNoSwitch(t *testing.T) {
 
 func TestInterleaverQuantumClamp(t *testing.T) {
 	il := NewInterleaver(0, Source{Reader: tagged(1, 3)})
-	got, err := Collect(il, 0)
+	got, err := Collect(il, 0, 0)
 	if err != nil || len(got) != 3 {
 		t.Fatalf("quantum clamp: %d, %v", len(got), err)
 	}
@@ -124,7 +124,7 @@ func TestInterleaverPreservesTotalRefs(t *testing.T) {
 		Source{Reader: tagged(2, 29)},
 		Source{Reader: tagged(3, 5)},
 	)
-	got, err := Collect(il, 0)
+	got, err := Collect(il, 0, 0)
 	if err != nil || len(got) != 13+29+5 {
 		t.Fatalf("total = %d, want 47 (%v)", len(got), err)
 	}

@@ -139,9 +139,17 @@ func (rec *Recorder) Reader() *SliceReader { return NewSliceReader(rec.Refs) }
 
 // Collect drains r into a slice, stopping at io.EOF or after max references
 // when max > 0. Any error other than io.EOF is returned with the references
-// read so far.
-func Collect(r Reader, max int) ([]Ref, error) {
+// read so far. capHint, when positive, pre-sizes the slice so callers that
+// know the stream length (or its cap) avoid append-growth copies; when max
+// is also set the allocation never exceeds max.
+func Collect(r Reader, max, capHint int) ([]Ref, error) {
 	var out []Ref
+	if capHint > 0 {
+		if max > 0 && capHint > max {
+			capHint = max
+		}
+		out = make([]Ref, 0, capHint)
+	}
 	for max <= 0 || len(out) < max {
 		ref, err := r.Read()
 		if err == io.EOF {

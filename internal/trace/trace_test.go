@@ -99,7 +99,7 @@ func TestRecorder(t *testing.T) {
 		}
 	}
 	rd := rec.Reader()
-	got, err := Collect(rd, 0)
+	got, err := Collect(rd, 0, 0)
 	if err != nil || len(got) != 5 {
 		t.Fatalf("Collect = %d refs, %v", len(got), err)
 	}
@@ -112,9 +112,34 @@ func TestRecorder(t *testing.T) {
 
 func TestCollectMax(t *testing.T) {
 	r := NewSliceReader(make([]Ref, 10))
-	got, err := Collect(r, 4)
+	got, err := Collect(r, 4, 0)
 	if err != nil || len(got) != 4 {
 		t.Fatalf("Collect(max=4) = %d, %v", len(got), err)
+	}
+}
+
+func TestCollectCapHint(t *testing.T) {
+	refs := make([]Ref, 100)
+	// An accurate hint materializes the stream in one allocation.
+	got, err := Collect(NewSliceReader(refs), 0, 100)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("Collect(hint=100) = %d, %v", len(got), err)
+	}
+	if cap(got) != 100 {
+		t.Errorf("cap = %d, want exactly 100", cap(got))
+	}
+	// A hint beyond max is clamped: never allocate more than max refs.
+	got, err = Collect(NewSliceReader(refs), 10, 1000)
+	if err != nil || len(got) != 10 {
+		t.Fatalf("Collect(max=10, hint=1000) = %d, %v", len(got), err)
+	}
+	if cap(got) != 10 {
+		t.Errorf("cap = %d, want clamp to max 10", cap(got))
+	}
+	// An undersized hint still collects everything.
+	got, err = Collect(NewSliceReader(refs), 0, 7)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("Collect(hint=7) = %d, %v", len(got), err)
 	}
 }
 
@@ -128,7 +153,7 @@ func TestCollectError(t *testing.T) {
 		}
 		return Ref{Addr: uint64(n)}, nil
 	})
-	got, err := Collect(r, 0)
+	got, err := Collect(r, 0, 0)
 	if err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}

@@ -54,7 +54,7 @@ func TestCorpusCalibration(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		refs, err := trace.Collect(trace.NewLimitReader(rd, calibRefs), 0)
+		refs, err := trace.Collect(trace.NewLimitReader(rd, calibRefs), 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

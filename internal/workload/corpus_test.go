@@ -159,7 +159,7 @@ func TestSpecOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refs, err := trace.Collect(rd, 0)
+	refs, err := trace.Collect(rd, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +173,8 @@ func TestSpecOpen(t *testing.T) {
 
 func TestSpecOpenDeterministic(t *testing.T) {
 	s, _ := ByName("PLO")
-	a, _ := trace.Collect(s.MustOpen(), 100)
-	b, _ := trace.Collect(s.MustOpen(), 100)
+	a, _ := trace.Collect(s.MustOpen(), 100, 0)
+	b, _ := trace.Collect(s.MustOpen(), 100, 0)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("corpus trace not reproducible")

@@ -73,7 +73,7 @@ func TestMixOpenSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refs, err := trace.Collect(rd, 0)
+	refs, err := trace.Collect(rd, 0, 0)
 	if err != nil || len(refs) != single.Specs[0].Refs {
 		t.Fatalf("single mix = %d refs, %v", len(refs), err)
 	}
@@ -91,7 +91,7 @@ func TestMixOpenInterleavesAndRebases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refs, err := trace.Collect(rd, 0)
+	refs, err := trace.Collect(rd, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestMixDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		refs, _ := trace.Collect(rd, 2000)
+		refs, _ := trace.Collect(rd, 2000, 0)
 		return refs
 	}
 	a, b := open(), open()

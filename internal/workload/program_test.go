@@ -59,7 +59,7 @@ func TestProgramDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		refs, _ := trace.Collect(trace.NewLimitReader(g, 3000), 0)
+		refs, _ := trace.Collect(trace.NewLimitReader(g, 3000), 0, 0)
 		return refs
 	}
 	a, b := read(), read()
