@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test test-short test-race bench bench-smoke benchjson benchcheck repro serve examples fmt clean
+.PHONY: all ci build vet fmt-check test test-short test-race bench bench-smoke benchjson benchcheck fuzz cover repro serve examples fmt clean
 
 # `all` is `ci` plus the full (non-short) test suite; vet/gofmt run once via
 # the ci target rather than being listed twice.
@@ -58,6 +58,24 @@ BENCHTHRESHOLD ?= 1.5
 benchcheck:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson -against BENCH_3.json -threshold $(BENCHTHRESHOLD)
+
+# Fuzz smoke: run every Fuzz* target in the packages that define them for
+# FUZZTIME each (native go fuzzing; seeds always run under plain `go test`).
+FUZZTIME ?= 30s
+FUZZPKGS = ./internal/trace ./internal/cache ./internal/server
+fuzz:
+	@set -e; for pkg in $(FUZZPKGS); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "=== fuzz $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
+# Coverage profile over the short suite (the conformance harness drives the
+# simulators hard enough that short mode is representative).
+cover:
+	$(GO) test -short -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # Regenerate every table and figure at the paper's run lengths (~1 min).
 repro:

@@ -16,8 +16,15 @@ import (
 )
 
 // benchOpts is the reduced-scale configuration for artifact benchmarks.
+// -short drops the budget another order of magnitude so CI bench smokes
+// (one iteration per benchmark) finish in seconds; absolute numbers from
+// short runs are not comparable to full ones.
 func benchOpts() experiments.Options {
-	return experiments.Options{RefLimit: 50000}
+	o := experiments.Options{RefLimit: 50000}
+	if testing.Short() {
+		o.RefLimit = 5000
+	}
+	return o
 }
 
 func BenchmarkTable1(b *testing.B) {
@@ -150,9 +157,13 @@ func BenchmarkReplacementAblation(b *testing.B) {
 
 // --- microbenchmarks of the hot paths ---
 
-// benchRefs materializes a workload once for the cache microbenchmarks.
+// benchRefs materializes a workload once for the cache microbenchmarks,
+// at a tenth of the requested length under -short.
 func benchRefs(b *testing.B, name string, n int) []trace.Ref {
 	b.Helper()
+	if testing.Short() {
+		n /= 10
+	}
 	spec, err := workload.ByName(name)
 	if err != nil {
 		b.Fatal(err)

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -86,8 +87,11 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 // record ("after" when present, else "before"). Only benchmarks present on
 // both sides are compared — absolute timings are machine-specific, so this
 // gate is about catching same-machine regressions, and a missing benchmark
-// is the bench-smoke job's concern, not this one's. Any shared benchmark
-// whose ns/op exceeds baseline·threshold fails the run.
+// is the bench-smoke job's concern, not this one's; one-sided benchmarks
+// are reported as notes rather than silently dropped. Shared benchmarks
+// with an unusable timing on either side (zero, negative or NaN ns/op) are
+// skipped with an explicit note — they carry no regression signal. Any
+// remaining benchmark whose ns/op exceeds baseline·threshold fails the run.
 func compare(results map[string]Result, against string, threshold float64, stderr io.Writer) error {
 	if threshold <= 0 {
 		return fmt.Errorf("-threshold must be positive, got %v", threshold)
@@ -107,22 +111,40 @@ func compare(results map[string]Result, against string, threshold float64, stder
 	if len(base) == 0 {
 		return fmt.Errorf("%s has no \"after\" or \"before\" record", against)
 	}
-	names := make([]string, 0, len(results))
+	var names, onlyHere, onlyBase []string
 	for name := range results {
 		if _, ok := base[name]; ok {
 			names = append(names, name)
+		} else {
+			onlyHere = append(onlyHere, name)
+		}
+	}
+	for name := range base {
+		if _, ok := results[name]; !ok {
+			onlyBase = append(onlyBase, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(onlyHere)
+	sort.Strings(onlyBase)
+	for _, name := range onlyHere {
+		fmt.Fprintf(stderr, "%-28s note: not in baseline, not compared\n", name)
+	}
+	for _, name := range onlyBase {
+		fmt.Fprintf(stderr, "%-28s note: in baseline but absent from this run\n", name)
+	}
 	if len(names) == 0 {
 		return fmt.Errorf("no benchmarks shared with %s", against)
 	}
-	regressed := 0
+	regressed, compared := 0, 0
 	for _, name := range names {
 		got, want := results[name].NsPerOp, base[name].NsPerOp
-		if want <= 0 {
+		if want <= 0 || math.IsNaN(want) || math.IsNaN(got) {
+			fmt.Fprintf(stderr, "%-28s skipped: unusable timing (%v ns/op, baseline %v)\n",
+				name, got, want)
 			continue
 		}
+		compared++
 		ratio := got / want
 		status := "ok"
 		if ratio > threshold {
@@ -132,9 +154,12 @@ func compare(results map[string]Result, against string, threshold float64, stder
 		fmt.Fprintf(stderr, "%-28s %12.0f ns/op  baseline %12.0f  ratio %.2f  %s\n",
 			name, got, want, ratio, status)
 	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable timings shared with %s", against)
+	}
 	if regressed > 0 {
 		return fmt.Errorf("%d of %d benchmarks regressed past %.2fx of %s",
-			regressed, len(names), threshold, against)
+			regressed, compared, threshold, against)
 	}
 	return nil
 }

@@ -118,6 +118,73 @@ func TestCompareMode(t *testing.T) {
 	}
 }
 
+// TestCompareEdgeCases pins the one-sided and unusable-timing behaviour:
+// benchmarks on only one side are noted but never fail the gate, timings
+// with no regression signal (zero or NaN ns/op) are skipped with an
+// explicit note, and a comparison where nothing usable remains is an error
+// rather than a silent pass.
+func TestCompareEdgeCases(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH.json")
+	baseInput := sampleOutput + "BenchmarkZero 	  10	 0 ns/op\n"
+	if err := run([]string{"-key", "after", "-o", base},
+		strings.NewReader(baseInput), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		input    string
+		wantErr  string // substring of the returned error; empty = must pass
+		wantNote string // substring that must appear on stderr
+	}{
+		{
+			name:     "candidate-only benchmark is noted, not compared",
+			input:    sampleOutput + "BenchmarkNew 	  10	 999 ns/op\n",
+			wantNote: "BenchmarkNew                 note: not in baseline",
+		},
+		{
+			name:     "baseline-only benchmark is noted, not a failure",
+			input:    "BenchmarkNoMem 	     100	     12345 ns/op\n",
+			wantNote: "BenchmarkTable3              note: in baseline but absent",
+		},
+		{
+			name:     "zero baseline ns is skipped with a note",
+			input:    sampleOutput + "BenchmarkZero 	  10	 777 ns/op\n",
+			wantNote: "BenchmarkZero                skipped: unusable timing",
+		},
+		{
+			name:     "NaN candidate ns is skipped, not silently passed",
+			input:    strings.ReplaceAll(sampleOutput, "     12345 ns/op", "     NaN ns/op"),
+			wantNote: "BenchmarkNoMem               skipped: unusable timing",
+		},
+		{
+			name:    "nothing comparable is an error",
+			input:   "BenchmarkZero 	  10	 777 ns/op\n",
+			wantErr: "no comparable timings",
+		},
+		{
+			name:    "nothing shared is an error",
+			input:   "BenchmarkOther 	  10	 100 ns/op\n",
+			wantErr: "no benchmarks shared",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			err := run([]string{"-against", base}, strings.NewReader(tc.input), &stderr)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v\nstderr:\n%s", err, stderr.String())
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+			if tc.wantNote != "" && !strings.Contains(stderr.String(), tc.wantNote) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantNote, stderr.String())
+			}
+		})
+	}
+}
+
 func TestCompareModeErrors(t *testing.T) {
 	dir := t.TempDir()
 	if err := run([]string{"-against", filepath.Join(dir, "missing.json")},

@@ -132,6 +132,10 @@ func TestWritePolicyMissEquivalence(t *testing.T) {
 // can only add misses. This is why Table 1 (unpurged) bounds the purged
 // §3.4 figures from below.
 func TestPurgingNeverHelps(t *testing.T) {
+	maxCount := 5
+	if testing.Short() {
+		maxCount = 2
+	}
 	f := func(seed int64) bool {
 		p := workload.Archs()[workload.VAX].Defaults
 		p.CodeLines, p.DataLines = 150, 250
@@ -157,7 +161,7 @@ func TestPurgingNeverHelps(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
 		t.Error(err)
 	}
 }
@@ -192,6 +196,11 @@ func TestSplitConservation(t *testing.T) {
 // claim: "prefetching seems to always cut the instruction fetch miss
 // ratio, and for large cache sizes (>2K) always by more than 50%".
 func TestPrefetchCutsLargeCacheInstructionMisses(t *testing.T) {
+	if testing.Short() {
+		// The >50% figure only emerges at paper-scale run lengths; shorter
+		// runs leave the 8K cache cold and the cut below threshold.
+		t.Skip("needs 100k-reference runs per trace")
+	}
 	for _, name := range []string{"FGO1", "VCCOM", "ZVI", "TWOD1"} {
 		refs := corpusRefs(t, name, 100000)
 		cfg := cache.Config{Size: 8192, LineSize: 16}
@@ -238,13 +247,17 @@ func TestExperimentDeterminismAcrossWorkers(t *testing.T) {
 // survive into another member's quantum via the cache (they are rebased,
 // so any hit across a switch would be a bug in rebasing or purging).
 func TestMixPurgeIsolation(t *testing.T) {
+	memberRefs := 20000
+	if testing.Short() {
+		memberRefs = 5000 // one quantum per member still crosses a switch
+	}
 	m := workload.Mix{Name: "iso", Quantum: 5000}
 	for _, n := range []string{"PLO", "MATCH"} {
 		s, err := workload.ByName(n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Refs = 20000
+		s.Refs = memberRefs
 		m.Specs = append(m.Specs, s)
 	}
 	rd, err := m.Open()

@@ -1,0 +1,7 @@
+package cache
+
+// CheckInvariants exposes the internal consistency checker to the external
+// conformance tests in package cache_test (and, through them, the simcheck
+// harness): list linkage, index agreement, set mapping, dirty-implies-valid
+// and the resident count.
+func (c *Cache) CheckInvariants() error { return c.checkInvariants() }

@@ -1,56 +1,18 @@
-package cache
+package cache_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
 	"cacheeval/internal/trace"
 )
 
-// prefetchReferenceRun drives the classic per-size System with
-// prefetch-always over refs and returns its results in SizeResult shape —
-// the behavioural oracle for FanoutSystem.
-func prefetchReferenceRun(t *testing.T, refs []trace.Ref, cfg FanoutConfig) []SizeResult {
-	t.Helper()
-	out := make([]SizeResult, len(cfg.Sizes))
-	for i, size := range cfg.Sizes {
-		base := Config{Size: size, LineSize: cfg.LineSize, Fetch: PrefetchAlways}
-		sc := SystemConfig{PurgeInterval: cfg.PurgeInterval}
-		if cfg.Split {
-			sc.Split = true
-			sc.I, sc.D = base, base
-		} else {
-			sc.Unified = base
-		}
-		sys, err := NewSystem(sc)
-		if err != nil {
-			t.Fatalf("size %d: %v", size, err)
-		}
-		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
-			t.Fatal(err)
-		}
-		out[i] = SizeResult{Size: size, Ref: sys.RefStats()}
-		if cfg.Split {
-			out[i].I = sys.ICache().Stats()
-			out[i].D = sys.DCache().Stats()
-		} else {
-			out[i].U = sys.Unified().Stats()
-		}
-	}
-	return out
-}
-
-// fanoutRun drives the one-pass fan-out engine over refs.
-func fanoutRun(t *testing.T, refs []trace.Ref, cfg FanoutConfig) []SizeResult {
-	t.Helper()
-	fs, err := NewFanoutSystem(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := fs.Run(trace.NewSliceReader(refs), 0); err != nil {
-		t.Fatal(err)
-	}
-	return fs.Results()
+// prefetchGrid is a demand grid flipped to prefetch-always.
+func prefetchGrid(sizes []int, lineSize int, split bool) simcheck.Grid {
+	return simcheck.Grid{Sizes: sizes, LineSize: lineSize, Split: split, Prefetch: true}
 }
 
 // TestFanoutMatchesPerSizeRuns is the deterministic equivalence oracle:
@@ -65,22 +27,20 @@ func TestFanoutMatchesPerSizeRuns(t *testing.T) {
 	}
 	quanta := []int{0, 37, 500}
 	for seed := int64(1); seed <= 4; seed++ {
-		refs := synthStream(seed, 4000)
+		refs := simcheck.Stream(seed, 4000)
 		for _, sizes := range sizeGrids {
 			for _, q := range quanta {
 				for _, split := range []bool{false, true} {
-					cfg := FanoutConfig{Sizes: sizes, LineSize: 16, Split: split, PurgeInterval: q}
-					got := fanoutRun(t, refs, cfg)
-					want := prefetchReferenceRun(t, refs, cfg)
-					label := "unified"
-					if split {
-						label = "split"
+					g := prefetchGrid(sizes, 16, split)
+					w := simcheck.Workload{
+						Name:    fmt.Sprintf("synth(seed=%d,q=%d)", seed, q),
+						Refs:    refs,
+						Quantum: q,
 					}
-					compareRuns(t, label, got, want)
-					if t.Failed() {
-						t.Fatalf("divergence at seed=%d sizes=%v quantum=%d split=%v",
-							seed, sizes, q, split)
-					}
+					got := conform(t, simcheck.FanoutEngine{}, g, w)
+					want := conform(t, simcheck.SystemEngine{}, g, w)
+					label := fmt.Sprintf("seed=%d sizes=%v quantum=%d split=%v", seed, sizes, q, split)
+					mustCompare(t, label, got, want)
 				}
 			}
 		}
@@ -90,38 +50,24 @@ func TestFanoutMatchesPerSizeRuns(t *testing.T) {
 // TestFanoutRandomizedEquivalence sweeps randomly drawn configurations —
 // stream shape, line size, size set, organization, and purge quantum
 // (including the paper's M68000 15,000-reference quantum) — through the
-// fan-out engine and the per-size oracle. The generator is seeded so
-// failures reproduce.
+// fan-out engine, the per-size production path, and the naive reference
+// model. The generator is seeded so failures reproduce.
 func TestFanoutRandomizedEquivalence(t *testing.T) {
 	trials := 12
-	streamLen := 4000
 	if testing.Short() {
 		trials = 5
 	}
 	rng := rand.New(rand.NewSource(99))
-	quanta := []int{0, 15000, 20000, 53, 800}
 	for trial := 0; trial < trials; trial++ {
-		lineSize := 4 << rng.Intn(4) // 4..32 bytes
-		var sizes []int
-		for n := 1 + rng.Intn(5); len(sizes) < n; {
-			sizes = append(sizes, lineSize<<rng.Intn(10))
-		}
-		q := quanta[rng.Intn(len(quanta))]
-		n := streamLen
-		if q > streamLen {
-			// Make sure large quanta (the M68000's 15,000) actually purge.
-			n = q*2 + 500
-		}
-		refs := synthStream(rng.Int63(), n)
-		cfg := FanoutConfig{
-			Sizes: sizes, LineSize: lineSize,
-			Split: rng.Intn(2) == 0, PurgeInterval: q,
-		}
-		got := fanoutRun(t, refs, cfg)
-		want := prefetchReferenceRun(t, refs, cfg)
-		compareRuns(t, "randomized", got, want)
-		if t.Failed() {
-			t.Fatalf("divergence at trial=%d cfg=%+v", trial, cfg)
+		g := simcheck.RandGrid(rng, true)
+		w := simcheck.RandWorkload(rng, 4000)
+		got := conform(t, simcheck.FanoutEngine{}, g, w)
+		want := conform(t, simcheck.SystemEngine{}, g, w)
+		mustCompare(t, fmt.Sprintf("trial=%d grid=%+v workload=%s", trial, g, w.Name), got, want)
+		if trial%4 == 0 {
+			// The naive model is slow; spot-check it on a quarter of trials.
+			ref := conform(t, simcheck.ReferenceEngine{}, g, w)
+			mustCompare(t, fmt.Sprintf("trial=%d vs reference", trial), got, ref)
 		}
 	}
 }
@@ -129,12 +75,13 @@ func TestFanoutRandomizedEquivalence(t *testing.T) {
 // TestFanoutUnsortedDuplicateSizes checks that result order follows the
 // requested size order even when it is unsorted and contains duplicates.
 func TestFanoutUnsortedDuplicateSizes(t *testing.T) {
-	refs := synthStream(9, 2000)
-	cfg := FanoutConfig{Sizes: []int{1024, 32, 1024, 256}, LineSize: 16, PurgeInterval: 100}
-	got := fanoutRun(t, refs, cfg)
-	want := prefetchReferenceRun(t, refs, cfg)
-	compareRuns(t, "dup", got, want)
-	if got[0].U != got[2].U {
+	refs := simcheck.Stream(9, 2000)
+	g := prefetchGrid([]int{1024, 32, 1024, 256}, 16, false)
+	w := simcheck.Workload{Name: "dup", Refs: refs, Quantum: 100}
+	got := conform(t, simcheck.FanoutEngine{}, g, w)
+	want := conform(t, simcheck.SystemEngine{}, g, w)
+	mustCompare(t, "dup", got, want)
+	if got.Results[0].U != got.Results[2].U {
 		t.Error("duplicate sizes must report identical stats")
 	}
 }
@@ -143,26 +90,34 @@ func TestFanoutUnsortedDuplicateSizes(t *testing.T) {
 // the engine keeps simulating and a later snapshot matches an oracle over
 // the longer stream.
 func TestFanoutResultsSnapshot(t *testing.T) {
-	refs := synthStream(3, 3000)
-	cfg := FanoutConfig{Sizes: []int{64, 512}, LineSize: 16, PurgeInterval: 250}
-	fs, err := NewFanoutSystem(cfg)
+	refs := simcheck.Stream(3, 3000)
+	cfg := cache.FanoutConfig{Sizes: []int{64, 512}, LineSize: 16, PurgeInterval: 250}
+	g := prefetchGrid(cfg.Sizes, cfg.LineSize, false)
+	fs, err := cache.NewFanoutSystem(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fs.Run(trace.NewSliceReader(refs[:1000]), 0); err != nil {
 		t.Fatal(err)
 	}
-	mid := fs.Results()
-	compareRuns(t, "snapshot-mid", mid, prefetchReferenceRun(t, refs[:1000], cfg))
+	mid := &simcheck.Outcome{Engine: "fanout", Grid: g,
+		Workload: simcheck.Workload{Refs: refs[:1000], Quantum: cfg.PurgeInterval},
+		Results:  fs.Results(), Purges: fs.Purges()}
+	mustCompare(t, "snapshot-mid", mid,
+		conform(t, simcheck.SystemEngine{}, g, simcheck.Workload{Name: "mid", Refs: refs[:1000], Quantum: cfg.PurgeInterval}))
 	if _, err := fs.Run(trace.NewSliceReader(refs[1000:]), 0); err != nil {
 		t.Fatal(err)
 	}
-	compareRuns(t, "snapshot-end", fs.Results(), prefetchReferenceRun(t, refs, cfg))
+	end := &simcheck.Outcome{Engine: "fanout", Grid: g,
+		Workload: simcheck.Workload{Refs: refs, Quantum: cfg.PurgeInterval},
+		Results:  fs.Results(), Purges: fs.Purges()}
+	mustCompare(t, "snapshot-end", end,
+		conform(t, simcheck.SystemEngine{}, g, simcheck.Workload{Name: "end", Refs: refs, Quantum: cfg.PurgeInterval}))
 }
 
 // TestFanoutValidation mirrors the per-size construction errors.
 func TestFanoutValidation(t *testing.T) {
-	cases := []FanoutConfig{
+	cases := []cache.FanoutConfig{
 		{Sizes: nil, LineSize: 16},
 		{Sizes: []int{100}, LineSize: 16}, // not a power of two
 		{Sizes: []int{8}, LineSize: 16},   // line larger than cache
@@ -170,7 +125,7 @@ func TestFanoutValidation(t *testing.T) {
 		{Sizes: []int{64}, LineSize: 16, PurgeInterval: -1},
 	}
 	for i, cfg := range cases {
-		if _, err := NewFanoutSystem(cfg); err == nil {
+		if _, err := cache.NewFanoutSystem(cfg); err == nil {
 			t.Errorf("case %d (%+v): expected error", i, cfg)
 		}
 	}

@@ -1,0 +1,81 @@
+package cache_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
+)
+
+// FuzzConfigValidate fuzzes the configuration space: Validate must never
+// panic and must agree with New (New succeeds exactly when Validate passes),
+// and any accepted configuration of testable size must survive a burst of
+// accesses with clean internal invariants — cross-checked access-by-access
+// against the naive reference model whenever the policy is deterministic.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(256, 16, 0, 0, uint8(0), uint8(0), uint8(0), false, 0)
+	f.Add(512, 32, 4, 8, uint8(1), uint8(0), uint8(0), false, 0)
+	f.Add(256, 16, 0, 4, uint8(0), uint8(1), uint8(2), true, 8)
+	f.Add(128, 16, 2, 8, uint8(2), uint8(0), uint8(3), false, 0)
+	f.Add(100, 16, 0, 0, uint8(0), uint8(0), uint8(0), false, 0)  // not pow2
+	f.Add(16, 64, 0, 0, uint8(0), uint8(0), uint8(0), false, 0)   // line > size
+	f.Add(256, 16, 3, 0, uint8(0), uint8(0), uint8(0), false, 0)  // assoc not pow2
+	f.Add(256, 16, 0, -1, uint8(0), uint8(0), uint8(0), false, 0) // negative sub-block
+	f.Add(64, 64, 0, 0, uint8(0), uint8(0), uint8(0), false, -3)  // bad combine
+	f.Fuzz(func(t *testing.T, size, lineSize, assoc, subBlock int, repl, write, fetch uint8, nwa bool, combine int) {
+		cfg := cache.Config{
+			Size: size, LineSize: lineSize, Assoc: assoc, SubBlock: subBlock,
+			Repl:            cache.Replacement(repl % 3),
+			Write:           cache.WritePolicy(write % 2),
+			Fetch:           cache.FetchPolicy(fetch % 4),
+			NoWriteAllocate: nwa, CombineWidth: combine,
+		}
+		verr := cfg.Validate()
+		if verr != nil {
+			if _, err := cache.New(cfg); err == nil {
+				t.Fatalf("Validate rejected %+v (%v) but New accepted it", cfg, verr)
+			}
+			return
+		}
+		if cfg.Size > 1<<18 {
+			return // valid but too large to build at fuzzing throughput
+		}
+		c, err := cache.New(cfg)
+		if err != nil {
+			t.Fatalf("Validate accepted %+v but New rejected it: %v", cfg, err)
+		}
+		var oracle *simcheck.RefCache
+		if cfg.Repl != cache.Random {
+			if oracle, err = simcheck.NewRefCache(cfg); err != nil {
+				t.Fatalf("reference model rejected valid config %+v: %v", cfg, err)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(size)*2654435761 + int64(lineSize)))
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(1 << 12))
+			write := rng.Intn(3) == 0
+			got := c.Access(addr, write, 1)
+			if oracle != nil {
+				if want := oracle.Access(addr, write, 1); got != want {
+					t.Fatalf("%+v ref %d (addr %#x write %v): impl hit=%v, oracle hit=%v",
+						cfg, i, addr, write, got, want)
+				}
+			}
+			if i == 150 {
+				c.Purge()
+				if oracle != nil {
+					oracle.Purge()
+				}
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if oracle != nil {
+			if got, want := c.Stats(), oracle.Stats(); got != want {
+				t.Fatalf("%+v: stats diverge\n  impl %+v\noracle %+v", cfg, got, want)
+			}
+		}
+	})
+}

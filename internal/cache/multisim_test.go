@@ -1,130 +1,37 @@
-package cache
+package cache_test
 
 import (
-	"math/rand"
+	"fmt"
 	"testing"
 
+	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
 	"cacheeval/internal/trace"
 )
 
-// referenceRun drives the classic per-size System over refs and returns its
-// results in MultiSystem's shape.
-func referenceRun(t *testing.T, refs []trace.Ref, cfg MultiConfig) []SizeResult {
+// conform runs one engine over (grid, workload) through the conformance
+// entry point, so every equivalence test also checks the paper invariants.
+func conform(t *testing.T, e simcheck.Engine, g simcheck.Grid, w simcheck.Workload) *simcheck.Outcome {
 	t.Helper()
-	out := make([]SizeResult, len(cfg.Sizes))
-	for i, size := range cfg.Sizes {
-		base := Config{Size: size, LineSize: cfg.LineSize}
-		sc := SystemConfig{PurgeInterval: cfg.PurgeInterval}
-		if cfg.Split {
-			sc.Split = true
-			sc.I, sc.D = base, base
-		} else {
-			sc.Unified = base
-		}
-		sys, err := NewSystem(sc)
-		if err != nil {
-			t.Fatalf("size %d: %v", size, err)
-		}
-		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
-			t.Fatal(err)
-		}
-		out[i] = SizeResult{Size: size, Ref: sys.RefStats()}
-		if cfg.Split {
-			out[i].I = sys.ICache().Stats()
-			out[i].D = sys.DCache().Stats()
-		} else {
-			out[i].U = sys.Unified().Stats()
-		}
-	}
-	return out
-}
-
-// multiRun drives the one-pass engine over refs.
-func multiRun(t *testing.T, refs []trace.Ref, cfg MultiConfig) []SizeResult {
-	t.Helper()
-	ms, err := NewMultiSystem(cfg)
+	o, err := simcheck.Run(e, g, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ms.Run(trace.NewSliceReader(refs), 0); err != nil {
-		t.Fatal(err)
-	}
-	return ms.Results()
+	return o
 }
 
-// compareRuns asserts bit-identical per-size statistics.
-func compareRuns(t *testing.T, label string, got, want []SizeResult) {
+// mustCompare asserts bit-identical outcomes.
+func mustCompare(t *testing.T, label string, got, want *simcheck.Outcome) {
 	t.Helper()
-	for i := range want {
-		if got[i].Ref != want[i].Ref {
-			t.Errorf("%s size %d: RefStats\n got %+v\nwant %+v",
-				label, want[i].Size, got[i].Ref, want[i].Ref)
-		}
-		if got[i].I != want[i].I {
-			t.Errorf("%s size %d: I stats\n got %+v\nwant %+v",
-				label, want[i].Size, got[i].I, want[i].I)
-		}
-		if got[i].D != want[i].D {
-			t.Errorf("%s size %d: D stats\n got %+v\nwant %+v",
-				label, want[i].Size, got[i].D, want[i].D)
-		}
-		if got[i].U != want[i].U {
-			t.Errorf("%s size %d: U stats\n got %+v\nwant %+v",
-				label, want[i].Size, got[i].U, want[i].U)
-		}
+	if err := simcheck.Compare(got, want); err != nil {
+		t.Fatalf("%s: %v", label, err)
 	}
-}
-
-// synthStream generates an adversarial reference stream: phases of looping,
-// sequential scanning and random access, mixed kinds and widths (including
-// line-straddling references).
-func synthStream(seed int64, n int) []trace.Ref {
-	rng := rand.New(rand.NewSource(seed))
-	refs := make([]trace.Ref, 0, n)
-	kinds := []trace.Kind{trace.IFetch, trace.Read, trace.Write}
-	base := uint64(rng.Intn(1 << 12))
-	for len(refs) < n {
-		switch rng.Intn(4) {
-		case 0: // tight loop: repeated hits
-			span := uint64(16 + rng.Intn(256))
-			for j := 0; j < 40 && len(refs) < n; j++ {
-				refs = append(refs, trace.Ref{
-					Addr: base + uint64(j)*8%span,
-					Size: uint8(1 + rng.Intn(8)),
-					Kind: kinds[rng.Intn(3)],
-				})
-			}
-		case 1: // sequential scan: forces evictions at every size
-			addr := uint64(rng.Intn(1 << 14))
-			for j := 0; j < 60 && len(refs) < n; j++ {
-				refs = append(refs, trace.Ref{
-					Addr: addr, Size: uint8(2 + rng.Intn(6)), Kind: kinds[rng.Intn(3)],
-				})
-				addr += uint64(4 + rng.Intn(24)) // sometimes straddles lines
-			}
-		case 2: // random far jumps: large stack distances
-			for j := 0; j < 20 && len(refs) < n; j++ {
-				refs = append(refs, trace.Ref{
-					Addr: uint64(rng.Intn(1 << 16)),
-					Size: uint8(1 + rng.Intn(16)),
-					Kind: kinds[rng.Intn(3)],
-				})
-			}
-		default: // write bursts: exercises dirty tracking
-			addr := base + uint64(rng.Intn(1<<10))
-			for j := 0; j < 30 && len(refs) < n; j++ {
-				refs = append(refs, trace.Ref{Addr: addr + uint64(rng.Intn(512)), Size: 4, Kind: trace.Write})
-			}
-		}
-		base = uint64(rng.Intn(1 << 13))
-	}
-	return refs[:n]
 }
 
 // TestMultiSystemMatchesPerSizeRuns is the equivalence property: across
 // workload shapes, size grids, organizations and purge quanta, the one-pass
 // engine's per-size statistics are bit-identical to independent per-size
-// System simulations.
+// System simulations (and both satisfy every simcheck invariant).
 func TestMultiSystemMatchesPerSizeRuns(t *testing.T) {
 	sizeGrids := [][]int{
 		{32, 64, 128, 256, 1024, 4096},
@@ -133,37 +40,49 @@ func TestMultiSystemMatchesPerSizeRuns(t *testing.T) {
 	}
 	quanta := []int{0, 37, 500}
 	for seed := int64(1); seed <= 4; seed++ {
-		refs := synthStream(seed, 4000)
+		refs := simcheck.Stream(seed, 4000)
 		for _, sizes := range sizeGrids {
 			for _, q := range quanta {
 				for _, split := range []bool{false, true} {
-					cfg := MultiConfig{Sizes: sizes, LineSize: 16, Split: split, PurgeInterval: q}
-					got := multiRun(t, refs, cfg)
-					want := referenceRun(t, refs, cfg)
-					label := "unified"
-					if split {
-						label = "split"
+					g := simcheck.Grid{Sizes: sizes, LineSize: 16, Split: split}
+					w := simcheck.Workload{
+						Name:    fmt.Sprintf("synth(seed=%d,q=%d)", seed, q),
+						Refs:    refs,
+						Quantum: q,
 					}
-					compareRuns(t, label, got, want)
-					if t.Failed() {
-						t.Fatalf("divergence at seed=%d sizes=%v quantum=%d split=%v",
-							seed, sizes, q, split)
-					}
+					got := conform(t, simcheck.MultiEngine{}, g, w)
+					want := conform(t, simcheck.SystemEngine{}, g, w)
+					label := fmt.Sprintf("seed=%d sizes=%v quantum=%d split=%v", seed, sizes, q, split)
+					mustCompare(t, label, got, want)
 				}
 			}
 		}
 	}
 }
 
+// TestMultiSystemMatchesReferenceModel closes the loop against the naive
+// reference simulator itself (not just the per-size production path).
+func TestMultiSystemMatchesReferenceModel(t *testing.T) {
+	refs := simcheck.Stream(21, 3000)
+	for _, split := range []bool{false, true} {
+		g := simcheck.Grid{Sizes: []int{64, 512, 4096}, LineSize: 16, Split: split}
+		w := simcheck.Workload{Name: "reference-pin", Refs: refs, Quantum: 250}
+		got := conform(t, simcheck.MultiEngine{}, g, w)
+		want := conform(t, simcheck.ReferenceEngine{}, g, w)
+		mustCompare(t, fmt.Sprintf("split=%v", split), got, want)
+	}
+}
+
 // TestMultiSystemUnsortedDuplicateSizes checks that result order follows the
 // requested size order even when it is unsorted and contains duplicates.
 func TestMultiSystemUnsortedDuplicateSizes(t *testing.T) {
-	refs := synthStream(9, 2000)
-	cfg := MultiConfig{Sizes: []int{1024, 32, 1024, 256}, LineSize: 16, PurgeInterval: 100}
-	got := multiRun(t, refs, cfg)
-	want := referenceRun(t, refs, cfg)
-	compareRuns(t, "dup", got, want)
-	if got[0].U != got[2].U {
+	refs := simcheck.Stream(9, 2000)
+	g := simcheck.Grid{Sizes: []int{1024, 32, 1024, 256}, LineSize: 16}
+	w := simcheck.Workload{Name: "dup", Refs: refs, Quantum: 100}
+	got := conform(t, simcheck.MultiEngine{}, g, w)
+	want := conform(t, simcheck.SystemEngine{}, g, w)
+	mustCompare(t, "dup", got, want)
+	if got.Results[0].U != got.Results[2].U {
 		t.Error("duplicate sizes must report identical stats")
 	}
 }
@@ -171,16 +90,19 @@ func TestMultiSystemUnsortedDuplicateSizes(t *testing.T) {
 // TestMultiSystemLineSizes varies the line size (and thus straddle
 // behaviour).
 func TestMultiSystemLineSizes(t *testing.T) {
-	refs := synthStream(11, 2500)
+	refs := simcheck.Stream(11, 2500)
 	for _, ls := range []int{4, 16, 64} {
-		cfg := MultiConfig{Sizes: []int{ls * 2, ls * 16, ls * 64}, LineSize: ls, PurgeInterval: 73}
-		compareRuns(t, "linesize", multiRun(t, refs, cfg), referenceRun(t, refs, cfg))
+		g := simcheck.Grid{Sizes: []int{ls * 2, ls * 16, ls * 64}, LineSize: ls}
+		w := simcheck.Workload{Name: "linesize", Refs: refs, Quantum: 73}
+		mustCompare(t, fmt.Sprintf("linesize=%d", ls),
+			conform(t, simcheck.MultiEngine{}, g, w),
+			conform(t, simcheck.SystemEngine{}, g, w))
 	}
 }
 
 // TestMultiSystemValidation mirrors the per-size construction errors.
 func TestMultiSystemValidation(t *testing.T) {
-	cases := []MultiConfig{
+	cases := []cache.MultiConfig{
 		{Sizes: nil, LineSize: 16},
 		{Sizes: []int{100}, LineSize: 16}, // not a power of two
 		{Sizes: []int{8}, LineSize: 16},   // line larger than cache
@@ -188,7 +110,7 @@ func TestMultiSystemValidation(t *testing.T) {
 		{Sizes: []int{64}, LineSize: 16, PurgeInterval: -1},
 	}
 	for i, cfg := range cases {
-		if _, err := NewMultiSystem(cfg); err == nil {
+		if _, err := cache.NewMultiSystem(cfg); err == nil {
 			t.Errorf("case %d (%+v): expected error", i, cfg)
 		}
 	}
@@ -196,7 +118,7 @@ func TestMultiSystemValidation(t *testing.T) {
 
 // TestMultiSystemRefAfterResultsPanics documents the single-use contract.
 func TestMultiSystemRefAfterResultsPanics(t *testing.T) {
-	ms, err := NewMultiSystem(MultiConfig{Sizes: []int{64}, LineSize: 16})
+	ms, err := cache.NewMultiSystem(cache.MultiConfig{Sizes: []int{64}, LineSize: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,157 +1,102 @@
-package cache
+package cache_test
 
-// Oracle cross-check: a deliberately naive, obviously-correct cache model
-// (plain slices, no intrusive lists, no bitmasks) is run in lockstep with
-// the optimized implementation over randomized workloads and configurations.
-// Any divergence in hit/miss outcomes or key statistics is a bug in one of
-// them — almost certainly the fast one.
+// Oracle cross-check: the deliberately naive reference model (now the
+// exported simcheck.RefCache, promoted from this file) is run in lockstep
+// with the optimized implementation over randomized workloads and
+// configurations. Any divergence in per-access hit/miss outcomes or in the
+// full statistics block is a bug in one of them — almost certainly the
+// fast one.
 
 import (
 	"math/rand"
 	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
 )
 
-// oracleLine is one resident line in the naive model.
-type oracleLine struct {
-	tag   uint64
-	dirty bool
-	valid map[uint64]bool // sub-block index -> fetched (sectored mode)
-}
-
-// oracle is the naive model: LRU or FIFO only (Random needs the identical
-// RNG stream, which would couple it to the implementation under test).
-type oracle struct {
-	cfg      Config
-	sets     [][]*oracleLine // each set ordered most-recent/newest first
-	accesses uint64
-	misses   uint64
-	pushes   uint64
-	dirtyP   uint64
-	fetched  uint64 // bytes from memory
-}
-
-func newOracle(cfg Config) *oracle {
-	return &oracle{cfg: cfg, sets: make([][]*oracleLine, cfg.Sets())}
-}
-
-func (o *oracle) subIndex(addr uint64) uint64 {
-	sub := uint64(o.cfg.EffectiveSubBlock())
-	return (addr % uint64(o.cfg.LineSize)) / sub
-}
-
-func (o *oracle) access(addr uint64, write bool) bool {
-	o.accesses++
-	line := addr / uint64(o.cfg.LineSize)
-	si := line % uint64(o.cfg.Sets())
-	set := o.sets[si]
-	for i, l := range set {
-		if l.tag != line {
-			continue
-		}
-		subHit := l.valid[o.subIndex(addr)]
-		if o.cfg.Repl == LRU {
-			// Move to front.
-			copy(set[1:i+1], set[:i])
-			set[0] = l
-		}
-		if !subHit {
-			o.misses++
-			l.valid[o.subIndex(addr)] = true
-			o.fetched += uint64(o.cfg.EffectiveSubBlock())
-		}
-		if write && o.cfg.Write == CopyBack {
-			l.dirty = true
-		}
-		return subHit
+// lockstep drives both models access-by-access over the classic randomized
+// address mix (hot region / wide region / cyclic scan, one store in four,
+// periodic purges) and requires identical hit results, identical stats and
+// clean internal invariants.
+func lockstep(t *testing.T, cfg cache.Config, seed int64, n int) {
+	t.Helper()
+	c, err := cache.New(cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", cfg, err)
 	}
-	// Full miss: allocate.
-	o.misses++
-	if len(set) == o.cfg.EffectiveAssoc() {
-		victim := set[len(set)-1] // LRU and FIFO both evict the tail
-		o.pushes++
-		if victim.dirty {
-			o.dirtyP++
-		}
-		set = set[:len(set)-1]
+	o, err := simcheck.NewRefCache(cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", cfg, err)
 	}
-	nl := &oracleLine{tag: line, valid: map[uint64]bool{o.subIndex(addr): true}}
-	o.fetched += uint64(o.cfg.EffectiveSubBlock())
-	if write && o.cfg.Write == CopyBack {
-		nl.dirty = true
-	}
-	o.sets[si] = append([]*oracleLine{nl}, set...)
-	return false
-}
-
-func (o *oracle) purge() {
-	for si := range o.sets {
-		for _, l := range o.sets[si] {
-			o.pushes++
-			if l.dirty {
-				o.dirtyP++
-			}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		var addr uint64
+		switch rng.Intn(3) {
+		case 0:
+			addr = uint64(rng.Intn(64)) * 4 // hot region
+		case 1:
+			addr = uint64(rng.Intn(4000)) * 4 // wide region
+		default:
+			addr = uint64(i%997) * 8 // cyclic scan
 		}
-		o.sets[si] = nil
+		write := rng.Intn(4) == 0
+		got := c.Access(addr, write, 4)
+		want := o.Access(addr, write, 4)
+		if got != want {
+			t.Fatalf("%v seed %d ref %d (addr %#x write %v): impl hit=%v, oracle hit=%v",
+				cfg, seed, i, addr, write, got, want)
+		}
+		if i%5000 == 4999 {
+			c.Purge()
+			o.Purge()
+		}
+	}
+	if got, want := c.Stats(), o.Stats(); got != want {
+		t.Fatalf("%v seed %d: stats diverge\n  impl %+v\noracle %+v", cfg, seed, got, want)
+	}
+	if got, want := c.Resident(), o.Resident(); got != want {
+		t.Fatalf("%v seed %d: resident diverges: impl %d, oracle %d", cfg, seed, got, want)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("%v seed %d: %v", cfg, seed, err)
 	}
 }
 
 func TestOracleCrossCheck(t *testing.T) {
-	configs := []Config{
-		{Size: 256, LineSize: 16},                           // fully assoc LRU
-		{Size: 256, LineSize: 16, Assoc: 1},                 // direct mapped
-		{Size: 256, LineSize: 16, Assoc: 2},                 // 2-way LRU
-		{Size: 512, LineSize: 32, Assoc: 4, Repl: FIFO},     // 4-way FIFO
-		{Size: 256, LineSize: 16, SubBlock: 4},              // sectored
-		{Size: 128, LineSize: 16, Assoc: 2, SubBlock: 8},    // sectored set-assoc
-		{Size: 1024, LineSize: 16, Repl: FIFO},              // big FIFO
-		{Size: 64, LineSize: 16, Assoc: 2, Write: CopyBack}, // tiny
+	configs := []cache.Config{
+		{Size: 256, LineSize: 16},                                 // fully assoc LRU
+		{Size: 256, LineSize: 16, Assoc: 1},                       // direct mapped
+		{Size: 256, LineSize: 16, Assoc: 2},                       // 2-way LRU
+		{Size: 512, LineSize: 32, Assoc: 4, Repl: cache.FIFO},     // 4-way FIFO
+		{Size: 256, LineSize: 16, SubBlock: 4},                    // sectored
+		{Size: 128, LineSize: 16, Assoc: 2, SubBlock: 8},          // sectored set-assoc
+		{Size: 1024, LineSize: 16, Repl: cache.FIFO},              // big FIFO
+		{Size: 64, LineSize: 16, Assoc: 2, Write: cache.CopyBack}, // tiny
+		{Size: 256, LineSize: 16, Write: cache.WriteThrough},      // write-through
+		{Size: 256, LineSize: 16, Write: cache.WriteThrough, NoWriteAllocate: true},
+		{Size: 256, LineSize: 16, Write: cache.WriteThrough, CombineWidth: 8},
+		{Size: 256, LineSize: 16, Fetch: cache.PrefetchAlways},
+		{Size: 512, LineSize: 32, Assoc: 4, Fetch: cache.TaggedPrefetch},
+		{Size: 256, LineSize: 16, SubBlock: 4, Fetch: cache.PrefetchOnMiss}, // sectored prefetch
 	}
 	for _, cfg := range configs {
 		for seed := int64(0); seed < 3; seed++ {
-			c, err := New(cfg)
-			if err != nil {
-				t.Fatalf("%v: %v", cfg, err)
-			}
-			o := newOracle(cfg)
-			rng := rand.New(rand.NewSource(seed))
-			for i := 0; i < 20000; i++ {
-				var addr uint64
-				switch rng.Intn(3) {
-				case 0:
-					addr = uint64(rng.Intn(64)) * 4 // hot region
-				case 1:
-					addr = uint64(rng.Intn(4000)) * 4 // wide region
-				default:
-					addr = uint64(i%997) * 8 // cyclic scan
-				}
-				write := rng.Intn(4) == 0
-				got := c.Access(addr, write, 4)
-				want := o.access(addr, write)
-				if got != want {
-					t.Fatalf("%v seed %d ref %d (addr %#x write %v): impl hit=%v, oracle hit=%v",
-						cfg, seed, i, addr, write, got, want)
-				}
-				if i%5000 == 4999 {
-					c.Purge()
-					o.purge()
-				}
-			}
-			st := c.Stats()
-			if st.Accesses != o.accesses || st.Misses != o.misses {
-				t.Fatalf("%v seed %d: counts diverge: impl %d/%d, oracle %d/%d",
-					cfg, seed, st.Accesses, st.Misses, o.accesses, o.misses)
-			}
-			if st.Pushes != o.pushes || st.DirtyPushes != o.dirtyP {
-				t.Fatalf("%v seed %d: pushes diverge: impl %d/%d, oracle %d/%d",
-					cfg, seed, st.Pushes, st.DirtyPushes, o.pushes, o.dirtyP)
-			}
-			if st.BytesFromMemory != o.fetched {
-				t.Fatalf("%v seed %d: fetch bytes diverge: impl %d, oracle %d",
-					cfg, seed, st.BytesFromMemory, o.fetched)
-			}
-			if err := c.checkInvariants(); err != nil {
-				t.Fatalf("%v seed %d: %v", cfg, seed, err)
-			}
+			lockstep(t, cfg, seed, 20000)
 		}
+	}
+}
+
+// TestOracleRandomizedConfigs sweeps seeded randomly drawn configurations
+// (associativity, sectoring, write and fetch policy variants) through the
+// same lockstep comparison, via the conformance harness's config generator.
+func TestOracleRandomizedConfigs(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 15
+	}
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < trials; trial++ {
+		lockstep(t, simcheck.RandConfig(rng), rng.Int63(), 8000)
 	}
 }

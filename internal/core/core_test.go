@@ -6,6 +6,8 @@ import (
 
 	"cacheeval/internal/cache"
 	"cacheeval/internal/model"
+	"cacheeval/internal/simcheck"
+	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
 
@@ -293,5 +295,50 @@ func TestEvaluateMatrix(t *testing.T) {
 	}
 	if _, err := EvaluateMatrix(designs, nil, 100); err == nil {
 		t.Fatal("empty workload list must error")
+	}
+}
+
+// TestRecommendFetchMatchesReferenceModel pins both one-pass recommendation
+// sweeps — generalized stack simulation for demand fetch, the fan-out engine
+// for prefetch-always — against the conformance harness's naive reference
+// simulator: every candidate's miss ratio must be bit-identical to a
+// RefSystem run over the same limited stream, including the size sorting.
+func TestRecommendFetchMatchesReferenceModel(t *testing.T) {
+	mix := testMix(t, "VTEKOFF")
+	mix.Quantum = 3000 // below the ref limit so purging is exercised
+	const refLimit = 8000
+	rd, err := mix.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(trace.NewLimitReader(rd, refLimit), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{2048, 256, 1024} // unsorted on purpose
+	sorted := []int{256, 1024, 2048}
+	for _, fetch := range []cache.FetchPolicy{cache.DemandFetch, cache.PrefetchAlways} {
+		cands, best, err := RecommendFetch(mix, sizes, DefaultCostModel(), refLimit, fetch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := simcheck.Grid{Sizes: sorted, LineSize: 16, Prefetch: fetch == cache.PrefetchAlways}
+		w := simcheck.Workload{Name: mix.Name, Refs: refs, Quantum: mix.Quantum}
+		out, err := simcheck.Run(simcheck.ReferenceEngine{}, g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || best >= len(cands) {
+			t.Fatalf("fetch=%v: best index %d out of range", fetch, best)
+		}
+		for i, c := range cands {
+			if c.Size != sorted[i] {
+				t.Fatalf("fetch=%v: candidate %d has size %d, want %d", fetch, i, c.Size, sorted[i])
+			}
+			if want := out.Results[i].Ref.MissRatio(); c.MissRatio != want {
+				t.Errorf("fetch=%v size %d: miss ratio %v, reference model %v",
+					fetch, c.Size, c.MissRatio, want)
+			}
+		}
 	}
 }

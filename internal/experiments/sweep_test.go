@@ -4,59 +4,62 @@ import (
 	"context"
 	"testing"
 
-	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
 
-// classicCell runs one grid cell the pre-one-pass way: four independent
-// per-size simulations. It is the behavioural oracle for the sweep rewrite.
-func classicCell(t *testing.T, o Options, mix workload.Mix, refs []trace.Ref, size int) SweepCell {
+// oracleCells runs one mix's whole grid the pre-one-pass way — four
+// independent per-size simulations per cell, driven through the simcheck
+// conformance harness so every oracle run is also invariant-checked — and
+// returns one SweepCell per size. The cross-run invariants (split/unified
+// conservation, the prefetch traffic floor) are asserted along the way.
+func oracleCells(t *testing.T, o Options, mix workload.Mix, refs []trace.Ref) []SweepCell {
 	t.Helper()
-	var cell SweepCell
-	for _, variant := range []struct {
-		out      *SimOut
-		split    bool
-		prefetch bool
+	w := simcheck.Workload{Name: mix.Name, Refs: refs, Quantum: mix.Quantum}
+	variants := []struct {
+		split, prefetch bool
 	}{
-		{&cell.SplitDemand, true, false},
-		{&cell.SplitPrefetch, true, true},
-		{&cell.UnifiedDemand, false, false},
-		{&cell.UnifiedPrefetch, false, true},
-	} {
-		base := cache.Config{Size: size, LineSize: o.LineSize}
-		if variant.prefetch {
-			base.Fetch = cache.PrefetchAlways
-		}
-		sc := cache.SystemConfig{PurgeInterval: mix.Quantum}
-		if variant.split {
-			sc.Split = true
-			sc.I, sc.D = base, base
-		} else {
-			sc.Unified = base
-		}
-		sys, err := cache.NewSystem(sc)
+		{true, false}, {true, true}, {false, false}, {false, true},
+	}
+	outs := make([]*simcheck.Outcome, len(variants))
+	for i, v := range variants {
+		g := simcheck.Grid{Sizes: o.Sizes, LineSize: o.LineSize, Split: v.split, Prefetch: v.prefetch}
+		out, err := simcheck.Run(simcheck.SystemEngine{}, g, w)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("%s grid %+v: %v", mix.Name, g, err)
 		}
-		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
-			t.Fatal(err)
+		outs[i] = out
+	}
+	if err := simcheck.SplitUnifiedConservation(outs[0], outs[2]); err != nil {
+		t.Errorf("%s: %v", mix.Name, err)
+	}
+	if err := simcheck.PrefetchTrafficFloor(outs[0], outs[1]); err != nil {
+		t.Errorf("%s split: %v", mix.Name, err)
+	}
+	if err := simcheck.PrefetchTrafficFloor(outs[2], outs[3]); err != nil {
+		t.Errorf("%s unified: %v", mix.Name, err)
+	}
+	cells := make([]SweepCell, len(o.Sizes))
+	for si := range o.Sizes {
+		simOut := func(o *simcheck.Outcome) SimOut {
+			r := o.Results[si]
+			return SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
 		}
-		variant.out.Ref = sys.RefStats()
-		if variant.split {
-			variant.out.I = sys.ICache().Stats()
-			variant.out.D = sys.DCache().Stats()
-		} else {
-			variant.out.U = sys.Unified().Stats()
+		cells[si] = SweepCell{
+			SplitDemand:     simOut(outs[0]),
+			SplitPrefetch:   simOut(outs[1]),
+			UnifiedDemand:   simOut(outs[2]),
+			UnifiedPrefetch: simOut(outs[3]),
 		}
 	}
-	return cell
+	return cells
 }
 
 // TestSweepMatchesClassicPerSizeRuns pins the sweep rewrite to the old
-// behaviour: every cell of the grid — demand cells now produced by the
-// one-pass multi-size engine — is bit-identical to four independent
-// per-size System simulations.
+// behaviour: every cell of the grid — demand cells produced by the one-pass
+// multi-size engine, prefetch cells by the fan-out engine — is bit-identical
+// to four independent per-size System simulations.
 func TestSweepMatchesClassicPerSizeRuns(t *testing.T) {
 	o := Options{
 		Sizes:    []int{32, 128, 1024, 8192},
@@ -76,12 +79,71 @@ func TestSweepMatchesClassicPerSizeRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		want := oracleCells(t, o, mix, refs)
 		for si, size := range o.Sizes {
-			want := classicCell(t, o, mix, refs, size)
-			if got := res.Cells[mi][si]; got != want {
-				t.Errorf("%s @%d:\n got %+v\nwant %+v", mix.Name, size, got, want)
+			if got := res.Cells[mi][si]; got != want[si] {
+				t.Errorf("%s @%d:\n got %+v\nwant %+v", mix.Name, size, got, want[si])
 			}
 		}
+	}
+}
+
+// TestSweepMatchesReferenceModel drives the sweep path against the naive
+// reference simulator end-to-end: a StreamSource feeds the conformance
+// generator's stream into SweepMixes, and every cell must match the
+// reference model bit-for-bit.
+func TestSweepMatchesReferenceModel(t *testing.T) {
+	mix := workload.StandardMixes()[0]
+	refs := simcheck.Stream(77, 1200)
+	o := Options{Sizes: []int{32, 256, 2048}, RefLimit: 1200, Workers: 2}.withDefaults()
+	o.StreamSource = func(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
+		return refs, nil
+	}
+	res, err := SweepMixes(o, []workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcheck.Workload{Name: "synth", Refs: refs, Quantum: mix.Quantum}
+	for _, v := range []struct {
+		split, prefetch bool
+		pick            func(SweepCell) SimOut
+	}{
+		{true, false, func(c SweepCell) SimOut { return c.SplitDemand }},
+		{true, true, func(c SweepCell) SimOut { return c.SplitPrefetch }},
+		{false, false, func(c SweepCell) SimOut { return c.UnifiedDemand }},
+		{false, true, func(c SweepCell) SimOut { return c.UnifiedPrefetch }},
+	} {
+		g := simcheck.Grid{Sizes: o.Sizes, LineSize: o.LineSize, Split: v.split, Prefetch: v.prefetch}
+		ref, err := simcheck.Run(simcheck.ReferenceEngine{}, g, w)
+		if err != nil {
+			t.Fatalf("grid %+v: %v", g, err)
+		}
+		for si := range o.Sizes {
+			got := v.pick(res.Cells[0][si])
+			r := ref.Results[si]
+			want := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
+			if got != want {
+				t.Errorf("grid %+v size %d:\n got %+v\nwant %+v", g, o.Sizes[si], got, want)
+			}
+		}
+	}
+}
+
+// TestSweepWorkerDeterminism is the Options.Workers contract as a simcheck
+// invariant: the sweep's output is bit-identical no matter how many workers
+// run it.
+func TestSweepWorkerDeterminism(t *testing.T) {
+	mixes := []workload.Mix{workload.StandardMixes()[0], workload.M68000Mix()}
+	err := simcheck.DeterminismAcrossWorkers([]int{1, 2, 7}, func(workers int) (any, error) {
+		o := Options{Sizes: []int{64, 1024}, RefLimit: 1000, Workers: workers}.withDefaults()
+		res, err := SweepMixesContext(context.Background(), o, mixes)
+		if err != nil {
+			return nil, err
+		}
+		return res.Cells, nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

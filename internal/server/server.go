@@ -205,22 +205,38 @@ type EvaluateResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	s.metrics.EvaluateRequests.Add(1)
-	t0 := time.Now()
-	defer func() { s.metrics.EvaluateNs.Add(time.Since(t0).Nanoseconds()) }()
-	var req EvaluateRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
+// requestError is a validation failure plus the HTTP status it maps to.
+type requestError struct {
+	code int
+	msg  string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+// maxCacheBytes bounds the per-cache sizes the service will simulate (16 MiB,
+// comfortably above the paper's 64 KB grid). Without it a single request
+// could ask for a technically valid multi-gigabyte cache and exhaust memory
+// building its tag store before the simulation even starts.
+const maxCacheBytes = 16 << 20
+
+// errCacheTooLarge is the rejection for an over-limit cache size.
+var errCacheTooLarge = &requestError{
+	http.StatusBadRequest, "cache size exceeds the 16 MiB service limit"}
+
+// validateEvaluate resolves an evaluate request against the catalog and
+// checks its parameters, returning the effective design (the documented
+// default when the request omits one) and the resolved mix. It does no
+// simulation work and writes no response, so fuzzing can drive it on
+// arbitrary decoded bodies.
+func (s *Server) validateEvaluate(req *EvaluateRequest) (cache.SystemConfig, workload.Mix, *requestError) {
 	mix, ok := s.catalog[req.Mix]
 	if !ok {
-		s.error(w, http.StatusBadRequest, "unknown mix "+strconvQuote(req.Mix)+"; see GET /v1/mixes")
-		return
+		return cache.SystemConfig{}, workload.Mix{}, &requestError{
+			http.StatusBadRequest, "unknown mix " + strconvQuote(req.Mix) + "; see GET /v1/mixes"}
 	}
 	if req.RefLimit < 0 {
-		s.error(w, http.StatusBadRequest, "ref_limit must be >= 0")
-		return
+		return cache.SystemConfig{}, workload.Mix{}, &requestError{
+			http.StatusBadRequest, "ref_limit must be >= 0"}
 	}
 	design := req.Design
 	if design == (cache.SystemConfig{}) {
@@ -229,8 +245,29 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			PurgeInterval: mix.Quantum,
 		}
 	}
+	for _, c := range []cache.Config{design.Unified, design.I, design.D} {
+		if c.Size > maxCacheBytes {
+			return cache.SystemConfig{}, workload.Mix{}, errCacheTooLarge
+		}
+	}
 	if _, err := cache.NewSystem(design); err != nil {
-		s.error(w, http.StatusBadRequest, "invalid design: "+err.Error())
+		return cache.SystemConfig{}, workload.Mix{}, &requestError{
+			http.StatusBadRequest, "invalid design: " + err.Error()}
+	}
+	return design, mix, nil
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.EvaluateRequests.Add(1)
+	t0 := time.Now()
+	defer func() { s.metrics.EvaluateNs.Add(time.Since(t0).Nanoseconds()) }()
+	var req EvaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	design, mix, verr := s.validateEvaluate(&req)
+	if verr != nil {
+		s.error(w, verr.code, verr.msg)
 		return
 	}
 	key, err := requestKey("evaluate", struct {
@@ -307,14 +344,12 @@ type SweepResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.metrics.SweepRequests.Add(1)
-	t0 := time.Now()
-	defer func() { s.metrics.SweepNs.Add(time.Since(t0).Nanoseconds()) }()
-	var req SweepRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
+// validateSweep resolves a sweep request: every named mix must exist (an
+// empty list selects the paper's standard mixes and records their names back
+// into the request, which downstream keying relies on), sizes must be
+// positive, and the limits non-negative. Like validateEvaluate it is pure
+// request validation, shared with the fuzz targets.
+func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, *requestError) {
 	var mixes []workload.Mix
 	if len(req.Mixes) == 0 {
 		mixes = append(workload.StandardMixes(), workload.M68000Mix())
@@ -325,20 +360,40 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, name := range req.Mixes {
 			m, ok := s.catalog[name]
 			if !ok {
-				s.error(w, http.StatusBadRequest, "unknown mix "+strconvQuote(name)+"; see GET /v1/mixes")
-				return
+				return nil, &requestError{
+					http.StatusBadRequest, "unknown mix " + strconvQuote(name) + "; see GET /v1/mixes"}
 			}
 			mixes = append(mixes, m)
 		}
 	}
 	for _, size := range req.Sizes {
 		if size <= 0 {
-			s.error(w, http.StatusBadRequest, "sizes must be positive")
-			return
+			return nil, &requestError{http.StatusBadRequest, "sizes must be positive"}
+		}
+		if size > maxCacheBytes {
+			return nil, errCacheTooLarge
 		}
 	}
 	if req.RefLimit < 0 || req.LineSize < 0 {
-		s.error(w, http.StatusBadRequest, "ref_limit and line_size must be >= 0")
+		return nil, &requestError{http.StatusBadRequest, "ref_limit and line_size must be >= 0"}
+	}
+	if req.LineSize > maxCacheBytes {
+		return nil, errCacheTooLarge
+	}
+	return mixes, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SweepRequests.Add(1)
+	t0 := time.Now()
+	defer func() { s.metrics.SweepNs.Add(time.Since(t0).Nanoseconds()) }()
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	mixes, verr := s.validateSweep(&req)
+	if verr != nil {
+		s.error(w, verr.code, verr.msg)
 		return
 	}
 	opts := experiments.Options{

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,11 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/core"
+	"cacheeval/internal/simcheck"
+	"cacheeval/internal/trace"
 )
 
 // newTestServer builds a server + httptest listener and tears both down.
@@ -56,6 +62,7 @@ func get(t *testing.T, url string) (int, []byte) {
 }
 
 func TestHandlerErrors(t *testing.T) {
+	t.Parallel()
 	_, hs := newTestServer(t, Config{MaxBodyBytes: 512})
 	cases := []struct {
 		name   string
@@ -97,6 +104,7 @@ func TestHandlerErrors(t *testing.T) {
 }
 
 func TestEvaluateEndToEnd(t *testing.T) {
+	t.Parallel()
 	s, hs := newTestServer(t, Config{})
 	body := `{"mix":"FGO1","ref_limit":20000}`
 
@@ -163,6 +171,7 @@ func TestEvaluateEndToEnd(t *testing.T) {
 }
 
 func TestSingleflightDedup(t *testing.T) {
+	t.Parallel()
 	s, hs := newTestServer(t, Config{MaxConcurrent: 2})
 	const clients = 8
 	body := `{"mix":"VSPICE","ref_limit":200000}`
@@ -210,6 +219,7 @@ func TestSingleflightDedup(t *testing.T) {
 }
 
 func TestSweepEndToEnd(t *testing.T) {
+	t.Parallel()
 	s, hs := newTestServer(t, Config{})
 	body := `{"mixes":["FGO1","CGO1"],"sizes":[1024,4096],"ref_limit":20000}`
 	code, b := post(t, hs.URL+"/v1/sweep", body)
@@ -286,6 +296,7 @@ func TestCancellationMidSweep(t *testing.T) {
 }
 
 func TestMixesHealthzMetrics(t *testing.T) {
+	t.Parallel()
 	_, hs := newTestServer(t, Config{})
 	code, b := get(t, hs.URL+"/v1/mixes")
 	if code != http.StatusOK {
@@ -333,6 +344,7 @@ func TestMixesHealthzMetrics(t *testing.T) {
 }
 
 func TestMemoLRUEviction(t *testing.T) {
+	t.Parallel()
 	c := newMemoLRU(2)
 	c.add("a", 1)
 	c.add("b", 2)
@@ -361,6 +373,7 @@ func TestMemoLRUEviction(t *testing.T) {
 }
 
 func TestDefaultTimeout(t *testing.T) {
+	t.Parallel()
 	// Server-imposed default deadline applies when the request sets none.
 	_, hs := newTestServer(t, Config{DefaultTimeout: time.Millisecond})
 	code, b := post(t, hs.URL+"/v1/sweep", `{"ref_limit":2000000}`)
@@ -397,9 +410,84 @@ func benchPost(tb testing.TB, url, body string) (int, []byte) {
 	return resp.StatusCode, b
 }
 
+// TestEvaluateMatchesReferenceModel cross-checks the evaluate endpoint
+// against the conformance harness's naive reference simulator: the report
+// the server returns must be derivable, figure by figure, from a
+// simcheck.RefSystem run over the identically materialized stream. This
+// pins the whole service path — catalog lookup, stream materialization
+// under evaluate (total-limit) semantics, simulation, and report assembly —
+// to the independently written model.
+func TestEvaluateMatchesReferenceModel(t *testing.T) {
+	t.Parallel()
+	s, hs := newTestServer(t, Config{})
+	const mixName = "FGO1"
+	const refLimit = 6000
+	quantum := s.catalog[mixName].Quantum
+	designs := []cache.SystemConfig{
+		{Unified: cache.Config{Size: 1024, LineSize: 16}, PurgeInterval: quantum},
+		{Unified: cache.Config{Size: 2048, LineSize: 32, Fetch: cache.PrefetchAlways}, PurgeInterval: quantum},
+		{Split: true,
+			I:             cache.Config{Size: 512, LineSize: 16},
+			D:             cache.Config{Size: 512, LineSize: 16},
+			PurgeInterval: quantum},
+	}
+	for _, design := range designs {
+		body, err := json.Marshal(EvaluateRequest{Design: design, Mix: mixName, RefLimit: refLimit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, b := post(t, hs.URL+"/v1/evaluate", string(body))
+		if code != http.StatusOK {
+			t.Fatalf("design %+v: status %d: %s", design, code, b)
+		}
+		var resp EvaluateResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+
+		refs, err := s.mixStreamTotal(context.Background(), s.catalog[mixName], refLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := simcheck.NewRefSystem(design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Run(trace.NewSliceReader(refs), 0); err != nil {
+			t.Fatal(err)
+		}
+		rs := ref.RefStats()
+		all := ref.Stats()
+		dataCache := ref.Unified()
+		if design.Split {
+			dataCache = ref.DCache()
+		}
+		want := core.Report{
+			Design:            design,
+			Workload:          mixName,
+			Refs:              rs.TotalRefs(),
+			MissRatio:         rs.MissRatio(),
+			InstrMiss:         rs.KindMissRatio(trace.IFetch),
+			DataMiss:          rs.DataMissRatio(),
+			ReadMiss:          rs.KindMissRatio(trace.Read),
+			WriteMiss:         rs.KindMissRatio(trace.Write),
+			BytesFromMemory:   all.BytesFromMemory,
+			BytesToMemory:     all.BytesToMemory,
+			TrafficRatio:      float64(all.MemoryTraffic()) / float64(ref.RefBytes()),
+			DirtyPushFraction: dataCache.Stats().FracPushesDirty(),
+			PrefetchAccuracy:  all.PrefetchAccuracy(),
+		}
+		if resp.Report != want {
+			t.Errorf("design %+v: report diverges from reference model\n   got %+v\n  want %+v",
+				design, resp.Report, want)
+		}
+	}
+}
+
 // TestCatalogQuantum spot-checks that single-trace catalog entries carry
 // their architecture's purge quantum (what MixByName would give).
 func TestCatalogQuantum(t *testing.T) {
+	t.Parallel()
 	s := New(Config{})
 	defer s.Close()
 	m, ok := s.catalog["FGO1"]

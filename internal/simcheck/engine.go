@@ -1,0 +1,244 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// Workload is one conformance input: a named reference stream plus the
+// task-switch purge quantum it runs under (the quantum is a property of the
+// traced machine — 20,000 references in the paper, 15,000 for the M68000).
+type Workload struct {
+	Name    string
+	Refs    []trace.Ref
+	Quantum int
+}
+
+// Grid describes the organization sweep a conformance run evaluates: the
+// cache sizes, the shared line size, split vs unified, and demand fetch vs
+// prefetch-always — the four axes of the paper's §3.3-§3.5 master sweep.
+// All grid caches are fully associative LRU copy-back, the paper's default.
+type Grid struct {
+	Sizes    []int
+	LineSize int
+	Split    bool
+	Prefetch bool
+}
+
+func (g Grid) fetch() cache.FetchPolicy {
+	if g.Prefetch {
+		return cache.PrefetchAlways
+	}
+	return cache.DemandFetch
+}
+
+// SystemConfig returns the per-size system configuration the grid implies.
+func (g Grid) SystemConfig(size, quantum int) cache.SystemConfig {
+	base := cache.Config{Size: size, LineSize: g.LineSize, Fetch: g.fetch()}
+	sc := cache.SystemConfig{PurgeInterval: quantum}
+	if g.Split {
+		sc.Split = true
+		sc.I, sc.D = base, base
+	} else {
+		sc.Unified = base
+	}
+	return sc
+}
+
+// Outcome is what an engine produced for one (grid, workload) pair: the
+// per-size statistics in cache.SizeResult shape plus the purge count.
+type Outcome struct {
+	Engine   string
+	Grid     Grid
+	Workload Workload
+	Results  []cache.SizeResult
+	Purges   uint64
+}
+
+// Engine adapts one simulation engine to the conformance harness.
+type Engine interface {
+	Name() string
+	// Supports reports whether the engine can simulate g at all (the
+	// one-pass engines each cover only one fetch policy).
+	Supports(g Grid) bool
+	Simulate(g Grid, w Workload) (*Outcome, error)
+}
+
+// Run drives e over (g, w) and checks every per-run invariant against the
+// outcome. It is the single entry point every engine and service-level test
+// goes through. The outcome is returned even when an invariant fails, so
+// callers can report it.
+func Run(e Engine, g Grid, w Workload) (*Outcome, error) {
+	if !e.Supports(g) {
+		return nil, fmt.Errorf("simcheck: engine %s does not support grid %+v", e.Name(), g)
+	}
+	o, err := e.Simulate(g, w)
+	if err != nil {
+		return nil, fmt.Errorf("simcheck: engine %s: %w", e.Name(), err)
+	}
+	if err := Check(o); err != nil {
+		return o, fmt.Errorf("simcheck: engine %s on %s: %w", e.Name(), w.Name, err)
+	}
+	return o, nil
+}
+
+// Compare asserts two outcomes carry bit-identical per-size statistics and
+// purge counts. The differential-oracle core: got is the engine under test,
+// want the trusted side.
+func Compare(got, want *Outcome) error {
+	if len(got.Results) != len(want.Results) {
+		return fmt.Errorf("simcheck: %s has %d results, %s has %d",
+			got.Engine, len(got.Results), want.Engine, len(want.Results))
+	}
+	for i := range want.Results {
+		if got.Results[i] != want.Results[i] {
+			return fmt.Errorf("simcheck: size %d: %s diverges from %s\n got %+v\nwant %+v",
+				want.Results[i].Size, got.Engine, want.Engine, got.Results[i], want.Results[i])
+		}
+	}
+	if got.Purges != want.Purges {
+		return fmt.Errorf("simcheck: purge counts diverge: %s %d, %s %d",
+			got.Engine, got.Purges, want.Engine, want.Purges)
+	}
+	return nil
+}
+
+// perSizeOutcome assembles an Outcome from independent per-size runs that
+// expose RefStats/Stats/Purges; sim runs one size and reports its results.
+func perSizeOutcome(name string, g Grid, w Workload,
+	sim func(sc cache.SystemConfig) (cache.RefStats, [3]cache.Stats, uint64, error)) (*Outcome, error) {
+	out := &Outcome{Engine: name, Grid: g, Workload: w, Results: make([]cache.SizeResult, len(g.Sizes))}
+	for i, size := range g.Sizes {
+		refs, stats, purges, err := sim(g.SystemConfig(size, w.Quantum))
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", size, err)
+		}
+		out.Results[i] = cache.SizeResult{Size: size, Ref: refs, I: stats[0], D: stats[1], U: stats[2]}
+		if i == 0 {
+			out.Purges = purges
+		} else if purges != out.Purges {
+			return nil, fmt.Errorf("size %d: %d purges, size %d: %d — the purge schedule is size-independent",
+				g.Sizes[0], out.Purges, size, purges)
+		}
+	}
+	return out, nil
+}
+
+// ReferenceEngine runs the naive reference simulator independently at every
+// size — the trusted model the optimized engines are compared against.
+type ReferenceEngine struct{}
+
+// Name identifies the engine in reports.
+func (ReferenceEngine) Name() string { return "reference" }
+
+// Supports reports grid coverage: the reference model covers both policies.
+func (ReferenceEngine) Supports(Grid) bool { return true }
+
+// Simulate runs the reference model over the workload at every grid size.
+func (ReferenceEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
+	return perSizeOutcome("reference", g, w,
+		func(sc cache.SystemConfig) (cache.RefStats, [3]cache.Stats, uint64, error) {
+			sys, err := NewRefSystem(sc)
+			if err != nil {
+				return cache.RefStats{}, [3]cache.Stats{}, 0, err
+			}
+			if _, err := sys.Run(trace.NewSliceReader(w.Refs), 0); err != nil {
+				return cache.RefStats{}, [3]cache.Stats{}, 0, err
+			}
+			var st [3]cache.Stats
+			if sc.Split {
+				st[0], st[1] = sys.ICache().Stats(), sys.DCache().Stats()
+			} else {
+				st[2] = sys.Unified().Stats()
+			}
+			return sys.RefStats(), st, sys.Purges(), nil
+		})
+}
+
+// SystemEngine runs the production per-size simulator (cache.System)
+// independently at every size — the classic path the one-pass engines are
+// certified against.
+type SystemEngine struct{}
+
+// Name identifies the engine in reports.
+func (SystemEngine) Name() string { return "system" }
+
+// Supports reports grid coverage: System covers both fetch policies.
+func (SystemEngine) Supports(Grid) bool { return true }
+
+// Simulate runs cache.System over the workload at every grid size.
+func (SystemEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
+	return perSizeOutcome("system", g, w,
+		func(sc cache.SystemConfig) (cache.RefStats, [3]cache.Stats, uint64, error) {
+			sys, err := cache.NewSystem(sc)
+			if err != nil {
+				return cache.RefStats{}, [3]cache.Stats{}, 0, err
+			}
+			if _, err := sys.Run(trace.NewSliceReader(w.Refs), 0); err != nil {
+				return cache.RefStats{}, [3]cache.Stats{}, 0, err
+			}
+			var st [3]cache.Stats
+			if sc.Split {
+				st[0], st[1] = sys.ICache().Stats(), sys.DCache().Stats()
+			} else {
+				st[2] = sys.Unified().Stats()
+			}
+			return sys.RefStats(), st, sys.Purges(), nil
+		})
+}
+
+// MultiEngine runs the one-pass multi-size demand engine (cache.MultiSystem).
+type MultiEngine struct{}
+
+// Name identifies the engine in reports.
+func (MultiEngine) Name() string { return "multisystem" }
+
+// Supports reports grid coverage: the stack-inclusion engine is demand-only.
+func (MultiEngine) Supports(g Grid) bool { return !g.Prefetch }
+
+// Simulate runs cache.MultiSystem once over the workload.
+func (MultiEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
+	ms, err := cache.NewMultiSystem(cache.MultiConfig{
+		Sizes: g.Sizes, LineSize: g.LineSize, Split: g.Split, PurgeInterval: w.Quantum,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ms.Run(trace.NewSliceReader(w.Refs), 0); err != nil {
+		return nil, err
+	}
+	return &Outcome{Engine: "multisystem", Grid: g, Workload: w,
+		Results: ms.Results(), Purges: ms.Purges()}, nil
+}
+
+// FanoutEngine runs the one-pass multi-size prefetch engine
+// (cache.FanoutSystem).
+type FanoutEngine struct{}
+
+// Name identifies the engine in reports.
+func (FanoutEngine) Name() string { return "fanout" }
+
+// Supports reports grid coverage: the fan-out engine is prefetch-only.
+func (FanoutEngine) Supports(g Grid) bool { return g.Prefetch }
+
+// Simulate runs cache.FanoutSystem once over the workload.
+func (FanoutEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
+	fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
+		Sizes: g.Sizes, LineSize: g.LineSize, Split: g.Split, PurgeInterval: w.Quantum,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.Run(trace.NewSliceReader(w.Refs), 0); err != nil {
+		return nil, err
+	}
+	return &Outcome{Engine: "fanout", Grid: g, Workload: w,
+		Results: fs.Results(), Purges: fs.Purges()}, nil
+}
+
+// Engines returns every engine the harness knows, reference model first.
+func Engines() []Engine {
+	return []Engine{ReferenceEngine{}, SystemEngine{}, MultiEngine{}, FanoutEngine{}}
+}

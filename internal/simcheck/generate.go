@@ -1,0 +1,129 @@
+package simcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// Quanta are the purge quanta the generator draws from: purging disabled,
+// two adversarially short quanta, the M68000's 15,000 references and the
+// paper's standard 20,000.
+var Quanta = []int{0, 53, 800, 15000, 20000}
+
+// Stream generates a deterministic adversarial reference stream: phases of
+// tight looping, sequential scanning, random far jumps and write bursts,
+// mixed kinds and widths (including line-straddling references). The same
+// seed always yields the same stream.
+func Stream(seed int64, n int) []trace.Ref {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]trace.Ref, 0, n)
+	kinds := []trace.Kind{trace.IFetch, trace.Read, trace.Write}
+	base := uint64(rng.Intn(1 << 12))
+	for len(refs) < n {
+		switch rng.Intn(4) {
+		case 0: // tight loop: repeated hits
+			span := uint64(16 + rng.Intn(256))
+			for j := 0; j < 40 && len(refs) < n; j++ {
+				refs = append(refs, trace.Ref{
+					Addr: base + uint64(j)*8%span,
+					Size: uint8(1 + rng.Intn(8)),
+					Kind: kinds[rng.Intn(3)],
+				})
+			}
+		case 1: // sequential scan: forces evictions at every size
+			addr := uint64(rng.Intn(1 << 14))
+			for j := 0; j < 60 && len(refs) < n; j++ {
+				refs = append(refs, trace.Ref{
+					Addr: addr, Size: uint8(2 + rng.Intn(6)), Kind: kinds[rng.Intn(3)],
+				})
+				addr += uint64(4 + rng.Intn(24)) // sometimes straddles lines
+			}
+		case 2: // random far jumps: large stack distances
+			for j := 0; j < 20 && len(refs) < n; j++ {
+				refs = append(refs, trace.Ref{
+					Addr: uint64(rng.Intn(1 << 16)),
+					Size: uint8(1 + rng.Intn(16)),
+					Kind: kinds[rng.Intn(3)],
+				})
+			}
+		default: // write bursts: exercises dirty tracking
+			addr := base + uint64(rng.Intn(1<<10))
+			for j := 0; j < 30 && len(refs) < n; j++ {
+				refs = append(refs, trace.Ref{Addr: addr + uint64(rng.Intn(512)), Size: 4, Kind: trace.Write})
+			}
+		}
+		base = uint64(rng.Intn(1 << 13))
+	}
+	return refs[:n]
+}
+
+// RandWorkload draws a seeded stream of about n references and a purge
+// quantum from Quanta. Streams are extended past large quanta so the
+// M68000/20,000 cases actually purge at least once.
+func RandWorkload(rng *rand.Rand, n int) Workload {
+	q := Quanta[rng.Intn(len(Quanta))]
+	if q >= n {
+		n = q + n/2 + 100
+	}
+	seed := rng.Int63()
+	return Workload{
+		Name:    fmt.Sprintf("synth(seed=%d,n=%d,q=%d)", seed, n, q),
+		Refs:    Stream(seed, n),
+		Quantum: q,
+	}
+}
+
+// RandGrid draws a random sweep grid: line size 4-32 bytes, one to five
+// cache sizes spanning up to three orders of magnitude (duplicates and
+// unsorted order allowed), and a random organization.
+func RandGrid(rng *rand.Rand, prefetch bool) Grid {
+	lineSize := 4 << rng.Intn(4)
+	n := 1 + rng.Intn(5)
+	sizes := make([]int, 0, n)
+	for len(sizes) < n {
+		sizes = append(sizes, lineSize<<rng.Intn(10))
+	}
+	return Grid{Sizes: sizes, LineSize: lineSize, Split: rng.Intn(2) == 0, Prefetch: prefetch}
+}
+
+// RandConfig draws a random single-cache configuration for lockstep oracle
+// tests: line size, size, associativity (direct-mapped through fully
+// associative), LRU or FIFO, optional sectoring, and either a write-through
+// variant (with optional no-write-allocate and write combining) or a
+// prefetch policy. Random replacement is excluded — the reference model
+// does not cover it.
+func RandConfig(rng *rand.Rand) cache.Config {
+	lineSize := 4 << rng.Intn(4)
+	cfg := cache.Config{
+		Size:     lineSize << (1 + rng.Intn(8)), // 2-256 lines
+		LineSize: lineSize,
+	}
+	if a := []int{0, 1, 2, 4}[rng.Intn(4)]; a <= cfg.Lines() {
+		cfg.Assoc = a
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Repl = cache.FIFO
+	}
+	if rng.Intn(3) == 0 && lineSize >= 8 {
+		cfg.SubBlock = lineSize >> (1 + rng.Intn(2)) // half or quarter line
+	}
+	switch rng.Intn(3) {
+	case 0: // copy-back demand, the paper's default
+	case 1:
+		cfg.Write = cache.WriteThrough
+		if rng.Intn(2) == 0 {
+			cfg.NoWriteAllocate = true
+		}
+		if rng.Intn(2) == 0 {
+			cfg.CombineWidth = 4 << rng.Intn(3)
+		}
+	case 2:
+		cfg.Fetch = []cache.FetchPolicy{
+			cache.PrefetchAlways, cache.PrefetchOnMiss, cache.TaggedPrefetch,
+		}[rng.Intn(3)]
+	}
+	return cfg
+}

@@ -1,0 +1,338 @@
+package simcheck
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// Invariant is one named checkable property of a conformance outcome.
+// The per-run invariants encode the paper's mathematical structure: each
+// holds for any correct simulator on any workload, so a violation indicts
+// the engine, not the input.
+type Invariant struct {
+	Name  string
+	Check func(*Outcome) error
+}
+
+// PerRun returns every invariant checked against a single outcome, in the
+// order Run applies them.
+func PerRun() []Invariant {
+	return []Invariant{
+		RefConservation,
+		MissMonotonicity,
+		DirtyPushBounds,
+		PurgeConservation,
+		StatsSanity,
+		AccessAccounting,
+	}
+}
+
+// activeStats yields the per-cache statistics a result actually carries
+// (I and D for split grids, U for unified), with a label for messages.
+func activeStats(g Grid, r cache.SizeResult) map[string]cache.Stats {
+	if g.Split {
+		return map[string]cache.Stats{"I": r.I, "D": r.D}
+	}
+	return map[string]cache.Stats{"U": r.U}
+}
+
+// RefConservation: every reference in the workload is counted exactly once
+// per size, under its own kind, and kind-level misses never exceed
+// kind-level references.
+var RefConservation = Invariant{
+	Name: "ref-conservation",
+	Check: func(o *Outcome) error {
+		var want [3]uint64
+		for _, r := range o.Workload.Refs {
+			want[r.Kind]++
+		}
+		for _, res := range o.Results {
+			if res.Ref.Refs != want {
+				return fmt.Errorf("size %d: counted refs %v, stream has %v", res.Size, res.Ref.Refs, want)
+			}
+			for k := range res.Ref.Misses {
+				if res.Ref.Misses[k] > res.Ref.Refs[k] {
+					return fmt.Errorf("size %d kind %d: %d misses > %d refs",
+						res.Size, k, res.Ref.Misses[k], res.Ref.Refs[k])
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// MissMonotonicity: for demand-fetched fully-associative LRU caches, a
+// larger cache holds a superset of a smaller cache's lines at every instant
+// (Mattson stack inclusion), so misses can only go down as size goes up —
+// per kind and per cache. Prefetching breaks inclusion (a prefetch can
+// evict a line the smaller cache keeps), so the invariant applies only to
+// demand grids.
+var MissMonotonicity = Invariant{
+	Name: "miss-monotonicity",
+	Check: func(o *Outcome) error {
+		if o.Grid.Prefetch {
+			return nil
+		}
+		for a := range o.Results {
+			for b := range o.Results {
+				ra, rb := o.Results[a], o.Results[b]
+				if ra.Size > rb.Size {
+					continue
+				}
+				for k := range ra.Ref.Misses {
+					if ra.Ref.Misses[k] < rb.Ref.Misses[k] {
+						return fmt.Errorf("kind %d: %d misses at size %d < %d at larger size %d",
+							k, ra.Ref.Misses[k], ra.Size, rb.Ref.Misses[k], rb.Size)
+					}
+				}
+				sa, sb := activeStats(o.Grid, ra), activeStats(o.Grid, rb)
+				for label := range sa {
+					if sa[label].Misses < sb[label].Misses {
+						return fmt.Errorf("%s: %d line misses at size %d < %d at larger size %d",
+							label, sa[label].Misses, ra.Size, sb[label].Misses, rb.Size)
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// DirtyPushBounds: the Table 3 quantity is a fraction — dirty pushes and
+// purge pushes are subsets of all pushes — and under copy-back every dirty
+// push is exactly one write transaction of one line.
+var DirtyPushBounds = Invariant{
+	Name: "dirty-push-bounds",
+	Check: func(o *Outcome) error {
+		for _, res := range o.Results {
+			for label, st := range activeStats(o.Grid, res) {
+				if st.DirtyPushes > st.Pushes {
+					return fmt.Errorf("size %d %s: %d dirty pushes > %d pushes", res.Size, label, st.DirtyPushes, st.Pushes)
+				}
+				if st.PurgePushes > st.Pushes {
+					return fmt.Errorf("size %d %s: %d purge pushes > %d pushes", res.Size, label, st.PurgePushes, st.Pushes)
+				}
+				if f := st.FracPushesDirty(); f < 0 || f > 1 {
+					return fmt.Errorf("size %d %s: dirty-push fraction %g outside [0,1]", res.Size, label, f)
+				}
+				if st.WriteTransactions != st.DirtyPushes {
+					return fmt.Errorf("size %d %s: %d write transactions != %d dirty pushes (copy-back)",
+						res.Size, label, st.WriteTransactions, st.DirtyPushes)
+				}
+				if st.BytesToMemory != st.DirtyPushes*uint64(o.Grid.LineSize) {
+					return fmt.Errorf("size %d %s: %d bytes to memory != %d dirty pushes x %dB lines",
+						res.Size, label, st.BytesToMemory, st.DirtyPushes, o.Grid.LineSize)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// PurgeConservation: the purge schedule depends only on the reference count
+// and the quantum — a purge fires immediately before references q+1, 2q+1,
+// ... — so the purge count is fully determined by the workload, and no
+// cache can push more purge lines than (purges x capacity).
+var PurgeConservation = Invariant{
+	Name: "purge-conservation",
+	Check: func(o *Outcome) error {
+		var want uint64
+		if q, n := o.Workload.Quantum, len(o.Workload.Refs); q > 0 && n > 0 {
+			want = uint64((n - 1) / q)
+		}
+		if o.Purges != want {
+			return fmt.Errorf("%d purges over %d refs at quantum %d, want %d",
+				o.Purges, len(o.Workload.Refs), o.Workload.Quantum, want)
+		}
+		for _, res := range o.Results {
+			lines := uint64(res.Size / o.Grid.LineSize)
+			for label, st := range activeStats(o.Grid, res) {
+				if st.PurgePushes > o.Purges*lines {
+					return fmt.Errorf("size %d %s: %d purge pushes > %d purges x %d lines",
+						res.Size, label, st.PurgePushes, o.Purges, lines)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// StatsSanity: internal consistency of each cache's counters — misses and
+// write substreams bounded by accesses, prefetch accounting consistent with
+// the grid's fetch policy, and fetch traffic equal to lines fetched times
+// the line size.
+var StatsSanity = Invariant{
+	Name: "stats-sanity",
+	Check: func(o *Outcome) error {
+		for _, res := range o.Results {
+			for label, st := range activeStats(o.Grid, res) {
+				if st.Misses > st.Accesses || st.WriteAccesses > st.Accesses {
+					return fmt.Errorf("size %d %s: misses/writes exceed accesses: %+v", res.Size, label, st)
+				}
+				if st.WriteMisses > st.WriteAccesses || st.WriteMisses > st.Misses {
+					return fmt.Errorf("size %d %s: write misses %d exceed write accesses %d or misses %d",
+						res.Size, label, st.WriteMisses, st.WriteAccesses, st.Misses)
+				}
+				if st.PrefetchUsed > st.PrefetchFetches {
+					return fmt.Errorf("size %d %s: %d prefetches used > %d fetched",
+						res.Size, label, st.PrefetchUsed, st.PrefetchFetches)
+				}
+				if !o.Grid.Prefetch && (st.PrefetchFetches != 0 || st.PrefetchUsed != 0) {
+					return fmt.Errorf("size %d %s: prefetch activity on a demand grid: %+v", res.Size, label, st)
+				}
+				if st.DemandFetches != st.Misses {
+					return fmt.Errorf("size %d %s: %d demand fetches != %d misses (copy-back write-allocate)",
+						res.Size, label, st.DemandFetches, st.Misses)
+				}
+				if st.BytesFromMemory != st.LinesFetched()*uint64(o.Grid.LineSize) {
+					return fmt.Errorf("size %d %s: %d bytes from memory != %d lines x %dB",
+						res.Size, label, st.BytesFromMemory, st.LinesFetched(), o.Grid.LineSize)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// AccessAccounting: the line-level access counts a reference generates
+// (one per fetch unit spanned) depend only on the stream and the line size,
+// never on the cache size — so they are identical across sizes — and every
+// reference produces at least one access on its own cache, with stores only
+// ever touching the data side.
+var AccessAccounting = Invariant{
+	Name: "access-accounting",
+	Check: func(o *Outcome) error {
+		for i, res := range o.Results {
+			first := o.Results[0]
+			sa, s0 := activeStats(o.Grid, res), activeStats(o.Grid, first)
+			for label := range sa {
+				if sa[label].Accesses != s0[label].Accesses || sa[label].WriteAccesses != s0[label].WriteAccesses {
+					return fmt.Errorf("%s accesses vary across sizes: %d/%d at size %d, %d/%d at size %d",
+						label, sa[label].Accesses, sa[label].WriteAccesses, res.Size,
+						s0[label].Accesses, s0[label].WriteAccesses, first.Size)
+				}
+			}
+			if i > 0 {
+				continue
+			}
+			r := res.Ref
+			if o.Grid.Split {
+				if res.I.WriteAccesses != 0 {
+					return fmt.Errorf("instruction cache saw %d write accesses", res.I.WriteAccesses)
+				}
+				if res.I.Accesses < r.Refs[trace.IFetch] {
+					return fmt.Errorf("I: %d accesses < %d instruction refs", res.I.Accesses, r.Refs[trace.IFetch])
+				}
+				if res.D.Accesses < r.Refs[trace.Read]+r.Refs[trace.Write] {
+					return fmt.Errorf("D: %d accesses < %d data refs", res.D.Accesses, r.Refs[trace.Read]+r.Refs[trace.Write])
+				}
+				if res.D.WriteAccesses < r.Refs[trace.Write] {
+					return fmt.Errorf("D: %d write accesses < %d write refs", res.D.WriteAccesses, r.Refs[trace.Write])
+				}
+			} else {
+				if res.U.Accesses < r.TotalRefs() {
+					return fmt.Errorf("U: %d accesses < %d refs", res.U.Accesses, r.TotalRefs())
+				}
+				if res.U.WriteAccesses < r.Refs[trace.Write] {
+					return fmt.Errorf("U: %d write accesses < %d write refs", res.U.WriteAccesses, r.Refs[trace.Write])
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// Check runs every per-run invariant against o and joins the failures.
+func Check(o *Outcome) error {
+	var errs []error
+	for _, inv := range PerRun() {
+		if err := inv.Check(o); err != nil {
+			errs = append(errs, fmt.Errorf("invariant %s: %w", inv.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// PrefetchTrafficFloor is the Table 4 property as a pair invariant: over
+// the same workload and organization, prefetch-always moves at least as
+// many bytes between cache and memory as demand fetch — prefetching buys
+// miss ratio with traffic, never the reverse.
+func PrefetchTrafficFloor(demand, prefetch *Outcome) error {
+	if demand.Grid.Prefetch || !prefetch.Grid.Prefetch {
+		return fmt.Errorf("simcheck: PrefetchTrafficFloor wants a demand outcome and a prefetch outcome")
+	}
+	if len(demand.Results) != len(prefetch.Results) {
+		return fmt.Errorf("simcheck: mismatched result counts %d vs %d", len(demand.Results), len(prefetch.Results))
+	}
+	for i := range demand.Results {
+		d, p := demand.Results[i], prefetch.Results[i]
+		if d.Size != p.Size {
+			return fmt.Errorf("simcheck: size order mismatch: %d vs %d", d.Size, p.Size)
+		}
+		dt := d.I.MemoryTraffic() + d.D.MemoryTraffic() + d.U.MemoryTraffic()
+		pt := p.I.MemoryTraffic() + p.D.MemoryTraffic() + p.U.MemoryTraffic()
+		if pt < dt {
+			return fmt.Errorf("size %d: prefetch traffic %dB < demand traffic %dB", d.Size, pt, dt)
+		}
+	}
+	return nil
+}
+
+// SplitUnifiedConservation: a split organization and a unified one see the
+// same reference stream, so the split caches' access counts sum exactly to
+// the unified cache's — the accounting identity behind comparing Figures
+// 3/4 against 6/7 on one workload.
+func SplitUnifiedConservation(split, unified *Outcome) error {
+	if !split.Grid.Split || unified.Grid.Split {
+		return fmt.Errorf("simcheck: SplitUnifiedConservation wants a split outcome and a unified outcome")
+	}
+	if len(split.Results) != len(unified.Results) {
+		return fmt.Errorf("simcheck: mismatched result counts %d vs %d", len(split.Results), len(unified.Results))
+	}
+	for i := range split.Results {
+		s, u := split.Results[i], unified.Results[i]
+		if s.Size != u.Size {
+			return fmt.Errorf("simcheck: size order mismatch: %d vs %d", s.Size, u.Size)
+		}
+		if s.Ref.Refs != u.Ref.Refs {
+			return fmt.Errorf("size %d: reference counts diverge: %v vs %v", s.Size, s.Ref.Refs, u.Ref.Refs)
+		}
+		if s.I.Accesses+s.D.Accesses != u.U.Accesses {
+			return fmt.Errorf("size %d: I %d + D %d accesses != unified %d",
+				s.Size, s.I.Accesses, s.D.Accesses, u.U.Accesses)
+		}
+		if s.I.WriteAccesses+s.D.WriteAccesses != u.U.WriteAccesses {
+			return fmt.Errorf("size %d: I %d + D %d write accesses != unified %d",
+				s.Size, s.I.WriteAccesses, s.D.WriteAccesses, u.U.WriteAccesses)
+		}
+	}
+	return nil
+}
+
+// DeterminismAcrossWorkers re-runs a computation under each worker count
+// and requires identical results — the experiments.Options.Workers
+// contract: parallelism is a throughput knob, never a semantic one.
+func DeterminismAcrossWorkers(workers []int, run func(workers int) (any, error)) error {
+	if len(workers) == 0 {
+		return fmt.Errorf("simcheck: no worker counts to compare")
+	}
+	var base any
+	for i, wk := range workers {
+		got, err := run(wk)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", wk, err)
+		}
+		if i == 0 {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(got, base) {
+			return fmt.Errorf("workers=%d produced different results than workers=%d", wk, workers[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,417 @@
+// Package simcheck is the simulator conformance harness: a deliberately
+// naive reference simulator, the paper's mathematical invariants as named
+// checkable properties, and a seeded randomized workload/configuration
+// generator, so that every simulation engine in the repository can be
+// driven through one entry point (Run) and compared bit-for-bit against
+// the same trusted model.
+//
+// The trust argument for the reference model is simplicity: RefCache uses
+// plain slices ordered most-recent-first, maps for sub-block state, and no
+// intrusive lists, bitmasks, hash tables or memoization. Each behaviour is
+// a direct transcription of the policy definition, short enough to audit by
+// eye, and independently pinned by hand-computed scenarios in the package
+// tests. Any divergence from an optimized engine is a bug — almost
+// certainly in the optimized one.
+package simcheck
+
+import (
+	"fmt"
+	"io"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// refLine is one resident line (sector) in the reference model. valid and
+// dirty map sub-block indices (0 for unsectored caches); dirty entries are
+// only ever set true, so len(dirty) is the dirty sub-block count.
+type refLine struct {
+	tag        uint64
+	valid      map[uint64]bool
+	dirty      map[uint64]bool
+	prefetched bool
+}
+
+// RefCache is the naive reference cache, the promoted form of the model
+// that used to live in internal/cache's oracle test. It mirrors the full
+// cache.Cache contract — LRU/FIFO replacement, copy-back and write-through
+// (with optional no-write-allocate and write combining), sector caches, and
+// the [Smit78] prefetch policies — but not Random replacement, which would
+// need the implementation's exact RNG stream and so could never disagree
+// meaningfully.
+type RefCache struct {
+	cfg   cache.Config
+	sets  [][]*refLine // each set ordered most-recent/newest-inserted first
+	stats cache.Stats
+
+	// write-combining buffer state (write-through only).
+	combineUnit uint64
+	combineLive bool
+}
+
+// NewRefCache builds a reference cache for cfg.
+func NewRefCache(cfg cache.Config) (*RefCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Repl == cache.Random {
+		return nil, fmt.Errorf("simcheck: Random replacement is not modelled (it would need the implementation's RNG stream)")
+	}
+	return &RefCache{cfg: cfg, sets: make([][]*refLine, cfg.Sets())}, nil
+}
+
+// Config returns the configuration the cache was built with.
+func (c *RefCache) Config() cache.Config { return c.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *RefCache) Stats() cache.Stats { return c.stats }
+
+// Resident returns the number of valid lines currently held.
+func (c *RefCache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		n += len(set)
+	}
+	return n
+}
+
+func (c *RefCache) subBytes() uint64 { return uint64(c.cfg.EffectiveSubBlock()) }
+
+func (c *RefCache) lineOf(addr uint64) uint64 { return addr / uint64(c.cfg.LineSize) }
+
+func (c *RefCache) subIndex(addr uint64) uint64 {
+	return (addr % uint64(c.cfg.LineSize)) / c.subBytes()
+}
+
+// Access performs one demand reference to the sub-block containing addr,
+// with the same contract as cache.Cache.Access: write marks a store,
+// storeBytes is the store width for write-through traffic accounting, and
+// the return value is true on a hit. Prefetching policies then probe the
+// next sequential fetch unit.
+func (c *RefCache) Access(addr uint64, write bool, storeBytes int) bool {
+	hit, firstUse := c.demand(addr, write, storeBytes)
+	trigger := false
+	switch c.cfg.Fetch {
+	case cache.PrefetchAlways:
+		trigger = true
+	case cache.PrefetchOnMiss:
+		trigger = !hit
+	case cache.TaggedPrefetch:
+		trigger = !hit || firstUse
+	}
+	if trigger {
+		c.prefetch((addr | (c.subBytes() - 1)) + 1)
+	}
+	return hit
+}
+
+func (c *RefCache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse bool) {
+	line := c.lineOf(addr)
+	sub := c.subIndex(addr)
+	si := line % uint64(len(c.sets))
+	c.stats.Accesses++
+	if write {
+		c.stats.WriteAccesses++
+	} else {
+		// Any intervening non-store access flushes the combining buffer.
+		c.combineLive = false
+	}
+	for i, l := range c.sets[si] {
+		if l.tag != line {
+			continue
+		}
+		if l.valid[sub] {
+			if l.prefetched {
+				c.stats.PrefetchUsed++
+				l.prefetched = false
+				firstUse = true
+			}
+			c.moveToFront(si, i)
+			c.applyWrite(l, sub, addr, write, storeBytes)
+			return true, firstUse
+		}
+		// Sector hit, sub-block miss.
+		c.stats.Misses++
+		if write {
+			c.stats.WriteMisses++
+			if c.cfg.Write == cache.WriteThrough && c.cfg.NoWriteAllocate {
+				// The store goes to memory; the sub-block stays absent and
+				// the replacement order is untouched.
+				c.stats.BytesToMemory += uint64(storeBytes)
+				c.writeTransaction(addr)
+				return false, false
+			}
+		}
+		l.valid[sub] = true
+		c.moveToFront(si, i)
+		c.stats.DemandFetches++
+		c.stats.BytesFromMemory += c.subBytes()
+		c.applyWrite(l, sub, addr, write, storeBytes)
+		return false, false
+	}
+	// Line absent.
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMisses++
+		if c.cfg.Write == cache.WriteThrough && c.cfg.NoWriteAllocate {
+			c.stats.BytesToMemory += uint64(storeBytes)
+			c.writeTransaction(addr)
+			return false, false
+		}
+	}
+	l := c.insert(si, line, sub, false)
+	c.stats.DemandFetches++
+	c.stats.BytesFromMemory += c.subBytes()
+	c.applyWrite(l, sub, addr, write, storeBytes)
+	return false, false
+}
+
+func (c *RefCache) applyWrite(l *refLine, sub uint64, addr uint64, write bool, storeBytes int) {
+	if !write {
+		return
+	}
+	switch c.cfg.Write {
+	case cache.CopyBack:
+		l.dirty[sub] = true
+	case cache.WriteThrough:
+		c.stats.BytesToMemory += uint64(storeBytes)
+		c.writeTransaction(addr)
+	}
+}
+
+func (c *RefCache) writeTransaction(addr uint64) {
+	if c.cfg.CombineWidth == 0 {
+		c.stats.WriteTransactions++
+		return
+	}
+	unit := addr - addr%uint64(c.cfg.CombineWidth)
+	if c.combineLive && unit == c.combineUnit {
+		c.stats.CombinedWrites++
+		return
+	}
+	c.stats.WriteTransactions++
+	c.combineUnit, c.combineLive = unit, true
+}
+
+func (c *RefCache) prefetch(addr uint64) {
+	line := c.lineOf(addr)
+	sub := c.subIndex(addr)
+	si := line % uint64(len(c.sets))
+	for _, l := range c.sets[si] {
+		if l.tag != line {
+			continue
+		}
+		if l.valid[sub] {
+			return
+		}
+		// A prefetch into a resident sector fills the sub-block without
+		// touching the replacement order or the prefetched flag.
+		l.valid[sub] = true
+		c.stats.PrefetchFetches++
+		c.stats.BytesFromMemory += c.subBytes()
+		return
+	}
+	c.insert(si, line, sub, true)
+	c.stats.PrefetchFetches++
+	c.stats.BytesFromMemory += c.subBytes()
+}
+
+func (c *RefCache) insert(si, line, sub uint64, prefetched bool) *refLine {
+	set := c.sets[si]
+	if len(set) == c.cfg.EffectiveAssoc() {
+		c.push(set[len(set)-1], false) // LRU and FIFO both evict the tail
+		set = set[:len(set)-1]
+	}
+	l := &refLine{
+		tag:        line,
+		valid:      map[uint64]bool{sub: true},
+		dirty:      map[uint64]bool{},
+		prefetched: prefetched,
+	}
+	c.sets[si] = append([]*refLine{l}, set...)
+	return l
+}
+
+func (c *RefCache) push(l *refLine, purge bool) {
+	c.stats.Pushes++
+	if purge {
+		c.stats.PurgePushes++
+	}
+	if len(l.dirty) > 0 {
+		c.stats.DirtyPushes++
+		c.stats.WriteTransactions++
+		c.stats.BytesToMemory += uint64(len(l.dirty)) * c.subBytes()
+	}
+}
+
+func (c *RefCache) moveToFront(si uint64, i int) {
+	if c.cfg.Repl != cache.LRU {
+		return
+	}
+	set := c.sets[si]
+	l := set[i]
+	copy(set[1:i+1], set[:i])
+	set[0] = l
+}
+
+// Purge empties the cache, pushing every resident line.
+func (c *RefCache) Purge() {
+	c.combineLive = false
+	for si := range c.sets {
+		for _, l := range c.sets[si] {
+			c.push(l, true)
+		}
+		c.sets[si] = nil
+	}
+}
+
+// RefSystem is the naive counterpart of cache.System: split/unified
+// routing, straddle decomposition at fetch-unit granularity, purge
+// scheduling and reference-level accounting, all driving RefCaches.
+type RefSystem struct {
+	cfg        cache.SystemConfig
+	unified    *RefCache
+	icache     *RefCache
+	dcache     *RefCache
+	refs       cache.RefStats
+	refBytes   uint64
+	sincePurge int
+	purges     uint64
+}
+
+// NewRefSystem builds the reference caches described by sc.
+func NewRefSystem(sc cache.SystemConfig) (*RefSystem, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	s := &RefSystem{cfg: sc}
+	var err error
+	if sc.Split {
+		if s.icache, err = NewRefCache(sc.I); err != nil {
+			return nil, err
+		}
+		if s.dcache, err = NewRefCache(sc.D); err != nil {
+			return nil, err
+		}
+	} else {
+		if s.unified, err = NewRefCache(sc.Unified); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ICache returns the instruction cache (nil for unified systems).
+func (s *RefSystem) ICache() *RefCache { return s.icache }
+
+// DCache returns the data cache (nil for unified systems).
+func (s *RefSystem) DCache() *RefCache { return s.dcache }
+
+// Unified returns the unified cache (nil for split systems).
+func (s *RefSystem) Unified() *RefCache { return s.unified }
+
+func (s *RefSystem) cacheFor(k trace.Kind) *RefCache {
+	if !s.cfg.Split {
+		return s.unified
+	}
+	if k == trace.IFetch {
+		return s.icache
+	}
+	return s.dcache
+}
+
+// Ref processes one trace reference with cache.System's exact contract:
+// purge scheduling first, then the reference decomposed into every fetch
+// unit it spans, counting once at the reference level (a miss if any
+// spanned unit missed).
+func (s *RefSystem) Ref(r trace.Ref) {
+	if s.cfg.PurgeInterval > 0 {
+		if s.sincePurge >= s.cfg.PurgeInterval {
+			s.Purge()
+			s.sincePurge = 0
+		}
+		s.sincePurge++
+	}
+	c := s.cacheFor(r.Kind)
+	write := r.Kind == trace.Write
+	size := int(r.Size)
+	if size < 1 {
+		size = 1
+	}
+	unit := c.subBytes()
+	first := r.Addr - r.Addr%unit
+	end := r.Addr + uint64(size) - 1
+	last := end - end%unit
+	miss := false
+	if first == last {
+		miss = !c.Access(first, write, size)
+	} else {
+		units := int((last-first)/unit) + 1
+		storeBytes := size / units
+		if storeBytes < 1 {
+			storeBytes = 1
+		}
+		for a := first; ; a += unit {
+			if !c.Access(a, write, storeBytes) {
+				miss = true
+			}
+			if a >= last {
+				break
+			}
+		}
+	}
+	s.refs.Refs[r.Kind]++
+	s.refBytes += uint64(size)
+	if miss {
+		s.refs.Misses[r.Kind]++
+	}
+}
+
+// Purge empties every cache in the system.
+func (s *RefSystem) Purge() {
+	s.purges++
+	if s.cfg.Split {
+		s.icache.Purge()
+		s.dcache.Purge()
+		return
+	}
+	s.unified.Purge()
+}
+
+// Purges returns how many purges have occurred.
+func (s *RefSystem) Purges() uint64 { return s.purges }
+
+// RefStats returns reference-level statistics.
+func (s *RefSystem) RefStats() cache.RefStats { return s.refs }
+
+// RefBytes returns the total bytes the processor requested.
+func (s *RefSystem) RefBytes() uint64 { return s.refBytes }
+
+// Stats returns the aggregate line-level statistics over all caches.
+func (s *RefSystem) Stats() cache.Stats {
+	var total cache.Stats
+	if s.cfg.Split {
+		total.Add(s.icache.Stats())
+		total.Add(s.dcache.Stats())
+		return total
+	}
+	return s.unified.Stats()
+}
+
+// Run drives the system from rd until io.EOF or max references (when
+// max > 0) and returns the number of references processed.
+func (s *RefSystem) Run(rd trace.Reader, max int) (int, error) {
+	n := 0
+	for max <= 0 || n < max {
+		ref, err := rd.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		s.Ref(ref)
+		n++
+	}
+	return n, nil
+}

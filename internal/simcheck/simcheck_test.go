@@ -1,0 +1,272 @@
+package simcheck_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
+	"cacheeval/internal/trace"
+)
+
+func mustRun(t *testing.T, e simcheck.Engine, g simcheck.Grid, w simcheck.Workload) *simcheck.Outcome {
+	t.Helper()
+	o, err := simcheck.Run(e, g, w)
+	if err != nil {
+		t.Fatalf("grid %+v workload %s: %v", g, w.Name, err)
+	}
+	return o
+}
+
+// TestEnginesConformOverRandomizedWorkloads is the harness's master
+// property: over seeded randomized workloads and grids, all three
+// production engines agree bit-for-bit with the naive reference model,
+// every per-run invariant holds, and the cross-run invariants (prefetch
+// traffic floor, split/unified conservation) hold between paired runs.
+func TestEnginesConformOverRandomizedWorkloads(t *testing.T) {
+	trials := 5
+	if testing.Short() {
+		trials = 3
+	}
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < trials; trial++ {
+		w := simcheck.RandWorkload(rng, 2500)
+		demand := simcheck.RandGrid(rng, false)
+		prefetch := demand
+		prefetch.Prefetch = true
+
+		refD := mustRun(t, simcheck.ReferenceEngine{}, demand, w)
+		for _, e := range []simcheck.Engine{simcheck.SystemEngine{}, simcheck.MultiEngine{}} {
+			if err := simcheck.Compare(mustRun(t, e, demand, w), refD); err != nil {
+				t.Fatalf("trial %d demand grid %+v: %v", trial, demand, err)
+			}
+		}
+		refP := mustRun(t, simcheck.ReferenceEngine{}, prefetch, w)
+		for _, e := range []simcheck.Engine{simcheck.SystemEngine{}, simcheck.FanoutEngine{}} {
+			if err := simcheck.Compare(mustRun(t, e, prefetch, w), refP); err != nil {
+				t.Fatalf("trial %d prefetch grid %+v: %v", trial, prefetch, err)
+			}
+		}
+		if err := simcheck.PrefetchTrafficFloor(refD, refP); err != nil {
+			t.Fatalf("trial %d grid %+v: %v", trial, demand, err)
+		}
+
+		other := demand
+		other.Split = !demand.Split
+		refO := mustRun(t, simcheck.ReferenceEngine{}, other, w)
+		split, unified := refD, refO
+		if !demand.Split {
+			split, unified = refO, refD
+		}
+		if err := simcheck.SplitUnifiedConservation(split, unified); err != nil {
+			t.Fatalf("trial %d grid %+v: %v", trial, demand, err)
+		}
+	}
+}
+
+// TestReferenceCacheHandComputed pins the reference model against stats
+// worked out by hand, so its trust does not rest on agreement with the
+// implementations it judges.
+func TestReferenceCacheHandComputed(t *testing.T) {
+	// 64B fully-associative LRU copy-back cache with 16B lines (4 frames).
+	c, err := simcheck.NewRefCache(cache.Config{Size: 64, LineSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []struct {
+		addr  uint64
+		write bool
+		hit   bool
+	}{
+		{0, false, false},  // cold miss, line 0
+		{0, false, true},   // hit
+		{16, true, false},  // write miss, line 1 dirty
+		{32, false, false}, // miss, line 2
+		{48, false, false}, // miss, line 3 — cache now full
+		{64, false, false}, // miss, line 4 evicts LRU line 0 (clean push)
+		{16, true, true},   // write hit, line 1 to front
+	} {
+		if got := c.Access(a.addr, a.write, 4); got != a.hit {
+			t.Fatalf("addr %d write %v: hit=%v, want %v", a.addr, a.write, got, a.hit)
+		}
+	}
+	c.Purge() // four resident lines, one dirty
+	want := cache.Stats{
+		Accesses: 7, Misses: 5, WriteAccesses: 2, WriteMisses: 1,
+		DemandFetches: 5, BytesFromMemory: 80,
+		Pushes: 5, DirtyPushes: 1, PurgePushes: 4,
+		WriteTransactions: 1, BytesToMemory: 16,
+	}
+	if got := c.Stats(); got != want {
+		t.Fatalf("stats\n got %+v\nwant %+v", got, want)
+	}
+	if c.Resident() != 0 {
+		t.Fatalf("resident after purge: %d", c.Resident())
+	}
+}
+
+// TestReferenceCachePrefetchHandComputed pins the prefetch-always path.
+func TestReferenceCachePrefetchHandComputed(t *testing.T) {
+	c, err := simcheck.NewRefCache(cache.Config{Size: 64, LineSize: 16, Fetch: cache.PrefetchAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false, 4)  // demand miss line 0, prefetch line 1
+	c.Access(16, false, 4) // first use of prefetched line 1, prefetch line 2
+	want := cache.Stats{
+		Accesses: 2, Misses: 1, DemandFetches: 1,
+		PrefetchFetches: 2, PrefetchUsed: 1, BytesFromMemory: 48,
+	}
+	if got := c.Stats(); got != want {
+		t.Fatalf("stats\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRefSystemStraddleHandComputed pins the straddle decomposition: an
+// 8-byte reference crossing a 16B line boundary touches two lines but
+// counts as one reference and one miss.
+func TestRefSystemStraddleHandComputed(t *testing.T) {
+	sys, err := simcheck.NewRefSystem(cache.SystemConfig{
+		Unified: cache.Config{Size: 64, LineSize: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Ref(trace.Ref{Addr: 12, Size: 8, Kind: trace.Read})
+	refs := sys.RefStats()
+	if refs.TotalRefs() != 1 || refs.TotalMisses() != 1 {
+		t.Fatalf("refs %+v: want 1 ref, 1 miss", refs)
+	}
+	st := sys.Unified().Stats()
+	if st.Accesses != 2 || st.Misses != 2 || st.BytesFromMemory != 32 {
+		t.Fatalf("straddle should access two lines: %+v", st)
+	}
+	if sys.RefBytes() != 8 {
+		t.Fatalf("ref bytes %d, want 8", sys.RefBytes())
+	}
+}
+
+func cloneOutcome(o *simcheck.Outcome) *simcheck.Outcome {
+	c := *o
+	c.Results = append([]cache.SizeResult(nil), o.Results...)
+	return &c
+}
+
+// TestInvariantsCatchViolations corrupts a genuine outcome one field at a
+// time and checks that the right named invariant objects.
+func TestInvariantsCatchViolations(t *testing.T) {
+	w := simcheck.Workload{Name: "pin", Refs: simcheck.Stream(7, 1500), Quantum: 100}
+	g := simcheck.Grid{Sizes: []int{64, 1024}, LineSize: 16}
+	base := mustRun(t, simcheck.ReferenceEngine{}, g, w)
+	cases := []struct {
+		invariant string
+		mutate    func(o *simcheck.Outcome)
+	}{
+		{"ref-conservation", func(o *simcheck.Outcome) { o.Results[0].Ref.Refs[0]++ }},
+		{"miss-monotonicity", func(o *simcheck.Outcome) {
+			o.Results[1].Ref.Misses = o.Results[0].Ref.Misses
+			o.Results[1].Ref.Misses[0]++
+		}},
+		{"dirty-push-bounds", func(o *simcheck.Outcome) { o.Results[0].U.DirtyPushes = o.Results[0].U.Pushes + 1 }},
+		{"purge-conservation", func(o *simcheck.Outcome) { o.Purges++ }},
+		{"stats-sanity", func(o *simcheck.Outcome) { o.Results[0].U.PrefetchFetches = 1 }},
+		{"access-accounting", func(o *simcheck.Outcome) { o.Results[1].U.Accesses++ }},
+	}
+	for _, tc := range cases {
+		o := cloneOutcome(base)
+		tc.mutate(o)
+		err := simcheck.Check(o)
+		if err == nil {
+			t.Errorf("%s: corruption not detected", tc.invariant)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.invariant) {
+			t.Errorf("%s: wrong invariant fired: %v", tc.invariant, err)
+		}
+	}
+	if err := simcheck.Check(base); err != nil {
+		t.Errorf("uncorrupted outcome failed: %v", err)
+	}
+}
+
+// TestPairInvariantsCatchViolations does the same for the cross-run checks.
+func TestPairInvariantsCatchViolations(t *testing.T) {
+	w := simcheck.Workload{Name: "pin", Refs: simcheck.Stream(3, 1500), Quantum: 0}
+	demand := simcheck.Grid{Sizes: []int{256}, LineSize: 16}
+	prefetch := demand
+	prefetch.Prefetch = true
+	d := mustRun(t, simcheck.ReferenceEngine{}, demand, w)
+	p := mustRun(t, simcheck.ReferenceEngine{}, prefetch, w)
+	if err := simcheck.PrefetchTrafficFloor(d, p); err != nil {
+		t.Fatalf("genuine pair failed: %v", err)
+	}
+	bad := cloneOutcome(p)
+	bad.Results[0].U.BytesFromMemory = 0
+	if err := simcheck.PrefetchTrafficFloor(d, bad); err == nil {
+		t.Error("deflated prefetch traffic not detected")
+	}
+	if err := simcheck.PrefetchTrafficFloor(p, d); err == nil {
+		t.Error("swapped arguments not rejected")
+	}
+
+	split := demand
+	split.Split = true
+	s := mustRun(t, simcheck.ReferenceEngine{}, split, w)
+	if err := simcheck.SplitUnifiedConservation(s, d); err != nil {
+		t.Fatalf("genuine split/unified pair failed: %v", err)
+	}
+	bad = cloneOutcome(s)
+	bad.Results[0].I.Accesses++
+	if err := simcheck.SplitUnifiedConservation(bad, d); err == nil {
+		t.Error("inflated split accesses not detected")
+	}
+}
+
+// TestRunRejectsUnsupportedGrid documents engine coverage: each one-pass
+// engine serves exactly one fetch policy.
+func TestRunRejectsUnsupportedGrid(t *testing.T) {
+	w := simcheck.Workload{Refs: simcheck.Stream(1, 100)}
+	demand := simcheck.Grid{Sizes: []int{64}, LineSize: 16}
+	prefetch := demand
+	prefetch.Prefetch = true
+	if _, err := simcheck.Run(simcheck.MultiEngine{}, prefetch, w); err == nil {
+		t.Error("MultiEngine accepted a prefetch grid")
+	}
+	if _, err := simcheck.Run(simcheck.FanoutEngine{}, demand, w); err == nil {
+		t.Error("FanoutEngine accepted a demand grid")
+	}
+}
+
+// TestDeterminismAcrossWorkers checks both directions of the functional
+// invariant.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	if err := simcheck.DeterminismAcrossWorkers([]int{1, 2, 8}, func(workers int) (any, error) {
+		return []int{42, 43}, nil
+	}); err != nil {
+		t.Errorf("constant computation flagged: %v", err)
+	}
+	if err := simcheck.DeterminismAcrossWorkers([]int{1, 2}, func(workers int) (any, error) {
+		return workers, nil
+	}); err == nil {
+		t.Error("worker-dependent computation not flagged")
+	}
+}
+
+// TestRandConfigAlwaysValid: every generated configuration passes
+// validation and builds both a Cache and a RefCache.
+func TestRandConfigAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		cfg := simcheck.RandConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v: %v", i, cfg, err)
+		}
+		if _, err := cache.New(cfg); err != nil {
+			t.Fatalf("iteration %d: cache.New(%v): %v", i, cfg, err)
+		}
+		if _, err := simcheck.NewRefCache(cfg); err != nil {
+			t.Fatalf("iteration %d: NewRefCache(%v): %v", i, cfg, err)
+		}
+	}
+}
