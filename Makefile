@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test test-short test-race bench bench-smoke benchjson benchcheck fuzz cover repro serve examples fmt clean
+.PHONY: all ci build vet fmt-check test test-short test-race bench bench-smoke benchjson benchcheck fuzz cover repro serve obs-smoke examples fmt clean
 
 # `all` is `ci` plus the full (non-short) test suite; vet/gofmt run once via
 # the ci target rather than being listed twice.
@@ -84,6 +84,12 @@ repro:
 # Run the evaluation service on :8080.
 serve:
 	$(GO) run ./cmd/cacheserved
+
+# End-to-end observability smoke: start cacheserved on an ephemeral port,
+# hit /healthz and both /metrics formats, run one simulation, and verify
+# the Prometheus families, histogram buckets and JSON access log.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Run all example programs.
 examples:

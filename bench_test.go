@@ -11,6 +11,7 @@ import (
 
 	"cacheeval"
 	"cacheeval/internal/experiments"
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
@@ -19,8 +20,12 @@ import (
 // -short drops the budget another order of magnitude so CI bench smokes
 // (one iteration per benchmark) finish in seconds; absolute numbers from
 // short runs are not comparable to full ones.
+//
+// Every benchmark runs with a no-op probe installed so `make benchcheck`
+// (threshold 1.5 against the recorded baseline) guards the overhead of the
+// instrumented engine path, not just the probe-free one.
 func benchOpts() experiments.Options {
-	o := experiments.Options{RefLimit: 50000}
+	o := experiments.Options{RefLimit: 50000, Probe: obs.NopProbe{}}
 	if testing.Short() {
 		o.RefLimit = 5000
 	}
@@ -193,6 +198,7 @@ func benchCacheAccess(b *testing.B, sc cacheeval.SystemConfig) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		sys.SetProbe(obs.NopProbe{}, "bench", int64(len(refs)))
 		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
 			b.Fatal(err)
 		}
@@ -229,6 +235,7 @@ func BenchmarkMultiSystem(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		ms.SetProbe(obs.NopProbe{}, "bench", int64(len(refs)))
 		if _, err := ms.Run(trace.NewSliceReader(refs), 0); err != nil {
 			b.Fatal(err)
 		}
@@ -256,6 +263,7 @@ func BenchmarkFanoutSystem(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		fs.SetProbe(obs.NopProbe{}, "bench", int64(len(refs)))
 		if _, err := fs.Run(trace.NewSliceReader(refs), 0); err != nil {
 			b.Fatal(err)
 		}
@@ -274,6 +282,7 @@ func BenchmarkStackSim(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		sim.SetProbe(obs.NopProbe{}, "bench", int64(len(refs)))
 		if _, err := sim.Run(trace.NewSliceReader(refs), 0); err != nil {
 			b.Fatal(err)
 		}

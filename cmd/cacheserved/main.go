@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -51,8 +52,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	grace := fs.Duration("grace", 30*time.Second, "shutdown drain budget")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 	enablePprof := fs.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The access log (one slog line per request, with method, path, status,
+	// duration and request ID) goes to stderr; stdout keeps the lifecycle
+	// lines scripts and tests parse ("listening on ...").
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
 
 	srv := server.New(server.Config{
@@ -61,6 +76,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxConcurrent:  *maxConc,
 		SimWorkers:     *simWorkers,
 		DefaultTimeout: *timeout,
+		Logger:         slog.New(logHandler),
 	})
 	publishOnce(srv)
 

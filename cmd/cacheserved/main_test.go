@@ -166,4 +166,11 @@ func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}, &out); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
+	err := run(context.Background(), []string{"-log-format", "bogus"}, &out)
+	if err == nil {
+		t.Fatal("bad -log-format accepted")
+	}
+	if !strings.Contains(err.Error(), "log-format") {
+		t.Errorf("error %q does not mention log-format", err)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"text/tabwriter"
 
 	"cacheeval/internal/cache"
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
@@ -21,20 +22,25 @@ import (
 var sizes = []int{1024, 4096, 16384, 65536}
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the calibration sweep; factored out of main for testing.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
 	perTrace := fs.Bool("traces", false, "print per-trace rows, not just per-architecture averages")
 	archOnly := fs.String("arch", "", "restrict to one architecture (e.g. \"VAX 11/780\")")
 	refLimit := fs.Int("refs", 0, "cap references per trace (0 = paper lengths)")
+	verbose := fs.Bool("v", false, "live per-simulation progress (rate, ETA) on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var probe obs.Probe
+	if *verbose {
+		probe = obs.NewProgressProbe(stderr)
 	}
 
 	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
@@ -81,6 +87,9 @@ func run(args []string, stdout io.Writer) error {
 			})
 			if err != nil {
 				return err
+			}
+			if probe != nil {
+				sys.SetProbe(probe, fmt.Sprintf("calibrate:%s@%d", spec.Name, size), int64(len(refs)))
 			}
 			if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
 				return err

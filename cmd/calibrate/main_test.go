@@ -8,7 +8,7 @@ import (
 
 func TestRunAggregates(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-refs", "3000"}, &out); err != nil {
+	if err := run([]string{"-refs", "3000"}, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -24,7 +24,7 @@ func TestRunAggregates(t *testing.T) {
 
 func TestRunPerTraceAndArchFilter(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-refs", "2000", "-traces", "-arch", "CDC 6400"}, &out); err != nil {
+	if err := run([]string{"-refs", "2000", "-traces", "-arch", "CDC 6400"}, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -36,8 +36,23 @@ func TestRunPerTraceAndArchFilter(t *testing.T) {
 	}
 }
 
+func TestRunVerboseProgress(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-refs", "2000", "-arch", "CDC 6400", "-v"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// RunEnd completion lines bypass the progress throttle, so even a short
+	// run must leave per-simulation stage names on stderr.
+	if !strings.Contains(errOut.String(), "calibrate:") {
+		t.Errorf("-v left no progress on stderr: %q", errOut.String())
+	}
+	if strings.Contains(out.String(), "calibrate:") {
+		t.Error("progress leaked to stdout")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown flag must error")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cacheeval/internal/experiments"
+	"cacheeval/internal/obs"
 )
 
 func main() {
@@ -38,11 +39,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	refs := fs.Int("refs", 0, "cap references per trace (0 = the paper's run lengths)")
 	workers := fs.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	quiet := fs.Bool("q", false, "suppress progress timing on stderr")
+	verbose := fs.Bool("v", false, "verbose: live engine progress (rate, ETA) and a per-table span timing summary on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	o := experiments.Options{RefLimit: *refs, Workers: *workers}
+	// -v wires the observability layer through the batch run: a ProgressProbe
+	// streams per-stage engine progress (refs/s, ETA) as simulations run, and
+	// a trace records one span per regenerated artifact, summarized at exit.
+	var tr *obs.Trace
+	if *verbose {
+		tr = obs.NewTraceRoot()
+		o.Probe = obs.NewProgressProbe(stderr)
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -70,8 +80,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var t1 *experiments.Table1Result
 	if wants("table1", "figure1", "figure2", "table5") {
 		progress("running Table 1 / Figure 1 (57 traces, all sizes, one-pass LRU)")
+		sp := tr.StartSpan("table1") // spans are nil-safe no-ops without -v
 		var err error
-		if t1, err = experiments.Table1(o); err != nil {
+		t1, err = experiments.Table1(o)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("table1: %w", err)
 		}
 		if wants("table1") {
@@ -84,7 +97,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if wants("table2") {
 		progress("running Table 2 (trace characteristics)")
+		sp := tr.StartSpan("table2")
 		t2, err := experiments.Table2(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("table2: %w", err)
 		}
@@ -93,7 +108,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if wants("figure2") {
 		progress("running Figure 2 ([Hard80] comparison)")
+		sp := tr.StartSpan("figure2")
 		f2, err := experiments.Figure2(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("figure2: %w", err)
 		}
@@ -113,8 +130,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var sweep *experiments.SweepResult
 	if needSweep {
 		progress("running the §3.3-§3.5 sweep (17 workloads × sizes × 4 configurations)")
+		sp := tr.StartSpan("sweep")
 		var err error
-		if sweep, err = experiments.Sweep(o); err != nil {
+		sweep, err = experiments.Sweep(o)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}
@@ -143,7 +163,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if wants("clark") {
 		progress("running Clark VAX 11/780 validation")
+		sp := tr.StartSpan("clark")
 		c, err := experiments.Clark(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("clark: %w", err)
 		}
@@ -151,7 +173,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("z80000") {
 		progress("running Z80000 projection critique")
+		sp := tr.StartSpan("z80000")
 		z, err := experiments.Z80000(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("z80000: %w", err)
 		}
@@ -159,7 +183,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("m68020") {
 		progress("running M68020 instruction-cache speculation")
+		sp := tr.StartSpan("m68020")
 		m, err := experiments.M68020(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("m68020: %w", err)
 		}
@@ -167,7 +193,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("purge") {
 		progress("running purge-interval ablation")
+		sp := tr.StartSpan("purge")
 		p, err := experiments.PurgeAblation(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("purge: %w", err)
 		}
@@ -175,7 +203,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("replacement") {
 		progress("running replacement/mapping ablation")
+		sp := tr.StartSpan("replacement")
 		r, err := experiments.ReplacementAblation(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("replacement: %w", err)
 		}
@@ -190,7 +220,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("bus") {
 		progress("running shared-bus multiprocessor study")
+		sp := tr.StartSpan("bus")
 		r, err := experiments.BusStudy(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("bus: %w", err)
 		}
@@ -198,7 +230,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("linesize") {
 		progress("running line-size study")
+		sp := tr.StartSpan("linesize")
 		r, err := experiments.LineSize(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("linesize: %w", err)
 		}
@@ -206,7 +240,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("prefetchpolicy") {
 		progress("running prefetch policy ablation")
+		sp := tr.StartSpan("prefetchpolicy")
 		r, err := experiments.PrefetchPolicies(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("prefetchpolicy: %w", err)
 		}
@@ -214,7 +250,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("variance") {
 		progress("running run-to-run variance study")
+		sp := tr.StartSpan("variance")
 		r, err := experiments.Variance(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("variance: %w", err)
 		}
@@ -222,12 +260,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if wants("sampling") {
 		progress("running trace-sampling study")
+		sp := tr.StartSpan("sampling")
 		r, err := experiments.SamplingStudy(o)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("sampling: %w", err)
 		}
 		fmt.Fprintln(stdout, r.Render())
 	}
+	if *verbose {
+		fmt.Fprintln(stderr, "\nper-table span timings:")
+		for _, sp := range tr.Summary() {
+			if sp.Refs > 0 {
+				fmt.Fprintf(stderr, "  %-16s start %9.1fms  took %9.1fms  %12d refs  %s refs/s\n",
+					sp.Name, sp.StartMS, sp.DurationMS, sp.Refs, fmtRate(sp.RefsPerSec))
+				continue
+			}
+			fmt.Fprintf(stderr, "  %-16s start %9.1fms  took %9.1fms\n",
+				sp.Name, sp.StartMS, sp.DurationMS)
+		}
+	}
 	progress("done")
 	return nil
+}
+
+// fmtRate renders a refs/second rate compactly for the timing summary.
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fK", r/1e3)
+	}
+	return fmt.Sprintf("%.0f", r)
 }

@@ -74,6 +74,23 @@ func TestRunProgressGoesToStderr(t *testing.T) {
 	}
 }
 
+func TestRunVerboseSpanSummary(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-experiment", "table2", "-refs", "2000", "-v"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := errOut.String()
+	if !strings.Contains(s, "per-table span timings:") {
+		t.Errorf("-v did not print the span timing summary:\n%s", s)
+	}
+	if !strings.Contains(s, "table2") {
+		t.Errorf("span summary missing the table2 span:\n%s", s)
+	}
+	if strings.Contains(out.String(), "per-table span timings:") {
+		t.Error("span summary leaked to stdout")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown flag must error")

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 )
 
@@ -34,6 +35,7 @@ import (
 //
 // FanoutSystem is not safe for concurrent use.
 type FanoutSystem struct {
+	engineProbe
 	cfg       FanoutConfig
 	lineShift uint
 	unit      uint64 // line size in bytes (the fetch granularity)
@@ -249,18 +251,24 @@ func (f *FanoutSystem) RefBytes() uint64 { return f.refBytes }
 // Run drives the engine from rd until io.EOF or max references (when
 // max > 0) and returns the number of references processed.
 func (f *FanoutSystem) Run(rd trace.Reader, max int) (int, error) {
+	t0 := f.runStart()
 	n := 0
 	for max <= 0 || n < max {
 		ref, err := rd.Read()
 		if err == io.EOF {
-			return n, nil
+			break
 		}
 		if err != nil {
+			f.runEnd(n, t0)
 			return n, err
 		}
 		f.Ref(ref)
 		n++
+		if f.probe != nil && n%obs.ProgressInterval == 0 {
+			f.probe.RunProgress(f.stage, int64(n))
+		}
 	}
+	f.runEnd(n, t0)
 	return n, nil
 }
 

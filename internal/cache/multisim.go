@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 )
 
@@ -29,6 +30,7 @@ import (
 //
 // MultiSystem is not safe for concurrent use.
 type MultiSystem struct {
+	engineProbe
 	cfg       MultiConfig
 	unified   *multiSim
 	icache    *multiSim
@@ -189,18 +191,24 @@ func (m *MultiSystem) Purges() uint64 { return m.purges }
 // Run drives the engine from rd until io.EOF or max references (when
 // max > 0) and returns the number of references processed.
 func (m *MultiSystem) Run(rd trace.Reader, max int) (int, error) {
+	t0 := m.runStart()
 	n := 0
 	for max <= 0 || n < max {
 		ref, err := rd.Read()
 		if err == io.EOF {
-			return n, nil
+			break
 		}
 		if err != nil {
+			m.runEnd(n, t0)
 			return n, err
 		}
 		m.Ref(ref)
 		n++
+		if m.probe != nil && n%obs.ProgressInterval == 0 {
+			m.probe.RunProgress(m.stage, int64(n))
+		}
 	}
+	m.runEnd(n, t0)
 	return n, nil
 }
 

@@ -1,0 +1,46 @@
+package cache
+
+import (
+	"time"
+
+	"cacheeval/internal/obs"
+)
+
+// engineProbe is the instrumentation state embedded in every simulation
+// engine (System, MultiSystem, FanoutSystem, StackSim). The probe is nil
+// unless a caller installs one, and each Run loop guards its callbacks
+// behind that nil check, so the uninstrumented hot path pays one
+// predictable branch per reference and allocates nothing — the engine
+// benchmarks run with a no-op probe installed precisely so `make
+// benchcheck` keeps the instrumented path honest too. See DESIGN.md §8.
+type engineProbe struct {
+	probe obs.Probe
+	stage string
+	total int64
+}
+
+// SetProbe installs an instrumentation probe for subsequent Run calls.
+// stage names the run in the probe's callbacks (the engine does not invent
+// names); totalRefs is the expected run length when known, 0 otherwise.
+// A nil probe uninstalls.
+func (e *engineProbe) SetProbe(p obs.Probe, stage string, totalRefs int64) {
+	e.probe, e.stage, e.total = p, stage, totalRefs
+}
+
+// runStart emits the probe's start callback and returns the run's start
+// time (zero when no probe is installed — runEnd only reads it when a
+// probe is present).
+func (e *engineProbe) runStart() time.Time {
+	if e.probe == nil {
+		return time.Time{}
+	}
+	e.probe.RunStart(e.stage, e.total)
+	return time.Now()
+}
+
+// runEnd emits the probe's end callback.
+func (e *engineProbe) runEnd(n int, t0 time.Time) {
+	if e.probe != nil {
+		e.probe.RunEnd(e.stage, int64(n), time.Since(t0))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 )
 
@@ -17,6 +18,7 @@ import (
 // the L most recently used lines, so a reference at stack distance d hits
 // in every cache with at least d+1 lines and misses in all smaller ones.
 type StackSim struct {
+	engineProbe
 	lineShift uint
 	stack     []uint64 // line addresses, most recent first
 	dist      []uint64 // dist[d] = references that hit at stack distance d
@@ -58,18 +60,24 @@ func (s *StackSim) Ref(addr uint64) {
 // Run drives the simulator from rd until io.EOF or max references (max > 0)
 // and returns the number processed.
 func (s *StackSim) Run(rd trace.Reader, max int) (int, error) {
+	t0 := s.runStart()
 	n := 0
 	for max <= 0 || n < max {
 		ref, err := rd.Read()
 		if err == io.EOF {
-			return n, nil
+			break
 		}
 		if err != nil {
+			s.runEnd(n, t0)
 			return n, err
 		}
 		s.Ref(ref.Addr)
 		n++
+		if s.probe != nil && n%obs.ProgressInterval == 0 {
+			s.probe.RunProgress(s.stage, int64(n))
+		}
 	}
+	s.runEnd(n, t0)
 	return n, nil
 }
 

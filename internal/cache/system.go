@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 )
 
@@ -83,6 +84,7 @@ func (r RefStats) DataMissRatio() float64 {
 // split/unified routing, straddling references, purge scheduling and
 // reference-level accounting.
 type System struct {
+	engineProbe
 	cfg        SystemConfig
 	unified    *Cache
 	icache     *Cache
@@ -231,17 +233,23 @@ func (s *System) Stats() Stats {
 // Run drives the system from rd until io.EOF or max references (when
 // max > 0) and returns the number of references processed.
 func (s *System) Run(rd trace.Reader, max int) (int, error) {
+	t0 := s.runStart()
 	n := 0
 	for max <= 0 || n < max {
 		ref, err := rd.Read()
 		if err == io.EOF {
-			return n, nil
+			break
 		}
 		if err != nil {
+			s.runEnd(n, t0)
 			return n, err
 		}
 		s.Ref(ref)
 		n++
+		if s.probe != nil && n%obs.ProgressInterval == 0 {
+			s.probe.RunProgress(s.stage, int64(n))
+		}
 	}
+	s.runEnd(n, t0)
 	return n, nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"cacheeval/internal/cache"
 	"cacheeval/internal/model"
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
@@ -86,7 +87,14 @@ func evaluateReader(ctx context.Context, design cache.SystemConfig, name string,
 	if err != nil {
 		return Report{}, err
 	}
-	if _, err := sys.Run(rd, 0); err != nil {
+	if p := obs.ProbeFrom(ctx); p != nil {
+		sys.SetProbe(p, "simulate:"+name, 0)
+	}
+	sp := obs.StartSpan(ctx, "simulate:"+name)
+	n, err := sys.Run(rd, 0)
+	sp.AddRefs(int64(n))
+	sp.End()
+	if err != nil {
 		return Report{}, fmt.Errorf("core: evaluating %s: %w", name, err)
 	}
 	rs := sys.RefStats()

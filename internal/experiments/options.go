@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"cacheeval/internal/model"
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
@@ -44,6 +45,13 @@ type Options struct {
 	// honour the same RefLimit semantics as collectMixCtx (per-member
 	// limits) and callers must not mutate the returned slice.
 	StreamSource func(ctx context.Context, m workload.Mix) ([]trace.Ref, error)
+	// Probe, when non-nil, receives engine progress callbacks
+	// (obs.Probe.RunStart/RunProgress/RunEnd) from every simulation an
+	// experiment runs. The probe must be safe for concurrent use — with
+	// Workers > 1 several engine passes report to it at once, each under
+	// its own stage name. Nil keeps the engines' hot paths on the
+	// uninstrumented fast path (see DESIGN.md §8).
+	Probe obs.Probe
 }
 
 func (o Options) withDefaults() Options {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cacheeval/internal/cache"
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
@@ -79,11 +80,15 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	// from memory for every job.
 	streams := make([][]trace.Ref, len(mixes))
 	err := forEachCtx(ctx, o.Workers, len(mixes), func(i int) error {
+		sp := obs.StartSpan(ctx, "materialize:"+mixes[i].Name)
 		refs, err := o.collectMixCtx(ctx, mixes[i])
 		if err != nil {
+			sp.End()
 			return fmt.Errorf("sweep %s: %w", mixes[i].Name, err)
 		}
 		streams[i] = refs
+		sp.AddRefs(int64(len(refs)))
+		sp.End()
 		return nil
 	})
 	if err != nil {
@@ -127,10 +132,21 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	return res, nil
 }
 
+// orgName names a cache organization in stage and span labels.
+func orgName(split bool) string {
+	if split {
+		return "split"
+	}
+	return "unified"
+}
+
 // runDemandPass executes one organization's demand simulations at every
 // size in a single pass and scatters the per-size results into the mix's
 // cell row.
 func runDemandPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split bool, row []SweepCell) error {
+	stage := "sweep:" + mix.Name + ":demand:" + orgName(split)
+	sp := obs.StartSpan(ctx, stage)
+	defer sp.End()
 	ms, err := cache.NewMultiSystem(cache.MultiConfig{
 		Sizes: o.Sizes, LineSize: o.LineSize,
 		Split: split, PurgeInterval: mix.Quantum,
@@ -138,9 +154,14 @@ func runDemandPass(ctx context.Context, o Options, mix workload.Mix, refs []trac
 	if err != nil {
 		return err
 	}
-	if _, err := ms.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
+	if o.Probe != nil {
+		ms.SetProbe(o.Probe, stage, int64(len(refs)))
+	}
+	n, err := ms.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0)
+	if err != nil {
 		return err
 	}
+	sp.AddRefs(int64(n))
 	for si, r := range ms.Results() {
 		out := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
 		if split {
@@ -156,6 +177,9 @@ func runDemandPass(ctx context.Context, o Options, mix workload.Mix, refs []trac
 // at every size in a single fan-out pass and scatters the per-size results
 // into the mix's cell row.
 func runPrefetchPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split bool, row []SweepCell) error {
+	stage := "sweep:" + mix.Name + ":prefetch:" + orgName(split)
+	sp := obs.StartSpan(ctx, stage)
+	defer sp.End()
 	fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
 		Sizes: o.Sizes, LineSize: o.LineSize,
 		Split: split, PurgeInterval: mix.Quantum,
@@ -163,9 +187,14 @@ func runPrefetchPass(ctx context.Context, o Options, mix workload.Mix, refs []tr
 	if err != nil {
 		return err
 	}
-	if _, err := fs.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
+	if o.Probe != nil {
+		fs.SetProbe(o.Probe, stage, int64(len(refs)))
+	}
+	n, err := fs.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0)
+	if err != nil {
 		return err
 	}
+	sp.AddRefs(int64(n))
 	for si, r := range fs.Results() {
 		out := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
 		if split {

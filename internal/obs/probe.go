@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressInterval is how many references a simulation engine processes
+// between RunProgress callbacks. A power of two so the engines' interval
+// check compiles to a mask.
+const ProgressInterval = 1 << 16
+
+// Probe receives instrumentation callbacks from the simulation engines
+// (System, MultiSystem, FanoutSystem, StackSim). The engines hold a nil
+// probe by default and guard every callback behind a nil check, so the
+// uninstrumented hot path costs one predictable branch per reference and
+// zero allocations; see DESIGN.md §8 and the simcheck equivalence test.
+//
+// stage identifies the run (e.g. "sweep:FGO1:demand:split"); it is chosen
+// by whoever installs the probe, not by the engine. totalRefs is the
+// expected run length when the caller knows it, 0 otherwise.
+// Implementations are called from whatever goroutine runs the engine and
+// must be safe for concurrent use when shared across parallel runs.
+type Probe interface {
+	RunStart(stage string, totalRefs int64)
+	// RunProgress reports cumulative references processed, every
+	// ProgressInterval references.
+	RunProgress(stage string, refs int64)
+	RunEnd(stage string, refs int64, elapsed time.Duration)
+}
+
+// NopProbe is a Probe that does nothing. Installing it (rather than nil)
+// exercises the instrumented engine path; the benchmark suite does exactly
+// that so `make benchcheck` guards the overhead.
+type NopProbe struct{}
+
+func (NopProbe) RunStart(string, int64)              {}
+func (NopProbe) RunProgress(string, int64)           {}
+func (NopProbe) RunEnd(string, int64, time.Duration) {}
+
+// WithProbe returns a context carrying an engine probe, for call paths that
+// thread context rather than an options struct (core.EvaluateRefsContext).
+func WithProbe(ctx context.Context, p Probe) context.Context {
+	return context.WithValue(ctx, probeKey, p)
+}
+
+// ProbeFrom returns the context's probe, or nil.
+func ProbeFrom(ctx context.Context) Probe {
+	p, _ := ctx.Value(probeKey).(Probe)
+	return p
+}
+
+// ProgressProbe renders engine progress as human-readable lines: a
+// throttled in-flight line per stage (with refs/second and, when the total
+// is known, an ETA) and a completion line with the stage's wall time. It is
+// safe for concurrent use across parallel simulation workers. Used by
+// `paperrepro -v` and `calibrate -v`.
+type ProgressProbe struct {
+	w io.Writer
+	// MinInterval throttles in-flight progress lines per stage; completion
+	// lines always print. The zero value prints every callback (useful in
+	// tests); NewProgressProbe sets 1s.
+	MinInterval time.Duration
+
+	mu     sync.Mutex
+	stages map[string]*stageState
+}
+
+type stageState struct {
+	start     time.Time
+	total     int64
+	lastPrint time.Time
+}
+
+// NewProgressProbe returns a progress printer with a 1s per-stage throttle.
+func NewProgressProbe(w io.Writer) *ProgressProbe {
+	return &ProgressProbe{w: w, MinInterval: time.Second, stages: make(map[string]*stageState)}
+}
+
+// RunStart records the stage's start time and expected length.
+func (p *ProgressProbe) RunStart(stage string, totalRefs int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stages == nil {
+		p.stages = make(map[string]*stageState)
+	}
+	now := time.Now()
+	p.stages[stage] = &stageState{start: now, total: totalRefs, lastPrint: now}
+}
+
+// RunProgress prints a throttled progress line with rate and ETA.
+func (p *ProgressProbe) RunProgress(stage string, refs int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stages[stage]
+	if st == nil { // progress without start: engine misuse, tolerate
+		return
+	}
+	now := time.Now()
+	if now.Sub(st.lastPrint) < p.MinInterval {
+		return
+	}
+	st.lastPrint = now
+	elapsed := now.Sub(st.start)
+	rate := refsPerSec(refs, elapsed)
+	if st.total > 0 && rate > 0 {
+		eta := time.Duration(float64(st.total-refs) / rate * float64(time.Second))
+		fmt.Fprintf(p.w, "%s: %s/%s refs (%.0f%%), %s refs/s, ETA %s\n",
+			stage, fmtCount(refs), fmtCount(st.total),
+			100*float64(refs)/float64(st.total), fmtRate(rate), eta.Round(100*time.Millisecond))
+		return
+	}
+	fmt.Fprintf(p.w, "%s: %s refs, %s refs/s\n", stage, fmtCount(refs), fmtRate(rate))
+}
+
+// RunEnd prints the stage's completion line.
+func (p *ProgressProbe) RunEnd(stage string, refs int64, elapsed time.Duration) {
+	p.mu.Lock()
+	delete(p.stages, stage)
+	p.mu.Unlock()
+	fmt.Fprintf(p.w, "%s: %s refs in %s (%s refs/s)\n",
+		stage, fmtCount(refs), elapsed.Round(time.Millisecond), fmtRate(refsPerSec(refs, elapsed)))
+}
+
+// refsPerSec guards the zero-duration edge (sub-tick runs).
+func refsPerSec(refs int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(refs) / d.Seconds()
+}
+
+// fmtCount renders a reference count compactly (12.3M style).
+func fmtCount(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.0fM", float64(n)/1e6)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fK", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// fmtRate renders a refs/second rate compactly.
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fK", r/1e3)
+	}
+	return fmt.Sprintf("%.0f", r)
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition is a minimal line-oriented checker for the Prometheus
+// text exposition format, used by the package's golden test, the server's
+// /metrics test, and the obs-smoke tooling. It verifies that every sample
+// belongs to an announced family, HELP/TYPE lines precede their samples,
+// sample values parse, histogram buckets are cumulative with ascending
+// bounds, and each histogram's le="+Inf" bucket equals its _count.
+func CheckExposition(text string) error {
+	families := map[string]*checkFamily{}
+	typed := map[string]bool{}
+	sampleFamily := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] {
+				return base
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				return fmt.Errorf("line %d: HELP without text: %q", ln+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return fmt.Errorf("line %d: unknown type %q", ln+1, typ)
+			}
+			if typed[name] {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			typed[name] = true
+			families[name] = &checkFamily{typ: typ}
+		case strings.HasPrefix(line, "#"):
+			// Other comment lines are legal and carry no constraints.
+		case strings.TrimSpace(line) == "":
+			return fmt.Errorf("line %d: blank line in exposition", ln+1)
+		default:
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			fam := families[sampleFamily(name)]
+			if fam == nil {
+				return fmt.Errorf("line %d: sample %s before its TYPE", ln+1, name)
+			}
+			if fam.typ == "histogram" {
+				if err := fam.addHistogramSample(name, labels, value); err != nil {
+					return fmt.Errorf("line %d: %v", ln+1, err)
+				}
+			} else if labels != "" {
+				return fmt.Errorf("line %d: unexpected labels on %s", ln+1, name)
+			}
+		}
+	}
+	for name, fam := range families {
+		if fam.typ != "histogram" {
+			continue
+		}
+		switch {
+		case fam.inf == nil:
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", name)
+		case fam.count == nil:
+			return fmt.Errorf("histogram %s: missing _count", name)
+		case *fam.inf != *fam.count:
+			return fmt.Errorf("histogram %s: +Inf bucket %d != count %d", name, *fam.inf, *fam.count)
+		}
+	}
+	return nil
+}
+
+// checkFamily is the per-family state CheckExposition accumulates.
+type checkFamily struct {
+	typ        string
+	lastCum    int64
+	bounds     []float64
+	inf, count *int64
+}
+
+// addHistogramSample enforces cumulative buckets with ascending bounds and
+// records +Inf/_count for the final cross-check.
+func (fam *checkFamily) addHistogramSample(name, labels string, value float64) error {
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le := strings.TrimSuffix(strings.TrimPrefix(labels, `le="`), `"`)
+		cum := int64(value)
+		if cum < fam.lastCum {
+			return fmt.Errorf("%s{le=%q}: bucket %d below previous %d (not cumulative)", name, le, cum, fam.lastCum)
+		}
+		fam.lastCum = cum
+		if le == "+Inf" {
+			fam.inf = &cum
+			return nil
+		}
+		b, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("%s: bad le %q", name, le)
+		}
+		fam.bounds = append(fam.bounds, b)
+		if !sort.Float64sAreSorted(fam.bounds) {
+			return fmt.Errorf("%s: bounds not ascending", name)
+		}
+	case strings.HasSuffix(name, "_count"):
+		c := int64(value)
+		fam.count = &c
+	case strings.HasSuffix(name, "_sum"):
+	default:
+		return fmt.Errorf("unexpected histogram sample %s", name)
+	}
+	return nil
+}
+
+// parseSample splits a `name{labels} value` line (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces: %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample: %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	return name, labels, v, nil
+}
+
+// parseValue parses a sample value, accepting the format's infinities.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

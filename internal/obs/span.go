@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace collects the spans of one logical request: each pipeline stage
+// (trace materialization, demand pass, prefetch pass, per-size assembly)
+// opens a span, optionally attaches its reference count, and closes it.
+// Spans may be created and ended from concurrent worker goroutines;
+// Summary must only be called after the traced work has completed.
+//
+// A nil *Trace is valid: its spans are no-ops, so instrumented code runs
+// unchanged when no caller asked for a trace.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []*Span
+}
+
+// Span is one named, timed stage of a trace.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+	dur   time.Duration // 0 until End
+	refs  atomic.Int64
+}
+
+// NewTrace creates a trace and returns a context carrying it.
+func NewTrace(ctx context.Context) (context.Context, *Trace) {
+	tr := NewTraceRoot()
+	return context.WithValue(ctx, traceKey, tr), tr
+}
+
+// NewTraceRoot creates a standalone trace for callers without a context
+// pipeline (e.g. batch commands timing their own stages).
+func NewTraceRoot() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// StartSpan opens a span on the context's trace. With no trace installed it
+// returns a nil span, whose methods are no-ops.
+func StartSpan(ctx context.Context, name string) *Span {
+	return TraceFrom(ctx).StartSpan(name)
+}
+
+// StartSpan opens a named span. Safe on a nil trace (returns a nil span).
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// AddRefs attaches processed-reference counts to the span, from which
+// Summary derives a refs/second rate. Safe on a nil span.
+func (s *Span) AddRefs(n int64) {
+	if s == nil {
+		return
+	}
+	s.refs.Add(n)
+}
+
+// End closes the span. Idempotent and safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+		if s.dur == 0 {
+			s.dur = 1 // clock granularity: never leave an ended span at 0
+		}
+	}
+	s.tr.mu.Unlock()
+}
+
+// SpanSummary is the JSON shape of one finished span, as embedded in
+// evaluate/sweep responses when the request opts in.
+type SpanSummary struct {
+	Name string `json:"name"`
+	// StartMS is the span's start offset from the trace start.
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Refs       int64   `json:"refs,omitempty"`
+	RefsPerSec float64 `json:"refs_per_sec,omitempty"`
+}
+
+// Summary renders every span in creation order. Spans not yet ended are
+// reported with their duration so far. Safe on a nil trace (returns nil).
+func (t *Trace) Summary() []SpanSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSummary, len(t.spans))
+	for i, s := range t.spans {
+		d := s.dur
+		if d == 0 {
+			d = time.Since(s.start)
+		}
+		sum := SpanSummary{
+			Name:       s.name,
+			StartMS:    float64(s.start.Sub(t.start)) / float64(time.Millisecond),
+			DurationMS: float64(d) / float64(time.Millisecond),
+			Refs:       s.refs.Load(),
+		}
+		if sum.Refs > 0 && d > 0 {
+			sum.RefsPerSec = float64(sum.Refs) / d.Seconds()
+		}
+		out[i] = sum
+	}
+	return out
+}

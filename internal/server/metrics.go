@@ -44,7 +44,9 @@ type Metrics struct {
 	SweepNs          expvar.Int
 }
 
-// MetricsSnapshot is a point-in-time copy of the counters, shaped for JSON.
+// MetricsSnapshot is a point-in-time copy of the counters, shaped for JSON,
+// plus the derived ratios and averages operators actually alert on. Ratios
+// are 0 when their denominator is 0 and always within [0, 1].
 type MetricsSnapshot struct {
 	Requests         int64   `json:"requests"`
 	MemoHits         int64   `json:"memo_hits"`
@@ -63,12 +65,34 @@ type MetricsSnapshot struct {
 	SweepNsTotal     int64   `json:"sweep_ns_total"`
 	MemoEntries      int     `json:"memo_entries"`
 	StreamEntries    int     `json:"stream_entries"`
+
+	MemoHitRatio       float64 `json:"memo_hit_ratio"`
+	StreamHitRatio     float64 `json:"stream_hit_ratio"`
+	SimSecondsAvg      float64 `json:"sim_seconds_avg"`
+	EvaluateSecondsAvg float64 `json:"evaluate_seconds_avg"`
+	SweepSecondsAvg    float64 `json:"sweep_seconds_avg"`
+}
+
+// hitRatio returns hits/(hits+misses), or 0 for an empty history.
+func hitRatio(hits, misses int64) float64 {
+	if total := hits + misses; total > 0 {
+		return float64(hits) / float64(total)
+	}
+	return 0
+}
+
+// perRun returns total/n, or 0 when nothing ran.
+func perRun(total float64, n int64) float64 {
+	if n > 0 {
+		return total / float64(n)
+	}
+	return 0
 }
 
 // Snapshot copies the current counter values. The memo entry count is read
 // under the server's lock by the caller (see Server.snapshot).
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Requests:         m.Requests.Value(),
 		MemoHits:         m.MemoHits.Value(),
 		MemoMisses:       m.MemoMisses.Value(),
@@ -85,6 +109,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		EvaluateNsTotal:  m.EvaluateNs.Value(),
 		SweepNsTotal:     m.SweepNs.Value(),
 	}
+	snap.MemoHitRatio = hitRatio(snap.MemoHits, snap.MemoMisses)
+	snap.StreamHitRatio = hitRatio(snap.StreamHits, snap.StreamMisses)
+	snap.SimSecondsAvg = perRun(snap.SimSeconds, snap.SimRuns)
+	snap.EvaluateSecondsAvg = perRun(float64(snap.EvaluateNsTotal)/1e9, snap.EvaluateRequests)
+	snap.SweepSecondsAvg = perRun(float64(snap.SweepNsTotal)/1e9, snap.SweepRequests)
+	return snap
 }
 
 // snapshot extends the counter snapshot with lock-guarded state.
@@ -97,9 +127,17 @@ func (s *Server) snapshot() MetricsSnapshot {
 	return snap
 }
 
-// handleMetrics serves GET /metrics.
+// handleMetrics serves GET /metrics: Prometheus text exposition by default,
+// the original expvar-shaped JSON snapshot with ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.snapshot())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "prometheus":
+		s.prom.ServeText(w)
+	case "json":
+		writeJSON(w, http.StatusOK, s.snapshot())
+	default:
+		s.error(w, http.StatusBadRequest, "unknown metrics format "+strconvQuote(format))
+	}
 }
 
 // ExpvarFunc returns an expvar.Func suitable for

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"time"
+
+	"cacheeval/internal/obs"
+)
+
+// Prometheus exposition: every expvar-backed counter is re-exported as a
+// scrape-time counter func (one source of truth, no double accounting), the
+// derived ratios/averages become gauges, and the request/engine latency
+// distributions become fixed-bucket histograms. The registry is per-Server,
+// like Metrics, so tests and embedded servers never collide.
+
+// buildProm registers the cacheeval_* metric families on a fresh registry.
+// Called once from New, before the server handles requests.
+func (s *Server) buildProm() {
+	reg := obs.NewRegistry()
+	s.prom = reg
+
+	intCounter := func(name, help string, v func() int64) {
+		reg.NewCounterFunc(name, help, func() float64 { return float64(v()) })
+	}
+	m := s.metrics
+	intCounter("cacheeval_requests_total",
+		"API requests received, including rejected ones.", m.Requests.Value)
+	intCounter("cacheeval_errors_total",
+		"Requests answered with a non-2xx status.", m.Errors.Value)
+	intCounter("cacheeval_timeouts_total",
+		"Requests that ended with a deadline or cancellation.", m.Timeouts.Value)
+	intCounter("cacheeval_evaluate_requests_total",
+		"Requests entering POST /v1/evaluate.", m.EvaluateRequests.Value)
+	intCounter("cacheeval_sweep_requests_total",
+		"Requests entering POST /v1/sweep.", m.SweepRequests.Value)
+	intCounter("cacheeval_sim_runs_total",
+		"Simulations actually executed (memo hits and flight joins do not run).", m.SimRuns.Value)
+	reg.NewCounterFunc("cacheeval_sim_seconds_total",
+		"Wall-clock seconds spent inside simulations.", m.SimSeconds.Value)
+	intCounter("cacheeval_memo_hits_total",
+		"Simulation requests answered from the LRU result cache.", m.MemoHits.Value)
+	intCounter("cacheeval_memo_misses_total",
+		"Simulation requests that missed the LRU result cache.", m.MemoMisses.Value)
+	intCounter("cacheeval_stream_hits_total",
+		"Workload-stream lookups answered from the stream LRU.", m.StreamHits.Value)
+	intCounter("cacheeval_stream_misses_total",
+		"Workload-stream lookups that materialized a new stream.", m.StreamMisses.Value)
+	intCounter("cacheeval_flight_joins_total",
+		"Requests that joined an identical in-progress computation.", m.FlightJoins.Value)
+
+	reg.NewGaugeFunc("cacheeval_memo_hit_ratio",
+		"Fraction of simulation requests answered from the result cache, in [0,1].",
+		func() float64 { return hitRatio(m.MemoHits.Value(), m.MemoMisses.Value()) })
+	reg.NewGaugeFunc("cacheeval_stream_hit_ratio",
+		"Fraction of stream lookups answered from the stream LRU, in [0,1].",
+		func() float64 { return hitRatio(m.StreamHits.Value(), m.StreamMisses.Value()) })
+	reg.NewGaugeFunc("cacheeval_sim_seconds_avg",
+		"Mean wall-clock seconds per executed simulation.",
+		func() float64 { return perRun(m.SimSeconds.Value(), m.SimRuns.Value()) })
+	reg.NewGaugeFunc("cacheeval_evaluate_seconds_avg",
+		"Mean handler seconds per evaluate request, memo hits included.",
+		func() float64 { return perRun(float64(m.EvaluateNs.Value())/1e9, m.EvaluateRequests.Value()) })
+	reg.NewGaugeFunc("cacheeval_sweep_seconds_avg",
+		"Mean handler seconds per sweep request, memo hits included.",
+		func() float64 { return perRun(float64(m.SweepNs.Value())/1e9, m.SweepRequests.Value()) })
+
+	reg.NewGaugeFunc("cacheeval_in_flight_sims",
+		"Simulations currently holding a worker-pool slot.",
+		func() float64 { return float64(m.InFlight.Value()) })
+	reg.NewGaugeFunc("cacheeval_http_in_flight_requests",
+		"HTTP requests currently being served.",
+		func() float64 { return float64(s.httpInFlight.Load()) })
+	reg.NewGaugeFunc("cacheeval_worker_pool_busy",
+		"Occupied worker-pool slots.",
+		func() float64 { return float64(len(s.workers)) })
+	reg.NewGaugeFunc("cacheeval_worker_pool_capacity",
+		"Total worker-pool slots (Config.MaxConcurrent).",
+		func() float64 { return float64(cap(s.workers)) })
+	reg.NewGaugeFunc("cacheeval_memo_entries",
+		"Entries in the LRU result cache.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.memo.len()) })
+	reg.NewGaugeFunc("cacheeval_stream_entries",
+		"Materialized workload streams held in the stream LRU.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.streams.len()) })
+
+	s.evalHist = reg.NewHistogram("cacheeval_evaluate_duration_seconds",
+		"POST /v1/evaluate handler latency, memo hits and errors included.",
+		obs.LatencyBuckets())
+	s.sweepHist = reg.NewHistogram("cacheeval_sweep_duration_seconds",
+		"POST /v1/sweep handler latency, memo hits and errors included.",
+		obs.LatencyBuckets())
+	s.engineRefs = reg.NewCounter("cacheeval_engine_refs_total",
+		"Trace references processed by completed simulation engine runs.")
+	s.refsRateHist = reg.NewHistogram("cacheeval_engine_refs_per_second",
+		"Throughput of completed simulation engine runs, references/second.",
+		obs.RateBuckets())
+}
+
+// simProbe adapts engine run completions into the engine throughput metrics.
+// One instance serves every concurrent simulation; stage identity travels in
+// the callback arguments, so no per-run state is needed.
+type simProbe struct{ s *Server }
+
+func (p simProbe) RunStart(string, int64)    {}
+func (p simProbe) RunProgress(string, int64) {}
+
+func (p simProbe) RunEnd(stage string, refs int64, elapsed time.Duration) {
+	p.s.engineRefs.Add(refs)
+	if refs > 0 && elapsed > 0 {
+		p.s.refsRateHist.Observe(float64(refs) / elapsed.Seconds())
+	}
+}

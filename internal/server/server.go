@@ -24,15 +24,18 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cacheeval/internal/cache"
 	"cacheeval/internal/core"
 	"cacheeval/internal/experiments"
+	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
@@ -59,6 +62,10 @@ type Config struct {
 	// DefaultTimeout applies to requests that set no timeout_ms; 0 means
 	// no server-imposed deadline.
 	DefaultTimeout time.Duration
+	// Logger receives the structured access log and simulation lifecycle
+	// events, each line carrying the request's ID. Nil discards all logs
+	// (the zero value stays quiet, matching the previous behaviour).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +93,17 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *Metrics
+	logger  *slog.Logger
+
+	// Prometheus exposition (see prom.go). The func-backed families read
+	// straight from metrics/state at scrape time; only the histograms and
+	// the engine refs counter hold their own state.
+	prom         *obs.Registry
+	evalHist     *obs.Histogram
+	sweepHist    *obs.Histogram
+	engineRefs   *obs.Counter
+	refsRateHist *obs.Histogram
+	httpInFlight atomic.Int64
 
 	mu      sync.Mutex
 	memo    *memoLRU
@@ -113,10 +131,15 @@ type MixInfo struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	base, cancel := context.WithCancel(context.Background())
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		metrics:   &Metrics{},
+		logger:    logger,
 		memo:      newMemoLRU(cfg.MemoEntries),
 		streams:   newMemoLRU(cfg.StreamEntries),
 		flights:   make(map[string]*flight),
@@ -124,6 +147,7 @@ func New(cfg Config) *Server {
 		baseCtx:   base,
 		closeBase: cancel,
 	}
+	s.buildProm()
 	s.buildCatalog()
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -137,11 +161,34 @@ func New(cfg Config) *Server {
 // listener (http.Server.Shutdown) so active requests finish first.
 func (s *Server) Close() { s.closeBase() }
 
-// Handler returns the service's root handler.
+// Handler returns the service's root handler. It wraps the API mux in the
+// observability middleware: every request gets an ID (the client's
+// X-Request-ID when syntactically valid, a fresh one otherwise), the ID is
+// echoed back in the response headers and stamped onto a request-scoped
+// logger, both travel down the context into the simulation layers, and the
+// completed request is access-logged with its status and duration.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Requests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		s.httpInFlight.Add(1)
+		defer s.httpInFlight.Add(-1)
+		t0 := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(rid) {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		logger := s.logger.With("request_id", rid)
+		ctx := obs.WithLogger(obs.WithRequestID(r.Context(), rid), logger)
+		sw := obs.NewStatusWriter(w)
+		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.Status(),
+			"bytes", sw.Bytes(),
+			"duration_ms", float64(time.Since(t0))/float64(time.Millisecond),
+		)
 	})
 }
 
@@ -193,6 +240,10 @@ type EvaluateRequest struct {
 	Mix       string             `json:"mix"`
 	RefLimit  int                `json:"ref_limit"`
 	TimeoutMS int                `json:"timeout_ms"`
+	// Trace opts into the per-stage timing breakdown. It cannot change the
+	// simulation's result, so it is excluded from the memoization key; a
+	// memoized answer returns the spans of the run that computed it.
+	Trace bool `json:"trace"`
 }
 
 // EvaluateResponse is the POST /v1/evaluate reply.
@@ -200,9 +251,17 @@ type EvaluateResponse struct {
 	Report core.Report `json:"report"`
 	// Cached reports a memoization hit; Shared reports singleflight dedup
 	// against a concurrent identical request.
-	Cached    bool    `json:"cached"`
-	Shared    bool    `json:"shared"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Cached    bool              `json:"cached"`
+	Shared    bool              `json:"shared"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Trace     []obs.SpanSummary `json:"trace,omitempty"`
+}
+
+// evalMemo is the memoized portion of an evaluate response: the report plus
+// the spans of the run that produced it.
+type evalMemo struct {
+	Report core.Report
+	Trace  []obs.SpanSummary
 }
 
 // requestError is a validation failure plus the HTTP status it maps to.
@@ -260,7 +319,11 @@ func (s *Server) validateEvaluate(req *EvaluateRequest) (cache.SystemConfig, wor
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.EvaluateRequests.Add(1)
 	t0 := time.Now()
-	defer func() { s.metrics.EvaluateNs.Add(time.Since(t0).Nanoseconds()) }()
+	defer func() {
+		d := time.Since(t0)
+		s.metrics.EvaluateNs.Add(d.Nanoseconds())
+		s.evalHist.Observe(d.Seconds())
+	}()
 	var req EvaluateRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -283,12 +346,24 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
+		fctx = s.flightCtx(fctx, ctx)
+		fctx, tr := obs.NewTrace(fctx)
 		return s.timedSim(func() (any, error) {
+			obs.Logger(fctx).Info("evaluate: simulation start",
+				"mix", mix.Name, "ref_limit", req.RefLimit)
+			sp := obs.StartSpan(fctx, "materialize:"+mix.Name)
 			refs, err := s.mixStreamTotal(fctx, mix, req.RefLimit)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			sp.AddRefs(int64(len(refs)))
+			sp.End()
+			rep, err := core.EvaluateRefsContext(fctx, design, mix.Name, refs)
 			if err != nil {
 				return nil, err
 			}
-			return core.EvaluateRefsContext(fctx, design, mix.Name, refs)
+			return evalMemo{Report: rep, Trace: tr.Summary()}, nil
 		})
 	})
 	if err != nil {
@@ -296,10 +371,27 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.countOutcome(hit, shared)
-	writeJSON(w, http.StatusOK, EvaluateResponse{
-		Report: val.(core.Report), Cached: hit, Shared: shared,
+	memo := val.(evalMemo)
+	resp := EvaluateResponse{
+		Report: memo.Report, Cached: hit, Shared: shared,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	}
+	if req.Trace {
+		resp.Trace = memo.Trace
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flightCtx grafts the requesting caller's observability identity — request
+// ID, request-scoped logger — plus the server's engine probe onto a flight's
+// context. Flights descend from the server's base context (they must outlive
+// any one waiter), so the request-derived values do not come along for free;
+// when several requests share one flight the spawning caller's identity
+// labels the computation.
+func (s *Server) flightCtx(fctx, rctx context.Context) context.Context {
+	fctx = obs.WithRequestID(fctx, obs.RequestID(rctx))
+	fctx = obs.WithLogger(fctx, obs.Logger(rctx))
+	return obs.WithProbe(fctx, simProbe{s})
 }
 
 // SweepRequest is the POST /v1/sweep body. Empty mixes selects the paper's
@@ -311,6 +403,9 @@ type SweepRequest struct {
 	LineSize  int      `json:"line_size"`
 	RefLimit  int      `json:"ref_limit"`
 	TimeoutMS int      `json:"timeout_ms"`
+	// Trace opts into the per-stage timing breakdown; like timeout_ms it is
+	// excluded from the memoization key (see EvaluateRequest.Trace).
+	Trace bool `json:"trace"`
 }
 
 // VariantOut summarizes one of a sweep cell's four simulations.
@@ -339,9 +434,17 @@ type sweepPayload struct {
 // SweepResponse is the POST /v1/sweep reply; Cells is indexed [mix][size].
 type SweepResponse struct {
 	sweepPayload
-	Cached    bool    `json:"cached"`
-	Shared    bool    `json:"shared"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Cached    bool              `json:"cached"`
+	Shared    bool              `json:"shared"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Trace     []obs.SpanSummary `json:"trace,omitempty"`
+}
+
+// sweepMemo is the memoized portion of a sweep response plus the producing
+// run's spans.
+type sweepMemo struct {
+	Payload sweepPayload
+	Trace   []obs.SpanSummary
 }
 
 // validateSweep resolves a sweep request: every named mix must exist (an
@@ -386,7 +489,11 @@ func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, *requestError
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.metrics.SweepRequests.Add(1)
 	t0 := time.Now()
-	defer func() { s.metrics.SweepNs.Add(time.Since(t0).Nanoseconds()) }()
+	defer func() {
+		d := time.Since(t0)
+		s.metrics.SweepNs.Add(d.Nanoseconds())
+		s.sweepHist.Observe(d.Seconds())
+	}()
 	var req SweepRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -402,6 +509,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		StreamSource: func(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
 			return s.mixStreamPerMember(ctx, m, req.RefLimit)
 		},
+		Probe: simProbe{s},
 	}
 	key, err := requestKey("sweep", struct {
 		Mixes    []string
@@ -417,12 +525,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
+		fctx = s.flightCtx(fctx, ctx)
+		fctx, tr := obs.NewTrace(fctx)
 		return s.timedSim(func() (any, error) {
+			obs.Logger(fctx).Info("sweep: simulation start",
+				"mixes", len(mixes), "sizes", len(opts.Sizes), "ref_limit", req.RefLimit)
 			res, err := experiments.SweepMixesContext(fctx, opts, mixes)
 			if err != nil {
 				return nil, err
 			}
-			return summarizeSweep(res), nil
+			sp := obs.StartSpan(fctx, "assemble")
+			payload := summarizeSweep(res)
+			sp.End()
+			return sweepMemo{Payload: payload, Trace: tr.Summary()}, nil
 		})
 	})
 	if err != nil {
@@ -430,10 +545,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.countOutcome(hit, shared)
-	writeJSON(w, http.StatusOK, SweepResponse{
-		sweepPayload: val.(sweepPayload), Cached: hit, Shared: shared,
+	memo := val.(sweepMemo)
+	resp := SweepResponse{
+		sweepPayload: memo.Payload, Cached: hit, Shared: shared,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	}
+	if req.Trace {
+		resp.Trace = memo.Trace
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // summarizeSweep flattens a SweepResult into its JSON summary.

@@ -330,7 +330,7 @@ func TestMixesHealthzMetrics(t *testing.T) {
 		t.Errorf("healthz: %d %s", code, b)
 	}
 
-	code, b = get(t, hs.URL+"/metrics")
+	code, b = get(t, hs.URL+"/metrics?format=json")
 	if code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
 	}
@@ -340,6 +340,11 @@ func TestMixesHealthzMetrics(t *testing.T) {
 	}
 	if snap.Requests < 2 {
 		t.Errorf("requests = %d, want >= 2", snap.Requests)
+	}
+
+	code, b = get(t, hs.URL+"/metrics?format=nope")
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown metrics format: status %d (%s), want 400", code, b)
 	}
 }
 
