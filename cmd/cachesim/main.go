@@ -37,7 +37,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	size := fs.Int("size", 16384, "cache size in bytes (per cache when split)")
 	line := fs.Int("line", 16, "line size in bytes")
 	assoc := fs.Int("assoc", 0, "associativity (0 = fully associative, 1 = direct mapped)")
-	repl := fs.String("repl", "lru", "replacement policy: lru, fifo, random")
+	repl := fs.String("repl", "lru", "replacement policy: lru, fifo, random, lfu, slru, arc")
 	write := fs.String("write", "copyback", "write policy: copyback, through, through-noalloc")
 	prefetch := fs.String("prefetch", "", "prefetch policy: always, onmiss, tagged (empty = demand)")
 	subblock := fs.Int("subblock", 0, "sector-cache sub-block bytes (0 = whole-line fetch)")
@@ -55,16 +55,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Size: *size, LineSize: *line, Assoc: *assoc,
 		SubBlock: *subblock, CombineWidth: *combine, Seed: *seed,
 	}
-	switch strings.ToLower(*repl) {
-	case "lru":
-		cfg.Repl = cache.LRU
-	case "fifo":
-		cfg.Repl = cache.FIFO
-	case "random":
-		cfg.Repl = cache.Random
-	default:
-		return fmt.Errorf("unknown replacement policy %q", *repl)
+	r, err := cache.ParseReplacement(*repl)
+	if err != nil {
+		return err
 	}
+	cfg.Repl = r
 	switch strings.ToLower(*write) {
 	case "copyback":
 		cfg.Write = cache.CopyBack

@@ -65,6 +65,10 @@ func TestRunPolicyFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-repl", "fifo"},
 		{"-repl", "random", "-seed", "7"},
+		{"-repl", "lfu", "-assoc", "4"},
+		{"-repl", "slru", "-assoc", "4"},
+		{"-repl", "2q"},
+		{"-repl", "arc", "-assoc", "4"},
 		{"-write", "through"},
 		{"-write", "through-noalloc"},
 		{"-prefetch", "always"},

@@ -29,6 +29,8 @@ type Cache struct {
 	stats     Stats
 	rng       *rand.Rand // only for Random replacement
 	resident  int        // total valid lines, for invariant checks
+	protCap   int32      // SegmentedLRU protected-segment capacity per set
+	causes    *causeTracker
 
 	// write-combining buffer state (write-through only): the unit of the
 	// immediately preceding store, cleared by any intervening access.
@@ -36,8 +38,8 @@ type Cache struct {
 	combineLive bool
 }
 
-// node is one line (sector) frame within a set, linked into a
-// recency/insertion list. Index -1 terminates the list. valid and dirty are
+// node is one line (sector) frame within a set, linked into one of the
+// set's replacement lists. Index -1 terminates a list. valid and dirty are
 // per-sub-block bitmasks; for unsectored caches they use only bit 0.
 type node struct {
 	tag        uint64
@@ -45,15 +47,27 @@ type node struct {
 	present    bool
 	valid      uint64
 	dirty      uint64
-	prefetched bool // set when loaded by prefetch, cleared on first demand hit
+	prefetched bool  // set when loaded by prefetch, cleared on first demand hit
+	seg        uint8 // which of the set's lists holds the frame
+	freq       int32 // LFU use count; unused by other policies
 }
 
 // linearScanAssoc is the largest associativity for which a set finds tags
 // by scanning its frames directly; larger sets use an open-addressed table.
 const linearScanAssoc = 8
 
-// set is one associativity set: a doubly linked list of frames ordered
-// most-recent (LRU) or newest-inserted (FIFO) first, plus a tag index.
+// chain is one doubly linked list of frames within a set, with its length.
+type chain struct {
+	head, tail int32
+	n          int32
+}
+
+// set is one associativity set: up to two doubly linked lists of frames plus
+// a tag index. Single-list policies (LRU, FIFO, Random, LFU) keep every
+// frame on lists[0], ordered most-recent (or newest-inserted) first.
+// SegmentedLRU uses lists[0] as the probationary segment and lists[1] as the
+// protected segment; ARC uses them as T1 (recency) and T2 (frequency), with
+// ghosts and p carrying the B1/B2 tag history and the adaptive target.
 //
 // The index keeps the per-reference path allocation-free. Small sets
 // (assoc <= linearScanAssoc) leave table nil and scan frames directly —
@@ -66,11 +80,17 @@ const linearScanAssoc = 8
 // load into the frame array.
 type set struct {
 	nodes []node
-	head  int32
-	tail  int32
+	lists [2]chain
 	used  int32
 	table []tagSlot
 	shift uint // 64 - log2(len(table)); home slot = (tag * phi) >> shift
+
+	// ARC state: B1/B2 ghost tag lists (most-recently-evicted first), the
+	// adaptive target size of T1, and a free-frame stack balancing evictions
+	// against insertions. Nil/zero for every other policy.
+	ghosts [2][]uint64
+	p      int32
+	free   []int32
 }
 
 // tagSlot is one open-addressing slot: the stored tag and its frame index
@@ -84,7 +104,9 @@ type tagSlot struct {
 const fibMult = 0x9E3779B97F4A7C15
 
 func newSet(assoc int) set {
-	s := set{nodes: make([]node, assoc), head: -1, tail: -1}
+	s := set{nodes: make([]node, assoc)}
+	s.lists[0] = chain{head: -1, tail: -1}
+	s.lists[1] = chain{head: -1, tail: -1}
 	if assoc > linearScanAssoc {
 		m := 1
 		for m < 2*assoc {
@@ -193,6 +215,12 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Repl == Random {
 		c.rng = rand.New(rand.NewPCG(cfg.Seed, 0))
 	}
+	if cfg.Repl == SegmentedLRU {
+		c.protCap = int32(assoc / 2)
+		if c.protCap < 1 {
+			c.protCap = 1
+		}
+	}
 	return c, nil
 }
 
@@ -273,6 +301,10 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 		// Any intervening non-store access flushes the combining buffer.
 		c.combineLive = false
 	}
+	var cause missCause
+	if c.causes != nil {
+		cause = c.causes.access(addr >> c.subShift)
+	}
 	s := &c.sets[line&c.setMask]
 	ni, ok := s.lookup(line)
 	if ok && s.nodes[ni].valid&(1<<sub) != 0 {
@@ -282,13 +314,14 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 			n.prefetched = false
 			firstUse = true
 		}
-		if c.cfg.Repl == LRU {
-			s.moveToFront(ni)
-		}
+		c.touch(s, ni)
 		c.applyWrite(n, sub, addr, write, storeBytes)
 		return true, firstUse
 	}
 	c.stats.Misses++
+	if c.causes != nil {
+		c.causes.record(cause)
+	}
 	if write {
 		c.stats.WriteMisses++
 		if c.cfg.Write == WriteThrough && c.cfg.NoWriteAllocate {
@@ -302,9 +335,7 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 		// Sector hit, sub-block miss: fetch just the sub-block.
 		n := &s.nodes[ni]
 		n.valid |= 1 << sub
-		if c.cfg.Repl == LRU {
-			s.moveToFront(ni)
-		}
+		c.touch(s, ni)
 		c.stats.DemandFetches++
 		c.stats.BytesFromMemory += c.subSize
 		c.applyWrite(n, sub, addr, write, storeBytes)
@@ -372,9 +403,48 @@ func (c *Cache) prefetch(addr uint64) {
 	c.stats.BytesFromMemory += c.subSize
 }
 
+// touch updates replacement state for a demand reference to a resident
+// line. FIFO and Random ignore use; LRU and LFU refresh recency (LFU also
+// bumps the use count); SegmentedLRU promotes into the protected segment;
+// ARC moves the line to the frequency list T2.
+func (c *Cache) touch(s *set, ni int32) {
+	switch c.cfg.Repl {
+	case LRU:
+		s.moveToFront(0, ni)
+	case LFU:
+		s.nodes[ni].freq++
+		s.moveToFront(0, ni)
+	case SegmentedLRU:
+		c.slruTouch(s, ni)
+	case ARC:
+		s.moveToFront(1, ni)
+	}
+}
+
+// slruTouch promotes a referenced line to the protected segment's MRU
+// position. If the protected segment overflows its capacity, its LRU line
+// demotes back to the probationary segment's MRU position, so a line must
+// be re-referenced again to survive.
+func (c *Cache) slruTouch(s *set, ni int32) {
+	if s.nodes[ni].seg == 1 {
+		s.moveToFront(1, ni)
+		return
+	}
+	s.unlink(ni)
+	s.pushFront(1, ni)
+	if s.lists[1].n > c.protCap {
+		demote := s.lists[1].tail
+		s.unlink(demote)
+		s.pushFront(0, demote)
+	}
+}
+
 // insert places line into s with the given initial valid mask, evicting if
 // the set is full, and returns the frame index used.
 func (c *Cache) insert(s *set, line uint64, valid uint64, prefetched bool) int32 {
+	if c.cfg.Repl == ARC {
+		return c.arcInsert(s, line, valid, prefetched)
+	}
 	var ni int32
 	if s.used < int32(len(s.nodes)) {
 		ni = s.used
@@ -390,22 +460,196 @@ func (c *Cache) insert(s *set, line uint64, valid uint64, prefetched bool) int32
 	n.valid = valid
 	n.dirty = 0
 	n.prefetched = prefetched
+	// A demand fill counts as one use; a prefetch has not been used yet.
+	n.freq = 1
+	if prefetched {
+		n.freq = 0
+	}
 	s.idxInsert(line, ni)
-	s.pushFront(ni)
+	s.pushFront(0, ni)
 	return ni
 }
 
-// victim selects the frame to evict from a full set.
+// victim selects the frame to evict from a full set (non-ARC policies; ARC
+// eviction is bound up with its ghost lists in arcReplace).
 func (c *Cache) victim(s *set) int32 {
 	switch c.cfg.Repl {
 	case LRU, FIFO:
-		return s.tail
+		return s.lists[0].tail
 	case Random:
 		return int32(c.rng.IntN(len(s.nodes)))
+	case LFU:
+		// Least-frequently-used, ties broken toward least-recently-used:
+		// walk tail-to-head so the strict < keeps the least recent among
+		// frames sharing the minimum count.
+		best := s.lists[0].tail
+		for ni := s.nodes[best].prev; ni != -1; ni = s.nodes[ni].prev {
+			if s.nodes[ni].freq < s.nodes[best].freq {
+				best = ni
+			}
+		}
+		return best
+	case SegmentedLRU:
+		// Probationary LRU first; only an all-protected set (possible while
+		// the set is still filling) evicts from the protected segment.
+		if s.lists[0].tail != -1 {
+			return s.lists[0].tail
+		}
+		return s.lists[1].tail
 	default:
 		panic(fmt.Sprintf("cache: unknown replacement %v", c.cfg.Repl))
 	}
 }
+
+// ARC ------------------------------------------------------------------
+//
+// The adaptive replacement cache [Megiddo & Modha, FAST '03] runs per set
+// with c = associativity: resident lists T1 (lists[0], seen once) and T2
+// (lists[1], seen at least twice) plus ghost tag lists B1/B2 remembering
+// recently evicted tags, and an adaptive target p for |T1|. A ghost hit in
+// B1 grows p (recency was undervalued), one in B2 shrinks it.
+
+// arcInsert handles a miss on a non-resident line: cases II-IV of the
+// paper's Figure 4. Case I (resident hit) is touch.
+func (c *Cache) arcInsert(s *set, line uint64, valid uint64, prefetched bool) int32 {
+	capn := int32(len(s.nodes))
+	li := 0 // list receiving the new line: T1, or T2 after a ghost hit
+	if i := ghostFind(s.ghosts[0], line); i >= 0 {
+		// Case II: ghost hit in B1 — favor recency.
+		delta := int32(1)
+		if b1, b2 := int32(len(s.ghosts[0])), int32(len(s.ghosts[1])); b2 > b1 {
+			delta = b2 / b1
+		}
+		s.p += delta
+		if s.p > capn {
+			s.p = capn
+		}
+		s.ghosts[0] = ghostRemove(s.ghosts[0], i)
+		// Guard (mirrored in the reference model): REPLACE only when the
+		// resident lists are actually full — after a purge, ghosts are
+		// cleared, so this matches the paper's steady-state invariant.
+		if s.lists[0].n+s.lists[1].n >= capn {
+			c.arcReplace(s, false)
+		}
+		li = 1
+	} else if i := ghostFind(s.ghosts[1], line); i >= 0 {
+		// Case III: ghost hit in B2 — favor frequency.
+		delta := int32(1)
+		if b1, b2 := int32(len(s.ghosts[0])), int32(len(s.ghosts[1])); b1 > b2 {
+			delta = b1 / b2
+		}
+		s.p -= delta
+		if s.p < 0 {
+			s.p = 0
+		}
+		s.ghosts[1] = ghostRemove(s.ghosts[1], i)
+		if s.lists[0].n+s.lists[1].n >= capn {
+			c.arcReplace(s, true)
+		}
+		li = 1
+	} else {
+		// Case IV: brand-new line.
+		t1, t2 := s.lists[0].n, s.lists[1].n
+		b1, b2 := int32(len(s.ghosts[0])), int32(len(s.ghosts[1]))
+		if t1+b1 == capn {
+			// IV-A: L1 = T1 ∪ B1 holds exactly c entries.
+			if t1 < capn {
+				s.ghosts[0] = ghostDropLRU(s.ghosts[0])
+				c.arcReplace(s, false)
+			} else {
+				// B1 empty, T1 full: evict the T1 LRU line outright, with
+				// no ghost — the paper deletes it from the cache entirely.
+				c.arcEvict(s, 0, false)
+			}
+		} else if t1+t2+b1+b2 >= capn {
+			// IV-B: directory at least half full.
+			if t1+t2+b1+b2 >= 2*capn {
+				s.ghosts[1] = ghostDropLRU(s.ghosts[1])
+			}
+			if t1+t2 >= capn {
+				c.arcReplace(s, false)
+			}
+		}
+	}
+	ni := c.arcFrame(s)
+	c.resident++
+	n := &s.nodes[ni]
+	n.tag = line
+	n.present = true
+	n.valid = valid
+	n.dirty = 0
+	n.prefetched = prefetched
+	n.freq = 0
+	s.idxInsert(line, ni)
+	s.pushFront(li, ni)
+	return ni
+}
+
+// arcReplace implements REPLACE(x, p): evict the T1 LRU when T1 exceeds the
+// target (or meets it on a B2 ghost hit), else the T2 LRU. If the chosen
+// list is empty it falls back to the other — defensively, and identically
+// in the reference model, so equivalence holds even for unreachable states.
+func (c *Cache) arcReplace(s *set, inB2 bool) {
+	t1 := s.lists[0].n
+	if t1 >= 1 && (t1 > s.p || (inB2 && t1 == s.p)) {
+		c.arcEvict(s, 0, true)
+	} else if s.lists[1].tail != -1 {
+		c.arcEvict(s, 1, true)
+	} else {
+		c.arcEvict(s, 0, true)
+	}
+}
+
+// arcEvict pushes the LRU line of resident list li, optionally recording
+// its tag at the MRU end of the matching ghost list, and frees the frame.
+func (c *Cache) arcEvict(s *set, li int, ghost bool) {
+	ni := s.lists[li].tail
+	tag := s.nodes[ni].tag
+	c.push(s, ni, false)
+	s.free = append(s.free, ni)
+	if ghost {
+		s.ghosts[li] = ghostPrepend(s.ghosts[li], tag)
+	}
+}
+
+// arcFrame allocates a frame: a previously freed one if available, else the
+// next never-used one.
+func (c *Cache) arcFrame(s *set) int32 {
+	if n := len(s.free); n > 0 {
+		ni := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ni
+	}
+	ni := s.used
+	s.used++
+	return ni
+}
+
+// Ghost lists are short (at most assoc entries) slices ordered
+// most-recently-evicted first; linear scans beat any indexing at set sizes.
+
+func ghostFind(g []uint64, tag uint64) int {
+	for i, t := range g {
+		if t == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+func ghostRemove(g []uint64, i int) []uint64 {
+	copy(g[i:], g[i+1:])
+	return g[:len(g)-1]
+}
+
+func ghostPrepend(g []uint64, tag uint64) []uint64 {
+	g = append(g, 0)
+	copy(g[1:], g)
+	g[0] = tag
+	return g
+}
+
+func ghostDropLRU(g []uint64) []uint64 { return g[:len(g)-1] }
 
 // push removes frame ni from s, accounting the push (and write-back traffic
 // for any dirty sub-blocks). purge marks pushes caused by a task-switch
@@ -431,60 +675,77 @@ func (c *Cache) push(s *set, ni int32, purge bool) {
 }
 
 // Purge empties the cache, pushing every resident line (dirty sub-blocks
-// write back). This models the task-switch purges of §3.3/§3.5.
+// write back). This models the task-switch purges of §3.3/§3.5. ARC ghost
+// history and the adaptive target reset too: a purge models a task switch,
+// after which the old tags carry no information.
 func (c *Cache) Purge() {
 	c.combineLive = false
 	for si := range c.sets {
 		s := &c.sets[si]
-		for ni := s.head; ni != -1; {
-			next := s.nodes[ni].next
-			c.push(s, ni, true)
-			ni = next
+		for li := range s.lists {
+			for ni := s.lists[li].head; ni != -1; {
+				next := s.nodes[ni].next
+				c.push(s, ni, true)
+				ni = next
+			}
 		}
 		s.used = 0
+		s.ghosts[0] = s.ghosts[0][:0]
+		s.ghosts[1] = s.ghosts[1][:0]
+		s.p = 0
+		s.free = s.free[:0]
+	}
+	if c.causes != nil {
+		c.causes.purge()
 	}
 }
 
 // list plumbing --------------------------------------------------------
 
-// pushFront links frame ni at the head of the list. The frame must be
+// pushFront links frame ni at the head of list li. The frame must be
 // unlinked.
-func (s *set) pushFront(ni int32) {
+func (s *set) pushFront(li int, ni int32) {
 	n := &s.nodes[ni]
+	l := &s.lists[li]
+	n.seg = uint8(li)
 	n.prev = -1
-	n.next = s.head
-	if s.head != -1 {
-		s.nodes[s.head].prev = ni
+	n.next = l.head
+	if l.head != -1 {
+		s.nodes[l.head].prev = ni
 	}
-	s.head = ni
-	if s.tail == -1 {
-		s.tail = ni
+	l.head = ni
+	if l.tail == -1 {
+		l.tail = ni
 	}
+	l.n++
 }
 
-// unlink removes frame ni from the list.
+// unlink removes frame ni from the list recorded in its seg field.
 func (s *set) unlink(ni int32) {
 	n := &s.nodes[ni]
+	l := &s.lists[n.seg]
 	if n.prev != -1 {
 		s.nodes[n.prev].next = n.next
 	} else {
-		s.head = n.next
+		l.head = n.next
 	}
 	if n.next != -1 {
 		s.nodes[n.next].prev = n.prev
 	} else {
-		s.tail = n.prev
+		l.tail = n.prev
 	}
 	n.prev, n.next = -1, -1
+	l.n--
 }
 
-// moveToFront relinks frame ni at the head (LRU touch).
-func (s *set) moveToFront(ni int32) {
-	if s.head == ni {
+// moveToFront relinks frame ni at the head of list li, moving it across
+// lists if needed.
+func (s *set) moveToFront(li int, ni int32) {
+	if int(s.nodes[ni].seg) == li && s.lists[li].head == ni {
 		return
 	}
 	s.unlink(ni)
-	s.pushFront(ni)
+	s.pushFront(li, ni)
 }
 
 // checkInvariants validates internal consistency; used by tests.
@@ -492,34 +753,52 @@ func (c *Cache) checkInvariants() error {
 	total := 0
 	for si := range c.sets {
 		s := &c.sets[si]
-		// Walk the list forward, confirming linkage and index agreement.
+		// Walk both lists forward, confirming linkage, segment tags, counts
+		// and index agreement.
 		seen := 0
-		prev := int32(-1)
-		for ni := s.head; ni != -1; ni = s.nodes[ni].next {
-			n := &s.nodes[ni]
-			if !n.present || n.valid == 0 {
-				return fmt.Errorf("set %d: empty node %d on list", si, ni)
+		for li := range s.lists {
+			cnt := 0
+			prev := int32(-1)
+			for ni := s.lists[li].head; ni != -1; ni = s.nodes[ni].next {
+				n := &s.nodes[ni]
+				if !n.present || n.valid == 0 {
+					return fmt.Errorf("set %d: empty node %d on list %d", si, ni, li)
+				}
+				if int(n.seg) != li {
+					return fmt.Errorf("set %d: node %d on list %d has seg %d", si, ni, li, n.seg)
+				}
+				if n.prev != prev {
+					return fmt.Errorf("set %d: node %d prev mismatch", si, ni)
+				}
+				if got, ok := s.lookup(n.tag); !ok || got != ni {
+					return fmt.Errorf("set %d: index mismatch for tag %#x", si, n.tag)
+				}
+				if int(n.tag)&int(c.setMask) != si {
+					return fmt.Errorf("set %d: tag %#x maps to wrong set", si, n.tag)
+				}
+				if n.dirty&^n.valid != 0 {
+					return fmt.Errorf("set %d: dirty sub-blocks not valid in tag %#x", si, n.tag)
+				}
+				prev = ni
+				cnt++
+				if cnt > len(s.nodes) {
+					return fmt.Errorf("set %d: list %d cycle", si, li)
+				}
 			}
-			if n.prev != prev {
-				return fmt.Errorf("set %d: node %d prev mismatch", si, ni)
+			if prev != s.lists[li].tail {
+				return fmt.Errorf("set %d: list %d tail mismatch", si, li)
 			}
-			if got, ok := s.lookup(n.tag); !ok || got != ni {
-				return fmt.Errorf("set %d: index mismatch for tag %#x", si, n.tag)
+			if int32(cnt) != s.lists[li].n {
+				return fmt.Errorf("set %d: list %d length %d, counter %d", si, li, cnt, s.lists[li].n)
 			}
-			if int(n.tag)&int(c.setMask) != si {
-				return fmt.Errorf("set %d: tag %#x maps to wrong set", si, n.tag)
-			}
-			if n.dirty&^n.valid != 0 {
-				return fmt.Errorf("set %d: dirty sub-blocks not valid in tag %#x", si, n.tag)
-			}
-			prev = ni
-			seen++
-			if seen > len(s.nodes) {
-				return fmt.Errorf("set %d: list cycle", si)
-			}
+			seen += cnt
 		}
-		if prev != s.tail {
-			return fmt.Errorf("set %d: tail mismatch", si)
+		if int(s.used) != seen+len(s.free) {
+			return fmt.Errorf("set %d: used %d != on-list %d + free %d", si, s.used, seen, len(s.free))
+		}
+		if len(s.ghosts[0]) > len(s.nodes) || len(s.ghosts[1])+len(s.ghosts[0])+seen > 2*len(s.nodes) {
+			return fmt.Errorf("set %d: ghost lists exceed directory bound (B1=%d B2=%d resident=%d)",
+				si, len(s.ghosts[0]), len(s.ghosts[1]), seen)
 		}
 		if s.table != nil {
 			occupied := 0
@@ -533,7 +812,7 @@ func (c *Cache) checkInvariants() error {
 				}
 			}
 			if occupied != seen {
-				return fmt.Errorf("set %d: list has %d nodes, table has %d", si, seen, occupied)
+				return fmt.Errorf("set %d: lists have %d nodes, table has %d", si, seen, occupied)
 			}
 		}
 		total += seen

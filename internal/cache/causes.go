@@ -1,0 +1,143 @@
+package cache
+
+// missCause classifies a demand miss under the 3C model: compulsory (first
+// reference ever to the fetch unit), capacity (a fully-associative LRU
+// cache of the same size would also have evicted it), or conflict (only
+// the real cache's set mapping/policy lost it).
+type missCause uint8
+
+const (
+	causeCompulsory missCause = iota
+	causeCapacity
+	causeConflict
+)
+
+// causeTracker attributes demand misses by running a fully-associative LRU
+// shadow directory of the same capacity alongside the real cache, at
+// fetch-unit granularity. A unit never seen before is a compulsory miss; a
+// unit absent from the shadow is a capacity miss; a unit the shadow still
+// holds is a conflict miss. Task-switch purges clear the shadow (the
+// fully-associative comparison cache is purged too) but not the seen set —
+// a re-fetch after a purge is not the first reference.
+//
+// The shadow follows the demand stream only; prefetched lines do not enter
+// it (prefetch fills are traffic, not misses, so they are never
+// classified). Attribution under prefetching is therefore approximate:
+// prefetch pollution in the real cache can surface as conflict misses.
+//
+// The tracker is optional and nil by default — the hot path pays only a
+// nil check when attribution is off.
+type causeTracker struct {
+	cap    int                   // shadow capacity in fetch units
+	seen   map[uint64]struct{}   // every unit ever demand-referenced
+	shadow map[uint64]*shadowEnt // resident shadow units
+	head   *shadowEnt            // MRU
+	tail   *shadowEnt            // LRU
+	counts [3]uint64
+}
+
+// shadowEnt is one fetch unit in the shadow LRU list.
+type shadowEnt struct {
+	unit       uint64
+	prev, next *shadowEnt
+}
+
+func newCauseTracker(cfg Config) *causeTracker {
+	return &causeTracker{
+		cap:    cfg.Size / cfg.EffectiveSubBlock(),
+		seen:   make(map[uint64]struct{}),
+		shadow: make(map[uint64]*shadowEnt),
+	}
+}
+
+// access classifies a demand reference to a fetch unit and updates the
+// shadow. The classification only matters when the real cache misses; the
+// caller records it then.
+func (t *causeTracker) access(unit uint64) missCause {
+	_, everSeen := t.seen[unit]
+	if !everSeen {
+		t.seen[unit] = struct{}{}
+	}
+	e, inShadow := t.shadow[unit]
+	if inShadow {
+		t.toFront(e)
+	} else {
+		if len(t.shadow) >= t.cap {
+			lru := t.tail
+			t.remove(lru)
+			delete(t.shadow, lru.unit)
+		}
+		e = &shadowEnt{unit: unit}
+		t.shadow[unit] = e
+		t.insertFront(e)
+	}
+	switch {
+	case !everSeen:
+		return causeCompulsory
+	case !inShadow:
+		return causeCapacity
+	default:
+		return causeConflict
+	}
+}
+
+// record counts a classified miss.
+func (t *causeTracker) record(c missCause) { t.counts[c]++ }
+
+// purge empties the shadow directory; the seen set survives.
+func (t *causeTracker) purge() {
+	clear(t.shadow)
+	t.head, t.tail = nil, nil
+}
+
+func (t *causeTracker) insertFront(e *shadowEnt) {
+	e.prev = nil
+	e.next = t.head
+	if t.head != nil {
+		t.head.prev = e
+	}
+	t.head = e
+	if t.tail == nil {
+		t.tail = e
+	}
+}
+
+func (t *causeTracker) remove(e *shadowEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (t *causeTracker) toFront(e *shadowEnt) {
+	if t.head == e {
+		return
+	}
+	t.remove(e)
+	t.insertFront(e)
+}
+
+// EnableMissCauses turns on 3C miss attribution for this cache. It must be
+// called before the first access; attribution costs a map lookup and a
+// shadow-list update per demand reference.
+func (c *Cache) EnableMissCauses() {
+	if c.causes == nil {
+		c.causes = newCauseTracker(c.cfg)
+	}
+}
+
+// MissCauses returns the per-cause demand-miss counts accumulated so far.
+// All three are zero unless EnableMissCauses was called.
+func (c *Cache) MissCauses() (compulsory, capacity, conflict uint64) {
+	if c.causes == nil {
+		return 0, 0, 0
+	}
+	return c.causes.counts[causeCompulsory], c.causes.counts[causeCapacity], c.causes.counts[causeConflict]
+}

@@ -1,12 +1,16 @@
 // Package cache implements the trace-driven cache simulator at the heart of
 // the paper's experiments: direct-mapped through fully-associative mapping,
-// LRU/FIFO/Random replacement, copy-back (with fetch-on-write) and
+// LRU/FIFO/Random/LFU/segmented-LRU/ARC replacement, copy-back (with
+// fetch-on-write) and
 // write-through write policies, demand fetch and "prefetch always", split
 // instruction/data and unified organizations, task-switch purging, and full
 // miss-ratio and memory-traffic accounting.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Replacement selects the line replacement policy.
 type Replacement uint8
@@ -18,6 +22,20 @@ const (
 	FIFO
 	// Random replaces a uniformly random line.
 	Random
+	// LFU replaces the least-frequently-used line, breaking ties toward the
+	// least recently used. Use counts start at 1 on a demand fill (0 on a
+	// prefetch fill) and reset when the line is replaced.
+	LFU
+	// SegmentedLRU is the two-queue policy (2Q / segmented LRU): new lines
+	// enter a probationary segment; a hit promotes to a protected segment
+	// holding at most half the set, demoting the protected LRU line back to
+	// probationary when full. Victims come from the probationary segment
+	// first, so single-touch scans cannot flush the working set.
+	SegmentedLRU
+	// ARC is the adaptive replacement cache: two resident lists (recency T1,
+	// frequency T2) plus two ghost tag lists (B1, B2) steer an adaptive
+	// target p between recency- and frequency-biased eviction, per set.
+	ARC
 )
 
 // String returns the policy name.
@@ -29,9 +47,41 @@ func (r Replacement) String() string {
 		return "FIFO"
 	case Random:
 		return "Random"
+	case LFU:
+		return "LFU"
+	case SegmentedLRU:
+		return "SLRU"
+	case ARC:
+		return "ARC"
 	default:
 		return fmt.Sprintf("Replacement(%d)", uint8(r))
 	}
+}
+
+// Replacements returns every replacement policy, in enum order.
+func Replacements() []Replacement {
+	return []Replacement{LRU, FIFO, Random, LFU, SegmentedLRU, ARC}
+}
+
+// ParseReplacement resolves a replacement policy name as accepted by the
+// CLI and the evaluation service: lru, fifo, random, lfu, slru (aliases
+// segmented-lru, 2q) and arc, case-insensitively.
+func ParseReplacement(name string) (Replacement, error) {
+	switch strings.ToLower(name) {
+	case "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "random":
+		return Random, nil
+	case "lfu":
+		return LFU, nil
+	case "slru", "segmented-lru", "2q":
+		return SegmentedLRU, nil
+	case "arc":
+		return ARC, nil
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q (valid: lru, fifo, random, lfu, slru, arc)", name)
 }
 
 // WritePolicy selects how stores reach memory.
@@ -92,6 +142,28 @@ func (f FetchPolicy) String() string {
 	default:
 		return fmt.Sprintf("FetchPolicy(%d)", uint8(f))
 	}
+}
+
+// FetchPolicies returns every fetch policy, in enum order.
+func FetchPolicies() []FetchPolicy {
+	return []FetchPolicy{DemandFetch, PrefetchAlways, PrefetchOnMiss, TaggedPrefetch}
+}
+
+// ParseFetchPolicy resolves a fetch policy name: demand, prefetch-always
+// (alias always), prefetch-on-miss (alias onmiss) and tagged-prefetch
+// (alias tagged), case-insensitively.
+func ParseFetchPolicy(name string) (FetchPolicy, error) {
+	switch strings.ToLower(name) {
+	case "demand":
+		return DemandFetch, nil
+	case "prefetch-always", "always":
+		return PrefetchAlways, nil
+	case "prefetch-on-miss", "onmiss":
+		return PrefetchOnMiss, nil
+	case "tagged-prefetch", "tagged":
+		return TaggedPrefetch, nil
+	}
+	return 0, fmt.Errorf("cache: unknown fetch policy %q (valid: demand, prefetch-always, prefetch-on-miss, tagged-prefetch)", name)
 }
 
 // Config describes a single cache.
@@ -158,6 +230,18 @@ func (c Config) Validate() error {
 	}
 	if c.Assoc > c.Lines() {
 		return fmt.Errorf("cache: associativity %d exceeds line count %d", c.Assoc, c.Lines())
+	}
+	// Range-check the policy enums: configurations arrive from JSON (the
+	// evaluation service) where any integer decodes, and an unknown policy
+	// must be a validation error here, not a panic mid-simulation.
+	if c.Repl > ARC {
+		return fmt.Errorf("cache: unknown replacement policy %d", uint8(c.Repl))
+	}
+	if c.Write > WriteThrough {
+		return fmt.Errorf("cache: unknown write policy %d", uint8(c.Write))
+	}
+	if c.Fetch > TaggedPrefetch {
+		return fmt.Errorf("cache: unknown fetch policy %d", uint8(c.Fetch))
 	}
 	if c.NoWriteAllocate && c.Write != WriteThrough {
 		return fmt.Errorf("cache: NoWriteAllocate requires write-through")

@@ -18,18 +18,30 @@ func FuzzConfigValidate(f *testing.F) {
 	f.Add(512, 32, 4, 8, uint8(1), uint8(0), uint8(0), false, 0)
 	f.Add(256, 16, 0, 4, uint8(0), uint8(1), uint8(2), true, 8)
 	f.Add(128, 16, 2, 8, uint8(2), uint8(0), uint8(3), false, 0)
+	f.Add(256, 16, 0, 0, uint8(3), uint8(0), uint8(0), false, 0)  // LFU
+	f.Add(512, 16, 4, 0, uint8(4), uint8(0), uint8(1), false, 0)  // SLRU + prefetch
+	f.Add(256, 16, 2, 0, uint8(5), uint8(0), uint8(0), false, 0)  // ARC
 	f.Add(100, 16, 0, 0, uint8(0), uint8(0), uint8(0), false, 0)  // not pow2
 	f.Add(16, 64, 0, 0, uint8(0), uint8(0), uint8(0), false, 0)   // line > size
 	f.Add(256, 16, 3, 0, uint8(0), uint8(0), uint8(0), false, 0)  // assoc not pow2
 	f.Add(256, 16, 0, -1, uint8(0), uint8(0), uint8(0), false, 0) // negative sub-block
 	f.Add(64, 64, 0, 0, uint8(0), uint8(0), uint8(0), false, -3)  // bad combine
+	f.Add(256, 16, 0, 0, uint8(7), uint8(0), uint8(0), false, 0)  // out-of-range policy
 	f.Fuzz(func(t *testing.T, size, lineSize, assoc, subBlock int, repl, write, fetch uint8, nwa bool, combine int) {
+		// Policy bytes pass through raw on a slice of the space so the
+		// out-of-range rejection paths stay fuzzed; the modulo keeps most
+		// of the corpus inside the valid policy family.
 		cfg := cache.Config{
 			Size: size, LineSize: lineSize, Assoc: assoc, SubBlock: subBlock,
-			Repl:            cache.Replacement(repl % 3),
-			Write:           cache.WritePolicy(write % 2),
-			Fetch:           cache.FetchPolicy(fetch % 4),
+			Repl:            cache.Replacement(repl),
+			Write:           cache.WritePolicy(write),
+			Fetch:           cache.FetchPolicy(fetch),
 			NoWriteAllocate: nwa, CombineWidth: combine,
+		}
+		if repl%4 != 3 {
+			cfg.Repl = cache.Replacement(repl % 6)
+			cfg.Write = cache.WritePolicy(write % 2)
+			cfg.Fetch = cache.FetchPolicy(fetch % 4)
 		}
 		verr := cfg.Validate()
 		if verr != nil {

@@ -79,6 +79,24 @@ func TestOracleCrossCheck(t *testing.T) {
 		{Size: 256, LineSize: 16, Fetch: cache.PrefetchAlways},
 		{Size: 512, LineSize: 32, Assoc: 4, Fetch: cache.TaggedPrefetch},
 		{Size: 256, LineSize: 16, SubBlock: 4, Fetch: cache.PrefetchOnMiss}, // sectored prefetch
+
+		// The replacement-policy family beyond LRU/FIFO, across the
+		// organizations whose interactions differ: small and large sets,
+		// fully associative (the large-set hash-table index), sectoring,
+		// and prefetch (insertions that bypass the demand path).
+		{Size: 256, LineSize: 16, Repl: cache.LFU},           // fully assoc LFU
+		{Size: 512, LineSize: 16, Assoc: 4, Repl: cache.LFU}, // 4-way LFU
+		{Size: 256, LineSize: 16, Assoc: 2, Repl: cache.LFU, SubBlock: 4},
+		{Size: 512, LineSize: 16, Repl: cache.LFU, Fetch: cache.PrefetchAlways},
+		{Size: 256, LineSize: 16, Repl: cache.SegmentedLRU},           // fully assoc SLRU
+		{Size: 512, LineSize: 16, Assoc: 4, Repl: cache.SegmentedLRU}, // 4-way SLRU
+		{Size: 256, LineSize: 16, Assoc: 1, Repl: cache.SegmentedLRU}, // degenerate direct-mapped
+		{Size: 512, LineSize: 16, Repl: cache.SegmentedLRU, Fetch: cache.TaggedPrefetch},
+		{Size: 256, LineSize: 16, Repl: cache.ARC},           // fully assoc ARC
+		{Size: 512, LineSize: 16, Assoc: 4, Repl: cache.ARC}, // 4-way ARC
+		{Size: 256, LineSize: 16, Assoc: 2, Repl: cache.ARC, SubBlock: 8},
+		{Size: 512, LineSize: 16, Repl: cache.ARC, Fetch: cache.PrefetchAlways},
+		{Size: 256, LineSize: 16, Repl: cache.ARC, Write: cache.WriteThrough, NoWriteAllocate: true},
 	}
 	for _, cfg := range configs {
 		for seed := int64(0); seed < 3; seed++ {

@@ -120,6 +120,41 @@ func NewSystem(sc SystemConfig) (*System, error) {
 // Config returns the system configuration.
 func (s *System) Config() SystemConfig { return s.cfg }
 
+// SetProbe installs an instrumentation probe for subsequent Run calls. If
+// the probe also implements obs.CauseProbe, 3C miss attribution is enabled
+// on the system's caches and reported in one batch when Run finishes; a
+// plain Probe leaves the attribution machinery off entirely.
+func (s *System) SetProbe(p obs.Probe, stage string, totalRefs int64) {
+	s.engineProbe.SetProbe(p, stage, totalRefs)
+	if _, ok := p.(obs.CauseProbe); ok {
+		for _, c := range []*Cache{s.unified, s.icache, s.dcache} {
+			if c != nil {
+				c.EnableMissCauses()
+			}
+		}
+	}
+}
+
+// reportCauses emits the batched 3C attribution to a CauseProbe, summed
+// over the system's caches.
+func (s *System) reportCauses() {
+	cp, ok := s.probe.(obs.CauseProbe)
+	if !ok {
+		return
+	}
+	var compulsory, capacity, conflict uint64
+	for _, c := range []*Cache{s.unified, s.icache, s.dcache} {
+		if c == nil {
+			continue
+		}
+		a, b, d := c.MissCauses()
+		compulsory += a
+		capacity += b
+		conflict += d
+	}
+	cp.MissCauses(s.stage, compulsory, capacity, conflict)
+}
+
 // cacheFor returns the cache that serves references of kind k.
 func (s *System) cacheFor(k trace.Kind) *Cache {
 	if !s.cfg.Split {
@@ -242,6 +277,7 @@ func (s *System) Run(rd trace.Reader, max int) (int, error) {
 		}
 		if err != nil {
 			s.runEnd(n, t0)
+			s.reportCauses()
 			return n, err
 		}
 		s.Ref(ref)
@@ -251,5 +287,6 @@ func (s *System) Run(rd trace.Reader, max int) (int, error) {
 		}
 	}
 	s.runEnd(n, t0)
+	s.reportCauses()
 	return n, nil
 }

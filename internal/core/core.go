@@ -233,14 +233,20 @@ func Recommend(mix workload.Mix, sizes []int, cm CostModel, refLimit int) ([]Can
 	return RecommendFetch(mix, sizes, cm, refLimit, cache.DemandFetch)
 }
 
-// RecommendFetch is Recommend with a caller-chosen fetch policy. Both
-// policies run the whole size sweep in one pass over the stream: demand-LRU
+// RecommendFetch is Recommend with a caller-chosen fetch policy. The
+// engine registry (RunSweep) picks the fastest sound engine: demand-LRU
 // caches obey stack inclusion, so generalized stack simulation
-// (cache.MultiSystem) yields every size's miss ratio at once; prefetch
-// breaks inclusion, so prefetch-always instead fans one decoded stream out
-// to per-size caches (cache.FanoutSystem). Either way the results are
-// bit-identical to per-size Evaluate runs.
+// (cache.MultiSystem) yields every size's miss ratio in one pass;
+// prefetch-always fans one decoded stream out to per-size caches
+// (cache.FanoutSystem); any other policy runs one cache per size. Either
+// way the results are bit-identical to per-size Evaluate runs.
 func RecommendFetch(mix workload.Mix, sizes []int, cm CostModel, refLimit int, fetch cache.FetchPolicy) ([]Candidate, int, error) {
+	return RecommendSpec(mix, sizes, cm, refLimit, fetch, cache.LRU)
+}
+
+// RecommendSpec is RecommendFetch with a caller-chosen replacement policy
+// as well — the full sweep specification the registry routes on.
+func RecommendSpec(mix workload.Mix, sizes []int, cm CostModel, refLimit int, fetch cache.FetchPolicy, repl cache.Replacement) ([]Candidate, int, error) {
 	if len(sizes) == 0 {
 		return nil, -1, fmt.Errorf("core: no sizes to evaluate")
 	}
@@ -254,7 +260,11 @@ func RecommendFetch(mix workload.Mix, sizes []int, cm CostModel, refLimit int, f
 	if refLimit > 0 {
 		lim = trace.NewLimitReader(rd, refLimit)
 	}
-	results, err := recommendSweep(sizes, mix.Quantum, fetch, lim)
+	spec := SweepSpec{
+		Sizes: sizes, LineSize: 16, Quantum: mix.Quantum,
+		Fetch: fetch, Repl: repl,
+	}
+	results, _, err := RunSweep(context.Background(), spec, lim, nil, "recommend:"+mix.Name, 0)
 	if err != nil {
 		return nil, -1, fmt.Errorf("core: evaluating %s: %w", mix.Name, err)
 	}
@@ -275,56 +285,6 @@ func RecommendFetch(mix workload.Mix, sizes []int, cm CostModel, refLimit int, f
 		}
 	}
 	return candidates, best, nil
-}
-
-// recommendSweep runs the one-pass engine matching the fetch policy, or
-// falls back to per-size System runs for policies without one.
-func recommendSweep(sizes []int, quantum int, fetch cache.FetchPolicy, rd trace.Reader) ([]cache.SizeResult, error) {
-	switch fetch {
-	case cache.DemandFetch:
-		ms, err := cache.NewMultiSystem(cache.MultiConfig{
-			Sizes: sizes, LineSize: 16, PurgeInterval: quantum,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if _, err := ms.Run(rd, 0); err != nil {
-			return nil, err
-		}
-		return ms.Results(), nil
-	case cache.PrefetchAlways:
-		fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
-			Sizes: sizes, LineSize: 16, PurgeInterval: quantum,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if _, err := fs.Run(rd, 0); err != nil {
-			return nil, err
-		}
-		return fs.Results(), nil
-	}
-	// No single-pass engine for this policy: materialize once, then run each
-	// size independently.
-	refs, err := trace.Collect(rd, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]cache.SizeResult, len(sizes))
-	for i, size := range sizes {
-		sys, err := cache.NewSystem(cache.SystemConfig{
-			Unified:       cache.Config{Size: size, LineSize: 16, Fetch: fetch},
-			PurgeInterval: quantum,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sys.Run(trace.NewSliceReader(refs), 0); err != nil {
-			return nil, err
-		}
-		out[i] = cache.SizeResult{Size: size, Ref: sys.RefStats(), U: sys.Unified().Stats()}
-	}
-	return out, nil
 }
 
 // TransferEstimate applies the §4 fudge factors: estimate a design's miss

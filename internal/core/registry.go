@@ -1,0 +1,198 @@
+package core
+
+// Engine capability registry: every multi-size sweep in the repository
+// (core.RecommendFetch, the experiments grid, the evaluation service's
+// /v1/sweep) routes through RunSweep, which selects the fastest engine
+// that is *sound* for the requested configuration instead of hard-wiring
+// the dispatch at each call site.
+//
+// The soundness argument: the one-pass engines rely on Mattson stack
+// inclusion — at every instant, a larger fully-associative cache holds a
+// superset of a smaller one's lines — which holds exactly when every
+// residency change is driven by a demand reference ordered by recency.
+// Prefetching breaks it (a prefetch inserts a line the smaller cache may
+// never see), and so does every non-LRU replacement policy (the eviction
+// choice depends on state — insertion order, use counts, segment or ghost
+// history — that differs between cache sizes). A configuration outside
+// {demand fetch, LRU} therefore must run one cache per size; the registry
+// makes that decision explicit, testable, and impossible to bypass.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/obs"
+	"cacheeval/internal/trace"
+)
+
+// SweepSpec describes one multi-size sweep: the sizes to evaluate, the
+// shared line size and organization, the task-switch purge quantum, and
+// the fetch and replacement policies. The zero values of Fetch and Repl
+// are the paper's defaults (demand fetch, LRU).
+type SweepSpec struct {
+	Sizes    []int
+	LineSize int
+	Split    bool
+	Quantum  int
+	Fetch    cache.FetchPolicy
+	Repl     cache.Replacement
+}
+
+// StackInclusion reports whether Mattson stack inclusion holds for this
+// configuration — the property the one-pass stack-simulation engines
+// require. It holds only for demand fetch with LRU replacement.
+func (s SweepSpec) StackInclusion() bool {
+	return s.Fetch == cache.DemandFetch && s.Repl == cache.LRU
+}
+
+// Validate checks the spec by validating the per-size cache configs it
+// implies.
+func (s SweepSpec) Validate() error {
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("core: sweep has no sizes")
+	}
+	for _, size := range s.Sizes {
+		if err := s.systemConfig(size).Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// systemConfig returns the per-size system configuration the spec implies.
+func (s SweepSpec) systemConfig(size int) cache.SystemConfig {
+	base := cache.Config{Size: size, LineSize: s.LineSize, Fetch: s.Fetch, Repl: s.Repl}
+	sc := cache.SystemConfig{PurgeInterval: s.Quantum}
+	if s.Split {
+		sc.Split = true
+		sc.I, sc.D = base, base
+	} else {
+		sc.Unified = base
+	}
+	return sc
+}
+
+// SweepEngine is one registered way to execute a sweep. Supports declares
+// the capability (when the engine's results are bit-identical to per-size
+// simulation); Run executes it. rd is already context-guarded; probe may
+// be nil; total is the expected stream length when known.
+type SweepEngine struct {
+	Name     string
+	Supports func(s SweepSpec) bool
+	Run      func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error)
+}
+
+// multiEngine: generalized stack simulation, one pass for all sizes.
+var multiEngine = SweepEngine{
+	Name:     "multisystem",
+	Supports: func(s SweepSpec) bool { return s.StackInclusion() },
+	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+		ms, err := cache.NewMultiSystem(cache.MultiConfig{
+			Sizes: s.Sizes, LineSize: s.LineSize, Split: s.Split, PurgeInterval: s.Quantum,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if probe != nil {
+			ms.SetProbe(probe, stage, total)
+		}
+		if _, err := ms.Run(rd, 0); err != nil {
+			return nil, 0, err
+		}
+		return ms.Results(), ms.Purges(), nil
+	},
+}
+
+// fanoutEngine: one decode/purge/straddle pass fanned out to per-size
+// caches; sound for prefetch-always under LRU (inclusion does not hold,
+// but the shared per-reference work is size-independent).
+var fanoutEngine = SweepEngine{
+	Name:     "fanout",
+	Supports: func(s SweepSpec) bool { return s.Fetch == cache.PrefetchAlways && s.Repl == cache.LRU },
+	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+		fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
+			Sizes: s.Sizes, LineSize: s.LineSize, Split: s.Split, PurgeInterval: s.Quantum,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if probe != nil {
+			fs.SetProbe(probe, stage, total)
+		}
+		if _, err := fs.Run(rd, 0); err != nil {
+			return nil, 0, err
+		}
+		return fs.Results(), fs.Purges(), nil
+	},
+}
+
+// perSizeEngine: the universal fallback — materialize the stream once,
+// then run an independent cache.System per size. Sound for every
+// configuration by construction; slowest.
+var perSizeEngine = SweepEngine{
+	Name:     "persize",
+	Supports: func(SweepSpec) bool { return true },
+	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+		refs, err := trace.Collect(rd, 0, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		out := make([]cache.SizeResult, len(s.Sizes))
+		var purges uint64
+		for i, size := range s.Sizes {
+			sys, err := cache.NewSystem(s.systemConfig(size))
+			if err != nil {
+				return nil, 0, err
+			}
+			if probe != nil {
+				sys.SetProbe(probe, stage+":"+strconv.Itoa(size), int64(len(refs)))
+			}
+			if _, err := sys.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
+				return nil, 0, err
+			}
+			r := cache.SizeResult{Size: size, Ref: sys.RefStats()}
+			if s.Split {
+				r.I, r.D = sys.ICache().Stats(), sys.DCache().Stats()
+			} else {
+				r.U = sys.Unified().Stats()
+			}
+			out[i] = r
+			purges = sys.Purges()
+		}
+		return out, purges, nil
+	},
+}
+
+// Engines returns the registered sweep engines in selection order: fastest
+// first, universal fallback last. SelectEngine picks the first whose
+// Supports accepts the spec, so an engine earlier in this list must be
+// sound for every spec it claims.
+func Engines() []SweepEngine {
+	return []SweepEngine{multiEngine, fanoutEngine, perSizeEngine}
+}
+
+// SelectEngine returns the fastest sound engine for the spec. The
+// fallback's Supports is constant-true, so selection always succeeds.
+func SelectEngine(s SweepSpec) SweepEngine {
+	for _, e := range Engines() {
+		if e.Supports(s) {
+			return e
+		}
+	}
+	return perSizeEngine // unreachable; kept for safety
+}
+
+// RunSweep validates the spec, selects the fastest sound engine and
+// executes the sweep over rd. probe may be nil; stage labels the run in
+// probe callbacks (the per-size fallback appends ":<size>"); total is the
+// expected stream length when known, 0 otherwise. It returns the per-size
+// results (in Sizes order) and the purge count.
+func RunSweep(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	e := SelectEngine(s)
+	return e.Run(ctx, s, trace.NewContextReader(ctx, rd), probe, stage, total)
+}

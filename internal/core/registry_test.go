@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// TestSelectEngineTable pins the engine chosen for every (fetch,
+// replacement) pair. Changing this table means changing which engine runs
+// production sweeps — it must be a deliberate, reviewed decision.
+func TestSelectEngineTable(t *testing.T) {
+	want := func(fetch cache.FetchPolicy, repl cache.Replacement) string {
+		switch {
+		case fetch == cache.DemandFetch && repl == cache.LRU:
+			return "multisystem"
+		case fetch == cache.PrefetchAlways && repl == cache.LRU:
+			return "fanout"
+		default:
+			return "persize"
+		}
+	}
+	for _, fetch := range cache.FetchPolicies() {
+		for _, repl := range cache.Replacements() {
+			spec := SweepSpec{
+				Sizes: []int{256, 1024}, LineSize: 16,
+				Quantum: 1000, Fetch: fetch, Repl: repl,
+			}
+			got := SelectEngine(spec).Name
+			if w := want(fetch, repl); got != w {
+				t.Errorf("SelectEngine(%v, %v) = %q, want %q", fetch, repl, got, w)
+			}
+		}
+	}
+}
+
+// TestInclusionBreakingNeverStackSimulated is the registry's safety
+// regression: no configuration that breaks Mattson stack inclusion may
+// ever route to a stack-simulation engine. The one-pass engines simulate
+// LRU internally, so routing, say, an ARC sweep to them would silently
+// return LRU numbers under an ARC label.
+func TestInclusionBreakingNeverStackSimulated(t *testing.T) {
+	for _, fetch := range cache.FetchPolicies() {
+		for _, repl := range cache.Replacements() {
+			spec := SweepSpec{
+				Sizes: []int{512}, LineSize: 16,
+				Quantum: 500, Fetch: fetch, Repl: repl,
+			}
+			name := SelectEngine(spec).Name
+			if repl != cache.LRU && name != "persize" {
+				t.Errorf("non-LRU spec (%v, %v) routed to %q", fetch, repl, name)
+			}
+			if spec.StackInclusion() && !(fetch == cache.DemandFetch && repl == cache.LRU) {
+				t.Errorf("StackInclusion claims (%v, %v) is inclusion-safe", fetch, repl)
+			}
+		}
+	}
+	// The selection order invariant behind the table: every engine ahead of
+	// the fallback must reject inclusion-breaking specs.
+	engines := Engines()
+	if engines[len(engines)-1].Name != "persize" {
+		t.Fatalf("fallback engine must be last, got %q", engines[len(engines)-1].Name)
+	}
+	broken := SweepSpec{Sizes: []int{512}, LineSize: 16, Fetch: cache.DemandFetch, Repl: cache.ARC}
+	for _, e := range engines[:len(engines)-1] {
+		if e.Supports(broken) {
+			t.Errorf("engine %q claims support for an inclusion-breaking spec", e.Name)
+		}
+	}
+}
+
+// TestRunSweepMatchesPerSize checks the registry's core promise on a real
+// stream: whatever engine RunSweep selects, the results are bit-identical
+// to forcing the universal per-size fallback.
+func TestRunSweepMatchesPerSize(t *testing.T) {
+	spec1, err := workload.ByName("VTEKOFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mix{Name: "VTEKOFF", Specs: []workload.Spec{spec1}, Quantum: 3000}
+	rd, err := mix.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(trace.NewLimitReader(rd, 12000), 0, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		fetch cache.FetchPolicy
+		split bool
+	}{
+		{"demand-unified", cache.DemandFetch, false},
+		{"demand-split", cache.DemandFetch, true},
+		{"prefetch-unified", cache.PrefetchAlways, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := SweepSpec{
+				Sizes: []int{256, 1024, 4096}, LineSize: 16, Split: tc.split,
+				Quantum: mix.Quantum, Fetch: tc.fetch, Repl: cache.LRU,
+			}
+			if SelectEngine(spec).Name == "persize" {
+				t.Fatalf("spec unexpectedly selects the fallback; comparison is vacuous")
+			}
+			got, gotPurges, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantPurges, err := perSizeEngine.Run(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotPurges != wantPurges {
+				t.Errorf("purges: selected=%d persize=%d", gotPurges, wantPurges)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("result lengths differ: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("size %d: selected engine %+v\npersize %+v", got[i].Size, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunSweepValidates checks that a malformed spec is rejected before any
+// engine runs.
+func TestRunSweepValidates(t *testing.T) {
+	bad := []SweepSpec{
+		{},                               // no sizes
+		{Sizes: []int{128}, LineSize: 3}, // non-power-of-two line
+		{Sizes: []int{128}, LineSize: 16, Repl: 9}, // out-of-range policy
+	}
+	for i, spec := range bad {
+		if _, _, err := RunSweep(context.Background(), spec, trace.NewSliceReader(nil), nil, "test", 0); err == nil {
+			t.Errorf("spec %d: RunSweep accepted invalid spec %+v", i, spec)
+		}
+	}
+}

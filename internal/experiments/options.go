@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"cacheeval/internal/cache"
 	"cacheeval/internal/model"
 	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
@@ -45,6 +46,11 @@ type Options struct {
 	// honour the same RefLimit semantics as collectMixCtx (per-member
 	// limits) and callers must not mutate the returned slice.
 	StreamSource func(ctx context.Context, m workload.Mix) ([]trace.Ref, error)
+	// Repl is the replacement policy every simulated cache uses. The zero
+	// value is LRU, the paper's policy; non-LRU policies break stack
+	// inclusion, so sweeps over them fall back (via the core engine
+	// registry) from the one-pass engines to one cache per size.
+	Repl cache.Replacement
 	// Probe, when non-nil, receives engine progress callbacks
 	// (obs.Probe.RunStart/RunProgress/RunEnd) from every simulation an
 	// experiment runs. The probe must be safe for concurrent use — with

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cacheeval/internal/cache"
+	"cacheeval/internal/core"
 	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
@@ -64,15 +65,14 @@ func SweepMixes(o Options, mixes []workload.Mix) (*SweepResult, error) {
 // and inside one (each simulation's reference stream is context-checked),
 // so even a single-cell sweep over a long trace aborts promptly.
 //
-// Both halves of the grid run one pass per (mix, organization). The
-// demand-fetch half exploits LRU stack inclusion: one split pass and one
-// unified pass per mix produce the statistics at every size simultaneously
-// (cache.MultiSystem). The prefetch variants break inclusion (prefetched
-// lines enter the stack without being referenced), so each size keeps its
-// own cache state — but the size-independent per-reference work (purge
-// scheduling, straddle decomposition, per-kind counting) is computed once
-// and fanned out to every size (cache.FanoutSystem). Both engines are
-// bit-identical to the per-size simulations they replace.
+// Every grid job routes through the engine capability registry
+// (core.RunSweep), which picks the fastest engine that is sound for the
+// job's configuration: under LRU (the default), the demand half runs one
+// generalized stack-simulation pass per (mix, organization)
+// (cache.MultiSystem) and the prefetch half one fan-out pass
+// (cache.FanoutSystem); a non-LRU Options.Repl breaks stack inclusion, so
+// the registry transparently falls back to one cache per size. All routes
+// are bit-identical to the per-size simulations they replace.
 func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*SweepResult, error) {
 	o = o.withDefaults()
 	res := &SweepResult{Sizes: o.Sizes, Mixes: mixes, opts: o}
@@ -115,14 +115,8 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	err = forEachCtx(ctx, o.Workers, len(jobs), func(j int) error {
 		jb := jobs[j]
 		mix, refs := mixes[jb.mi], streams[jb.mi]
-		if jb.prefetch {
-			if err := runPrefetchPass(ctx, o, mix, refs, jb.split, res.Cells[jb.mi]); err != nil {
-				return fmt.Errorf("sweep %s prefetch: %w", mix.Name, err)
-			}
-			return nil
-		}
-		if err := runDemandPass(ctx, o, mix, refs, jb.split, res.Cells[jb.mi]); err != nil {
-			return fmt.Errorf("sweep %s demand: %w", mix.Name, err)
+		if err := runPass(ctx, o, mix, refs, jb.split, jb.prefetch, res.Cells[jb.mi]); err != nil {
+			return fmt.Errorf("sweep %s %s: %w", mix.Name, fetchName(jb.prefetch), err)
 		}
 		return nil
 	})
@@ -140,67 +134,45 @@ func orgName(split bool) string {
 	return "unified"
 }
 
-// runDemandPass executes one organization's demand simulations at every
-// size in a single pass and scatters the per-size results into the mix's
-// cell row.
-func runDemandPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split bool, row []SweepCell) error {
-	stage := "sweep:" + mix.Name + ":demand:" + orgName(split)
-	sp := obs.StartSpan(ctx, stage)
-	defer sp.End()
-	ms, err := cache.NewMultiSystem(cache.MultiConfig{
-		Sizes: o.Sizes, LineSize: o.LineSize,
-		Split: split, PurgeInterval: mix.Quantum,
-	})
-	if err != nil {
-		return err
+// fetchName names a grid half in stage and span labels.
+func fetchName(prefetch bool) string {
+	if prefetch {
+		return "prefetch"
 	}
-	if o.Probe != nil {
-		ms.SetProbe(o.Probe, stage, int64(len(refs)))
-	}
-	n, err := ms.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0)
-	if err != nil {
-		return err
-	}
-	sp.AddRefs(int64(n))
-	for si, r := range ms.Results() {
-		out := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
-		if split {
-			row[si].SplitDemand = out
-		} else {
-			row[si].UnifiedDemand = out
-		}
-	}
-	return nil
+	return "demand"
 }
 
-// runPrefetchPass executes one organization's prefetch-always simulations
-// at every size in a single fan-out pass and scatters the per-size results
-// into the mix's cell row.
-func runPrefetchPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split bool, row []SweepCell) error {
-	stage := "sweep:" + mix.Name + ":prefetch:" + orgName(split)
+// runPass executes one (organization, fetch policy) job at every size via
+// the engine capability registry and scatters the per-size results into
+// the mix's cell row.
+func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split, prefetch bool, row []SweepCell) error {
+	stage := "sweep:" + mix.Name + ":" + fetchName(prefetch) + ":" + orgName(split)
 	sp := obs.StartSpan(ctx, stage)
 	defer sp.End()
-	fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
-		Sizes: o.Sizes, LineSize: o.LineSize,
-		Split: split, PurgeInterval: mix.Quantum,
-	})
+	fetch := cache.DemandFetch
+	if prefetch {
+		fetch = cache.PrefetchAlways
+	}
+	spec := core.SweepSpec{
+		Sizes: o.Sizes, LineSize: o.LineSize, Split: split,
+		Quantum: mix.Quantum, Fetch: fetch, Repl: o.Repl,
+	}
+	results, _, err := core.RunSweep(ctx, spec, trace.NewSliceReader(refs), o.Probe, stage, int64(len(refs)))
 	if err != nil {
 		return err
 	}
-	if o.Probe != nil {
-		fs.SetProbe(o.Probe, stage, int64(len(refs)))
-	}
-	n, err := fs.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0)
-	if err != nil {
-		return err
-	}
-	sp.AddRefs(int64(n))
-	for si, r := range fs.Results() {
+	sp.AddRefs(int64(len(refs)))
+	for si, r := range results {
 		out := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
-		if split {
+		switch {
+		case split && prefetch:
 			row[si].SplitPrefetch = out
-		} else {
+		case split:
+			row[si].SplitDemand = out
+		case prefetch:
 			row[si].UnifiedPrefetch = out
+		default:
+			row[si].UnifiedDemand = out
 		}
 	}
 	return nil

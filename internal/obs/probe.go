@@ -32,6 +32,18 @@ type Probe interface {
 	RunEnd(stage string, refs int64, elapsed time.Duration)
 }
 
+// CauseProbe is an optional Probe extension. An engine that can attribute
+// demand misses to the 3C model (compulsory / capacity / conflict, per
+// [Hill]'s classification via a same-capacity fully-associative LRU shadow)
+// checks for it when a probe is installed, enables attribution only then —
+// the uninstrumented hot path stays untouched — and reports batch totals
+// once per run alongside RunEnd. Only the per-size System engine
+// attributes causes; the one-pass stack engines do not.
+type CauseProbe interface {
+	Probe
+	MissCauses(stage string, compulsory, capacity, conflict uint64)
+}
+
 // NopProbe is a Probe that does nothing. Installing it (rather than nil)
 // exercises the instrumented engine path; the benchmark suite does exactly
 // that so `make benchcheck` guards the overhead.

@@ -33,6 +33,11 @@ func FuzzEvaluateRequestDecode(f *testing.F) {
 	f.Add(`{"mix":"FGO1","ref_limit":-5}`)
 	f.Add(`{"mix":"FGO1","design":{"Unified":{"Size":12345,"LineSize":16}}}`)
 	f.Add(`{"mix":"FGO1","design":{"Unified":{"Size":4611686018427387904,"LineSize":16}}}`)
+	f.Add(`{"mix":"FGO1","policy":"arc"}`)
+	f.Add(`{"mix":"FGO1","policy":"2q","fetch":"tagged"}`)
+	f.Add(`{"mix":"FGO1","policy":"clock"}`)
+	f.Add(`{"mix":"FGO1","fetch":"never"}`)
+	f.Add(`{"mix":"FGO1","design":{"Unified":{"Size":1024,"LineSize":16,"Repl":9}}}`)
 	f.Add(strings.Repeat("[", 1000))
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body))
@@ -62,6 +67,9 @@ func FuzzSweepRequestDecode(f *testing.F) {
 	f.Add(`{"ref_limit":-1}`)
 	f.Add(`{"mixes":[],"sizes":[],"line_size":0}`)
 	f.Add(`[1,2,3]`)
+	f.Add(`{"mixes":["FGO1"],"policy":"lfu"}`)
+	f.Add(`{"mixes":["FGO1"],"policy":"segmented-lru","sizes":[512]}`)
+	f.Add(`{"policy":"belady"}`)
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
 		w := httptest.NewRecorder()
@@ -72,7 +80,7 @@ func FuzzSweepRequestDecode(f *testing.F) {
 			}
 			return
 		}
-		mixes, verr := s.validateSweep(&sr)
+		mixes, _, verr := s.validateSweep(&sr)
 		if verr != nil {
 			if verr.code != http.StatusBadRequest {
 				t.Fatalf("validation rejection classified as %d: %s", verr.code, verr.msg)

@@ -93,6 +93,12 @@ func (s *Server) buildProm() {
 	s.refsRateHist = reg.NewHistogram("cacheeval_engine_refs_per_second",
 		"Throughput of completed simulation engine runs, references/second.",
 		obs.RateBuckets())
+	s.causeCompulsory = reg.NewCounter("cacheeval_engine_compulsory_misses_total",
+		"Demand misses to never-before-seen lines (3C classification), summed over per-size engine runs.")
+	s.causeCapacity = reg.NewCounter("cacheeval_engine_capacity_misses_total",
+		"Demand misses a fully-associative cache of the same size would also take, summed over per-size engine runs.")
+	s.causeConflict = reg.NewCounter("cacheeval_engine_conflict_misses_total",
+		"Demand misses caused by set-mapping conflicts, summed over per-size engine runs.")
 }
 
 // simProbe adapts engine run completions into the engine throughput metrics.
@@ -108,4 +114,13 @@ func (p simProbe) RunEnd(stage string, refs int64, elapsed time.Duration) {
 	if refs > 0 && elapsed > 0 {
 		p.s.refsRateHist.Observe(float64(refs) / elapsed.Seconds())
 	}
+}
+
+// MissCauses makes simProbe an obs.CauseProbe: its presence switches the
+// per-size engine onto the 3C attribution path, whose totals land here at
+// the end of each run.
+func (p simProbe) MissCauses(stage string, compulsory, capacity, conflict uint64) {
+	p.s.causeCompulsory.Add(int64(compulsory))
+	p.s.causeCapacity.Add(int64(capacity))
+	p.s.causeConflict.Add(int64(conflict))
 }

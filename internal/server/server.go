@@ -5,6 +5,7 @@
 //	POST /v1/evaluate  — run one cache design against one workload
 //	POST /v1/sweep     — run the §3.3-§3.5 grid over chosen mixes and sizes
 //	GET  /v1/mixes     — list the workloads the server can simulate
+//	GET  /v1/policies  — list the replacement and fetch policies by name
 //	GET  /healthz      — liveness
 //	GET  /metrics      — operational counters (expvar-backed JSON)
 //
@@ -28,6 +29,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,12 +100,15 @@ type Server struct {
 	// Prometheus exposition (see prom.go). The func-backed families read
 	// straight from metrics/state at scrape time; only the histograms and
 	// the engine refs counter hold their own state.
-	prom         *obs.Registry
-	evalHist     *obs.Histogram
-	sweepHist    *obs.Histogram
-	engineRefs   *obs.Counter
-	refsRateHist *obs.Histogram
-	httpInFlight atomic.Int64
+	prom            *obs.Registry
+	evalHist        *obs.Histogram
+	sweepHist       *obs.Histogram
+	engineRefs      *obs.Counter
+	refsRateHist    *obs.Histogram
+	causeCompulsory *obs.Counter
+	causeCapacity   *obs.Counter
+	causeConflict   *obs.Counter
+	httpInFlight    atomic.Int64
 
 	mu      sync.Mutex
 	memo    *memoLRU
@@ -152,6 +157,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/mixes", s.handleMixes)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -236,10 +242,16 @@ func (s *Server) buildCatalog() {
 // "LineSize":16},"PurgeInterval":20000}); an omitted design defaults to a
 // unified 16K cache with 16-byte lines purged on the mix's quantum.
 type EvaluateRequest struct {
-	Design    cache.SystemConfig `json:"design"`
-	Mix       string             `json:"mix"`
-	RefLimit  int                `json:"ref_limit"`
-	TimeoutMS int                `json:"timeout_ms"`
+	Design cache.SystemConfig `json:"design"`
+	Mix    string             `json:"mix"`
+	// Policy and Fetch name a replacement and fetch policy to apply to every
+	// cache in the design (see GET /v1/policies), overriding whatever the
+	// design's own Repl/Fetch fields say. Empty leaves the design untouched
+	// (its zero values are LRU and demand fetch). Unknown names are a 400.
+	Policy    string `json:"policy"`
+	Fetch     string `json:"fetch"`
+	RefLimit  int    `json:"ref_limit"`
+	TimeoutMS int    `json:"timeout_ms"`
 	// Trace opts into the per-stage timing breakdown. It cannot change the
 	// simulation's result, so it is excluded from the memoization key; a
 	// memoized answer returns the spans of the run that computed it.
@@ -302,6 +314,33 @@ func (s *Server) validateEvaluate(req *EvaluateRequest) (cache.SystemConfig, wor
 		design = cache.SystemConfig{
 			Unified:       cache.Config{Size: 16384, LineSize: 16},
 			PurgeInterval: mix.Quantum,
+		}
+	}
+	// Fold the named policy overrides into the design before validation and
+	// keying, so "policy":"arc" and a design with Repl set directly memoize
+	// identically.
+	if req.Policy != "" {
+		repl, err := cache.ParseReplacement(req.Policy)
+		if err != nil {
+			return cache.SystemConfig{}, workload.Mix{}, &requestError{
+				http.StatusBadRequest, "unknown policy " + strconvQuote(req.Policy) + "; see GET /v1/policies"}
+		}
+		if design.Split {
+			design.I.Repl, design.D.Repl = repl, repl
+		} else {
+			design.Unified.Repl = repl
+		}
+	}
+	if req.Fetch != "" {
+		fetch, err := cache.ParseFetchPolicy(req.Fetch)
+		if err != nil {
+			return cache.SystemConfig{}, workload.Mix{}, &requestError{
+				http.StatusBadRequest, "unknown fetch policy " + strconvQuote(req.Fetch) + "; see GET /v1/policies"}
+		}
+		if design.Split {
+			design.I.Fetch, design.D.Fetch = fetch, fetch
+		} else {
+			design.Unified.Fetch = fetch
 		}
 	}
 	for _, c := range []cache.Config{design.Unified, design.I, design.D} {
@@ -398,11 +437,16 @@ func (s *Server) flightCtx(fctx, rctx context.Context) context.Context {
 // seventeen standard workload units; empty sizes selects the paper's
 // 32B-64KB grid.
 type SweepRequest struct {
-	Mixes     []string `json:"mixes"`
-	Sizes     []int    `json:"sizes"`
-	LineSize  int      `json:"line_size"`
-	RefLimit  int      `json:"ref_limit"`
-	TimeoutMS int      `json:"timeout_ms"`
+	Mixes    []string `json:"mixes"`
+	Sizes    []int    `json:"sizes"`
+	LineSize int      `json:"line_size"`
+	// Policy names the replacement policy every simulated cache uses (see
+	// GET /v1/policies); empty means LRU, the paper's configuration. Non-LRU
+	// policies break stack inclusion, so the engine registry runs them one
+	// cache per size — expect such sweeps to cost proportionally more.
+	Policy    string `json:"policy"`
+	RefLimit  int    `json:"ref_limit"`
+	TimeoutMS int    `json:"timeout_ms"`
 	// Trace opts into the per-stage timing breakdown; like timeout_ms it is
 	// excluded from the memoization key (see EvaluateRequest.Trace).
 	Trace bool `json:"trace"`
@@ -449,10 +493,20 @@ type sweepMemo struct {
 
 // validateSweep resolves a sweep request: every named mix must exist (an
 // empty list selects the paper's standard mixes and records their names back
-// into the request, which downstream keying relies on), sizes must be
-// positive, and the limits non-negative. Like validateEvaluate it is pure
-// request validation, shared with the fuzz targets.
-func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, *requestError) {
+// into the request, which downstream keying relies on), the policy name must
+// parse, sizes must be positive, and the limits non-negative. Like
+// validateEvaluate it is pure request validation, shared with the fuzz
+// targets.
+func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, cache.Replacement, *requestError) {
+	repl := cache.LRU
+	if req.Policy != "" {
+		r, err := cache.ParseReplacement(req.Policy)
+		if err != nil {
+			return nil, 0, &requestError{
+				http.StatusBadRequest, "unknown policy " + strconvQuote(req.Policy) + "; see GET /v1/policies"}
+		}
+		repl = r
+	}
 	var mixes []workload.Mix
 	if len(req.Mixes) == 0 {
 		mixes = append(workload.StandardMixes(), workload.M68000Mix())
@@ -463,7 +517,7 @@ func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, *requestError
 		for _, name := range req.Mixes {
 			m, ok := s.catalog[name]
 			if !ok {
-				return nil, &requestError{
+				return nil, 0, &requestError{
 					http.StatusBadRequest, "unknown mix " + strconvQuote(name) + "; see GET /v1/mixes"}
 			}
 			mixes = append(mixes, m)
@@ -471,19 +525,19 @@ func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, *requestError
 	}
 	for _, size := range req.Sizes {
 		if size <= 0 {
-			return nil, &requestError{http.StatusBadRequest, "sizes must be positive"}
+			return nil, 0, &requestError{http.StatusBadRequest, "sizes must be positive"}
 		}
 		if size > maxCacheBytes {
-			return nil, errCacheTooLarge
+			return nil, 0, errCacheTooLarge
 		}
 	}
 	if req.RefLimit < 0 || req.LineSize < 0 {
-		return nil, &requestError{http.StatusBadRequest, "ref_limit and line_size must be >= 0"}
+		return nil, 0, &requestError{http.StatusBadRequest, "ref_limit and line_size must be >= 0"}
 	}
 	if req.LineSize > maxCacheBytes {
-		return nil, errCacheTooLarge
+		return nil, 0, errCacheTooLarge
 	}
-	return mixes, nil
+	return mixes, repl, nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -498,7 +552,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	mixes, verr := s.validateSweep(&req)
+	mixes, repl, verr := s.validateSweep(&req)
 	if verr != nil {
 		s.error(w, verr.code, verr.msg)
 		return
@@ -506,17 +560,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	opts := experiments.Options{
 		Sizes: req.Sizes, LineSize: req.LineSize,
 		RefLimit: req.RefLimit, Workers: s.cfg.SimWorkers,
+		Repl: repl,
 		StreamSource: func(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
 			return s.mixStreamPerMember(ctx, m, req.RefLimit)
 		},
 		Probe: simProbe{s},
 	}
+	// The key carries the parsed policy's canonical name, so the "slru",
+	// "segmented-lru" and "2q" spellings memoize as one entry.
 	key, err := requestKey("sweep", struct {
 		Mixes    []string
 		Sizes    []int
 		LineSize int
+		Policy   string
 		RefLimit int
-	}{req.Mixes, req.Sizes, req.LineSize, req.RefLimit})
+	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit})
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
@@ -593,6 +651,50 @@ func (s *Server) handleMixes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Mixes []MixInfo `json:"mixes"`
 	}{s.mixInfos})
+}
+
+// PolicyInfo describes one replacement policy the service accepts.
+type PolicyInfo struct {
+	// Name is the canonical request spelling for the policy / fetch fields.
+	Name string `json:"name"`
+	// Aliases are additional accepted spellings.
+	Aliases []string `json:"aliases,omitempty"`
+	// StackInclusion reports whether multi-size sweeps under this policy
+	// (with demand fetch) satisfy Mattson stack inclusion and therefore run
+	// on the one-pass engines; false means one cache per size.
+	StackInclusion bool `json:"stack_inclusion"`
+}
+
+// handlePolicies serves GET /v1/policies: the replacement and fetch
+// policies the evaluate/sweep endpoints accept, by name.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	aliases := map[cache.Replacement][]string{
+		cache.SegmentedLRU: {"segmented-lru", "2q"},
+	}
+	fetchAliases := map[cache.FetchPolicy][]string{
+		cache.PrefetchAlways: {"always"},
+		cache.PrefetchOnMiss: {"onmiss"},
+		cache.TaggedPrefetch: {"tagged"},
+	}
+	var repls, fetches []PolicyInfo
+	for _, repl := range cache.Replacements() {
+		repls = append(repls, PolicyInfo{
+			Name:           strings.ToLower(repl.String()),
+			Aliases:        aliases[repl],
+			StackInclusion: repl == cache.LRU,
+		})
+	}
+	for _, fetch := range cache.FetchPolicies() {
+		fetches = append(fetches, PolicyInfo{
+			Name:           fetch.String(),
+			Aliases:        fetchAliases[fetch],
+			StackInclusion: fetch == cache.DemandFetch,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Policies      []PolicyInfo `json:"policies"`
+		FetchPolicies []PolicyInfo `json:"fetch_policies"`
+	}{repls, fetches})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

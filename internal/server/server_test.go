@@ -81,6 +81,12 @@ func TestHandlerErrors(t *testing.T) {
 			`{"mix":"` + strings.Repeat("x", 600) + `"}`, http.StatusRequestEntityTooLarge},
 		{"sweep unknown mix", "POST", "/v1/sweep", `{"mixes":["NOPE"]}`, http.StatusBadRequest},
 		{"sweep bad size", "POST", "/v1/sweep", `{"mixes":["FGO1"],"sizes":[-4]}`, http.StatusBadRequest},
+		{"unknown policy", "POST", "/v1/evaluate", `{"mix":"FGO1","policy":"clock"}`, http.StatusBadRequest},
+		{"unknown fetch", "POST", "/v1/evaluate", `{"mix":"FGO1","fetch":"never"}`, http.StatusBadRequest},
+		{"out-of-range numeric repl", "POST", "/v1/evaluate",
+			`{"mix":"FGO1","design":{"Unified":{"Size":1024,"LineSize":16,"Repl":9}}}`, http.StatusBadRequest},
+		{"sweep unknown policy", "POST", "/v1/sweep", `{"mixes":["FGO1"],"policy":"belady"}`, http.StatusBadRequest},
+		{"wrong method policies", "POST", "/v1/policies", "", http.StatusMethodNotAllowed},
 		{"wrong method evaluate", "GET", "/v1/evaluate", "", http.StatusMethodNotAllowed},
 		{"wrong method mixes", "POST", "/v1/mixes", "", http.StatusMethodNotAllowed},
 		{"unknown path", "GET", "/v1/nope", "", http.StatusNotFound},
@@ -504,5 +510,144 @@ func TestCatalogQuantum(t *testing.T) {
 	}
 	if fmt.Sprint(m.Specs[0].Name) != "FGO1" {
 		t.Errorf("spec name %q", m.Specs[0].Name)
+	}
+}
+
+// TestPoliciesEndpoint checks the discovery endpoint enumerates every
+// registered replacement and fetch policy with the canonical spellings the
+// evaluate/sweep validators accept.
+func TestPoliciesEndpoint(t *testing.T) {
+	t.Parallel()
+	_, hs := newTestServer(t, Config{})
+	code, b := get(t, hs.URL+"/v1/policies")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var resp struct {
+		Policies      []PolicyInfo `json:"policies"`
+		FetchPolicies []PolicyInfo `json:"fetch_policies"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Policies) != len(cache.Replacements()) {
+		t.Fatalf("got %d policies, want %d", len(resp.Policies), len(cache.Replacements()))
+	}
+	if len(resp.FetchPolicies) != len(cache.FetchPolicies()) {
+		t.Fatalf("got %d fetch policies, want %d", len(resp.FetchPolicies), len(cache.FetchPolicies()))
+	}
+	inclusion := map[string]bool{}
+	for _, p := range resp.Policies {
+		if _, err := cache.ParseReplacement(p.Name); err != nil {
+			t.Errorf("advertised policy %q does not parse: %v", p.Name, err)
+		}
+		for _, a := range p.Aliases {
+			if _, err := cache.ParseReplacement(a); err != nil {
+				t.Errorf("advertised alias %q does not parse: %v", a, err)
+			}
+		}
+		inclusion[p.Name] = p.StackInclusion
+	}
+	if !inclusion["lru"] {
+		t.Error("lru must advertise stack inclusion")
+	}
+	for _, name := range []string{"fifo", "random", "lfu", "slru", "arc"} {
+		if inclusion[name] {
+			t.Errorf("%s must not advertise stack inclusion", name)
+		}
+	}
+	for _, p := range resp.FetchPolicies {
+		if _, err := cache.ParseFetchPolicy(p.Name); err != nil {
+			t.Errorf("advertised fetch policy %q does not parse: %v", p.Name, err)
+		}
+	}
+}
+
+// TestEvaluatePolicyField runs one workload under each named policy and
+// checks the override lands in the reported design, distinct policies miss
+// differently from LRU where expected, and the folded form memoizes
+// identically to a design that sets Repl directly.
+func TestEvaluatePolicyField(t *testing.T) {
+	t.Parallel()
+	_, hs := newTestServer(t, Config{})
+	reports := map[string]core.Report{}
+	for _, policy := range []string{"lru", "fifo", "lfu", "slru", "arc"} {
+		body := fmt.Sprintf(
+			`{"mix":"FGO1","ref_limit":12000,"policy":%q,"design":{"Unified":{"Size":512,"LineSize":16,"Assoc":4}}}`,
+			policy)
+		code, b := post(t, hs.URL+"/v1/evaluate", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", policy, code, b)
+		}
+		var resp EvaluateResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, err := cache.ParseReplacement(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Report.Design.Unified.Repl; got != want {
+			t.Errorf("%s: design reports policy %v", policy, got)
+		}
+		reports[policy] = resp.Report
+	}
+	if reports["lru"].MissRatio == reports["fifo"].MissRatio &&
+		reports["lru"].MissRatio == reports["arc"].MissRatio {
+		t.Error("all policies produced identical miss ratios; overrides likely ignored")
+	}
+
+	// The same design with Repl set numerically must hit the memo entry the
+	// named override created.
+	code, b := post(t, hs.URL+"/v1/evaluate",
+		`{"mix":"FGO1","ref_limit":12000,"design":{"Unified":{"Size":512,"LineSize":16,"Assoc":4,"Repl":3}}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var folded EvaluateResponse
+	if err := json.Unmarshal(b, &folded); err != nil {
+		t.Fatal(err)
+	}
+	if !folded.Cached {
+		t.Error("numeric Repl did not hit the folded policy's memo entry")
+	}
+	if folded.Report != reports["lfu"] {
+		t.Errorf("folded report differs:\n%+v\n%+v", folded.Report, reports["lfu"])
+	}
+}
+
+// TestSweepPolicyField runs a small sweep under a non-LRU policy (which the
+// engine registry must route per size) and checks it differs from the LRU
+// sweep while aliases of one policy share a memo entry.
+func TestSweepPolicyField(t *testing.T) {
+	t.Parallel()
+	_, hs := newTestServer(t, Config{})
+	run := func(body string) SweepResponse {
+		t.Helper()
+		code, b := post(t, hs.URL+"/v1/sweep", body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, b)
+		}
+		var resp SweepResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	lru := run(`{"mixes":["FGO1"],"sizes":[256,1024],"ref_limit":8000}`)
+	arc := run(`{"mixes":["FGO1"],"sizes":[256,1024],"ref_limit":8000,"policy":"arc"}`)
+	if arc.Cached {
+		t.Error("arc sweep unexpectedly hit the LRU sweep's memo entry")
+	}
+	if lru.Cells[0][0] == arc.Cells[0][0] {
+		t.Error("ARC sweep cell identical to LRU; policy likely not applied")
+	}
+	slru := run(`{"mixes":["FGO1"],"sizes":[256,1024],"ref_limit":8000,"policy":"segmented-lru"}`)
+	if slru.Cached {
+		t.Error("first slru sweep reported cached")
+	}
+	twoQ := run(`{"mixes":["FGO1"],"sizes":[256,1024],"ref_limit":8000,"policy":"2q"}`)
+	if !twoQ.Cached {
+		t.Error("2q did not share segmented-lru's memo entry")
 	}
 }

@@ -17,14 +17,16 @@ type Workload struct {
 }
 
 // Grid describes the organization sweep a conformance run evaluates: the
-// cache sizes, the shared line size, split vs unified, and demand fetch vs
-// prefetch-always — the four axes of the paper's §3.3-§3.5 master sweep.
-// All grid caches are fully associative LRU copy-back, the paper's default.
+// cache sizes, the shared line size, split vs unified, demand fetch vs
+// prefetch-always — the four axes of the paper's §3.3-§3.5 master sweep —
+// plus the replacement policy (zero value LRU, the paper's default). All
+// grid caches are fully associative copy-back.
 type Grid struct {
 	Sizes    []int
 	LineSize int
 	Split    bool
 	Prefetch bool
+	Repl     cache.Replacement
 }
 
 func (g Grid) fetch() cache.FetchPolicy {
@@ -36,7 +38,7 @@ func (g Grid) fetch() cache.FetchPolicy {
 
 // SystemConfig returns the per-size system configuration the grid implies.
 func (g Grid) SystemConfig(size, quantum int) cache.SystemConfig {
-	base := cache.Config{Size: size, LineSize: g.LineSize, Fetch: g.fetch()}
+	base := cache.Config{Size: size, LineSize: g.LineSize, Fetch: g.fetch(), Repl: g.Repl}
 	sc := cache.SystemConfig{PurgeInterval: quantum}
 	if g.Split {
 		sc.Split = true
@@ -133,8 +135,10 @@ type ReferenceEngine struct{}
 // Name identifies the engine in reports.
 func (ReferenceEngine) Name() string { return "reference" }
 
-// Supports reports grid coverage: the reference model covers both policies.
-func (ReferenceEngine) Supports(Grid) bool { return true }
+// Supports reports grid coverage: the reference model covers everything
+// except Random replacement (which would need the implementation's RNG
+// stream).
+func (ReferenceEngine) Supports(g Grid) bool { return g.Repl != cache.Random }
 
 // Simulate runs the reference model over the workload at every grid size.
 func (ReferenceEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
@@ -165,7 +169,8 @@ type SystemEngine struct{}
 // Name identifies the engine in reports.
 func (SystemEngine) Name() string { return "system" }
 
-// Supports reports grid coverage: System covers both fetch policies.
+// Supports reports grid coverage: System covers every fetch and
+// replacement policy.
 func (SystemEngine) Supports(Grid) bool { return true }
 
 // Simulate runs cache.System over the workload at every grid size.
@@ -195,8 +200,10 @@ type MultiEngine struct{}
 // Name identifies the engine in reports.
 func (MultiEngine) Name() string { return "multisystem" }
 
-// Supports reports grid coverage: the stack-inclusion engine is demand-only.
-func (MultiEngine) Supports(g Grid) bool { return !g.Prefetch }
+// Supports reports grid coverage: the stack-inclusion engine requires
+// demand fetch and LRU replacement — the only combination for which
+// Mattson inclusion holds across sizes.
+func (MultiEngine) Supports(g Grid) bool { return !g.Prefetch && g.Repl == cache.LRU }
 
 // Simulate runs cache.MultiSystem once over the workload.
 func (MultiEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
@@ -220,8 +227,9 @@ type FanoutEngine struct{}
 // Name identifies the engine in reports.
 func (FanoutEngine) Name() string { return "fanout" }
 
-// Supports reports grid coverage: the fan-out engine is prefetch-only.
-func (FanoutEngine) Supports(g Grid) bool { return g.Prefetch }
+// Supports reports grid coverage: the fan-out engine serves
+// prefetch-always grids, and only under LRU replacement.
+func (FanoutEngine) Supports(g Grid) bool { return g.Prefetch && g.Repl == cache.LRU }
 
 // Simulate runs cache.FanoutSystem once over the workload.
 func (FanoutEngine) Simulate(g Grid, w Workload) (*Outcome, error) {

@@ -91,7 +91,8 @@ func RandGrid(rng *rand.Rand, prefetch bool) Grid {
 
 // RandConfig draws a random single-cache configuration for lockstep oracle
 // tests: line size, size, associativity (direct-mapped through fully
-// associative), LRU or FIFO, optional sectoring, and either a write-through
+// associative), any deterministic replacement policy (LRU, FIFO, LFU,
+// segmented LRU or ARC), optional sectoring, and either a write-through
 // variant (with optional no-write-allocate and write combining) or a
 // prefetch policy. Random replacement is excluded — the reference model
 // does not cover it.
@@ -104,9 +105,9 @@ func RandConfig(rng *rand.Rand) cache.Config {
 	if a := []int{0, 1, 2, 4}[rng.Intn(4)]; a <= cfg.Lines() {
 		cfg.Assoc = a
 	}
-	if rng.Intn(2) == 0 {
-		cfg.Repl = cache.FIFO
-	}
+	cfg.Repl = []cache.Replacement{
+		cache.LRU, cache.FIFO, cache.LFU, cache.SegmentedLRU, cache.ARC,
+	}[rng.Intn(5)]
 	if rng.Intn(3) == 0 && lineSize >= 8 {
 		cfg.SubBlock = lineSize >> (1 + rng.Intn(2)) // half or quarter line
 	}

@@ -69,12 +69,14 @@ var RefConservation = Invariant{
 // larger cache holds a superset of a smaller cache's lines at every instant
 // (Mattson stack inclusion), so misses can only go down as size goes up —
 // per kind and per cache. Prefetching breaks inclusion (a prefetch can
-// evict a line the smaller cache keeps), so the invariant applies only to
-// demand grids.
+// evict a line the smaller cache keeps), and so does any non-LRU
+// replacement policy (Belady-style anomalies: FIFO famously, but also
+// LFU/SLRU/ARC, whose eviction order depends on history a different-size
+// cache never saw), so the invariant applies only to demand LRU grids.
 var MissMonotonicity = Invariant{
 	Name: "miss-monotonicity",
 	Check: func(o *Outcome) error {
-		if o.Grid.Prefetch {
+		if o.Grid.Prefetch || o.Grid.Repl != cache.LRU {
 			return nil
 		}
 		for a := range o.Results {

@@ -30,19 +30,45 @@ type refLine struct {
 	valid      map[uint64]bool
 	dirty      map[uint64]bool
 	prefetched bool
+	freq       int // LFU use count; unused by other policies
+}
+
+// refSet is one associativity set: up to two plain slices of lines, each
+// ordered most-recent/newest-inserted first. Single-list policies (LRU,
+// FIFO, LFU) keep every line on lists[0]; SegmentedLRU uses lists[0] as
+// the probationary and lists[1] as the protected segment; ARC uses them as
+// T1/T2 with ghosts and p carrying the B1/B2 tag history
+// (most-recently-evicted first) and the adaptive target.
+type refSet struct {
+	lists  [2][]*refLine
+	ghosts [2][]uint64
+	p      int
+}
+
+// find locates a resident line by tag; l is nil if absent.
+func (s *refSet) find(line uint64) (li, i int, l *refLine) {
+	for li := range s.lists {
+		for i, l := range s.lists[li] {
+			if l.tag == line {
+				return li, i, l
+			}
+		}
+	}
+	return 0, 0, nil
 }
 
 // RefCache is the naive reference cache, the promoted form of the model
 // that used to live in internal/cache's oracle test. It mirrors the full
-// cache.Cache contract — LRU/FIFO replacement, copy-back and write-through
-// (with optional no-write-allocate and write combining), sector caches, and
-// the [Smit78] prefetch policies — but not Random replacement, which would
-// need the implementation's exact RNG stream and so could never disagree
-// meaningfully.
+// cache.Cache contract — LRU/FIFO/LFU/segmented-LRU/ARC replacement,
+// copy-back and write-through (with optional no-write-allocate and write
+// combining), sector caches, and the [Smit78] prefetch policies — but not
+// Random replacement, which would need the implementation's exact RNG
+// stream and so could never disagree meaningfully.
 type RefCache struct {
-	cfg   cache.Config
-	sets  [][]*refLine // each set ordered most-recent/newest-inserted first
-	stats cache.Stats
+	cfg     cache.Config
+	sets    []refSet
+	protCap int // SegmentedLRU protected-segment capacity
+	stats   cache.Stats
 
 	// write-combining buffer state (write-through only).
 	combineUnit uint64
@@ -57,7 +83,14 @@ func NewRefCache(cfg cache.Config) (*RefCache, error) {
 	if cfg.Repl == cache.Random {
 		return nil, fmt.Errorf("simcheck: Random replacement is not modelled (it would need the implementation's RNG stream)")
 	}
-	return &RefCache{cfg: cfg, sets: make([][]*refLine, cfg.Sets())}, nil
+	c := &RefCache{cfg: cfg, sets: make([]refSet, cfg.Sets())}
+	if cfg.Repl == cache.SegmentedLRU {
+		c.protCap = cfg.EffectiveAssoc() / 2
+		if c.protCap < 1 {
+			c.protCap = 1
+		}
+	}
+	return c, nil
 }
 
 // Config returns the configuration the cache was built with.
@@ -69,8 +102,8 @@ func (c *RefCache) Stats() cache.Stats { return c.stats }
 // Resident returns the number of valid lines currently held.
 func (c *RefCache) Resident() int {
 	n := 0
-	for _, set := range c.sets {
-		n += len(set)
+	for si := range c.sets {
+		n += len(c.sets[si].lists[0]) + len(c.sets[si].lists[1])
 	}
 	return n
 }
@@ -108,7 +141,7 @@ func (c *RefCache) Access(addr uint64, write bool, storeBytes int) bool {
 func (c *RefCache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse bool) {
 	line := c.lineOf(addr)
 	sub := c.subIndex(addr)
-	si := line % uint64(len(c.sets))
+	s := &c.sets[line%uint64(len(c.sets))]
 	c.stats.Accesses++
 	if write {
 		c.stats.WriteAccesses++
@@ -116,54 +149,72 @@ func (c *RefCache) demand(addr uint64, write bool, storeBytes int) (hit, firstUs
 		// Any intervening non-store access flushes the combining buffer.
 		c.combineLive = false
 	}
-	for i, l := range c.sets[si] {
-		if l.tag != line {
-			continue
+	li, i, l := s.find(line)
+	if l != nil && l.valid[sub] {
+		if l.prefetched {
+			c.stats.PrefetchUsed++
+			l.prefetched = false
+			firstUse = true
 		}
-		if l.valid[sub] {
-			if l.prefetched {
-				c.stats.PrefetchUsed++
-				l.prefetched = false
-				firstUse = true
-			}
-			c.moveToFront(si, i)
-			c.applyWrite(l, sub, addr, write, storeBytes)
-			return true, firstUse
+		c.touch(s, li, i)
+		c.applyWrite(l, sub, addr, write, storeBytes)
+		return true, firstUse
+	}
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMisses++
+		if c.cfg.Write == cache.WriteThrough && c.cfg.NoWriteAllocate {
+			// The store goes to memory; residency and the replacement
+			// order are untouched.
+			c.stats.BytesToMemory += uint64(storeBytes)
+			c.writeTransaction(addr)
+			return false, false
 		}
+	}
+	if l != nil {
 		// Sector hit, sub-block miss.
-		c.stats.Misses++
-		if write {
-			c.stats.WriteMisses++
-			if c.cfg.Write == cache.WriteThrough && c.cfg.NoWriteAllocate {
-				// The store goes to memory; the sub-block stays absent and
-				// the replacement order is untouched.
-				c.stats.BytesToMemory += uint64(storeBytes)
-				c.writeTransaction(addr)
-				return false, false
-			}
-		}
 		l.valid[sub] = true
-		c.moveToFront(si, i)
+		c.touch(s, li, i)
 		c.stats.DemandFetches++
 		c.stats.BytesFromMemory += c.subBytes()
 		c.applyWrite(l, sub, addr, write, storeBytes)
 		return false, false
 	}
 	// Line absent.
-	c.stats.Misses++
-	if write {
-		c.stats.WriteMisses++
-		if c.cfg.Write == cache.WriteThrough && c.cfg.NoWriteAllocate {
-			c.stats.BytesToMemory += uint64(storeBytes)
-			c.writeTransaction(addr)
-			return false, false
-		}
-	}
-	l := c.insert(si, line, sub, false)
+	l = c.insert(s, line, sub, false)
 	c.stats.DemandFetches++
 	c.stats.BytesFromMemory += c.subBytes()
 	c.applyWrite(l, sub, addr, write, storeBytes)
 	return false, false
+}
+
+// touch applies one demand use of the line at position i of list li,
+// transcribing each policy's definition directly.
+func (c *RefCache) touch(s *refSet, li, i int) {
+	switch c.cfg.Repl {
+	case cache.LRU:
+		moveToFront(s.lists[0], i)
+	case cache.LFU:
+		s.lists[0][i].freq++
+		moveToFront(s.lists[0], i)
+	case cache.SegmentedLRU:
+		if li == 1 {
+			moveToFront(s.lists[1], i)
+			return
+		}
+		// Promote to the protected segment; demote its LRU line back to
+		// probationary if it overflows.
+		l := removeAt(&s.lists[0], i)
+		s.lists[1] = prepend(s.lists[1], l)
+		if len(s.lists[1]) > c.protCap {
+			demoted := removeAt(&s.lists[1], len(s.lists[1])-1)
+			s.lists[0] = prepend(s.lists[0], demoted)
+		}
+	case cache.ARC:
+		// Any resident hit moves the line to the MRU end of T2.
+		l := removeAt(&s.lists[li], i)
+		s.lists[1] = prepend(s.lists[1], l)
+	}
 }
 
 func (c *RefCache) applyWrite(l *refLine, sub uint64, addr uint64, write bool, storeBytes int) {
@@ -196,11 +247,8 @@ func (c *RefCache) writeTransaction(addr uint64) {
 func (c *RefCache) prefetch(addr uint64) {
 	line := c.lineOf(addr)
 	sub := c.subIndex(addr)
-	si := line % uint64(len(c.sets))
-	for _, l := range c.sets[si] {
-		if l.tag != line {
-			continue
-		}
+	s := &c.sets[line%uint64(len(c.sets))]
+	if _, _, l := s.find(line); l != nil {
 		if l.valid[sub] {
 			return
 		}
@@ -211,25 +259,146 @@ func (c *RefCache) prefetch(addr uint64) {
 		c.stats.BytesFromMemory += c.subBytes()
 		return
 	}
-	c.insert(si, line, sub, true)
+	c.insert(s, line, sub, true)
 	c.stats.PrefetchFetches++
 	c.stats.BytesFromMemory += c.subBytes()
 }
 
-func (c *RefCache) insert(si, line, sub uint64, prefetched bool) *refLine {
-	set := c.sets[si]
-	if len(set) == c.cfg.EffectiveAssoc() {
-		c.push(set[len(set)-1], false) // LRU and FIFO both evict the tail
-		set = set[:len(set)-1]
-	}
+func (c *RefCache) insert(s *refSet, line, sub uint64, prefetched bool) *refLine {
 	l := &refLine{
 		tag:        line,
 		valid:      map[uint64]bool{sub: true},
 		dirty:      map[uint64]bool{},
 		prefetched: prefetched,
 	}
-	c.sets[si] = append([]*refLine{l}, set...)
+	if !prefetched {
+		l.freq = 1 // a demand fill counts as one use
+	}
+	if c.cfg.Repl == cache.ARC {
+		c.arcInsert(s, l)
+		return l
+	}
+	if len(s.lists[0])+len(s.lists[1]) == c.cfg.EffectiveAssoc() {
+		vli, vi := c.victim(s)
+		c.push(removeAt(&s.lists[vli], vi), false)
+	}
+	s.lists[0] = prepend(s.lists[0], l)
 	return l
+}
+
+// victim picks the line to evict from a full set (non-ARC policies).
+func (c *RefCache) victim(s *refSet) (li, i int) {
+	switch c.cfg.Repl {
+	case cache.LRU, cache.FIFO:
+		return 0, len(s.lists[0]) - 1
+	case cache.LFU:
+		// Minimum use count, ties broken toward least recently used: scan
+		// from the LRU end so strict < keeps the least recent minimum.
+		best := len(s.lists[0]) - 1
+		for i := best - 1; i >= 0; i-- {
+			if s.lists[0][i].freq < s.lists[0][best].freq {
+				best = i
+			}
+		}
+		return 0, best
+	case cache.SegmentedLRU:
+		if len(s.lists[0]) > 0 {
+			return 0, len(s.lists[0]) - 1
+		}
+		return 1, len(s.lists[1]) - 1
+	}
+	panic(fmt.Sprintf("simcheck: unexpected replacement %v", c.cfg.Repl))
+}
+
+// arcInsert transcribes cases II-IV of the ARC paper's Figure 4, including
+// the two defensive choices shared with cache.Cache: REPLACE only runs
+// when the resident lists are actually full (post-purge states), and an
+// empty chosen list falls back to the other.
+func (c *RefCache) arcInsert(s *refSet, l *refLine) {
+	assoc := c.cfg.EffectiveAssoc()
+	li := 0
+	if i := ghostIndex(s.ghosts[0], l.tag); i >= 0 {
+		// Case II: ghost hit in B1 — favor recency.
+		delta := 1
+		if b1, b2 := len(s.ghosts[0]), len(s.ghosts[1]); b2 > b1 {
+			delta = b2 / b1
+		}
+		s.p += delta
+		if s.p > assoc {
+			s.p = assoc
+		}
+		s.ghosts[0] = append(s.ghosts[0][:i], s.ghosts[0][i+1:]...)
+		if len(s.lists[0])+len(s.lists[1]) >= assoc {
+			c.arcReplace(s, false)
+		}
+		li = 1
+	} else if i := ghostIndex(s.ghosts[1], l.tag); i >= 0 {
+		// Case III: ghost hit in B2 — favor frequency.
+		delta := 1
+		if b1, b2 := len(s.ghosts[0]), len(s.ghosts[1]); b1 > b2 {
+			delta = b1 / b2
+		}
+		s.p -= delta
+		if s.p < 0 {
+			s.p = 0
+		}
+		s.ghosts[1] = append(s.ghosts[1][:i], s.ghosts[1][i+1:]...)
+		if len(s.lists[0])+len(s.lists[1]) >= assoc {
+			c.arcReplace(s, true)
+		}
+		li = 1
+	} else {
+		// Case IV: brand-new line.
+		t1, t2 := len(s.lists[0]), len(s.lists[1])
+		b1, b2 := len(s.ghosts[0]), len(s.ghosts[1])
+		if t1+b1 == assoc {
+			if t1 < assoc {
+				s.ghosts[0] = s.ghosts[0][:b1-1]
+				c.arcReplace(s, false)
+			} else {
+				// T1 full, B1 empty: drop the T1 LRU line with no ghost.
+				c.push(removeAt(&s.lists[0], t1-1), false)
+			}
+		} else if t1+t2+b1+b2 >= assoc {
+			if t1+t2+b1+b2 >= 2*assoc {
+				s.ghosts[1] = s.ghosts[1][:b2-1]
+			}
+			if t1+t2 >= assoc {
+				c.arcReplace(s, false)
+			}
+		}
+	}
+	s.lists[li] = prepend(s.lists[li], l)
+}
+
+// arcReplace is REPLACE(x, p): evict the T1 LRU when T1 exceeds the target
+// (or meets it on a B2 ghost hit), else the T2 LRU.
+func (c *RefCache) arcReplace(s *refSet, inB2 bool) {
+	t1 := len(s.lists[0])
+	if t1 >= 1 && (t1 > s.p || (inB2 && t1 == s.p)) {
+		c.arcEvict(s, 0)
+	} else if len(s.lists[1]) > 0 {
+		c.arcEvict(s, 1)
+	} else {
+		c.arcEvict(s, 0)
+	}
+}
+
+// arcEvict pushes the LRU line of list li and records its tag at the MRU
+// end of the matching ghost list.
+func (c *RefCache) arcEvict(s *refSet, li int) {
+	l := removeAt(&s.lists[li], len(s.lists[li])-1)
+	c.push(l, false)
+	s.ghosts[li] = append([]uint64{l.tag}, s.ghosts[li]...)
+}
+
+func ghostIndex(g []uint64, tag uint64) int {
+	for i, t := range g {
+		if t == tag {
+			return i
+		}
+	}
+	return -1
 }
 
 func (c *RefCache) push(l *refLine, purge bool) {
@@ -244,24 +413,39 @@ func (c *RefCache) push(l *refLine, purge bool) {
 	}
 }
 
-func (c *RefCache) moveToFront(si uint64, i int) {
-	if c.cfg.Repl != cache.LRU {
-		return
-	}
-	set := c.sets[si]
+// moveToFront rotates the line at index i to the MRU end of its list.
+func moveToFront(set []*refLine, i int) {
 	l := set[i]
 	copy(set[1:i+1], set[:i])
 	set[0] = l
 }
 
-// Purge empties the cache, pushing every resident line.
+// prepend returns set with l at the MRU end.
+func prepend(set []*refLine, l *refLine) []*refLine {
+	return append([]*refLine{l}, set...)
+}
+
+// removeAt deletes and returns the line at index i.
+func removeAt(set *[]*refLine, i int) *refLine {
+	l := (*set)[i]
+	*set = append((*set)[:i], (*set)[i+1:]...)
+	return l
+}
+
+// Purge empties the cache, pushing every resident line. ARC ghost history
+// and the adaptive target reset, matching cache.Cache.
 func (c *RefCache) Purge() {
 	c.combineLive = false
 	for si := range c.sets {
-		for _, l := range c.sets[si] {
-			c.push(l, true)
+		s := &c.sets[si]
+		for li := range s.lists {
+			for _, l := range s.lists[li] {
+				c.push(l, true)
+			}
+			s.lists[li] = nil
 		}
-		c.sets[si] = nil
+		s.ghosts[0], s.ghosts[1] = nil, nil
+		s.p = 0
 	}
 }
 

@@ -65,6 +65,37 @@ func TestEnginesConformOverRandomizedWorkloads(t *testing.T) {
 	}
 }
 
+// TestPolicyGridsConform extends the master property across the
+// replacement-policy family: for every deterministic non-LRU policy, the
+// production per-size engine agrees bit-for-bit with the naive reference
+// on demand and prefetch grids, all per-run invariants hold, and the
+// one-pass stack engines refuse the grid — inclusion does not hold, so
+// routing them there would be unsound.
+func TestPolicyGridsConform(t *testing.T) {
+	trials := 3
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	policies := []cache.Replacement{cache.FIFO, cache.LFU, cache.SegmentedLRU, cache.ARC}
+	for trial := 0; trial < trials; trial++ {
+		w := simcheck.RandWorkload(rng, 2000)
+		for _, repl := range policies {
+			for _, prefetch := range []bool{false, true} {
+				g := simcheck.RandGrid(rng, prefetch)
+				g.Repl = repl
+				if (simcheck.MultiEngine{}).Supports(g) || (simcheck.FanoutEngine{}).Supports(g) {
+					t.Fatalf("a one-pass stack engine claims to support %v grid %+v", repl, g)
+				}
+				ref := mustRun(t, simcheck.ReferenceEngine{}, g, w)
+				if err := simcheck.Compare(mustRun(t, simcheck.SystemEngine{}, g, w), ref); err != nil {
+					t.Fatalf("trial %d %v grid %+v: %v", trial, repl, g, err)
+				}
+			}
+		}
+	}
+}
+
 // TestReferenceCacheHandComputed pins the reference model against stats
 // worked out by hand, so its trust does not rest on agreement with the
 // implementations it judges.
