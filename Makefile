@@ -54,22 +54,23 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# Record the perf trajectory: run the artifact + simulator benchmarks and
-# merge the numbers into BENCH_3.json under the "after" key (use
-# BENCHKEY=before to record a baseline first).
+# Record the perf trajectory: run the artifact + simulator benchmarks
+# (including the sampled-vs-exact sweep pair) and merge the numbers into
+# BENCH_4.json under the "after" key (use BENCHKEY=before to record a
+# baseline first).
 BENCHKEY ?= after
-BENCHREGEX = Table|Figure|Cache|StackSim|MultiSystem|FanoutSystem
+BENCHREGEX = Table|Figure|Cache|StackSim|MultiSystem|FanoutSystem|Sweep
 benchjson:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchmem . \
-		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_3.json
+		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_4.json
 
 # Local regression check: one quick iteration of the recorded benchmarks
-# against the BENCH_3.json record. Meaningful only on the machine that
+# against the BENCH_4.json record. Meaningful only on the machine that
 # recorded the baseline (absolute timings are machine-specific); CI instead
 # runs a blocking gate that baselines the merge-base on the same runner
 # (see .github/workflows/ci.yml, bench-smoke job).
 BENCHTHRESHOLD ?= 1.5
-BENCHBASE ?= BENCH_3.json
+BENCHBASE ?= BENCH_4.json
 benchcheck:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson -against $(BENCHBASE) -threshold $(BENCHTHRESHOLD)

@@ -248,6 +248,21 @@ func (f *FanoutSystem) Purges() uint64 { return f.purges }
 // RefBytes returns the total bytes the processor requested, as System.RefBytes.
 func (f *FanoutSystem) RefBytes() uint64 { return f.refBytes }
 
+// RefSnapshot returns the per-size reference-level statistics accumulated
+// so far, indexed as cfg.Sizes. Like Results it is a pure snapshot; the
+// sampled sweep driver reads deltas of it at window boundaries. dst is
+// reused when it has the right length.
+func (f *FanoutSystem) RefSnapshot(dst []RefStats) []RefStats {
+	if len(dst) != len(f.cfg.Sizes) {
+		dst = make([]RefStats, len(f.cfg.Sizes))
+	}
+	for oi, si := range f.sortedPos {
+		dst[oi].Refs = f.refs
+		dst[oi].Misses = f.misses[si]
+	}
+	return dst
+}
+
 // Run drives the engine from rd until io.EOF or max references (when
 // max > 0) and returns the number of references processed.
 func (f *FanoutSystem) Run(rd trace.Reader, max int) (int, error) {

@@ -264,12 +264,12 @@ func RecommendSpec(mix workload.Mix, sizes []int, cm CostModel, refLimit int, fe
 		Sizes: sizes, LineSize: 16, Quantum: mix.Quantum,
 		Fetch: fetch, Repl: repl,
 	}
-	results, _, err := RunSweep(context.Background(), spec, lim, nil, "recommend:"+mix.Name, 0)
+	out, err := RunSweep(context.Background(), spec, lim, nil, "recommend:"+mix.Name, 0)
 	if err != nil {
 		return nil, -1, fmt.Errorf("core: evaluating %s: %w", mix.Name, err)
 	}
 	candidates := make([]Candidate, len(sizes))
-	for i, r := range results {
+	for i, r := range out.Results {
 		miss := r.Ref.MissRatio()
 		perf := cm.Performance(miss)
 		cost := cm.Cost(r.Size)

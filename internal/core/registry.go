@@ -38,6 +38,9 @@ type SweepSpec struct {
 	Quantum  int
 	Fetch    cache.FetchPolicy
 	Repl     cache.Replacement
+	// Sampled opts the sweep into interval-sampled simulation with the
+	// given error budget; nil (or a zero budget) means exact simulation.
+	Sampled *SampledOptions
 }
 
 // StackInclusion reports whether Mattson stack inclusion holds for this
@@ -48,7 +51,7 @@ func (s SweepSpec) StackInclusion() bool {
 }
 
 // Validate checks the spec by validating the per-size cache configs it
-// implies.
+// implies and the sampling options, when present.
 func (s SweepSpec) Validate() error {
 	if len(s.Sizes) == 0 {
 		return fmt.Errorf("core: sweep has no sizes")
@@ -58,7 +61,7 @@ func (s SweepSpec) Validate() error {
 			return err
 		}
 	}
-	return nil
+	return s.Sampled.Validate()
 }
 
 // systemConfig returns the per-size system configuration the spec implies.
@@ -74,34 +77,44 @@ func (s SweepSpec) systemConfig(size int) cache.SystemConfig {
 	return sc
 }
 
+// SweepOut is what a sweep engine produces: the per-size results (in
+// Sizes order), the purge count, and — for the sampled engine only — the
+// sampling metadata. Exact engines leave Sampled nil.
+type SweepOut struct {
+	Results []cache.SizeResult
+	Purges  uint64
+	Sampled *SampledInfo
+}
+
 // SweepEngine is one registered way to execute a sweep. Supports declares
 // the capability (when the engine's results are bit-identical to per-size
-// simulation); Run executes it. rd is already context-guarded; probe may
-// be nil; total is the expected stream length when known.
+// simulation; the sampled engine instead guarantees budgeted estimates or
+// exact fallback); Run executes it. rd is already context-guarded; probe
+// may be nil; total is the expected stream length when known.
 type SweepEngine struct {
 	Name     string
 	Supports func(s SweepSpec) bool
-	Run      func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error)
+	Run      func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) (SweepOut, error)
 }
 
 // multiEngine: generalized stack simulation, one pass for all sizes.
 var multiEngine = SweepEngine{
 	Name:     "multisystem",
 	Supports: func(s SweepSpec) bool { return s.StackInclusion() },
-	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) (SweepOut, error) {
 		ms, err := cache.NewMultiSystem(cache.MultiConfig{
 			Sizes: s.Sizes, LineSize: s.LineSize, Split: s.Split, PurgeInterval: s.Quantum,
 		})
 		if err != nil {
-			return nil, 0, err
+			return SweepOut{}, err
 		}
 		if probe != nil {
 			ms.SetProbe(probe, stage, total)
 		}
 		if _, err := ms.Run(rd, 0); err != nil {
-			return nil, 0, err
+			return SweepOut{}, err
 		}
-		return ms.Results(), ms.Purges(), nil
+		return SweepOut{Results: ms.Results(), Purges: ms.Purges()}, nil
 	},
 }
 
@@ -111,20 +124,20 @@ var multiEngine = SweepEngine{
 var fanoutEngine = SweepEngine{
 	Name:     "fanout",
 	Supports: func(s SweepSpec) bool { return s.Fetch == cache.PrefetchAlways && s.Repl == cache.LRU },
-	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) (SweepOut, error) {
 		fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
 			Sizes: s.Sizes, LineSize: s.LineSize, Split: s.Split, PurgeInterval: s.Quantum,
 		})
 		if err != nil {
-			return nil, 0, err
+			return SweepOut{}, err
 		}
 		if probe != nil {
 			fs.SetProbe(probe, stage, total)
 		}
 		if _, err := fs.Run(rd, 0); err != nil {
-			return nil, 0, err
+			return SweepOut{}, err
 		}
-		return fs.Results(), fs.Purges(), nil
+		return SweepOut{Results: fs.Results(), Purges: fs.Purges()}, nil
 	},
 }
 
@@ -134,23 +147,23 @@ var fanoutEngine = SweepEngine{
 var perSizeEngine = SweepEngine{
 	Name:     "persize",
 	Supports: func(SweepSpec) bool { return true },
-	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) (SweepOut, error) {
 		refs, err := trace.Collect(rd, 0, 0)
 		if err != nil {
-			return nil, 0, err
+			return SweepOut{}, err
 		}
 		out := make([]cache.SizeResult, len(s.Sizes))
 		var purges uint64
 		for i, size := range s.Sizes {
 			sys, err := cache.NewSystem(s.systemConfig(size))
 			if err != nil {
-				return nil, 0, err
+				return SweepOut{}, err
 			}
 			if probe != nil {
 				sys.SetProbe(probe, stage+":"+strconv.Itoa(size), int64(len(refs)))
 			}
 			if _, err := sys.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
-				return nil, 0, err
+				return SweepOut{}, err
 			}
 			r := cache.SizeResult{Size: size, Ref: sys.RefStats()}
 			if s.Split {
@@ -161,16 +174,19 @@ var perSizeEngine = SweepEngine{
 			out[i] = r
 			purges = sys.Purges()
 		}
-		return out, purges, nil
+		return SweepOut{Results: out, Purges: purges}, nil
 	},
 }
 
 // Engines returns the registered sweep engines in selection order: fastest
 // first, universal fallback last. SelectEngine picks the first whose
 // Supports accepts the spec, so an engine earlier in this list must be
-// sound for every spec it claims.
+// sound for every spec it claims. The sampled engine leads: a spec that
+// carries a positive error budget has opted into estimates, and the
+// engine's own exact-fallback escape hatch re-enters this list with the
+// budget stripped when sampling cannot meet it.
 func Engines() []SweepEngine {
-	return []SweepEngine{multiEngine, fanoutEngine, perSizeEngine}
+	return []SweepEngine{sampledEngine, multiEngine, fanoutEngine, perSizeEngine}
 }
 
 // SelectEngine returns the fastest sound engine for the spec. The
@@ -188,10 +204,11 @@ func SelectEngine(s SweepSpec) SweepEngine {
 // executes the sweep over rd. probe may be nil; stage labels the run in
 // probe callbacks (the per-size fallback appends ":<size>"); total is the
 // expected stream length when known, 0 otherwise. It returns the per-size
-// results (in Sizes order) and the purge count.
-func RunSweep(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) ([]cache.SizeResult, uint64, error) {
+// results (in Sizes order), the purge count, and sampling metadata when
+// the sampled engine ran.
+func RunSweep(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) (SweepOut, error) {
 	if err := s.Validate(); err != nil {
-		return nil, 0, err
+		return SweepOut{}, err
 	}
 	e := SelectEngine(s)
 	return e.Run(ctx, s, trace.NewContextReader(ctx, rd), probe, stage, total)

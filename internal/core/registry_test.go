@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"cacheeval/internal/cache"
@@ -32,6 +33,18 @@ func TestSelectEngineTable(t *testing.T) {
 			got := SelectEngine(spec).Name
 			if w := want(fetch, repl); got != w {
 				t.Errorf("SelectEngine(%v, %v) = %q, want %q", fetch, repl, got, w)
+			}
+			// A positive error budget opts any spec into the sampled
+			// engine (which carries its own exact-fallback escape hatch);
+			// a zero budget is the exact-degrade contract and must not
+			// change the selection.
+			spec.Sampled = &SampledOptions{ErrorBudget: 0.02}
+			if got := SelectEngine(spec).Name; got != "sampled" {
+				t.Errorf("SelectEngine(%v, %v, budget 0.02) = %q, want sampled", fetch, repl, got)
+			}
+			spec.Sampled = &SampledOptions{}
+			if got := SelectEngine(spec).Name; got != want(fetch, repl) {
+				t.Errorf("SelectEngine(%v, %v, budget 0) = %q, want %q", fetch, repl, got, want(fetch, repl))
 			}
 		}
 	}
@@ -106,16 +119,20 @@ func TestRunSweepMatchesPerSize(t *testing.T) {
 			if SelectEngine(spec).Name == "persize" {
 				t.Fatalf("spec unexpectedly selects the fallback; comparison is vacuous")
 			}
-			got, gotPurges, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+			gotOut, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, wantPurges, err := perSizeEngine.Run(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+			wantOut, err := perSizeEngine.Run(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if gotPurges != wantPurges {
-				t.Errorf("purges: selected=%d persize=%d", gotPurges, wantPurges)
+			got, want := gotOut.Results, wantOut.Results
+			if gotOut.Purges != wantOut.Purges {
+				t.Errorf("purges: selected=%d persize=%d", gotOut.Purges, wantOut.Purges)
+			}
+			if gotOut.Sampled != nil || wantOut.Sampled != nil {
+				t.Error("exact engines must not report sampling metadata")
 			}
 			if len(got) != len(want) {
 				t.Fatalf("result lengths differ: %d vs %d", len(got), len(want))
@@ -136,9 +153,13 @@ func TestRunSweepValidates(t *testing.T) {
 		{},                               // no sizes
 		{Sizes: []int{128}, LineSize: 3}, // non-power-of-two line
 		{Sizes: []int{128}, LineSize: 16, Repl: 9}, // out-of-range policy
+		{Sizes: []int{128}, LineSize: 16, Sampled: &SampledOptions{ErrorBudget: -0.1}},
+		{Sizes: []int{128}, LineSize: 16, Sampled: &SampledOptions{ErrorBudget: math.NaN()}},
+		{Sizes: []int{128}, LineSize: 16, Sampled: &SampledOptions{ErrorBudget: 1}},
+		{Sizes: []int{128}, LineSize: 16, Sampled: &SampledOptions{ErrorBudget: 0.02, Confidence: 1.5}},
 	}
 	for i, spec := range bad {
-		if _, _, err := RunSweep(context.Background(), spec, trace.NewSliceReader(nil), nil, "test", 0); err == nil {
+		if _, err := RunSweep(context.Background(), spec, trace.NewSliceReader(nil), nil, "test", 0); err == nil {
 			t.Errorf("spec %d: RunSweep accepted invalid spec %+v", i, spec)
 		}
 	}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+	"cacheeval/internal/workload"
+)
+
+// sampledTestRefs materializes one deterministic mix stream for the sampled
+// engine tests: long enough for sampling to find full windows, short enough
+// to keep the suite fast.
+func sampledTestRefs(t *testing.T, n int) ([]trace.Ref, workload.Mix) {
+	t.Helper()
+	spec1, err := workload.ByName("VTEKOFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mix{Name: "VTEKOFF", Specs: []workload.Spec{spec1}, Quantum: 3000}
+	rd, err := mix.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(trace.NewLimitReader(rd, n), 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return refs, mix
+}
+
+// TestSampledEngineProducesCIs checks the success path: a loose budget is
+// met in one round, every size carries a CI that contains its own point
+// estimate, and the sampling metadata is populated.
+func TestSampledEngineProducesCIs(t *testing.T) {
+	refs, mix := sampledTestRefs(t, 60000)
+	spec := SweepSpec{
+		Sizes: []int{256, 1024, 4096}, LineSize: 16,
+		Quantum: mix.Quantum, Fetch: cache.DemandFetch, Repl: cache.LRU,
+		Sampled: &SampledOptions{ErrorBudget: 0.9},
+	}
+	out, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", int64(len(refs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sampled == nil {
+		t.Fatal("sampled engine returned no metadata")
+	}
+	if out.Sampled.FellBack {
+		t.Fatalf("loose budget fell back: %s", out.Sampled.FallbackReason)
+	}
+	if out.Sampled.SampledFraction <= 0 || out.Sampled.SampledFraction >= 1 {
+		t.Errorf("sampled fraction %v outside (0, 1)", out.Sampled.SampledFraction)
+	}
+	if out.Sampled.Windows < 2 {
+		t.Errorf("only %d windows behind the estimate", out.Sampled.Windows)
+	}
+	if out.Purges == 0 {
+		t.Error("sampled run with a quantum recorded no purges")
+	}
+	if len(out.Results) != len(spec.Sizes) {
+		t.Fatalf("got %d results for %d sizes", len(out.Results), len(spec.Sizes))
+	}
+	for _, r := range out.Results {
+		if r.CI == nil {
+			t.Fatalf("size %d: no CI on sampled result", r.Size)
+		}
+		m := r.Ref.MissRatio()
+		if !(r.CI.Lo <= m && m <= r.CI.Hi) {
+			t.Errorf("size %d: CI [%v, %v] does not contain its own estimate %v",
+				r.Size, r.CI.Lo, r.CI.Hi, m)
+		}
+		if r.CI.Lo < 0 || r.CI.Hi > 1 {
+			t.Errorf("size %d: CI [%v, %v] not clamped to [0, 1]", r.Size, r.CI.Lo, r.CI.Hi)
+		}
+		if r.U.Accesses == 0 {
+			t.Errorf("size %d: scaled line-level stats are empty", r.Size)
+		}
+	}
+	// Monotonicity survives sampling for demand-LRU: the counted windows are
+	// simulated exactly, so stack inclusion holds within them.
+	for i := 1; i < len(out.Results); i++ {
+		if out.Results[i].Ref.MissRatio() > out.Results[i-1].Ref.MissRatio()+1e-12 {
+			t.Errorf("miss ratio not monotone: size %d %v > size %d %v",
+				out.Results[i].Size, out.Results[i].Ref.MissRatio(),
+				out.Results[i-1].Size, out.Results[i-1].Ref.MissRatio())
+		}
+	}
+}
+
+// TestSampledEngineFallsBack checks the escape hatch: an impossible budget
+// on a short trace falls back to exact simulation, whose results are
+// bit-identical to a plain exact run, with the reason recorded.
+func TestSampledEngineFallsBack(t *testing.T) {
+	refs, mix := sampledTestRefs(t, 8000)
+	base := SweepSpec{
+		Sizes: []int{256, 1024}, LineSize: 16,
+		Quantum: mix.Quantum, Fetch: cache.DemandFetch, Repl: cache.LRU,
+	}
+	spec := base
+	spec.Sampled = &SampledOptions{ErrorBudget: 1e-9}
+	got, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled == nil || !got.Sampled.FellBack {
+		t.Fatal("impossible budget did not fall back")
+	}
+	if got.Sampled.FallbackReason == "" {
+		t.Error("fallback without a reason")
+	}
+	want, err := RunSweep(context.Background(), base, trace.NewSliceReader(refs), nil, "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("result lengths differ: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Errorf("size %d: fallback result differs from exact\n got %+v\nwant %+v",
+				got.Results[i].Size, got.Results[i], want.Results[i])
+		}
+	}
+	if got.Purges != want.Purges {
+		t.Errorf("fallback purges %d != exact %d", got.Purges, want.Purges)
+	}
+}
+
+// TestSampledBudgetZeroDegradesExact is the exact-degrade contract at the
+// registry level: options with a zero budget route to the exact engines and
+// the output is bit-identical to no options at all, with no metadata.
+func TestSampledBudgetZeroDegradesExact(t *testing.T) {
+	refs, mix := sampledTestRefs(t, 12000)
+	base := SweepSpec{
+		Sizes: []int{256, 1024}, LineSize: 16,
+		Quantum: mix.Quantum, Fetch: cache.DemandFetch, Repl: cache.LRU,
+	}
+	spec := base
+	spec.Sampled = &SampledOptions{}
+	got, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunSweep(context.Background(), base, trace.NewSliceReader(refs), nil, "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled != nil {
+		t.Error("budget-0 run reported sampling metadata")
+	}
+	for i := range got.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Errorf("size %d: budget-0 differs from exact", got.Results[i].Size)
+		}
+	}
+	if got.Purges != want.Purges {
+		t.Errorf("budget-0 purges %d != exact %d", got.Purges, want.Purges)
+	}
+}
+
+// TestSampledNonLRU checks the universal per-size target: sampling is
+// available for configurations the one-pass engines reject.
+func TestSampledNonLRU(t *testing.T) {
+	refs, mix := sampledTestRefs(t, 40000)
+	spec := SweepSpec{
+		Sizes: []int{256, 2048}, LineSize: 16,
+		Quantum: mix.Quantum, Fetch: cache.DemandFetch, Repl: cache.ARC,
+		Sampled: &SampledOptions{ErrorBudget: 0.9},
+	}
+	if got := SelectEngine(spec).Name; got != "sampled" {
+		t.Fatalf("ARC spec with budget selected %q", got)
+	}
+	out, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sampled == nil {
+		t.Fatal("no sampling metadata")
+	}
+	if !out.Sampled.FellBack {
+		for _, r := range out.Results {
+			if r.CI == nil {
+				t.Errorf("size %d: no CI", r.Size)
+			}
+		}
+	}
+}
+
+// TestEvaluateSampledRefsContext covers the single-design analogue: a
+// sampled evaluation returns a CI containing its own estimate, and nil
+// options degrade to the exact report bit-identically.
+func TestEvaluateSampledRefsContext(t *testing.T) {
+	refs, mix := sampledTestRefs(t, 60000)
+	design := cache.SystemConfig{
+		Unified:       cache.Config{Size: 1024, LineSize: 16},
+		PurgeInterval: mix.Quantum,
+	}
+	rep, ci, info, err := EvaluateSampledRefsContext(context.Background(), design, mix.Name, refs,
+		&SampledOptions{ErrorBudget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil {
+		t.Fatal("no sampling info")
+	}
+	if info.FellBack {
+		t.Fatalf("loose budget fell back: %s", info.FallbackReason)
+	}
+	if ci == nil {
+		t.Fatal("no CI")
+	}
+	if !(ci.Lo <= rep.MissRatio && rep.MissRatio <= ci.Hi) {
+		t.Errorf("CI [%v, %v] does not contain estimate %v", ci.Lo, ci.Hi, rep.MissRatio)
+	}
+	if rep.Refs != uint64(len(refs)) {
+		t.Errorf("report refs %d != trace length %d", rep.Refs, len(refs))
+	}
+	if math.IsNaN(rep.TrafficRatio) || rep.TrafficRatio <= 0 {
+		t.Errorf("traffic ratio %v", rep.TrafficRatio)
+	}
+
+	// Nil options: exact path, bit-identical to EvaluateRefsContext.
+	gotRep, gotCI, gotInfo, err := EvaluateSampledRefsContext(context.Background(), design, mix.Name, refs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCI != nil || gotInfo != nil {
+		t.Error("exact path reported sampling outputs")
+	}
+	wantRep, err := EvaluateRefsContext(context.Background(), design, mix.Name, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != wantRep {
+		t.Errorf("nil-options report differs from exact\n got %+v\nwant %+v", gotRep, wantRep)
+	}
+}
+
+// TestSampledSpeedup is a coarse guard on the point of the engine: meeting
+// a loose budget must simulate well under half of the trace.
+func TestSampledSpeedup(t *testing.T) {
+	refs, mix := sampledTestRefs(t, 60000)
+	spec := SweepSpec{
+		Sizes: []int{1024}, LineSize: 16,
+		Quantum: mix.Quantum, Fetch: cache.DemandFetch, Repl: cache.LRU,
+		Sampled: &SampledOptions{ErrorBudget: 0.9},
+	}
+	out, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sampled.FellBack {
+		t.Fatalf("fell back: %s", out.Sampled.FallbackReason)
+	}
+	if f := out.Sampled.SampledFraction; f > 0.5 {
+		t.Errorf("loose budget simulated %.0f%% of the trace", 100*f)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"cacheeval/internal/cache"
+	"cacheeval/internal/core"
 	"cacheeval/internal/model"
 	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
@@ -51,6 +52,10 @@ type Options struct {
 	// inclusion, so sweeps over them fall back (via the core engine
 	// registry) from the one-pass engines to one cache per size.
 	Repl cache.Replacement
+	// Sampled opts every sweep pass into interval-sampled simulation with
+	// the given error budget (see core.SampledOptions); nil runs exact
+	// simulation, and a zero budget degrades to exact bit-identically.
+	Sampled *core.SampledOptions
 	// Probe, when non-nil, receives engine progress callbacks
 	// (obs.Probe.RunStart/RunProgress/RunEnd) from every simulation an
 	// experiment runs. The probe must be safe for concurrent use — with

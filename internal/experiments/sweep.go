@@ -13,10 +13,12 @@ import (
 
 // SimOut captures one simulation's results: reference-level statistics plus
 // per-cache line-level statistics (I and D for split organizations, U for
-// unified).
+// unified). CI is the miss-ratio confidence interval when the pass ran
+// under the sampled engine; exact passes leave it nil.
 type SimOut struct {
 	Ref     cache.RefStats
 	I, D, U cache.Stats
+	CI      *cache.MissCI
 }
 
 // SweepCell holds the four §3.3-§3.5 simulations of one workload at one
@@ -37,7 +39,20 @@ type SweepResult struct {
 	Sizes []int
 	Mixes []workload.Mix
 	Cells [][]SweepCell // [mix][size]
-	opts  Options
+	// Sampled records per-pass sampling metadata (one entry per grid job
+	// that ran under the sampled engine); empty for exact sweeps.
+	Sampled []SampledPass
+	opts    Options
+}
+
+// SampledPass identifies one sampled grid pass and its outcome: which
+// (mix, organization, fetch policy) job it was and what the adaptive
+// controller achieved (or why it fell back to exact simulation).
+type SampledPass struct {
+	Mix      string
+	Split    bool
+	Prefetch bool
+	Info     core.SampledInfo
 }
 
 // Sweep runs the full §3.3-§3.5 simulation grid: the sixteen Table 3
@@ -112,16 +127,28 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 			job{mi, true, false}, job{mi, false, false},
 			job{mi, true, true}, job{mi, false, true})
 	}
+	// Each job writes only its own slot, so sampled-pass metadata stays
+	// deterministic (job order) regardless of the worker count.
+	passes := make([]*SampledPass, len(jobs))
 	err = forEachCtx(ctx, o.Workers, len(jobs), func(j int) error {
 		jb := jobs[j]
 		mix, refs := mixes[jb.mi], streams[jb.mi]
-		if err := runPass(ctx, o, mix, refs, jb.split, jb.prefetch, res.Cells[jb.mi]); err != nil {
+		info, err := runPass(ctx, o, mix, refs, jb.split, jb.prefetch, res.Cells[jb.mi])
+		if err != nil {
 			return fmt.Errorf("sweep %s %s: %w", mix.Name, fetchName(jb.prefetch), err)
+		}
+		if info != nil {
+			passes[j] = &SampledPass{Mix: mix.Name, Split: jb.split, Prefetch: jb.prefetch, Info: *info}
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, p := range passes {
+		if p != nil {
+			res.Sampled = append(res.Sampled, *p)
+		}
 	}
 	return res, nil
 }
@@ -144,8 +171,9 @@ func fetchName(prefetch bool) string {
 
 // runPass executes one (organization, fetch policy) job at every size via
 // the engine capability registry and scatters the per-size results into
-// the mix's cell row.
-func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split, prefetch bool, row []SweepCell) error {
+// the mix's cell row. It returns the sampling metadata when the sampled
+// engine ran, nil for exact passes.
+func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split, prefetch bool, row []SweepCell) (*core.SampledInfo, error) {
 	stage := "sweep:" + mix.Name + ":" + fetchName(prefetch) + ":" + orgName(split)
 	sp := obs.StartSpan(ctx, stage)
 	defer sp.End()
@@ -153,29 +181,39 @@ func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref,
 	if prefetch {
 		fetch = cache.PrefetchAlways
 	}
+	sampled := o.Sampled
+	if sampled != nil && sampled.CycleRefs == 0 && mix.Quantum > 0 {
+		// The mix's natural cycle is one full round-robin round: every
+		// member's quantum once. Handing it to the engine lets sampling
+		// windows align to purge boundaries (see core.SampledOptions).
+		derived := *sampled
+		derived.CycleRefs = len(mix.Specs) * mix.Quantum
+		sampled = &derived
+	}
 	spec := core.SweepSpec{
 		Sizes: o.Sizes, LineSize: o.LineSize, Split: split,
 		Quantum: mix.Quantum, Fetch: fetch, Repl: o.Repl,
+		Sampled: sampled,
 	}
-	results, _, err := core.RunSweep(ctx, spec, trace.NewSliceReader(refs), o.Probe, stage, int64(len(refs)))
+	out, err := core.RunSweep(ctx, spec, trace.NewSliceReader(refs), o.Probe, stage, int64(len(refs)))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sp.AddRefs(int64(len(refs)))
-	for si, r := range results {
-		out := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U}
+	for si, r := range out.Results {
+		cell := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U, CI: r.CI}
 		switch {
 		case split && prefetch:
-			row[si].SplitPrefetch = out
+			row[si].SplitPrefetch = cell
 		case split:
-			row[si].SplitDemand = out
+			row[si].SplitDemand = cell
 		case prefetch:
-			row[si].UnifiedPrefetch = out
+			row[si].UnifiedPrefetch = cell
 		default:
-			row[si].UnifiedDemand = out
+			row[si].UnifiedDemand = cell
 		}
 	}
-	return nil
+	return out.Sampled, nil
 }
 
 // SizeIndex returns the index of a cache size in Sizes, or -1.

@@ -44,6 +44,18 @@ type CauseProbe interface {
 	MissCauses(stage string, compulsory, capacity, conflict uint64)
 }
 
+// SampleProbe is an optional Probe extension. The sampled sweep engine
+// reports each sampled run's outcome — the requested error budget, the
+// achieved worst-size relative CI half-width, the total sampled fraction
+// across adaptive rounds, the number of rounds, and whether the run fell
+// back to exact simulation — once per pass, alongside RunEnd. The metrics
+// layer uses it for the cacheeval_sampled_* Prometheus families
+// (achieved-versus-requested error in particular).
+type SampleProbe interface {
+	Probe
+	SampledRun(stage string, errorBudget, achieved, fraction float64, rounds int, fellBack bool)
+}
+
 // NopProbe is a Probe that does nothing. Installing it (rather than nil)
 // exercises the instrumented engine path; the benchmark suite does exactly
 // that so `make benchcheck` guards the overhead.

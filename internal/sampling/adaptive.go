@@ -1,0 +1,250 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"cacheeval/internal/trace"
+)
+
+// Controller runs sampled sweep passes at increasing sampled fractions
+// until every size's relative CI half-width meets the error budget, and
+// reports when sampling cannot get there so the caller can fall back to
+// exact simulation. The growth rule follows the batch-means scaling: the
+// half-width shrinks like 1/sqrt(windows) and the window count is
+// proportional to the sampled fraction, so reaching a budget b from an
+// achieved a needs roughly a (a/b)^2 larger fraction.
+type Controller struct {
+	// RelErrBudget is the target relative CI half-width (e.g. 0.02 for
+	// ±2%). Must be positive.
+	RelErrBudget float64
+	// Confidence is the CI level; 0 means 0.95.
+	Confidence float64
+	// InitialFraction is the first round's sampled fraction; 0 means 0.1.
+	InitialFraction float64
+	// MaxFraction caps the sampled fraction; past it, exact simulation is
+	// cheaper than sampling plus overheads. 0 means 0.5.
+	MaxFraction float64
+	// WindowRefs is the references per sampled window; 0 means 128 (long
+	// enough to amortize the warm-up, short enough that a trace yields
+	// many batches).
+	WindowRefs int
+	// WarmupFrac is the leading fraction of each window discarded from
+	// the counts; 0 means 0.25 — except under AlignRefs, where windows
+	// start at a purge boundary and 0 means no warm-up at all.
+	WarmupFrac float64
+	// AlignRefs, when positive, aligns the schedule to the workload's
+	// natural cycle (the purge/task-switch round, in trace references):
+	// WindowRefs must be a multiple of it, and periods are rounded to
+	// multiples of it, so every window starts exactly where the exact
+	// run's purge schedule empties the caches. A window that begins on a
+	// freshly purged cache has no stale state to warm away — the gap's
+	// staleness bias disappears by construction — and windows covering
+	// whole cycles see near-identical purge transients, collapsing the
+	// between-window variance that mid-cycle windows would show.
+	AlignRefs int
+	// MaxRounds bounds the growth loop; 0 means 3.
+	MaxRounds int
+	// MinMisses is the fewest counted misses a size must accumulate for
+	// its CI to be trusted (a sampled pass that saw almost no misses can
+	// report a deceptively tight interval); 0 means 32.
+	MinMisses uint64
+	// Quantum, when positive, purges the target every Quantum trace
+	// references (see Plan.DriveSweep).
+	Quantum int
+	// OnRound, when non-nil, brackets each sampled pass; the returned
+	// function is called when the pass ends. Used for span tracing.
+	OnRound func(round int, p Plan) func()
+}
+
+// Attempt records one sampled round.
+type Attempt struct {
+	Plan     Plan
+	Fraction float64
+	// Achieved is the round's worst-size relative CI half-width; +Inf
+	// when some size was unusable (too few windows or misses).
+	Achieved float64
+	// SimulatedRefs is the work the round cost.
+	SimulatedRefs uint64
+}
+
+// Outcome is the controller's verdict.
+type Outcome struct {
+	// Est is the final round's estimate (also set when FellBack, for
+	// diagnostics; its budget was not met).
+	Est *SweepEstimate
+	// Target is the engine behind Est, still un-settled except for the
+	// driver's final Results call being pending; the caller reads
+	// line-level statistics and purge counts from it.
+	Target Target
+	// Attempts lists every sampled round run, in order.
+	Attempts []Attempt
+	// Achieved is the final round's worst-size relative half-width.
+	Achieved float64
+	// FellBack reports that sampling cannot meet the budget and the
+	// caller should simulate exactly; Reason says why.
+	FellBack bool
+	Reason   string
+}
+
+// SimulatedRefs returns the total work across all rounds.
+func (o *Outcome) SimulatedRefs() uint64 {
+	var n uint64
+	for _, a := range o.Attempts {
+		n += a.SimulatedRefs
+	}
+	return n
+}
+
+func (c Controller) withDefaults() Controller {
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.InitialFraction == 0 {
+		c.InitialFraction = 0.1
+	}
+	if c.MaxFraction == 0 {
+		c.MaxFraction = 0.5
+	}
+	if c.WindowRefs == 0 {
+		c.WindowRefs = 128
+	}
+	if c.WarmupFrac == 0 && c.AlignRefs <= 0 {
+		c.WarmupFrac = 0.25
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 3
+	}
+	if c.MinMisses == 0 {
+		c.MinMisses = 32
+	}
+	return c
+}
+
+// Run executes sampled passes over a trace of total references until the
+// budget is met, growth is exhausted, or no valid plan exists. open must
+// return a fresh reader over the same trace for each round; build must
+// return a fresh target (purging disabled — the controller schedules
+// purges on the trace clock via Quantum). A returned Outcome with
+// FellBack set is not an error: it is the controller telling the caller
+// that exact simulation is the right tool for this trace and budget.
+func (c Controller) Run(total, nsizes int, open func() trace.Reader, build func() (Target, error)) (*Outcome, error) {
+	c = c.withDefaults()
+	if c.RelErrBudget <= 0 {
+		return nil, fmt.Errorf("sampling: error budget %v must be positive", c.RelErrBudget)
+	}
+	out := &Outcome{}
+	frac := c.InitialFraction
+	for round := 0; round < c.MaxRounds; round++ {
+		plan, ok := c.planFor(total, frac)
+		if !ok {
+			out.FellBack = true
+			out.Reason = fmt.Sprintf(
+				"no valid plan: %d refs yield fewer than %d windows of %d refs at fraction %.3f",
+				total, MinWindows, c.WindowRefs, frac)
+			return out, nil
+		}
+		t, err := build()
+		if err != nil {
+			return nil, err
+		}
+		var end func()
+		if c.OnRound != nil {
+			end = c.OnRound(round, plan)
+		}
+		est, err := plan.DriveSweep(open(), t, nsizes, c.Quantum, c.Confidence)
+		if end != nil {
+			end()
+		}
+		if err != nil {
+			return nil, err
+		}
+		worst := c.worstRelError(est)
+		out.Attempts = append(out.Attempts, Attempt{
+			Plan: plan, Fraction: frac, Achieved: worst, SimulatedRefs: est.SimulatedRefs,
+		})
+		out.Est, out.Target, out.Achieved = est, t, worst
+		if worst <= c.RelErrBudget {
+			return out, nil
+		}
+		next := c.nextFraction(frac, worst)
+		if next > c.MaxFraction {
+			out.FellBack = true
+			out.Reason = fmt.Sprintf(
+				"budget ±%.2g%% needs sampled fraction %.2f > max %.2f (achieved ±%.2g%% at %.2f)",
+				100*c.RelErrBudget, next, c.MaxFraction, 100*worst, frac)
+			return out, nil
+		}
+		frac = next
+	}
+	out.FellBack = true
+	out.Reason = fmt.Sprintf("budget ±%.2g%% not met after %d rounds (achieved ±%.2g%%)",
+		100*c.RelErrBudget, c.MaxRounds, 100*out.Achieved)
+	return out, nil
+}
+
+// planFor builds the round's schedule: PlanFor's geometry when
+// unaligned, and cycle-aligned periods under AlignRefs (rounding the
+// period to the nearest multiple that still leaves a gap).
+func (c Controller) planFor(total int, fraction float64) (Plan, bool) {
+	if c.AlignRefs <= 0 {
+		return PlanFor(total, fraction, c.WindowRefs, c.WarmupFrac)
+	}
+	if fraction <= 0 || fraction >= 1 || c.WindowRefs <= 0 || c.WindowRefs%c.AlignRefs != 0 {
+		return Plan{}, false
+	}
+	m := int(float64(c.WindowRefs)/fraction/float64(c.AlignRefs) + 0.5)
+	if min := c.WindowRefs/c.AlignRefs + 1; m < min {
+		m = min
+	}
+	p := Plan{
+		Window: c.WindowRefs,
+		Period: m * c.AlignRefs,
+		Warmup: int(c.WarmupFrac*float64(c.WindowRefs) + 0.5),
+	}
+	if p.Warmup >= p.Window {
+		p.Warmup = p.Window - 1
+	}
+	if p.Windows(total) < MinWindows {
+		return Plan{}, false
+	}
+	return p, true
+}
+
+// worstRelError returns the worst per-size relative half-width, treating a
+// size with too few counted misses as unusable (+Inf): its interval may
+// look tight only because the sample barely saw the event it bounds.
+func (c Controller) worstRelError(est *SweepEstimate) float64 {
+	worst := 0.0
+	for si := range est.PerSize {
+		e := &est.PerSize[si]
+		rel := e.RelHalfWidth
+		if e.Ref.TotalMisses() < c.MinMisses {
+			rel = math.Inf(1)
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// nextFraction grows the sampled fraction toward the budget. The
+// half-width scales like 1/sqrt(fraction), so the required fraction scales
+// like (achieved/budget)^2; a 1.2 safety factor absorbs the variance of
+// the variance estimate, and growth is capped at 8x per round so an
+// unusable round (+Inf achieved) cannot jump straight past MaxFraction
+// when a modest increase would have produced a usable interval.
+func (c Controller) nextFraction(frac, achieved float64) float64 {
+	growth := 8.0
+	if !math.IsInf(achieved, 1) {
+		ratio := achieved / c.RelErrBudget
+		if g := ratio * ratio * 1.2; g < growth {
+			growth = g
+		}
+	}
+	if growth < 1.5 {
+		growth = 1.5 // a smaller step would likely repeat the same verdict
+	}
+	return frac * growth
+}

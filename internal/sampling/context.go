@@ -1,0 +1,23 @@
+package sampling
+
+import (
+	"context"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// EstimateContext is Estimate with cancellation: the reader is wrapped in
+// a context guard, so the run aborts — mid-window included — shortly after
+// ctx is done, returning the partial estimate alongside an error wrapping
+// ctx.Err(). Estimate itself keeps running to completion regardless of
+// deadline, which is only appropriate for offline studies.
+func (ts TimeSampler) EstimateContext(ctx context.Context, rd trace.Reader, sc cache.SystemConfig) (Estimate, error) {
+	return ts.Estimate(trace.NewContextReader(ctx, rd), sc)
+}
+
+// EstimateContext is Estimate with cancellation, as
+// TimeSampler.EstimateContext.
+func (ss SetSampler) EstimateContext(ctx context.Context, rd trace.Reader, sc cache.SystemConfig) (Estimate, error) {
+	return ss.Estimate(trace.NewContextReader(ctx, rd), sc)
+}

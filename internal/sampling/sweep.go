@@ -1,0 +1,289 @@
+package sampling
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/stats"
+	"cacheeval/internal/trace"
+)
+
+// Target is a simulation engine the multi-size sweep driver can feed
+// reference by reference and snapshot mid-run: cache.MultiSystem,
+// cache.FanoutSystem, or any replacement policy via Systems. The driver
+// owns purge scheduling (in trace time), so targets must be built with
+// their own purging disabled.
+type Target interface {
+	// Ref processes one trace reference.
+	Ref(trace.Ref)
+	// RefSnapshot returns the per-size reference-level counters
+	// accumulated so far without disturbing the run; dst is reused when
+	// it has the right length.
+	RefSnapshot(dst []cache.RefStats) []cache.RefStats
+	// Results returns the per-size outcomes over everything simulated so
+	// far. The driver calls it at most once, after the last reference.
+	Results() []cache.SizeResult
+	// Purge empties every simulated cache, accounting purge pushes.
+	Purge()
+	// Purges returns how many purges have occurred.
+	Purges() uint64
+}
+
+// Plan is an interval-sampling schedule: out of every Period references,
+// simulate the first Window and skip the rest, discarding the first Warmup
+// references of each window from the counts. Cache state is carried warm
+// across the skipped gaps; the warm-up absorbs the staleness the gap
+// introduces (the blueprint is arXiv 2402.00649's representative-interval
+// simulation).
+type Plan struct {
+	Window int
+	Period int
+	Warmup int
+}
+
+// Validate reports whether the plan is usable by the sweep driver. Unlike
+// TimeSampler, Window must be strictly less than Period: a plan with no
+// gap samples nothing.
+func (p Plan) Validate() error {
+	if p.Window <= 0 || p.Period <= 0 {
+		return fmt.Errorf("sampling: window %d and period %d must be positive", p.Window, p.Period)
+	}
+	if p.Window >= p.Period {
+		return fmt.Errorf("sampling: window %d must be smaller than period %d", p.Window, p.Period)
+	}
+	if p.Warmup < 0 || p.Warmup >= p.Window {
+		return fmt.Errorf("sampling: warmup %d must be in [0, window)", p.Warmup)
+	}
+	return nil
+}
+
+// Windows returns how many full windows the plan yields over a trace of
+// total references. Partial trailing windows are discarded by the driver,
+// so this is also the number of batches behind the confidence interval.
+func (p Plan) Windows(total int) int {
+	full := total / p.Period
+	if total%p.Period >= p.Window {
+		full++
+	}
+	return full
+}
+
+// MinWindows is the fewest full windows a plan may yield: below this the
+// batch-means variance estimate is too coarse to trust.
+const MinWindows = 8
+
+// PlanFor builds the schedule for a trace of total references at the given
+// sampled fraction: fixed-length windows of window references (warmupFrac
+// of each discarded as warm-up, rounded), spaced so that the simulated
+// share of the trace is fraction. It reports ok=false when no valid plan
+// exists — the fraction is not in (0, 1), the window does not fit, or the
+// trace is too short to yield MinWindows full windows — in which case the
+// caller should fall back to exact simulation.
+func PlanFor(total int, fraction float64, window int, warmupFrac float64) (Plan, bool) {
+	if total <= 0 || window <= 0 || fraction <= 0 || fraction >= 1 {
+		return Plan{}, false
+	}
+	if warmupFrac < 0 || warmupFrac >= 1 {
+		return Plan{}, false
+	}
+	period := int(float64(window)/fraction + 0.5)
+	if period <= window {
+		return Plan{}, false
+	}
+	p := Plan{
+		Window: window,
+		Period: period,
+		Warmup: int(warmupFrac*float64(window) + 0.5),
+	}
+	if p.Warmup >= p.Window {
+		p.Warmup = p.Window - 1
+	}
+	if p.Windows(total) < MinWindows {
+		return Plan{}, false
+	}
+	return p, true
+}
+
+// SizeEstimate is the sampled outcome at one cache size.
+type SizeEstimate struct {
+	// Ref holds the counted per-kind references and misses summed over
+	// all full windows (warm-ups excluded). Its MissRatio is the
+	// ratio-of-sums point estimate.
+	Ref cache.RefStats
+	// MissRatio is the point estimate, Ref.MissRatio().
+	MissRatio float64
+	// CI is the batch-means confidence interval over the per-window miss
+	// ratios, clamped to the valid [0, 1] range.
+	CI stats.CI
+	// RelHalfWidth is the CI half-width relative to the point estimate:
+	// the quantity compared against an error budget. +Inf when no
+	// relative statement can be made (zero estimate with nonzero width,
+	// or fewer than two windows).
+	RelHalfWidth float64
+}
+
+// SweepEstimate is the outcome of one sampled pass over a trace.
+type SweepEstimate struct {
+	PerSize []SizeEstimate
+	// Windows is the number of full windows counted (batches per size).
+	Windows int
+	// TotalRefs is the full trace length consumed; SimulatedRefs the
+	// references fed to the engine (including warm-ups and any trailing
+	// partial window); CountedRefs those contributing to the estimates.
+	TotalRefs     uint64
+	SimulatedRefs uint64
+	CountedRefs   uint64
+}
+
+// SampledFraction returns the fraction of the trace actually simulated.
+func (e *SweepEstimate) SampledFraction() float64 {
+	if e.TotalRefs == 0 {
+		return 0
+	}
+	return float64(e.SimulatedRefs) / float64(e.TotalRefs)
+}
+
+// DriveSweep simulates the plan's windows from rd into t and returns
+// per-size miss-ratio estimates with batch-means confidence intervals at
+// the given confidence level (per-window miss ratios are the batches; all
+// full windows have identical counted length, so the batches are
+// equal-weight). nsizes must match the length of t's snapshots. quantum,
+// when positive, purges t every quantum trace references — trace time, not
+// fed-reference time, so the purge cadence matches an exact run. Only full
+// windows contribute, keeping the batch statistics and the accumulated
+// totals consistent; a trailing partial window is simulated (it warms
+// nothing) but never counted.
+func (p Plan) DriveSweep(rd trace.Reader, t Target, nsizes, quantum int, level float64) (*SweepEstimate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if nsizes <= 0 {
+		return nil, fmt.Errorf("sampling: nsizes %d must be positive", nsizes)
+	}
+	est := &SweepEstimate{PerSize: make([]SizeEstimate, nsizes)}
+	ratios := make([][]float64, nsizes)
+	var prev, cur []cache.RefStats
+	pos := 0
+	sincePurge := 0
+	// skip discards n gap references, in O(1) when the reader supports it.
+	skip := func(n int) (int, error) {
+		if sk, ok := rd.(trace.Skipper); ok {
+			return sk.Skip(n)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := rd.Read(); err != nil {
+				if err == io.EOF {
+					return i, nil
+				}
+				return i, err
+			}
+		}
+		return n, nil
+	}
+	for {
+		if inPeriod := pos % p.Period; inPeriod >= p.Window {
+			// Skipped gap: state stays warm, nothing is simulated, and the
+			// gap references themselves are never inspected — only the
+			// trace clock advances. Purges that land inside the gap are
+			// replayed arithmetically: over n clock ticks from counter s,
+			// System.Ref's schedule (purge when s reaches quantum, then
+			// reset and increment) fires (s+n-1)/quantum times and leaves
+			// the counter at s+n-purges*quantum. Gap references touch no
+			// cache state, so consecutive purge calls here are
+			// bit-identical to the same purges spaced through the gap.
+			n, err := skip(p.Period - inPeriod)
+			if err != nil {
+				return nil, err
+			}
+			if quantum > 0 && n > 0 {
+				purges := (sincePurge + n - 1) / quantum
+				for i := 0; i < purges; i++ {
+					t.Purge()
+				}
+				sincePurge += n - purges*quantum
+			}
+			pos += n
+			est.TotalRefs += uint64(n)
+			if n < p.Period-inPeriod {
+				break // stream ended inside the gap
+			}
+			continue
+		}
+		ref, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Purge on the trace clock, mirroring System.Ref's schedule, so a
+		// task switch lands at the same reference index as in an exact
+		// run — even when that index falls inside a skipped gap.
+		if quantum > 0 {
+			if sincePurge >= quantum {
+				t.Purge()
+				sincePurge = 0
+			}
+			sincePurge++
+		}
+		inPeriod := pos % p.Period
+		pos++
+		est.TotalRefs++
+		if inPeriod == p.Warmup {
+			// Warm-up done: count everything from here to window end.
+			prev = t.RefSnapshot(prev)
+		}
+		t.Ref(ref)
+		est.SimulatedRefs++
+		if inPeriod == p.Window-1 {
+			cur = t.RefSnapshot(cur)
+			est.Windows++
+			for si := range est.PerSize {
+				var d cache.RefStats
+				for k := range d.Refs {
+					d.Refs[k] = cur[si].Refs[k] - prev[si].Refs[k]
+					d.Misses[k] = cur[si].Misses[k] - prev[si].Misses[k]
+				}
+				e := &est.PerSize[si].Ref
+				for k := range e.Refs {
+					e.Refs[k] += d.Refs[k]
+					e.Misses[k] += d.Misses[k]
+				}
+				r := 0.0
+				if dr := d.TotalRefs(); dr > 0 {
+					r = float64(d.TotalMisses()) / float64(dr)
+					if si == 0 {
+						est.CountedRefs += dr
+					}
+				}
+				ratios[si] = append(ratios[si], r)
+			}
+		}
+	}
+	for si := range est.PerSize {
+		e := &est.PerSize[si]
+		if tr := e.Ref.TotalRefs(); tr > 0 {
+			e.MissRatio = float64(e.Ref.TotalMisses()) / float64(tr)
+		}
+		_, ci := stats.BatchMeansCI(ratios[si], level)
+		if ci.Lo < 0 {
+			ci.Lo = 0
+		}
+		if ci.Hi > 1 {
+			ci.Hi = 1
+		}
+		e.CI = ci
+		h := ci.HalfWidth()
+		switch {
+		case est.Windows < 2:
+			e.RelHalfWidth = math.Inf(1)
+		case e.MissRatio > 0:
+			e.RelHalfWidth = h / e.MissRatio
+		case h > 0:
+			e.RelHalfWidth = math.Inf(1)
+		}
+	}
+	return est, nil
+}

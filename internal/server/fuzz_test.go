@@ -38,6 +38,13 @@ func FuzzEvaluateRequestDecode(f *testing.F) {
 	f.Add(`{"mix":"FGO1","policy":"clock"}`)
 	f.Add(`{"mix":"FGO1","fetch":"never"}`)
 	f.Add(`{"mix":"FGO1","design":{"Unified":{"Size":1024,"LineSize":16,"Repl":9}}}`)
+	f.Add(`{"mix":"FGO1","mode":"sampled","error_budget":0.02}`)
+	f.Add(`{"mix":"FGO1","mode":"bogus"}`)
+	f.Add(`{"mix":"FGO1","error_budget":0.02}`)
+	f.Add(`{"mix":"FGO1","mode":"sampled"}`)
+	f.Add(`{"mix":"FGO1","mode":"sampled","error_budget":-0.5}`)
+	f.Add(`{"mix":"FGO1","mode":"sampled","error_budget":1e308}`)
+	f.Add(`{"mix":"FGO1","mode":"exact","error_budget":0.02}`)
 	f.Add(strings.Repeat("[", 1000))
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body))
@@ -70,6 +77,11 @@ func FuzzSweepRequestDecode(f *testing.F) {
 	f.Add(`{"mixes":["FGO1"],"policy":"lfu"}`)
 	f.Add(`{"mixes":["FGO1"],"policy":"segmented-lru","sizes":[512]}`)
 	f.Add(`{"policy":"belady"}`)
+	f.Add(`{"mixes":["FGO1"],"mode":"sampled","error_budget":0.02}`)
+	f.Add(`{"mixes":["FGO1"],"mode":"approx"}`)
+	f.Add(`{"mixes":["FGO1"],"error_budget":0.02}`)
+	f.Add(`{"mixes":["FGO1"],"mode":"sampled","error_budget":-1}`)
+	f.Add(`{"mixes":["FGO1"],"mode":"sampled","error_budget":2}`)
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
 		w := httptest.NewRecorder()

@@ -99,6 +99,22 @@ func (s *Server) buildProm() {
 		"Demand misses a fully-associative cache of the same size would also take, summed over per-size engine runs.")
 	s.causeConflict = reg.NewCounter("cacheeval_engine_conflict_misses_total",
 		"Demand misses caused by set-mapping conflicts, summed over per-size engine runs.")
+
+	s.sampledRuns = reg.NewCounter("cacheeval_sampled_runs_total",
+		"Sampled-mode engine runs completed (fallbacks included).")
+	s.sampledFallback = reg.NewCounter("cacheeval_sampled_fallbacks_total",
+		"Sampled-mode runs that fell back to exact simulation.")
+	s.sampledRounds = reg.NewCounter("cacheeval_sampled_rounds_total",
+		"Adaptive sampling rounds executed, summed over sampled runs.")
+	s.sampledRelErr = reg.NewHistogram("cacheeval_sampled_achieved_rel_error",
+		"Achieved relative CI half-width of sampled runs that met their budget.",
+		[]float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5})
+	s.sampledVsBudget = reg.NewHistogram("cacheeval_sampled_achieved_vs_budget_ratio",
+		"Achieved relative error over requested budget for runs that met it (1 = exactly on budget).",
+		[]float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1})
+	s.sampledFraction = reg.NewHistogram("cacheeval_sampled_fraction",
+		"Fraction of the trace simulated by sampled runs (above 1 means a fallback re-ran the trace exactly).",
+		[]float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1, 1.5, 2})
 }
 
 // simProbe adapts engine run completions into the engine throughput metrics.
@@ -124,3 +140,23 @@ func (p simProbe) MissCauses(stage string, compulsory, capacity, conflict uint64
 	p.s.causeCapacity.Add(int64(capacity))
 	p.s.causeConflict.Add(int64(conflict))
 }
+
+// SampledRun makes simProbe an obs.SampleProbe: the sampled engine reports
+// every completed run here, feeding the cacheeval_sampled_* families —
+// most importantly achieved-versus-requested error, the metric that says
+// whether the error-budget knob is honest in production.
+func (p simProbe) SampledRun(stage string, errorBudget, achieved, fraction float64, rounds int, fellBack bool) {
+	p.s.sampledRuns.Add(1)
+	p.s.sampledRounds.Add(int64(rounds))
+	p.s.sampledFraction.Observe(fraction)
+	if fellBack {
+		p.s.sampledFallback.Add(1)
+		return
+	}
+	p.s.sampledRelErr.Observe(achieved)
+	if errorBudget > 0 {
+		p.s.sampledVsBudget.Observe(achieved / errorBudget)
+	}
+}
+
+var _ obs.SampleProbe = simProbe{}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSampledModeValidation pins the structured 400s for every malformed
+// mode/error_budget combination on both endpoints.
+func TestSampledModeValidation(t *testing.T) {
+	t.Parallel()
+	_, hs := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		body string
+	}{
+		{"unknown mode", "/v1/evaluate", `{"mix":"FGO1","mode":"bogus"}`},
+		{"budget without mode", "/v1/evaluate", `{"mix":"FGO1","error_budget":0.02}`},
+		{"budget with exact mode", "/v1/evaluate", `{"mix":"FGO1","mode":"exact","error_budget":0.02}`},
+		{"sampled without budget", "/v1/evaluate", `{"mix":"FGO1","mode":"sampled"}`},
+		{"negative budget", "/v1/evaluate", `{"mix":"FGO1","mode":"sampled","error_budget":-0.1}`},
+		{"budget one", "/v1/evaluate", `{"mix":"FGO1","mode":"sampled","error_budget":1}`},
+		{"budget above one", "/v1/evaluate", `{"mix":"FGO1","mode":"sampled","error_budget":1.5}`},
+		{"sweep unknown mode", "/v1/sweep", `{"mixes":["FGO1"],"mode":"approx"}`},
+		{"sweep budget without mode", "/v1/sweep", `{"mixes":["FGO1"],"error_budget":0.02}`},
+		{"sweep negative budget", "/v1/sweep", `{"mixes":["FGO1"],"mode":"sampled","error_budget":-1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, b := post(t, hs.URL+tc.path, tc.body)
+			if code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400: %s", code, b)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+				t.Errorf("rejection is not a structured error: %s", b)
+			}
+		})
+	}
+}
+
+// TestValidateModeNaN covers the budget values JSON cannot carry but the
+// validator must still reject (defense in depth for non-HTTP callers).
+func TestValidateModeNaN(t *testing.T) {
+	t.Parallel()
+	if _, verr := validateMode("sampled", math.NaN()); verr == nil {
+		t.Error("NaN budget accepted")
+	}
+	if _, verr := validateMode("sampled", math.Inf(1)); verr == nil {
+		t.Error("+Inf budget accepted")
+	}
+	if mode, verr := validateMode("", 0); verr != nil || mode != "exact" {
+		t.Errorf("empty mode: got (%q, %v), want (exact, nil)", mode, verr)
+	}
+	if mode, verr := validateMode("sampled", 0.02); verr != nil || mode != "sampled" {
+		t.Errorf("sampled mode: got (%q, %v)", mode, verr)
+	}
+}
+
+// TestEvaluateSampledEndToEnd drives /v1/evaluate in sampled mode: the
+// response carries a CI containing its own estimate plus sampling metadata,
+// and sampled results memoize separately from exact ones for the same
+// (design, mix, ref_limit).
+func TestEvaluateSampledEndToEnd(t *testing.T) {
+	t.Parallel()
+	_, hs := newTestServer(t, Config{})
+	// The default design holds 1024 lines, so the size-scaled warm-up needs
+	// a trace long enough for eight full windows within the max fraction.
+	sampled := `{"mix":"FGO1","ref_limit":150000,"mode":"sampled","error_budget":0.9}`
+	exact := `{"mix":"FGO1","ref_limit":150000}`
+
+	code, b := post(t, hs.URL+"/v1/evaluate", sampled)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var resp EvaluateResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sampled == nil {
+		t.Fatal("sampled mode returned no sampling metadata")
+	}
+	if resp.Sampled.FellBack {
+		t.Fatalf("loose budget fell back: %s", resp.Sampled.FallbackReason)
+	}
+	if resp.MissRatioCI == nil {
+		t.Fatal("sampled mode returned no CI")
+	}
+	if ci, m := resp.MissRatioCI, resp.Report.MissRatio; !(ci.Lo <= m && m <= ci.Hi) {
+		t.Errorf("CI [%v, %v] does not contain estimate %v", ci.Lo, ci.Hi, m)
+	}
+	if resp.Cached {
+		t.Error("first sampled request reported a memo hit")
+	}
+
+	// Memo isolation: the identical exact request must not be served from
+	// the sampled entry (and must carry no CI)...
+	code, b = post(t, hs.URL+"/v1/evaluate", exact)
+	if code != http.StatusOK {
+		t.Fatalf("exact status %d: %s", code, b)
+	}
+	var exResp EvaluateResponse
+	if err := json.Unmarshal(b, &exResp); err != nil {
+		t.Fatal(err)
+	}
+	if exResp.Cached {
+		t.Error("exact request served from the sampled memo entry")
+	}
+	if exResp.MissRatioCI != nil || exResp.Sampled != nil {
+		t.Error("exact response carries sampled-mode outputs")
+	}
+
+	// ...while the identical sampled request is a hit on its own entry.
+	code, b = post(t, hs.URL+"/v1/evaluate", sampled)
+	if code != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", code, b)
+	}
+	var again EvaluateResponse
+	if err := json.Unmarshal(b, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat sampled request missed the memo")
+	}
+	if again.MissRatioCI == nil || *again.MissRatioCI != *resp.MissRatioCI {
+		t.Errorf("memoized CI differs: %+v vs %+v", again.MissRatioCI, resp.MissRatioCI)
+	}
+}
+
+// TestSweepSampledEndToEnd drives /v1/sweep in sampled mode and checks the
+// payload shape: canonical mode, per-variant CIs for passes that met the
+// budget by sampling, and per-pass metadata.
+func TestSweepSampledEndToEnd(t *testing.T) {
+	t.Parallel()
+	_, hs := newTestServer(t, Config{})
+	body := `{"mixes":["FGO1"],"sizes":[1024,4096],"ref_limit":40000,"mode":"sampled","error_budget":0.9}`
+	code, b := post(t, hs.URL+"/v1/sweep", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != "sampled" {
+		t.Errorf("payload mode %q, want sampled", resp.Mode)
+	}
+	if len(resp.Sampled) != 4 {
+		t.Fatalf("got %d sampled passes, want 4 (one per organization × fetch policy)", len(resp.Sampled))
+	}
+	fellBack := make(map[[2]bool]bool)
+	for _, p := range resp.Sampled {
+		if p.Mix != "FGO1" {
+			t.Errorf("pass names mix %q", p.Mix)
+		}
+		fellBack[[2]bool{p.Split, p.Prefetch}] = p.FellBack
+	}
+	if len(resp.Cells) != 1 || len(resp.Cells[0]) != 2 {
+		t.Fatalf("cells shape %dx?, want 1x2", len(resp.Cells))
+	}
+	for si, cell := range resp.Cells[0] {
+		checks := []struct {
+			v        VariantOut
+			split    bool
+			prefetch bool
+		}{
+			{cell.SplitDemand, true, false},
+			{cell.SplitPrefetch, true, true},
+			{cell.UnifiedDemand, false, false},
+			{cell.UnifiedPrefetch, false, true},
+		}
+		for _, c := range checks {
+			if fellBack[[2]bool{c.split, c.prefetch}] {
+				if c.v.MissRatioCI != nil {
+					t.Errorf("size %d: fallen-back pass still carries a CI", si)
+				}
+				continue
+			}
+			if c.v.MissRatioCI == nil {
+				t.Errorf("size index %d (split=%v prefetch=%v): no CI", si, c.split, c.prefetch)
+				continue
+			}
+			if ci, m := c.v.MissRatioCI, c.v.MissRatio; !(ci.Lo <= m && m <= ci.Hi) {
+				t.Errorf("size index %d: CI [%v, %v] misses estimate %v", si, ci.Lo, ci.Hi, m)
+			}
+		}
+	}
+
+	// Exact sweep over the same grid: separate memo entry, no CIs.
+	exact := `{"mixes":["FGO1"],"sizes":[1024,4096],"ref_limit":40000}`
+	code, b = post(t, hs.URL+"/v1/sweep", exact)
+	if code != http.StatusOK {
+		t.Fatalf("exact status %d: %s", code, b)
+	}
+	var exResp SweepResponse
+	if err := json.Unmarshal(b, &exResp); err != nil {
+		t.Fatal(err)
+	}
+	if exResp.Cached {
+		t.Error("exact sweep served from the sampled memo entry")
+	}
+	if exResp.Mode != "exact" {
+		t.Errorf("exact payload mode %q", exResp.Mode)
+	}
+	if len(exResp.Sampled) != 0 {
+		t.Error("exact sweep carries sampled passes")
+	}
+	if exResp.Cells[0][0].UnifiedDemand.MissRatioCI != nil {
+		t.Error("exact sweep carries a CI")
+	}
+}
+
+// TestSampledMetricsExposed checks that a sampled run shows up in the
+// cacheeval_sampled_* Prometheus families.
+func TestSampledMetricsExposed(t *testing.T) {
+	t.Parallel()
+	_, hs := newTestServer(t, Config{})
+	code, b := post(t, hs.URL+"/v1/evaluate",
+		`{"mix":"FGO1","ref_limit":150000,"mode":"sampled","error_budget":0.9}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	code, body := get(t, hs.URL+"/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"cacheeval_sampled_runs_total 1",
+		"cacheeval_sampled_fallbacks_total 0",
+		"cacheeval_sampled_achieved_rel_error",
+		"cacheeval_sampled_achieved_vs_budget_ratio",
+		"cacheeval_sampled_fraction",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

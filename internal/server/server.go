@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -108,6 +109,12 @@ type Server struct {
 	causeCompulsory *obs.Counter
 	causeCapacity   *obs.Counter
 	causeConflict   *obs.Counter
+	sampledRuns     *obs.Counter
+	sampledFallback *obs.Counter
+	sampledRounds   *obs.Counter
+	sampledRelErr   *obs.Histogram
+	sampledVsBudget *obs.Histogram
+	sampledFraction *obs.Histogram
 	httpInFlight    atomic.Int64
 
 	mu      sync.Mutex
@@ -252,15 +259,76 @@ type EvaluateRequest struct {
 	Fetch     string `json:"fetch"`
 	RefLimit  int    `json:"ref_limit"`
 	TimeoutMS int    `json:"timeout_ms"`
+	// Mode selects exact simulation ("", "exact") or interval-sampled
+	// simulation with a confidence interval ("sampled"). Sampled mode
+	// requires ErrorBudget; results carry a miss-ratio CI and sampling
+	// metadata, and memoize separately from exact results.
+	Mode string `json:"mode"`
+	// ErrorBudget is the target relative CI half-width for sampled mode
+	// (0.02 = ±2%); it must be in (0, 1) and is rejected outside sampled
+	// mode. When sampling cannot meet it the server transparently falls
+	// back to exact simulation and says so in the response.
+	ErrorBudget float64 `json:"error_budget"`
 	// Trace opts into the per-stage timing breakdown. It cannot change the
 	// simulation's result, so it is excluded from the memoization key; a
 	// memoized answer returns the spans of the run that computed it.
 	Trace bool `json:"trace"`
 }
 
-// EvaluateResponse is the POST /v1/evaluate reply.
+// MissCIOut is a miss-ratio confidence interval in responses.
+type MissCIOut struct {
+	Level float64 `json:"level"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	// Windows is the number of full sampled windows behind the interval.
+	Windows int `json:"windows"`
+}
+
+// SampledOut reports how a sampled run went: what was asked, what was
+// achieved, and whether the server fell back to exact simulation.
+type SampledOut struct {
+	ErrorBudget      float64 `json:"error_budget"`
+	Confidence       float64 `json:"confidence"`
+	AchievedRelError float64 `json:"achieved_rel_error"`
+	SampledFraction  float64 `json:"sampled_fraction"`
+	Windows          int     `json:"windows"`
+	Rounds           int     `json:"rounds"`
+	FellBack         bool    `json:"fell_back"`
+	FallbackReason   string  `json:"fallback_reason,omitempty"`
+}
+
+// sampledOut converts the core metadata to its response form.
+func sampledOut(info *core.SampledInfo) *SampledOut {
+	if info == nil {
+		return nil
+	}
+	return &SampledOut{
+		ErrorBudget:      info.ErrorBudget,
+		Confidence:       info.Confidence,
+		AchievedRelError: info.AchievedRelError,
+		SampledFraction:  info.SampledFraction,
+		Windows:          info.Windows,
+		Rounds:           info.Rounds,
+		FellBack:         info.FellBack,
+		FallbackReason:   info.FallbackReason,
+	}
+}
+
+// missCIOut converts a cache-layer CI to its response form.
+func missCIOut(ci *cache.MissCI) *MissCIOut {
+	if ci == nil {
+		return nil
+	}
+	return &MissCIOut{Level: ci.Level, Lo: ci.Lo, Hi: ci.Hi, Windows: ci.Windows}
+}
+
+// EvaluateResponse is the POST /v1/evaluate reply. MissRatioCI and Sampled
+// appear only for sampled-mode requests (and the CI only when sampling
+// succeeded — a fallback's results are exact and need no interval).
 type EvaluateResponse struct {
-	Report core.Report `json:"report"`
+	Report      core.Report `json:"report"`
+	MissRatioCI *MissCIOut  `json:"miss_ratio_ci,omitempty"`
+	Sampled     *SampledOut `json:"sampled,omitempty"`
 	// Cached reports a memoization hit; Shared reports singleflight dedup
 	// against a concurrent identical request.
 	Cached    bool              `json:"cached"`
@@ -269,11 +337,14 @@ type EvaluateResponse struct {
 	Trace     []obs.SpanSummary `json:"trace,omitempty"`
 }
 
-// evalMemo is the memoized portion of an evaluate response: the report plus
-// the spans of the run that produced it.
+// evalMemo is the memoized portion of an evaluate response: the report,
+// sampled-mode outputs when they exist, plus the spans of the run that
+// produced it.
 type evalMemo struct {
-	Report core.Report
-	Trace  []obs.SpanSummary
+	Report  core.Report
+	CI      *MissCIOut
+	Sampled *SampledOut
+	Trace   []obs.SpanSummary
 }
 
 // requestError is a validation failure plus the HTTP status it maps to.
@@ -294,6 +365,31 @@ const maxCacheBytes = 16 << 20
 var errCacheTooLarge = &requestError{
 	http.StatusBadRequest, "cache size exceeds the 16 MiB service limit"}
 
+// validateMode checks the (mode, error_budget) pair shared by both
+// endpoints and returns the canonical mode name ("exact" or "sampled") for
+// memoization keying — sampled results must never be served from
+// exact-mode memo entries or vice versa, so the canonical mode and the
+// budget are part of every result key.
+func validateMode(mode string, budget float64) (string, *requestError) {
+	switch mode {
+	case "", "exact":
+		if budget != 0 {
+			return "", &requestError{http.StatusBadRequest,
+				`error_budget requires "mode":"sampled"`}
+		}
+		return "exact", nil
+	case "sampled":
+		if math.IsNaN(budget) || budget <= 0 || budget >= 1 {
+			return "", &requestError{http.StatusBadRequest,
+				`"mode":"sampled" requires error_budget in (0, 1), e.g. 0.02`}
+		}
+		return "sampled", nil
+	default:
+		return "", &requestError{http.StatusBadRequest,
+			"unknown mode " + strconvQuote(mode) + `; use "exact" or "sampled"`}
+	}
+}
+
 // validateEvaluate resolves an evaluate request against the catalog and
 // checks its parameters, returning the effective design (the documented
 // default when the request omits one) and the resolved mix. It does no
@@ -309,6 +405,11 @@ func (s *Server) validateEvaluate(req *EvaluateRequest) (cache.SystemConfig, wor
 		return cache.SystemConfig{}, workload.Mix{}, &requestError{
 			http.StatusBadRequest, "ref_limit must be >= 0"}
 	}
+	mode, verr := validateMode(req.Mode, req.ErrorBudget)
+	if verr != nil {
+		return cache.SystemConfig{}, workload.Mix{}, verr
+	}
+	req.Mode = mode // canonical spelling, relied on by downstream keying
 	design := req.Design
 	if design == (cache.SystemConfig{}) {
 		design = cache.SystemConfig{
@@ -373,10 +474,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key, err := requestKey("evaluate", struct {
-		Design   cache.SystemConfig
-		Mix      string
-		RefLimit int
-	}{design, mix.Name, req.RefLimit})
+		Design      cache.SystemConfig
+		Mix         string
+		RefLimit    int
+		Mode        string
+		ErrorBudget float64
+	}{design, mix.Name, req.RefLimit, req.Mode, req.ErrorBudget})
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
@@ -398,6 +501,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			}
 			sp.AddRefs(int64(len(refs)))
 			sp.End()
+			if req.Mode == "sampled" {
+				rep, ci, info, err := core.EvaluateSampledRefsContext(fctx, design, mix.Name, refs,
+					&core.SampledOptions{ErrorBudget: req.ErrorBudget})
+				if err != nil {
+					return nil, err
+				}
+				return evalMemo{Report: rep, CI: missCIOut(ci), Sampled: sampledOut(info), Trace: tr.Summary()}, nil
+			}
 			rep, err := core.EvaluateRefsContext(fctx, design, mix.Name, refs)
 			if err != nil {
 				return nil, err
@@ -412,7 +523,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.countOutcome(hit, shared)
 	memo := val.(evalMemo)
 	resp := EvaluateResponse{
-		Report: memo.Report, Cached: hit, Shared: shared,
+		Report: memo.Report, MissRatioCI: memo.CI, Sampled: memo.Sampled,
+		Cached: hit, Shared: shared,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if req.Trace {
@@ -447,17 +559,25 @@ type SweepRequest struct {
 	Policy    string `json:"policy"`
 	RefLimit  int    `json:"ref_limit"`
 	TimeoutMS int    `json:"timeout_ms"`
+	// Mode and ErrorBudget opt the whole grid into interval-sampled
+	// simulation; see EvaluateRequest. Every variant then carries a
+	// miss-ratio CI and the response lists per-pass sampling metadata.
+	Mode        string  `json:"mode"`
+	ErrorBudget float64 `json:"error_budget"`
 	// Trace opts into the per-stage timing breakdown; like timeout_ms it is
 	// excluded from the memoization key (see EvaluateRequest.Trace).
 	Trace bool `json:"trace"`
 }
 
 // VariantOut summarizes one of a sweep cell's four simulations.
+// MissRatioCI appears only for sampled-mode sweeps whose pass met the
+// budget by sampling (a fallen-back pass is exact).
 type VariantOut struct {
-	MissRatio    float64 `json:"miss_ratio"`
-	InstrMiss    float64 `json:"instr_miss"`
-	DataMiss     float64 `json:"data_miss"`
-	TrafficBytes uint64  `json:"traffic_bytes"`
+	MissRatio    float64    `json:"miss_ratio"`
+	InstrMiss    float64    `json:"instr_miss"`
+	DataMiss     float64    `json:"data_miss"`
+	TrafficBytes uint64     `json:"traffic_bytes"`
+	MissRatioCI  *MissCIOut `json:"miss_ratio_ci,omitempty"`
 }
 
 // SweepCellOut summarizes one (mix, size) grid cell.
@@ -468,11 +588,24 @@ type SweepCellOut struct {
 	UnifiedPrefetch VariantOut `json:"unified_prefetch"`
 }
 
-// sweepPayload is the memoized portion of a sweep response.
+// SampledPassOut is SampledOut for one sweep grid pass, identifying which
+// (mix, organization, fetch policy) job it describes.
+type SampledPassOut struct {
+	Mix      string `json:"mix"`
+	Split    bool   `json:"split"`
+	Prefetch bool   `json:"prefetch"`
+	SampledOut
+}
+
+// sweepPayload is the memoized portion of a sweep response. Mode is the
+// canonical request mode ("exact" or "sampled"); Sampled lists per-pass
+// sampling metadata for sampled sweeps.
 type sweepPayload struct {
-	Sizes []int            `json:"sizes"`
-	Mixes []string         `json:"mixes"`
-	Cells [][]SweepCellOut `json:"cells"`
+	Sizes   []int            `json:"sizes"`
+	Mixes   []string         `json:"mixes"`
+	Mode    string           `json:"mode"`
+	Cells   [][]SweepCellOut `json:"cells"`
+	Sampled []SampledPassOut `json:"sampled,omitempty"`
 }
 
 // SweepResponse is the POST /v1/sweep reply; Cells is indexed [mix][size].
@@ -537,6 +670,11 @@ func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, cache.Replace
 	if req.LineSize > maxCacheBytes {
 		return nil, 0, errCacheTooLarge
 	}
+	mode, verr := validateMode(req.Mode, req.ErrorBudget)
+	if verr != nil {
+		return nil, 0, verr
+	}
+	req.Mode = mode // canonical spelling, relied on by downstream keying
 	return mixes, repl, nil
 }
 
@@ -566,15 +704,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		},
 		Probe: simProbe{s},
 	}
+	if req.Mode == "sampled" {
+		opts.Sampled = &core.SampledOptions{ErrorBudget: req.ErrorBudget}
+	}
 	// The key carries the parsed policy's canonical name, so the "slru",
-	// "segmented-lru" and "2q" spellings memoize as one entry.
+	// "segmented-lru" and "2q" spellings memoize as one entry. Mode and
+	// budget isolate sampled results from exact ones.
 	key, err := requestKey("sweep", struct {
-		Mixes    []string
-		Sizes    []int
-		LineSize int
-		Policy   string
-		RefLimit int
-	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit})
+		Mixes       []string
+		Sizes       []int
+		LineSize    int
+		Policy      string
+		RefLimit    int
+		Mode        string
+		ErrorBudget float64
+	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit, req.Mode, req.ErrorBudget})
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
@@ -593,7 +737,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			sp := obs.StartSpan(fctx, "assemble")
-			payload := summarizeSweep(res)
+			payload := summarizeSweep(res, req.Mode)
 			sp.End()
 			return sweepMemo{Payload: payload, Trace: tr.Summary()}, nil
 		})
@@ -615,10 +759,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // summarizeSweep flattens a SweepResult into its JSON summary.
-func summarizeSweep(res *experiments.SweepResult) sweepPayload {
-	out := sweepPayload{Sizes: res.Sizes}
+func summarizeSweep(res *experiments.SweepResult, mode string) sweepPayload {
+	out := sweepPayload{Sizes: res.Sizes, Mode: mode}
 	for _, m := range res.Mixes {
 		out.Mixes = append(out.Mixes, m.Name)
+	}
+	for _, p := range res.Sampled {
+		out.Sampled = append(out.Sampled, SampledPassOut{
+			Mix: p.Mix, Split: p.Split, Prefetch: p.Prefetch,
+			SampledOut: *sampledOut(&p.Info),
+		})
 	}
 	variant := func(o experiments.SimOut, split bool) VariantOut {
 		traffic := o.U.MemoryTraffic()
@@ -630,6 +780,7 @@ func summarizeSweep(res *experiments.SweepResult) sweepPayload {
 			InstrMiss:    o.Ref.KindMissRatio(trace.IFetch),
 			DataMiss:     o.Ref.DataMissRatio(),
 			TrafficBytes: traffic,
+			MissRatioCI:  missCIOut(o.CI),
 		}
 	}
 	out.Cells = make([][]SweepCellOut, len(res.Cells))

@@ -1,0 +1,152 @@
+package stats
+
+import "math"
+
+// CI is a two-sided confidence interval at a given confidence level.
+type CI struct {
+	Level  float64 // confidence level in (0, 1), e.g. 0.95
+	Lo, Hi float64
+}
+
+// HalfWidth returns half the interval's width.
+func (c CI) HalfWidth() float64 { return (c.Hi - c.Lo) / 2 }
+
+// Center returns the interval's midpoint.
+func (c CI) Center() float64 { return (c.Lo + c.Hi) / 2 }
+
+// Contains reports whether x lies inside the closed interval.
+func (c CI) Contains(x float64) bool { return x >= c.Lo && x <= c.Hi }
+
+// RelHalfWidth returns the half-width relative to the interval's center:
+// the "relative error" an error budget is compared against. It returns 0
+// for a degenerate zero-width interval at zero, and +Inf when the center
+// is 0 but the interval has width (no relative statement can be made).
+func (c CI) RelHalfWidth() float64 {
+	h := c.HalfWidth()
+	m := math.Abs(c.Center())
+	if m == 0 {
+		if h == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return h / m
+}
+
+// SampleStdDev returns the sample standard deviation of xs (the n-1
+// denominator, as an estimator's standard error requires), or 0 for fewer
+// than two samples.
+func SampleStdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// BatchMeansCI treats each entry of batches as one batch mean and returns
+// the grand mean with a two-sided Student-t confidence interval at the
+// given level (defaulted to 0.95 when out of range). With fewer than two
+// batches no variance estimate exists and the interval is (-Inf, +Inf) —
+// "no information", which callers must treat as an unmet error budget.
+func BatchMeansCI(batches []float64, level float64) (float64, CI) {
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	n := len(batches)
+	m := Mean(batches)
+	if n < 2 {
+		return m, CI{Level: level, Lo: math.Inf(-1), Hi: math.Inf(1)}
+	}
+	se := SampleStdDev(batches) / math.Sqrt(float64(n))
+	h := TCritical(n-1, level) * se
+	return m, CI{Level: level, Lo: m - h, Hi: m + h}
+}
+
+// tTable95 holds the exact two-sided 95% Student-t critical values for
+// 1-30 degrees of freedom (the range where the asymptotic expansion in
+// TCritical is least accurate).
+var tTable95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical returns the two-sided Student-t critical value for df degrees
+// of freedom at the given confidence level: the t such that
+// P(-t <= T <= t) = level. The 95% level for df <= 30 is served from an
+// exact table; everything else uses the Cornish-Fisher expansion of the t
+// quantile around the normal quantile (Abramowitz & Stegun 26.7.5), which
+// is accurate to a few parts in 10^3 for df >= 5 and slightly
+// conservative below. df < 1 or an out-of-range level defaults to df=1 /
+// level=0.95.
+func TCritical(df int, level float64) float64 {
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	if df < 1 {
+		df = 1
+	}
+	if level == 0.95 && df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	// Two-sided: the upper quantile at p = 1 - (1-level)/2.
+	z := normQuantile(1 - (1-level)/2)
+	v := float64(df)
+	z2 := z * z
+	t := z +
+		(z2+1)*z/(4*v) +
+		((5*z2+16)*z2+3)*z/(96*v*v) +
+		(((3*z2+19)*z2+17)*z2-15)*z/(384*v*v*v)
+	return t
+}
+
+// normQuantile is the standard normal inverse CDF (Acklam's rational
+// approximation, relative error < 1.2e-9). p must be in (0, 1).
+func normQuantile(p float64) float64 {
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var a = [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	var b = [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	var c = [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	var d = [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTCritical95Table(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {10, 2.228}, {30, 2.042},
+	}
+	for _, c := range cases {
+		if got := TCritical(c.df, 0.95); got != c.want {
+			t.Errorf("TCritical(%d, 0.95) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+func TestTCriticalExpansion(t *testing.T) {
+	// Published two-sided critical values; the expansion should land within
+	// a few parts in 10^3 at these df.
+	cases := []struct {
+		df    int
+		level float64
+		want  float64
+	}{
+		{40, 0.95, 2.021},
+		{60, 0.95, 2.000},
+		{100, 0.95, 1.984},
+		{1000, 0.95, 1.962},
+		{30, 0.99, 2.750},
+		{30, 0.90, 1.697},
+		{100, 0.99, 2.626},
+	}
+	for _, c := range cases {
+		got := TCritical(c.df, c.level)
+		if math.Abs(got-c.want)/c.want > 0.005 {
+			t.Errorf("TCritical(%d, %v) = %v, want ~%v", c.df, c.level, got, c.want)
+		}
+	}
+}
+
+func TestTCriticalDefaults(t *testing.T) {
+	if got := TCritical(0, 0.95); got != tTable95[0] {
+		t.Errorf("df<1 should clamp to df=1: got %v", got)
+	}
+	if got := TCritical(10, 0); got != tTable95[9] {
+		t.Errorf("bad level should default to 0.95: got %v", got)
+	}
+	// Larger df must give smaller critical values at a fixed level.
+	if TCritical(5, 0.95) <= TCritical(50, 0.95) {
+		t.Error("TCritical not decreasing in df")
+	}
+	// Higher confidence must give larger critical values at fixed df.
+	if TCritical(50, 0.99) <= TCritical(50, 0.90) {
+		t.Error("TCritical not increasing in level")
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.975, 1.959964}, {0.995, 2.575829}, {0.5, 0}, {0.025, -1.959964},
+		{0.841344746, 1.0}, // Phi(1)
+	}
+	for _, c := range cases {
+		if got := normQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("normQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	if got := SampleStdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("SampleStdDev = %v, want ~2.13809", got)
+	}
+	if got := SampleStdDev([]float64{3}); got != 0 {
+		t.Errorf("SampleStdDev of one sample = %v, want 0", got)
+	}
+	// Sample (n-1) must exceed population (n) stddev on the same data.
+	xs := []float64{1, 2, 3, 4, 5}
+	if SampleStdDev(xs) <= StdDev(xs) {
+		t.Error("sample stddev should exceed population stddev")
+	}
+}
+
+func TestBatchMeansCI(t *testing.T) {
+	// 10 batches, mean 0.5, sample stddev ~0.0527: CI = 0.5 +- 2.262*s/sqrt(10).
+	batches := []float64{0.45, 0.5, 0.55, 0.48, 0.52, 0.5, 0.42, 0.58, 0.47, 0.53}
+	mean, ci := BatchMeansCI(batches, 0.95)
+	if math.Abs(mean-0.5) > 1e-12 {
+		t.Errorf("mean = %v, want 0.5", mean)
+	}
+	wantH := TCritical(9, 0.95) * SampleStdDev(batches) / math.Sqrt(10)
+	if math.Abs(ci.HalfWidth()-wantH) > 1e-12 {
+		t.Errorf("half-width = %v, want %v", ci.HalfWidth(), wantH)
+	}
+	if !ci.Contains(mean) || ci.Contains(mean+2*wantH) {
+		t.Error("CI containment is wrong")
+	}
+	if ci.Level != 0.95 {
+		t.Errorf("level = %v, want 0.95", ci.Level)
+	}
+}
+
+func TestBatchMeansCITooFew(t *testing.T) {
+	_, ci := BatchMeansCI([]float64{0.5}, 0.95)
+	if !math.IsInf(ci.Lo, -1) || !math.IsInf(ci.Hi, 1) {
+		t.Errorf("one batch should give an infinite CI, got [%v, %v]", ci.Lo, ci.Hi)
+	}
+	if !math.IsInf(ci.RelHalfWidth(), 1) && ci.RelHalfWidth() == ci.RelHalfWidth() {
+		t.Errorf("infinite CI should have non-finite rel half-width, got %v", ci.RelHalfWidth())
+	}
+}
+
+func TestCIRelHalfWidth(t *testing.T) {
+	if got := (CI{Lo: 0.09, Hi: 0.11}).RelHalfWidth(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelHalfWidth = %v, want 0.1", got)
+	}
+	if got := (CI{Lo: 0, Hi: 0}).RelHalfWidth(); got != 0 {
+		t.Errorf("degenerate zero CI rel half-width = %v, want 0", got)
+	}
+	if got := (CI{Lo: -0.1, Hi: 0.1}).RelHalfWidth(); !math.IsInf(got, 1) {
+		t.Errorf("zero-centered CI rel half-width = %v, want +Inf", got)
+	}
+}

@@ -1,6 +1,9 @@
 package trace
 
-import "context"
+import (
+	"context"
+	"io"
+)
 
 // ctxCheckInterval is how many references a ContextReader passes through
 // between context polls. Polling every reference would put an atomic load on
@@ -40,4 +43,39 @@ func (c *ContextReader) Read() (Ref, error) {
 	}
 	c.until--
 	return c.r.Read()
+}
+
+// RestSlice forwards to the wrapped reader's Slicer when it has one,
+// checking the context once; ok=false when the context is done or the
+// wrapped reader cannot share its backing slice.
+func (c *ContextReader) RestSlice() ([]Ref, bool) {
+	if c.ctx.Err() != nil {
+		return nil, false
+	}
+	if sl, ok := c.r.(Slicer); ok {
+		return sl.RestSlice()
+	}
+	return nil, false
+}
+
+// Skip forwards to the wrapped reader's Skipper when it has one (checking
+// the context once per call — a skip does no simulation work, so coarser
+// cancellation granularity costs nothing), and otherwise discards
+// references one Read at a time.
+func (c *ContextReader) Skip(n int) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if sk, ok := c.r.(Skipper); ok {
+		return sk.Skip(n)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Read(); err != nil {
+			if err == io.EOF {
+				return i, nil
+			}
+			return i, err
+		}
+	}
+	return n, nil
 }

@@ -97,6 +97,25 @@ type ReaderFunc func() (Ref, error)
 // Read calls f.
 func (f ReaderFunc) Read() (Ref, error) { return f() }
 
+// Skipper is implemented by readers that can discard references without
+// materializing them. Consumers that skip long stretches of a stream (the
+// sampled sweep driver's gaps) use it to avoid a per-reference Read call;
+// Skip returns how many references were actually discarded, which is less
+// than n only when the stream ended first.
+type Skipper interface {
+	Skip(n int) (int, error)
+}
+
+// Slicer is implemented by readers that can hand out their remaining
+// references as a shared slice without copying. Consumers that would
+// otherwise Collect the whole stream (the sampled sweep engine rewinds the
+// trace once per adaptive round) use it to borrow the backing slice
+// instead; ok=false means the reader cannot, and the caller should fall
+// back to Collect.
+type Slicer interface {
+	RestSlice() (refs []Ref, ok bool)
+}
+
 // SliceReader replays a fixed slice of references.
 type SliceReader struct {
 	refs []Ref
@@ -115,6 +134,28 @@ func (s *SliceReader) Read() (Ref, error) {
 	r := s.refs[s.pos]
 	s.pos++
 	return r, nil
+}
+
+// Skip discards up to n references in O(1), returning how many were
+// available.
+func (s *SliceReader) Skip(n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if rem := len(s.refs) - s.pos; n > rem {
+		n = rem
+	}
+	s.pos += n
+	return n, nil
+}
+
+// RestSlice returns the remaining references as a view of the underlying
+// slice (no copy) and leaves the reader at EOF, mirroring what draining it
+// through Read would. The caller must not mutate the returned slice.
+func (s *SliceReader) RestSlice() ([]Ref, bool) {
+	refs := s.refs[s.pos:]
+	s.pos = len(s.refs)
+	return refs, true
 }
 
 // Reset rewinds the reader to the beginning of the slice.
