@@ -55,22 +55,22 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # Record the perf trajectory: run the artifact + simulator benchmarks
-# (including the sampled-vs-exact sweep pair) and merge the numbers into
-# BENCH_4.json under the "after" key (use BENCHKEY=before to record a
-# baseline first).
+# (including the exact/sampled/parallel sweep trio) and merge the numbers
+# into BENCH_5.json under the "after" key (use BENCHKEY=before to record a
+# baseline first). Prior records (BENCH_2..4.json) are kept as history.
 BENCHKEY ?= after
 BENCHREGEX = Table|Figure|Cache|StackSim|MultiSystem|FanoutSystem|Sweep
 benchjson:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchmem . \
-		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_4.json
+		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_5.json
 
 # Local regression check: one quick iteration of the recorded benchmarks
-# against the BENCH_4.json record. Meaningful only on the machine that
+# against the BENCH_5.json record. Meaningful only on the machine that
 # recorded the baseline (absolute timings are machine-specific); CI instead
 # runs a blocking gate that baselines the merge-base on the same runner
 # (see .github/workflows/ci.yml, bench-smoke job).
 BENCHTHRESHOLD ?= 1.5
-BENCHBASE ?= BENCH_4.json
+BENCHBASE ?= BENCH_5.json
 benchcheck:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson -against $(BENCHBASE) -threshold $(BENCHTHRESHOLD)

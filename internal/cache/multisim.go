@@ -279,6 +279,12 @@ func (m *MultiSystem) Results() []SizeResult {
 	} else {
 		uStats = m.unified.finalize(lineBytes)
 	}
+	return m.assemble(iStats, dStats, uStats)
+}
+
+// assemble folds per-distinct-size cache statistics and the reference-level
+// bucket accounting into SizeResults indexed as cfg.Sizes.
+func (m *MultiSystem) assemble(iStats, dStats, uStats []Stats) []SizeResult {
 	// Per-kind reference misses at sorted size index i: every bucket > i.
 	var refMiss [3][]uint64
 	for kind := range refMiss {

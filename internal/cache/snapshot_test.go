@@ -140,6 +140,50 @@ func TestMultiSystemExplicitPurge(t *testing.T) {
 	}
 }
 
+// TestSystemExplicitPurgeAllPolicies extends the driver-scheduled purge
+// contract to every replacement policy: a purge-free System purged
+// manually on the trace clock must match an auto-purging one bit for bit —
+// reference stats, line stats, and end state. This is what lets the
+// time-parallel engine replay the serial purge schedule onto its segment
+// replicas for any policy (Random included: identical purge points keep
+// the rng consumption aligned).
+func TestSystemExplicitPurgeAllPolicies(t *testing.T) {
+	refs := simcheck.Stream(19, 5000)
+	const quantum = 300
+	for _, repl := range cache.Replacements() {
+		base := cache.Config{Size: 512, LineSize: 16, Repl: repl, Seed: 7}
+		auto, err := cache.NewSystem(cache.SystemConfig{Unified: base, PurgeInterval: quantum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		manual, err := cache.NewSystem(cache.SystemConfig{Unified: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sincePurge := 0
+		for _, r := range refs {
+			auto.Ref(r)
+			if sincePurge >= quantum {
+				manual.Purge()
+				sincePurge = 0
+			}
+			sincePurge++
+			manual.Ref(r)
+		}
+		if auto.RefStats() != manual.RefStats() {
+			t.Errorf("%v: ref stats differ: auto %+v manual %+v", repl, auto.RefStats(), manual.RefStats())
+		}
+		if auto.Stats() != manual.Stats() {
+			t.Errorf("%v: line stats differ: auto %+v manual %+v", repl, auto.Stats(), manual.Stats())
+		}
+		// Identical histories build identical logical state — for Random
+		// too, since the purge schedules (and so the rng draws) align.
+		if !auto.StateEqual(manual) {
+			t.Errorf("%v: end states differ under identical purge schedules", repl)
+		}
+	}
+}
+
 // TestStatsScaled checks the extrapolation helper's rounding and identity.
 func TestStatsScaled(t *testing.T) {
 	s := cache.Stats{Accesses: 101, Misses: 3, BytesFromMemory: 999, DirtyPushes: 1}

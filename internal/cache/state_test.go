@@ -1,0 +1,232 @@
+package cache_test
+
+import (
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
+	"cacheeval/internal/trace"
+)
+
+// newStateSystem builds a purge-free system for state-equality tests
+// (the time-parallel driver schedules purges itself, so the replicas it
+// compares never self-purge).
+func newStateSystem(t *testing.T, repl cache.Replacement, split bool) *cache.System {
+	t.Helper()
+	base := cache.Config{Size: 1024, LineSize: 16, Repl: repl, Seed: 42}
+	sc := cache.SystemConfig{}
+	if split {
+		sc.Split = true
+		sc.I, sc.D = base, base
+	} else {
+		sc.Unified = base
+	}
+	sys, err := cache.NewSystem(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSystemStateEqualAllPolicies checks the reflexive contract for every
+// replacement policy: two systems fed identical references are StateEqual
+// at every checkpoint, and diverge the moment their inputs do.
+func TestSystemStateEqualAllPolicies(t *testing.T) {
+	refs := simcheck.Stream(3, 4000)
+	for _, repl := range cache.Replacements() {
+		for _, split := range []bool{false, true} {
+			a := newStateSystem(t, repl, split)
+			b := newStateSystem(t, repl, split)
+			for n, r := range refs {
+				a.Ref(r)
+				b.Ref(r)
+				if n%271 == 0 && !a.StateEqual(b) {
+					t.Fatalf("%v split=%v n=%d: identical feeds not StateEqual", repl, split, n)
+				}
+			}
+			if !a.StateEqual(b) {
+				t.Fatalf("%v split=%v: identical feeds not StateEqual at end", repl, split)
+			}
+			// A single extra reference to a fresh line must break equality.
+			a.Ref(trace.Ref{Addr: 1 << 40, Size: 4, Kind: trace.Read})
+			if a.StateEqual(b) {
+				t.Fatalf("%v split=%v: StateEqual survived a diverging reference", repl, split)
+			}
+		}
+	}
+}
+
+// TestStateEqualSeesDirtyAndOrder checks that equality is sensitive to
+// exactly the metadata future behaviour depends on: the dirty bit (decides
+// write-back traffic on eviction) and the recency order (decides the
+// victim), even when the resident tag sets match.
+func TestStateEqualSeesDirtyAndOrder(t *testing.T) {
+	// Dirty bit: same line, read in one system, written in the other.
+	a := newStateSystem(t, cache.LRU, false)
+	b := newStateSystem(t, cache.LRU, false)
+	a.Ref(trace.Ref{Addr: 0x100, Size: 4, Kind: trace.Read})
+	b.Ref(trace.Ref{Addr: 0x100, Size: 4, Kind: trace.Write})
+	if a.StateEqual(b) {
+		t.Error("StateEqual ignored the dirty bit")
+	}
+
+	// Recency order: same two lines touched in opposite orders.
+	a = newStateSystem(t, cache.LRU, false)
+	b = newStateSystem(t, cache.LRU, false)
+	for _, addr := range []uint64{0x100, 0x200, 0x100} {
+		a.Ref(trace.Ref{Addr: addr, Size: 4, Kind: trace.Read})
+	}
+	for _, addr := range []uint64{0x100, 0x100, 0x200} {
+		b.Ref(trace.Ref{Addr: addr, Size: 4, Kind: trace.Read})
+	}
+	if a.StateEqual(b) {
+		t.Error("StateEqual ignored LRU order")
+	}
+}
+
+// TestStateEqualConvergence is the property the time-parallel engine's
+// reconciliation rests on: an LRU cache forgets its past, so a cold system
+// and a warm system fed the same churning suffix end StateEqual — and from
+// that point identical inputs keep them identical.
+func TestStateEqualConvergence(t *testing.T) {
+	warm := newStateSystem(t, cache.LRU, false)
+	cold := newStateSystem(t, cache.LRU, false)
+	// Warm history the cold replica never sees.
+	for _, r := range simcheck.Stream(5, 2000) {
+		warm.Ref(r)
+	}
+	if warm.StateEqual(cold) {
+		t.Fatal("warm and cold equal before any shared input")
+	}
+	// Shared suffix that cycles through more lines than the cache holds
+	// (64 lines of 16 bytes), evicting every pre-suffix line.
+	converged := -1
+	for i := 0; i < 4000; i++ {
+		r := trace.Ref{Addr: uint64(i%128) * 16, Size: 4, Kind: trace.Read}
+		warm.Ref(r)
+		cold.Ref(r)
+		if converged < 0 && warm.StateEqual(cold) {
+			converged = i
+		}
+	}
+	if converged < 0 {
+		t.Fatal("warm and cold never converged over a churning suffix")
+	}
+	if !warm.StateEqual(cold) {
+		t.Fatal("states diverged again after converging on identical inputs")
+	}
+}
+
+// TestMultiSystemStateEqual checks the stack-engine comparison: identical
+// feeds stay equal, diverging feeds do not, and a purge restores equality
+// (both stacks empty) — the aligned-plan convergence point.
+func TestMultiSystemStateEqual(t *testing.T) {
+	refs := simcheck.Stream(7, 3000)
+	for _, split := range []bool{false, true} {
+		mk := func() *cache.MultiSystem {
+			ms, err := cache.NewMultiSystem(cache.MultiConfig{
+				Sizes: []int{256, 1024}, LineSize: 16, Split: split,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ms
+		}
+		a, b := mk(), mk()
+		for n, r := range refs {
+			a.Ref(r)
+			b.Ref(r)
+			if n%307 == 0 && !a.StateEqual(b) {
+				t.Fatalf("split=%v n=%d: identical feeds not StateEqual", split, n)
+			}
+		}
+		a.Ref(trace.Ref{Addr: 1 << 40, Size: 4, Kind: trace.Write})
+		if a.StateEqual(b) {
+			t.Fatalf("split=%v: StateEqual survived a diverging reference", split)
+		}
+		a.Purge()
+		b.Purge()
+		if !a.StateEqual(b) {
+			t.Fatalf("split=%v: purged engines not StateEqual", split)
+		}
+	}
+}
+
+// TestFanoutStateEqual is the same contract for the prefetch engine,
+// including its sensitivity to the prefetched bit (which decides future
+// prefetch-accuracy accounting).
+func TestFanoutStateEqual(t *testing.T) {
+	refs := simcheck.Stream(9, 3000)
+	mk := func() *cache.FanoutSystem {
+		fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
+			Sizes: []int{256, 1024}, LineSize: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	a, b := mk(), mk()
+	for n, r := range refs {
+		a.Ref(r)
+		b.Ref(r)
+		if n%307 == 0 && !a.StateEqual(b) {
+			t.Fatalf("n=%d: identical feeds not StateEqual", n)
+		}
+	}
+	a.Ref(trace.Ref{Addr: 1 << 40, Size: 4, Kind: trace.Read})
+	if a.StateEqual(b) {
+		t.Fatal("StateEqual survived a diverging reference")
+	}
+}
+
+// TestMultiSystemResultsSnapshot checks the splice-arithmetic contract:
+// mid-run, ResultsSnapshot equals what a fresh engine fed the same prefix
+// reports from Results, and taking the snapshot must not perturb the
+// engine — the tail of the run stays bit-identical to an unobserved one.
+func TestMultiSystemResultsSnapshot(t *testing.T) {
+	refs := simcheck.Stream(21, 6000)
+	for _, split := range []bool{false, true} {
+		cfg := cache.MultiConfig{Sizes: []int{128, 512, 2048}, LineSize: 16, Split: split}
+		observed, err := cache.NewMultiSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		control, err := cache.NewMultiSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkpoints := []int{0, 1, 997, 2500, len(refs) - 1}
+		next := 0
+		for n, r := range refs {
+			observed.Ref(r)
+			control.Ref(r)
+			if next < len(checkpoints) && n == checkpoints[next] {
+				next++
+				snap := observed.ResultsSnapshot()
+				prefix, err := cache.NewMultiSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pr := range refs[:n+1] {
+					prefix.Ref(pr)
+				}
+				want := prefix.Results()
+				for i := range want {
+					if snap[i] != want[i] {
+						t.Fatalf("split=%v n=%d size=%d: snapshot %+v != prefix results %+v",
+							split, n, want[i].Size, snap[i], want[i])
+					}
+				}
+			}
+		}
+		// The observed engine took snapshots mid-run; the control did not.
+		or, cr := observed.Results(), control.Results()
+		for i := range cr {
+			if or[i] != cr[i] {
+				t.Errorf("split=%v size=%d: snapshots perturbed the run\n got %+v\nwant %+v",
+					split, cr[i].Size, or[i], cr[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/parallel"
+	"cacheeval/internal/simcheck"
+	"cacheeval/internal/trace"
+)
+
+// runParallelSweep drives RunSweep over a materialized stream.
+func runParallelSweep(t *testing.T, spec SweepSpec, refs []trace.Ref) SweepOut {
+	t.Helper()
+	out, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", int64(len(refs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// compareSweeps asserts bit-identical results and purge counts.
+func compareSweeps(t *testing.T, name string, got, want SweepOut) {
+	t.Helper()
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%s: %d results vs %d", name, len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Fatalf("%s: size %d diverges\n got %+v\nwant %+v",
+				name, want.Results[i].Size, got.Results[i], want.Results[i])
+		}
+	}
+	if got.Purges != want.Purges {
+		t.Fatalf("%s: purges %d vs %d", name, got.Purges, want.Purges)
+	}
+}
+
+// parallelTestOptions shrinks the segmentation thresholds so short test
+// streams still segment, and checks state every 128 refs so unaligned
+// convergence is exercised mid-segment.
+func parallelTestOptions(workers int) *ParallelOptions {
+	return &ParallelOptions{Workers: workers, MinSegmentRefs: 1500, CheckEvery: 128}
+}
+
+// TestParallelEquivalenceGrid is the tentpole's acceptance test: across
+// every replacement policy (Random delegates — covered below), both fetch
+// policies, both organizations, purge-aligned and speculative plans, and
+// several seeded streams, the parallel engine's results must be
+// bit-identical to the serial engines'.
+func TestParallelEquivalenceGrid(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	repls := []cache.Replacement{cache.LRU, cache.FIFO, cache.LFU, cache.SegmentedLRU, cache.ARC}
+	for _, seed := range seeds {
+		refs := simcheck.Stream(seed, 24000)
+		for _, repl := range repls {
+			for _, fetch := range []cache.FetchPolicy{cache.DemandFetch, cache.PrefetchAlways} {
+				for _, split := range []bool{false, true} {
+					for _, quantum := range []int{0, 2500} {
+						base := SweepSpec{
+							Sizes: []int{512, 4096}, LineSize: 16, Split: split,
+							Quantum: quantum, Fetch: fetch, Repl: repl,
+						}
+						want := runParallelSweep(t, base, refs)
+						spec := base
+						spec.Parallel = parallelTestOptions(4)
+						got := runParallelSweep(t, spec, refs)
+						name := strings.Join([]string{
+							repl.String(), fetch.String(), orgLabel(split), quantumLabel(quantum),
+						}, "/")
+						compareSweeps(t, name, got, want)
+						if got.Parallel == nil {
+							t.Fatalf("%s: no parallel metadata", name)
+						}
+						// A stack-state target cannot speculate: demand-LRU
+						// without purge points must delegate, everything else
+						// must actually segment.
+						stackUnaligned := quantum == 0 && base.StackInclusion()
+						if stackUnaligned {
+							if !got.Parallel.FellBack {
+								t.Errorf("%s: stack-state speculative run did not delegate", name)
+							}
+						} else if got.Parallel.FellBack {
+							t.Errorf("%s: fell back: %s", name, got.Parallel.FallbackReason)
+						} else {
+							if got.Parallel.Segments < 2 {
+								t.Errorf("%s: only %d segments", name, got.Parallel.Segments)
+							}
+							if got.Parallel.Aligned != (quantum > 0) {
+								t.Errorf("%s: aligned=%v for quantum %d", name, got.Parallel.Aligned, quantum)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func orgLabel(split bool) string {
+	if split {
+		return "split"
+	}
+	return "unified"
+}
+
+func quantumLabel(q int) string {
+	if q > 0 {
+		return "aligned"
+	}
+	return "speculative"
+}
+
+// TestParallelUnconvergedBoundary forces the no-convergence path: after a
+// wide warm-up, the stream collapses to a tiny loop inside a large FIFO
+// cache, so the true (warm) state keeps lines a cold speculative replica
+// can never acquire. The engine must report the unconverged boundary and
+// still splice exact results via the serial fallback.
+func TestParallelUnconvergedBoundary(t *testing.T) {
+	var refs []trace.Ref
+	for i := 0; i < 4000; i++ {
+		refs = append(refs, trace.Ref{Addr: uint64(i) * 16, Size: 4, Kind: trace.Read})
+	}
+	for i := 0; i < 8000; i++ {
+		refs = append(refs, trace.Ref{Addr: uint64(i%8) * 16, Size: 4, Kind: trace.Read})
+	}
+	base := SweepSpec{
+		Sizes: []int{16384}, LineSize: 16,
+		Fetch: cache.DemandFetch, Repl: cache.FIFO,
+	}
+	want := runParallelSweep(t, base, refs)
+	spec := base
+	spec.Parallel = parallelTestOptions(3)
+	got := runParallelSweep(t, spec, refs)
+	compareSweeps(t, "unconverged", got, want)
+	if got.Parallel == nil || got.Parallel.FellBack {
+		t.Fatal("run did not take the parallel path")
+	}
+	if got.Parallel.Converged == got.Parallel.Boundaries {
+		t.Fatal("every boundary converged; the test stream no longer forces the serial splice")
+	}
+	// An unconverged boundary re-simulates its whole segment.
+	if got.Parallel.MaxConvergenceRefs < 2000 {
+		t.Errorf("max convergence distance %d suspiciously small for a serial splice",
+			got.Parallel.MaxConvergenceRefs)
+	}
+}
+
+// TestParallelSegmentShorterThanWarmup covers convergence on segments too
+// short to reach the default check cadence: the final end-of-segment state
+// check must still detect convergence (or fall back to serial splice)
+// without breaking exactness.
+func TestParallelSegmentShorterThanWarmup(t *testing.T) {
+	refs := simcheck.Stream(11, 6400)
+	base := SweepSpec{
+		Sizes: []int{1024}, LineSize: 16,
+		Fetch: cache.DemandFetch, Repl: cache.LFU,
+	}
+	want := runParallelSweep(t, base, refs)
+	spec := base
+	// CheckEvery far above the ~1600-ref segments: only the end-of-segment
+	// check can ever fire.
+	spec.Parallel = &ParallelOptions{Workers: 4, MinSegmentRefs: 1500, CheckEvery: 1 << 20}
+	got := runParallelSweep(t, spec, refs)
+	compareSweeps(t, "short-segments", got, want)
+	if got.Parallel == nil || got.Parallel.FellBack {
+		t.Fatal("run did not take the parallel path")
+	}
+}
+
+// TestParallelMoreSegmentsThanPurgeCycles checks the aligned-plan clamp:
+// with one purge point the plan caps at two segments regardless of the
+// worker grant, and the results stay exact.
+func TestParallelMoreSegmentsThanPurgeCycles(t *testing.T) {
+	refs := simcheck.Stream(13, 16000)
+	base := SweepSpec{
+		Sizes: []int{512, 2048}, LineSize: 16,
+		Quantum: 9000, Fetch: cache.DemandFetch, Repl: cache.LRU,
+	}
+	want := runParallelSweep(t, base, refs)
+	spec := base
+	spec.Parallel = parallelTestOptions(8)
+	got := runParallelSweep(t, spec, refs)
+	compareSweeps(t, "clamped", got, want)
+	if got.Parallel == nil || got.Parallel.FellBack {
+		t.Fatal("run did not take the parallel path")
+	}
+	if got.Parallel.Segments > 2 {
+		t.Errorf("segments %d exceed purge epochs", got.Parallel.Segments)
+	}
+}
+
+// TestParallelSerialDelegation covers the delegation paths: too-short
+// streams, Workers=1 specs (engine not selected at all), and Random
+// replacement, all bit-identical to serial with the reason reported.
+func TestParallelSerialDelegation(t *testing.T) {
+	refs := simcheck.Stream(17, 12000)
+
+	short := SweepSpec{
+		Sizes: []int{1024}, LineSize: 16, Fetch: cache.DemandFetch, Repl: cache.FIFO,
+		Parallel: &ParallelOptions{Workers: 4}, // default 64K min segment
+	}
+	got := runParallelSweep(t, short, refs)
+	if got.Parallel == nil || !got.Parallel.FellBack {
+		t.Fatal("short stream did not fall back")
+	}
+	if !strings.Contains(got.Parallel.FallbackReason, "too short") {
+		t.Errorf("reason %q", got.Parallel.FallbackReason)
+	}
+	serial := short
+	serial.Parallel = nil
+	compareSweeps(t, "short", got, runParallelSweep(t, serial, refs))
+
+	single := serial
+	single.Parallel = &ParallelOptions{Workers: 1}
+	if out := runParallelSweep(t, single, refs); out.Parallel != nil {
+		t.Error("Workers=1 spec still routed through the parallel engine")
+	}
+
+	random := SweepSpec{
+		Sizes: []int{1024}, LineSize: 16, Fetch: cache.DemandFetch, Repl: cache.Random,
+		Parallel: parallelTestOptions(4),
+	}
+	got = runParallelSweep(t, random, refs)
+	if got.Parallel == nil || !got.Parallel.FellBack {
+		t.Fatal("random replacement did not fall back")
+	}
+	if !strings.Contains(got.Parallel.FallbackReason, "random replacement") {
+		t.Errorf("reason %q", got.Parallel.FallbackReason)
+	}
+}
+
+// TestParallelComposesWithSampled checks the registry composition: a spec
+// carrying both a sampling budget and parallel options routes to the
+// sampled engine first, and when sampling cannot meet the budget, its
+// exact fallback re-enters the registry and lands on the parallel engine —
+// metadata from both rides along, results exact.
+func TestParallelComposesWithSampled(t *testing.T) {
+	refs := simcheck.Stream(19, 12000)
+	base := SweepSpec{
+		Sizes: []int{512, 2048}, LineSize: 16,
+		Quantum: 2500, Fetch: cache.DemandFetch, Repl: cache.LRU,
+	}
+	want := runParallelSweep(t, base, refs)
+	spec := base
+	spec.Sampled = &SampledOptions{ErrorBudget: 1e-9} // unmeetable: forces exact fallback
+	spec.Parallel = parallelTestOptions(4)
+	got := runParallelSweep(t, spec, refs)
+	if got.Sampled == nil || !got.Sampled.FellBack {
+		t.Fatal("impossible sampling budget did not fall back")
+	}
+	if got.Parallel == nil {
+		t.Fatal("sampled fallback skipped the parallel engine")
+	}
+	if got.Parallel.FellBack {
+		t.Fatalf("parallel leg fell back: %s", got.Parallel.FallbackReason)
+	}
+	compareSweeps(t, "sampled+parallel", got, want)
+}
+
+// TestParallelSharedBudgetStress is the segment-pool race stress: many
+// concurrent sweeps share one worker budget. Under -race this exercises
+// slot handoff between runs; results must stay exact regardless of how
+// slots land, and every slot must come back (the final run can acquire
+// again).
+func TestParallelSharedBudgetStress(t *testing.T) {
+	refs := simcheck.Stream(23, 12000)
+	base := SweepSpec{
+		Sizes: []int{512, 2048}, LineSize: 16,
+		Quantum: 1500, Fetch: cache.DemandFetch, Repl: cache.LRU,
+	}
+	want := runParallelSweep(t, base, refs)
+	budget := parallel.NewBudget(4)
+	const runs = 8
+	outs := make([]SweepOut, runs)
+	errs := make([]error, runs)
+	done := make(chan int)
+	for g := 0; g < runs; g++ {
+		go func(g int) {
+			defer func() { done <- g }()
+			spec := base
+			spec.Parallel = &ParallelOptions{Workers: 4, Budget: budget, MinSegmentRefs: 1500, CheckEvery: 128}
+			outs[g], errs[g] = RunSweep(context.Background(), spec,
+				trace.NewSliceReader(refs), nil, "stress", int64(len(refs)))
+		}(g)
+	}
+	for g := 0; g < runs; g++ {
+		<-done
+	}
+	for g := 0; g < runs; g++ {
+		if errs[g] != nil {
+			t.Fatalf("run %d: %v", g, errs[g])
+		}
+		compareSweeps(t, "stress", outs[g], want)
+	}
+	if budget.Extra() != 3 {
+		t.Fatalf("budget capacity changed: %d", budget.Extra())
+	}
+	got := 0
+	for budget.TryAcquire() {
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("leaked budget slots: reacquired %d of 3", got)
+	}
+}
+
+// TestEvaluateParallelRefs checks the single-design entry point: the
+// report matches the serial evaluation field for field on both aligned and
+// speculative plans, and a Workers<2 request reports a serial fallback.
+func TestEvaluateParallelRefs(t *testing.T) {
+	refs := simcheck.Stream(29, 16000)
+	for _, tc := range []struct {
+		name    string
+		quantum int
+		split   bool
+		repl    cache.Replacement
+	}{
+		{"aligned-unified", 2500, false, cache.LRU},
+		{"speculative-unified", 0, false, cache.SegmentedLRU},
+		{"aligned-split", 4000, true, cache.LRU},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := cache.Config{Size: 2048, LineSize: 16, Repl: tc.repl}
+			design := cache.SystemConfig{PurgeInterval: tc.quantum}
+			if tc.split {
+				design.Split = true
+				design.I, design.D = base, base
+			} else {
+				design.Unified = base
+			}
+			ctx := context.Background()
+			want, err := EvaluateRefsContext(ctx, design, "w", refs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, info, err := EvaluateParallelRefsContext(ctx, design, "w", refs,
+				&ParallelOptions{Workers: 4, MinSegmentRefs: 1500, CheckEvery: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info == nil || info.FellBack {
+				t.Fatalf("info = %+v, want a parallel run", info)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel report diverges\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+
+	design := cache.SystemConfig{Unified: cache.Config{Size: 2048, LineSize: 16}}
+	got, info, err := EvaluateParallelRefsContext(context.Background(), design, "w", refs,
+		&ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil || !info.FellBack {
+		t.Fatal("Workers=1 evaluation did not report a serial fallback")
+	}
+	want, err := EvaluateRefsContext(context.Background(), design, "w", refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("serial-fallback report diverges from EvaluateRefsContext")
+	}
+}

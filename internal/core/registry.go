@@ -41,6 +41,12 @@ type SweepSpec struct {
 	// Sampled opts the sweep into interval-sampled simulation with the
 	// given error budget; nil (or a zero budget) means exact simulation.
 	Sampled *SampledOptions
+	// Parallel opts the sweep into time-parallel exact simulation with the
+	// given worker budget; nil (or fewer than two workers) keeps the
+	// serial engines. Composes with Sampled: when sampling falls back to
+	// exact simulation, the fallback re-enters the registry and picks the
+	// parallel engine.
+	Parallel *ParallelOptions
 }
 
 // StackInclusion reports whether Mattson stack inclusion holds for this
@@ -61,7 +67,10 @@ func (s SweepSpec) Validate() error {
 			return err
 		}
 	}
-	return s.Sampled.Validate()
+	if err := s.Sampled.Validate(); err != nil {
+		return err
+	}
+	return s.Parallel.Validate()
 }
 
 // systemConfig returns the per-size system configuration the spec implies.
@@ -78,12 +87,13 @@ func (s SweepSpec) systemConfig(size int) cache.SystemConfig {
 }
 
 // SweepOut is what a sweep engine produces: the per-size results (in
-// Sizes order), the purge count, and — for the sampled engine only — the
-// sampling metadata. Exact engines leave Sampled nil.
+// Sizes order), the purge count, and — for the sampled and parallel
+// engines — their run metadata. Serial exact engines leave both nil.
 type SweepOut struct {
-	Results []cache.SizeResult
-	Purges  uint64
-	Sampled *SampledInfo
+	Results  []cache.SizeResult
+	Purges   uint64
+	Sampled  *SampledInfo
+	Parallel *ParallelInfo
 }
 
 // SweepEngine is one registered way to execute a sweep. Supports declares
@@ -184,9 +194,12 @@ var perSizeEngine = SweepEngine{
 // sound for every spec it claims. The sampled engine leads: a spec that
 // carries a positive error budget has opted into estimates, and the
 // engine's own exact-fallback escape hatch re-enters this list with the
-// budget stripped when sampling cannot meet it.
+// budget stripped when sampling cannot meet it. The parallel engine comes
+// next — exact results from concurrent segments when the spec grants
+// workers, with its own serial-delegation escape hatch re-entering this
+// list when no sound parallel plan exists.
 func Engines() []SweepEngine {
-	return []SweepEngine{sampledEngine, multiEngine, fanoutEngine, perSizeEngine}
+	return []SweepEngine{sampledEngine, parallelEngine, multiEngine, fanoutEngine, perSizeEngine}
 }
 
 // SelectEngine returns the fastest sound engine for the spec. The

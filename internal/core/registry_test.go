@@ -46,6 +46,24 @@ func TestSelectEngineTable(t *testing.T) {
 			if got := SelectEngine(spec).Name; got != want(fetch, repl) {
 				t.Errorf("SelectEngine(%v, %v, budget 0) = %q, want %q", fetch, repl, got, want(fetch, repl))
 			}
+			// A multi-worker parallel request outranks the serial engines
+			// (the parallel engine itself delegates when segmentation is
+			// unsound for the spec), but never outranks sampling, and a
+			// single-worker request changes nothing.
+			spec.Sampled = nil
+			spec.Parallel = &ParallelOptions{Workers: 4}
+			if got := SelectEngine(spec).Name; got != "parallel" {
+				t.Errorf("SelectEngine(%v, %v, workers 4) = %q, want parallel", fetch, repl, got)
+			}
+			spec.Sampled = &SampledOptions{ErrorBudget: 0.02}
+			if got := SelectEngine(spec).Name; got != "sampled" {
+				t.Errorf("SelectEngine(%v, %v, workers 4 + budget) = %q, want sampled", fetch, repl, got)
+			}
+			spec.Sampled = nil
+			spec.Parallel = &ParallelOptions{Workers: 1}
+			if got := SelectEngine(spec).Name; got != want(fetch, repl) {
+				t.Errorf("SelectEngine(%v, %v, workers 1) = %q, want %q", fetch, repl, got, want(fetch, repl))
+			}
 		}
 	}
 }
@@ -157,6 +175,9 @@ func TestRunSweepValidates(t *testing.T) {
 		{Sizes: []int{128}, LineSize: 16, Sampled: &SampledOptions{ErrorBudget: math.NaN()}},
 		{Sizes: []int{128}, LineSize: 16, Sampled: &SampledOptions{ErrorBudget: 1}},
 		{Sizes: []int{128}, LineSize: 16, Sampled: &SampledOptions{ErrorBudget: 0.02, Confidence: 1.5}},
+		{Sizes: []int{128}, LineSize: 16, Parallel: &ParallelOptions{Workers: -1}},
+		{Sizes: []int{128}, LineSize: 16, Parallel: &ParallelOptions{Workers: 2, MinSegmentRefs: -1}},
+		{Sizes: []int{128}, LineSize: 16, Parallel: &ParallelOptions{Workers: 2, CheckEvery: -1}},
 	}
 	for i, spec := range bad {
 		if _, err := RunSweep(context.Background(), spec, trace.NewSliceReader(nil), nil, "test", 0); err == nil {

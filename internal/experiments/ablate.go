@@ -47,7 +47,7 @@ func PurgeAblation(o Options) (*PurgeAblationResult, error) {
 		}
 	}
 	rows := make([]PurgeAblationRow, len(jobs))
-	err := forEach(o.Workers, len(jobs), func(ji int) error {
+	err := o.forEach(len(jobs), func(ji int) error {
 		mix := mixes[jobs[ji].mi]
 		interval := intervals[jobs[ji].ii]
 		// The task-switch quantum tracks the purge interval, as in the
@@ -168,7 +168,7 @@ func ReplacementAblation(o Options) (*ReplacementResult, error) {
 		}
 	}
 	res := &ReplacementResult{Sizes: o.Sizes, Rows: make([]ReplacementRow, len(variants))}
-	err := forEach(o.Workers, len(variants), func(vi int) error {
+	err := o.forEach(len(variants), func(vi int) error {
 		v := variants[vi]
 		miss := make([]float64, len(o.Sizes))
 		for si, size := range o.Sizes {

@@ -68,7 +68,7 @@ func BusStudy(o Options) (*BusStudyResult, error) {
 		CacheSize: cacheSize, MaxN: maxN, Bus: bus, MissPenalty: missPenalty,
 	}
 	rows := make([]BusStudyRow, 2*len(mixes))
-	err := forEach(o.Workers, len(mixes), func(mi int) error {
+	err := o.forEach(len(mixes), func(mi int) error {
 		refs, err := o.collectMix(mixes[mi])
 		if err != nil {
 			return err

@@ -311,7 +311,7 @@ func TestForEach(t *testing.T) {
 	// Sequential and parallel runs must produce the same outputs.
 	run := func(workers int) []int {
 		out := make([]int, 50)
-		err := forEach(workers, 50, func(i int) error {
+		err := optWorkers(workers).forEach(50, func(i int) error {
 			out[i] = i * i
 			return nil
 		})
@@ -328,7 +328,7 @@ func TestForEach(t *testing.T) {
 	}
 	// Error propagation: lowest-index error wins.
 	boom := errors.New("boom")
-	err := forEach(4, 10, func(i int) error {
+	err := optWorkers(4).forEach(10, func(i int) error {
 		if i >= 3 {
 			return boom
 		}

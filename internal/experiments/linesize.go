@@ -43,7 +43,7 @@ func LineSize(o Options) (*LineSizeResult, error) {
 	lineSizes := []int{4, 8, 16, 32, 64, 128}
 	res := &LineSizeResult{CacheSize: cacheSize, LineSizes: lineSizes}
 	rows := make([]LineSizeRow, len(lineSizeWorkloads)*len(lineSizes))
-	err := forEach(o.Workers, len(lineSizeWorkloads), func(wi int) error {
+	err := o.forEach(len(lineSizeWorkloads), func(wi int) error {
 		spec, err := workload.ByName(lineSizeWorkloads[wi])
 		if err != nil {
 			return err
@@ -163,7 +163,7 @@ func PrefetchPolicies(o Options) (*PrefetchPolicyResult, error) {
 	const cacheSize = 8192
 	res := &PrefetchPolicyResult{CacheSize: cacheSize}
 	rows := make([]PrefetchPolicyRow, len(prefetchPolicyWorkloads)*len(prefetchPolicies))
-	err := forEach(o.Workers, len(prefetchPolicyWorkloads), func(wi int) error {
+	err := o.forEach(len(prefetchPolicyWorkloads), func(wi int) error {
 		spec, err := workload.ByName(prefetchPolicyWorkloads[wi])
 		if err != nil {
 			return err

@@ -16,6 +16,7 @@ import (
 	"cacheeval/internal/core"
 	"cacheeval/internal/model"
 	"cacheeval/internal/obs"
+	"cacheeval/internal/parallel"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
 )
@@ -56,6 +57,16 @@ type Options struct {
 	// the given error budget (see core.SampledOptions); nil runs exact
 	// simulation, and a zero budget degrades to exact bit-identically.
 	Sampled *core.SampledOptions
+	// Parallel tunes time-parallel exact simulation inside each sweep pass
+	// (see core.ParallelOptions). Nil defaults to Workers segment workers:
+	// jobs and segments then compete for one shared pool of Workers
+	// goroutines, so a wide grid keeps job-level parallelism and a narrow
+	// one (a single mix, the validate harness) gets within-job speedup
+	// from the same budget instead of idling. Results are bit-identical
+	// either way; set &core.ParallelOptions{Workers: 1} to force the
+	// serial engines. A caller-supplied Budget is honoured; otherwise the
+	// experiment's shared pool is injected.
+	Parallel *core.ParallelOptions
 	// Probe, when non-nil, receives engine progress callbacks
 	// (obs.Probe.RunStart/RunProgress/RunEnd) from every simulation an
 	// experiment runs. The probe must be safe for concurrent use — with
@@ -63,6 +74,12 @@ type Options struct {
 	// its own stage name. Nil keeps the engines' hot paths on the
 	// uninstrumented fast path (see DESIGN.md §8).
 	Probe obs.Probe
+
+	// budget is the experiment's shared worker pool: Workers-1 grantable
+	// slots split between job-level fan-out (forEachCtx) and segment-level
+	// fan-out (the core parallel engine), so nested parallelism degrades
+	// to sequential instead of multiplying into Workers² goroutines.
+	budget *parallel.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -75,7 +92,28 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.budget == nil {
+		o.budget = parallel.NewBudget(o.Workers)
+	}
+	if o.Parallel == nil {
+		o.Parallel = &core.ParallelOptions{Workers: o.Workers}
+	}
 	return o
+}
+
+// parallelSpec returns the ParallelOptions a sweep pass should carry:
+// the configured options with the experiment's shared budget injected
+// (unless the caller brought their own), or nil when parallel simulation
+// is off so the spec stays identical to the serial one.
+func (o Options) parallelSpec() *core.ParallelOptions {
+	if o.Parallel == nil || o.Parallel.Workers < 2 {
+		return nil
+	}
+	po := *o.Parallel
+	if po.Budget == nil {
+		po.Budget = o.budget
+	}
+	return &po
 }
 
 // limit caps n by the RefLimit option.
@@ -145,10 +183,11 @@ func (o Options) collectMixCtx(ctx context.Context, m workload.Mix) ([]trace.Ref
 	return trace.Collect(trace.NewContextReader(ctx, r), 0, m.TotalRefs())
 }
 
-// forEach runs fn(i) for i in [0, n) on up to workers goroutines and
+// forEach runs fn(i) for i in [0, n) on the calling goroutine plus as
+// many extra workers as the experiment's shared budget grants, and
 // returns the first error (by lowest index) if any failed.
-func forEach(workers, n int, fn func(i int) error) error {
-	return forEachCtx(context.Background(), workers, n, fn)
+func (o Options) forEach(n int, fn func(i int) error) error {
+	return o.forEachCtx(context.Background(), n, fn)
 }
 
 // forEachCtx is forEach with cancellation: once ctx is done no further
@@ -156,11 +195,20 @@ func forEach(workers, n int, fn func(i int) error) error {
 // themselves, and ctx.Err() is reported unless an fn error at a lower index
 // takes precedence. All worker goroutines have exited by the time it
 // returns.
-func forEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
+//
+// Concurrency comes from Options.budget, the pool shared with the
+// segment-level parallel engine: up to n-1 extra workers are acquired
+// non-blockingly, so a nested call — or one racing a time-parallel
+// simulation — degrades toward sequential instead of oversubscribing.
+// With Workers=1 the budget grants nothing and every job runs in index
+// order on the calling goroutine. Each job writes only its own slot, so
+// results are bit-identical regardless of how many slots were granted.
+func (o Options) forEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	extra := 0
+	for extra < n-1 && o.budget.TryAcquire() {
+		extra++
 	}
-	if workers <= 1 {
+	if extra == 0 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -172,27 +220,35 @@ func forEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		return nil
 	}
 	errs := make([]error, n)
-	var wg sync.WaitGroup
 	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	go func() {
+		defer close(next)
+		done := ctx.Done()
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < extra; w++ {
 		wg.Add(1)
 		go func() {
-			defer wg.Done()
+			defer func() {
+				o.budget.Release()
+				wg.Done()
+			}()
 			for i := range next {
 				errs[i] = fn(i)
 			}
 		}()
 	}
-	done := ctx.Done()
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-done:
-			break feed
-		}
+	// The caller consumes too: its goroutine is the budget's implicit slot.
+	for i := range next {
+		errs[i] = fn(i)
 	}
-	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -46,10 +46,16 @@ func TestSweepWorkersDeterministic(t *testing.T) {
 	}
 }
 
+// optWorkers builds a defaulted Options with the given worker budget, for
+// exercising the forEach pool directly.
+func optWorkers(w int) Options {
+	return Options{Workers: w}.withDefaults()
+}
+
 func TestForEachCtxCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var calls atomic.Int32
-	err := forEachCtx(ctx, 2, 1000, func(i int) error {
+	err := optWorkers(2).forEachCtx(ctx, 1000, func(i int) error {
 		if calls.Add(1) == 3 {
 			cancel()
 		}
@@ -65,7 +71,7 @@ func TestForEachCtxCancel(t *testing.T) {
 	// Sequential path (workers=1) also stops dispatching.
 	calls.Store(0)
 	ctx2, cancel2 := context.WithCancel(context.Background())
-	err = forEachCtx(ctx2, 1, 1000, func(i int) error {
+	err = optWorkers(1).forEachCtx(ctx2, 1000, func(i int) error {
 		if calls.Add(1) == 3 {
 			cancel2()
 		}
@@ -82,7 +88,7 @@ func TestForEachCtxCancel(t *testing.T) {
 func TestForEachErrorPrecedence(t *testing.T) {
 	errLow := errors.New("low")
 	errHigh := errors.New("high")
-	err := forEach(4, 10, func(i int) error {
+	err := optWorkers(4).forEach(10, func(i int) error {
 		switch i {
 		case 2:
 			return errLow

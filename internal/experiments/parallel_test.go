@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cacheeval/internal/core"
+	"cacheeval/internal/parallel"
+	"cacheeval/internal/workload"
+)
+
+// parallelTestMix returns a single-unit mix long enough to segment under
+// reduced test thresholds, with a purge quantum so plans align.
+func parallelTestMix() workload.Mix {
+	base := workload.StandardMixes()[2] // VCCOM
+	specs := make([]workload.Spec, len(base.Specs))
+	copy(specs, base.Specs)
+	for i := range specs {
+		specs[i].Refs = 12000
+	}
+	return workload.Mix{Name: base.Name, Specs: specs, Quantum: 2000}
+}
+
+// parallelTestTuning shrinks the engine's thresholds so a 12000-reference
+// stream segments.
+func parallelTestTuning(workers int) core.ParallelOptions {
+	return core.ParallelOptions{Workers: workers, MinSegmentRefs: 1500, CheckEvery: 128}
+}
+
+// TestSweepParallelPasses runs the sweep grid with a dedicated segment
+// budget (jobs serial, so every pass gets the full pool): all four passes
+// must segment, report aligned plans, and reproduce the serial sweep bit
+// for bit.
+func TestSweepParallelPasses(t *testing.T) {
+	mixes := []workload.Mix{parallelTestMix()}
+	sizes := []int{512, 4096}
+
+	serial, err := SweepMixes(Options{Sizes: sizes, Workers: 1}, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Parallel) != 0 {
+		t.Fatalf("serial sweep reported %d parallel passes", len(serial.Parallel))
+	}
+
+	po := parallelTestTuning(4)
+	po.Budget = parallel.NewBudget(4)
+	res, err := SweepMixes(Options{Sizes: sizes, Workers: 1, Parallel: &po}, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Cells, serial.Cells) {
+		t.Error("parallel sweep cells diverge from serial sweep")
+	}
+	if len(res.Parallel) != 4 {
+		t.Fatalf("%d parallel passes, want one per grid job (4)", len(res.Parallel))
+	}
+	for _, p := range res.Parallel {
+		if p.Info.FellBack {
+			t.Errorf("pass split=%v prefetch=%v fell back: %s", p.Split, p.Prefetch, p.Info.FallbackReason)
+			continue
+		}
+		if p.Info.Segments < 2 || !p.Info.Aligned {
+			t.Errorf("pass split=%v prefetch=%v plan %+v, want >= 2 aligned segments", p.Split, p.Prefetch, p.Info)
+		}
+	}
+}
+
+// TestSweepParallelSharedBudget is the oversubscription regression test:
+// job-level fan-out and segment-level fan-out draw from one shared pool of
+// Workers goroutines, so a contended sweep degrades some passes to serial
+// (never Workers² goroutines) while every result stays bit-identical.
+func TestSweepParallelSharedBudget(t *testing.T) {
+	mixes := []workload.Mix{parallelTestMix()}
+	sizes := []int{512, 4096}
+
+	serial, err := SweepMixes(Options{Sizes: sizes, Workers: 1}, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No caller budget: withDefaults injects the experiment pool shared
+	// with forEachCtx. With 4 workers over 4 grid jobs the jobs soak most
+	// slots, so passes legitimately segment or fall back run to run —
+	// but the cells must not depend on which.
+	po := parallelTestTuning(4)
+	res, err := SweepMixes(Options{Sizes: sizes, Workers: 4, Parallel: &po}, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Cells, serial.Cells) {
+		t.Error("contended parallel sweep cells diverge from serial sweep")
+	}
+	if len(res.Parallel) != 4 {
+		t.Fatalf("%d parallel passes, want one per grid job (4)", len(res.Parallel))
+	}
+	for _, p := range res.Parallel {
+		if p.Info.FellBack && p.Info.FallbackReason == "" {
+			t.Errorf("pass split=%v prefetch=%v fell back without a reason", p.Split, p.Prefetch)
+		}
+	}
+}

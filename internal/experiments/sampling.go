@@ -42,7 +42,7 @@ func SamplingStudy(o Options) (*SamplingResult, error) {
 	sc := cache.SystemConfig{Unified: cache.Config{Size: cacheSize, LineSize: o.LineSize}}
 	res := &SamplingResult{CacheSize: cacheSize}
 	rows := make([][]SamplingRow, len(samplingWorkloads))
-	err := forEach(o.Workers, len(samplingWorkloads), func(wi int) error {
+	err := o.forEach(len(samplingWorkloads), func(wi int) error {
 		spec, err := workload.ByName(samplingWorkloads[wi])
 		if err != nil {
 			return err

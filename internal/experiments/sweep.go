@@ -42,7 +42,14 @@ type SweepResult struct {
 	// Sampled records per-pass sampling metadata (one entry per grid job
 	// that ran under the sampled engine); empty for exact sweeps.
 	Sampled []SampledPass
-	opts    Options
+	// Parallel records per-pass time-parallel metadata (one entry per grid
+	// job whose spec requested parallel simulation, whether it segmented
+	// or fell back to a serial engine); empty when Workers grants no
+	// within-job parallelism. The simulated results are bit-identical
+	// either way — only this metadata depends on the plan, and under a
+	// contended shared budget the segment counts may vary run to run.
+	Parallel []ParallelPass
+	opts     Options
 }
 
 // SampledPass identifies one sampled grid pass and its outcome: which
@@ -53,6 +60,15 @@ type SampledPass struct {
 	Split    bool
 	Prefetch bool
 	Info     core.SampledInfo
+}
+
+// ParallelPass identifies one grid pass that requested time-parallel
+// simulation and reports its plan (see core.ParallelInfo).
+type ParallelPass struct {
+	Mix      string
+	Split    bool
+	Prefetch bool
+	Info     core.ParallelInfo
 }
 
 // Sweep runs the full §3.3-§3.5 simulation grid: the sixteen Table 3
@@ -94,7 +110,7 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	// Materialize each mix's reference stream once; the grid re-reads it
 	// from memory for every job.
 	streams := make([][]trace.Ref, len(mixes))
-	err := forEachCtx(ctx, o.Workers, len(mixes), func(i int) error {
+	err := o.forEachCtx(ctx, len(mixes), func(i int) error {
 		sp := obs.StartSpan(ctx, "materialize:"+mixes[i].Name)
 		refs, err := o.collectMixCtx(ctx, mixes[i])
 		if err != nil {
@@ -130,15 +146,19 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	// Each job writes only its own slot, so sampled-pass metadata stays
 	// deterministic (job order) regardless of the worker count.
 	passes := make([]*SampledPass, len(jobs))
-	err = forEachCtx(ctx, o.Workers, len(jobs), func(j int) error {
+	parPasses := make([]*ParallelPass, len(jobs))
+	err = o.forEachCtx(ctx, len(jobs), func(j int) error {
 		jb := jobs[j]
 		mix, refs := mixes[jb.mi], streams[jb.mi]
-		info, err := runPass(ctx, o, mix, refs, jb.split, jb.prefetch, res.Cells[jb.mi])
+		out, err := runPass(ctx, o, mix, refs, jb.split, jb.prefetch, res.Cells[jb.mi])
 		if err != nil {
 			return fmt.Errorf("sweep %s %s: %w", mix.Name, fetchName(jb.prefetch), err)
 		}
-		if info != nil {
-			passes[j] = &SampledPass{Mix: mix.Name, Split: jb.split, Prefetch: jb.prefetch, Info: *info}
+		if out.Sampled != nil {
+			passes[j] = &SampledPass{Mix: mix.Name, Split: jb.split, Prefetch: jb.prefetch, Info: *out.Sampled}
+		}
+		if out.Parallel != nil {
+			parPasses[j] = &ParallelPass{Mix: mix.Name, Split: jb.split, Prefetch: jb.prefetch, Info: *out.Parallel}
 		}
 		return nil
 	})
@@ -148,6 +168,11 @@ func SweepMixesContext(ctx context.Context, o Options, mixes []workload.Mix) (*S
 	for _, p := range passes {
 		if p != nil {
 			res.Sampled = append(res.Sampled, *p)
+		}
+	}
+	for _, p := range parPasses {
+		if p != nil {
+			res.Parallel = append(res.Parallel, *p)
 		}
 	}
 	return res, nil
@@ -171,9 +196,10 @@ func fetchName(prefetch bool) string {
 
 // runPass executes one (organization, fetch policy) job at every size via
 // the engine capability registry and scatters the per-size results into
-// the mix's cell row. It returns the sampling metadata when the sampled
-// engine ran, nil for exact passes.
-func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split, prefetch bool, row []SweepCell) (*core.SampledInfo, error) {
+// the mix's cell row. The returned SweepOut carries the sampling and
+// parallel metadata when those engines ran (its Results are already
+// scattered).
+func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref, split, prefetch bool, row []SweepCell) (core.SweepOut, error) {
 	stage := "sweep:" + mix.Name + ":" + fetchName(prefetch) + ":" + orgName(split)
 	sp := obs.StartSpan(ctx, stage)
 	defer sp.End()
@@ -193,11 +219,11 @@ func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref,
 	spec := core.SweepSpec{
 		Sizes: o.Sizes, LineSize: o.LineSize, Split: split,
 		Quantum: mix.Quantum, Fetch: fetch, Repl: o.Repl,
-		Sampled: sampled,
+		Sampled: sampled, Parallel: o.parallelSpec(),
 	}
 	out, err := core.RunSweep(ctx, spec, trace.NewSliceReader(refs), o.Probe, stage, int64(len(refs)))
 	if err != nil {
-		return nil, err
+		return core.SweepOut{}, err
 	}
 	sp.AddRefs(int64(len(refs)))
 	for si, r := range out.Results {
@@ -213,7 +239,7 @@ func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref,
 			row[si].UnifiedDemand = cell
 		}
 	}
-	return out.Sampled, nil
+	return out, nil
 }
 
 // SizeIndex returns the index of a cache size in Sizes, or -1.

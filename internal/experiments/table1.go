@@ -40,7 +40,7 @@ func Table1(o Options) (*Table1Result, error) {
 	o = o.withDefaults()
 	units := workload.Units()
 	res := &Table1Result{Sizes: o.Sizes, Rows: make([]Table1Row, len(units))}
-	err := forEach(o.Workers, len(units), func(i int) error {
+	err := o.forEach(len(units), func(i int) error {
 		spec := units[i]
 		rd, err := o.openSpec(spec)
 		if err != nil {

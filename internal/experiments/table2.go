@@ -30,7 +30,7 @@ func Table2(o Options) (*Table2Result, error) {
 	o = o.withDefaults()
 	units := workload.Units()
 	res := &Table2Result{Rows: make([]Table2Row, len(units))}
-	err := forEach(o.Workers, len(units), func(i int) error {
+	err := o.forEach(len(units), func(i int) error {
 		spec := units[i]
 		rd, err := o.openSpec(spec)
 		if err != nil {

@@ -50,7 +50,7 @@ func Clark(o Options) (*ClarkResult, error) {
 		{4096, 16, model.ClarkVAX{}, false},
 	}
 	res := &ClarkResult{Points: make([]ClarkPoint, len(configs))}
-	err := forEach(o.Workers, len(configs), func(ci int) error {
+	err := o.forEach(len(configs), func(ci int) error {
 		cfg := configs[ci]
 		var agg cache.RefStats
 		for _, spec := range specs {
@@ -165,7 +165,7 @@ func Z80000(o Options) (*Z80000Result, error) {
 		}
 	}
 	rows := make([]Z80000Row, len(jobs))
-	err := forEach(o.Workers, len(jobs), func(ji int) error {
+	err := o.forEach(len(jobs), func(ji int) error {
 		g, fb := groups[jobs[ji].group], jobs[ji].fetch
 		var agg cache.RefStats
 		for _, spec := range workload.ByArch(g.arch) {
@@ -256,7 +256,7 @@ func M68020(o Options) (*M68020Result, error) {
 		groupSpecs[g] = append(groupSpecs[g], s)
 	}
 	rows := make([]M68020Row, len(groupOrder))
-	err := forEach(o.Workers, len(groupOrder), func(gi int) error {
+	err := o.forEach(len(groupOrder), func(gi int) error {
 		var misses [3]uint64 // blocks 4, 16, 4+prefetch
 		var refs [3]uint64
 		for _, spec := range groupSpecs[groupOrder[gi]] {

@@ -44,7 +44,7 @@ func Variance(o Options) (*VarianceResult, error) {
 	const cacheSize = 16384
 	res := &VarianceResult{CacheSize: cacheSize}
 	rows := make([]VarianceRow, len(varianceWorkloads))
-	err := forEach(o.Workers, len(varianceWorkloads), func(wi int) error {
+	err := o.forEach(len(varianceWorkloads), func(wi int) error {
 		spec, err := workload.ByName(varianceWorkloads[wi])
 		if err != nil {
 			return err

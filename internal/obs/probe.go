@@ -56,6 +56,20 @@ type SampleProbe interface {
 	SampledRun(stage string, errorBudget, achieved, fraction float64, rounds int, fellBack bool)
 }
 
+// ParallelProbe is an optional Probe extension. The time-parallel sweep
+// engine reports each run's plan — segment count, whether the plan was
+// purge-aligned, and whether (and why) the run fell back to a serial
+// engine — once per pass alongside RunEnd, plus one ParallelBoundary call
+// per reconciled segment boundary with the convergence distance (the
+// references re-simulated from the true state). The metrics layer uses
+// these for the cacheeval_parallel_* Prometheus families, the
+// convergence-distance histogram in particular.
+type ParallelProbe interface {
+	Probe
+	ParallelRun(stage string, segments int, aligned, fellBack bool, reason string)
+	ParallelBoundary(stage string, distanceRefs int64, converged bool)
+}
+
 // NopProbe is a Probe that does nothing. Installing it (rather than nil)
 // exercises the instrumented engine path; the benchmark suite does exactly
 // that so `make benchcheck` guards the overhead.

@@ -1,0 +1,73 @@
+// Package parallel implements time-parallel exact trace-driven simulation:
+// one reference stream is split into contiguous segments, every segment is
+// simulated concurrently — segment 0 from the true initial state, later
+// segments speculatively from a purge boundary or a cold state — and the
+// per-segment statistics deltas are reconciled and spliced into totals
+// bit-identical to a single serial pass. See DESIGN.md §11 for the
+// exactness argument.
+//
+// The package also provides the shared worker Budget that bounds the
+// *total* simulation concurrency across nesting levels: the experiments
+// grid parallelizes across jobs and this engine parallelizes within one,
+// and without a shared pool the two levels would multiply into Workers²
+// goroutines.
+package parallel
+
+// Budget is a counting semaphore bounding extra simulation goroutines. A
+// budget for W workers holds W-1 slots: every computation already owns its
+// calling goroutine, so W-1 successful acquisitions put exactly W
+// goroutines to work no matter how deeply fan-outs nest. Acquisition is
+// non-blocking — a caller that gets no slot simply does the work itself,
+// sequentially — so sharing one budget between the job level and the
+// segment level can never deadlock, and exhausting it degrades to the
+// plain serial path.
+//
+// A nil *Budget is valid and never grants a slot.
+type Budget struct {
+	slots chan struct{}
+}
+
+// NewBudget returns a budget allowing up to workers concurrent goroutines
+// (workers-1 grantable slots beyond the caller's own).
+func NewBudget(workers int) *Budget {
+	extra := workers - 1
+	if extra < 0 {
+		extra = 0
+	}
+	b := &Budget{slots: make(chan struct{}, extra)}
+	for i := 0; i < extra; i++ {
+		b.slots <- struct{}{}
+	}
+	return b
+}
+
+// TryAcquire takes one slot if available, without blocking. Every
+// successful TryAcquire must be paired with a Release.
+func (b *Budget) TryAcquire() bool {
+	if b == nil {
+		return false
+	}
+	select {
+	case <-b.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a previously acquired slot.
+func (b *Budget) Release() {
+	if b == nil {
+		return
+	}
+	b.slots <- struct{}{}
+}
+
+// Extra returns the number of grantable slots (capacity beyond the
+// caller's own goroutine).
+func (b *Budget) Extra() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.slots)
+}

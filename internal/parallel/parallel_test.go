@@ -1,0 +1,313 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// toy is a minimal Replica for driver mechanics: its "state" is the last
+// reference address (so a cold replica converges onto a warm one at the
+// first shared check point), and its statistics are pure linear counters,
+// so splicing must reproduce the serial counts exactly.
+type toy struct {
+	last     uint64
+	haveLast bool
+	refs     [3]uint64
+	purges   uint64
+	// neverEq simulates a target whose speculative state never converges
+	// (the serial-splice fallback path).
+	neverEq bool
+}
+
+func (t *toy) Ref(r trace.Ref) {
+	t.last = r.Addr
+	t.haveLast = true
+	t.refs[r.Kind]++
+}
+
+func (t *toy) Purge() {
+	t.purges++
+	t.haveLast = false
+}
+
+func (t *toy) Purges() uint64 { return t.purges }
+
+func (t *toy) Results() []cache.SizeResult {
+	r := cache.SizeResult{Size: 1}
+	r.Ref.Refs = t.refs
+	r.U.Accesses = t.refs[0] + t.refs[1] + t.refs[2]
+	r.U.PurgePushes = t.purges
+	return []cache.SizeResult{r}
+}
+
+func (t *toy) StateEqual(o Replica) bool {
+	b := o.(*toy)
+	if t.neverEq || b.neverEq {
+		return false
+	}
+	return t.haveLast == b.haveLast && (!t.haveLast || t.last == b.last)
+}
+
+func toyFactory(neverEq bool) func() (Replica, error) {
+	return func() (Replica, error) { return &toy{neverEq: neverEq}, nil }
+}
+
+func toyStream(n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i), Size: 4, Kind: trace.Kind(i % 3)}
+	}
+	return refs
+}
+
+// checkToyTotals asserts the spliced counters equal a serial toy run.
+func checkToyTotals(t *testing.T, res Result, refs []trace.Ref, quantum int) {
+	t.Helper()
+	serial := &toy{}
+	since := 0
+	for _, r := range refs {
+		if quantum > 0 {
+			if since >= quantum {
+				serial.Purge()
+				since = 0
+			}
+			since++
+		}
+		serial.Ref(r)
+	}
+	want := serial.Results()
+	if len(res.Results) != 1 || res.Results[0] != want[0] {
+		t.Fatalf("spliced results %+v != serial %+v", res.Results, want)
+	}
+	if res.Purges != serial.Purges() {
+		t.Fatalf("purges %d != serial %d", res.Purges, serial.Purges())
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(3)
+	if b.Extra() != 2 {
+		t.Fatalf("Extra() = %d, want 2", b.Extra())
+	}
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("first two acquisitions must succeed")
+	}
+	if b.TryAcquire() {
+		t.Fatal("third acquisition must fail")
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("released slot must be reacquirable")
+	}
+
+	var nilB *Budget
+	if nilB.TryAcquire() {
+		t.Fatal("nil budget granted a slot")
+	}
+	nilB.Release() // must not panic
+	if nilB.Extra() != 0 {
+		t.Fatal("nil budget reports capacity")
+	}
+
+	if NewBudget(0).Extra() != 0 || NewBudget(1).Extra() != 0 {
+		t.Fatal("budgets of 0 and 1 workers must grant no extra slots")
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	even := segmentBounds(100000, 4, 0)
+	want := []int{0, 25000, 50000, 75000, 100000}
+	for i := range want {
+		if even[i] != want[i] {
+			t.Fatalf("even bounds = %v, want %v", even, want)
+		}
+	}
+
+	snapped := segmentBounds(100000, 4, 7000)
+	if snapped[0] != 0 || snapped[len(snapped)-1] != 100000 {
+		t.Fatalf("bounds %v must span [0, total]", snapped)
+	}
+	for i := 1; i < len(snapped)-1; i++ {
+		if snapped[i]%7000 != 0 {
+			t.Errorf("interior bound %d not a purge point", snapped[i])
+		}
+		if snapped[i] <= snapped[i-1] {
+			t.Errorf("bounds %v not strictly increasing", snapped)
+		}
+	}
+
+	// Clustered purge points: total barely above one quantum.
+	tight := segmentBounds(220, 4, 100)
+	for i := 1; i < len(tight); i++ {
+		if tight[i] <= tight[i-1] || (i < len(tight)-1 && tight[i]%100 != 0) {
+			t.Fatalf("tight bounds %v malformed", tight)
+		}
+	}
+}
+
+func TestRunSerialReasons(t *testing.T) {
+	ctx := context.Background()
+	refs := toyStream(4096)
+	for _, tc := range []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"one worker", Options{Workers: 1, MinSegmentRefs: 64}, "fewer than two workers"},
+		{"short stream", Options{Workers: 4, MinSegmentRefs: 1 << 20}, "too short"},
+		{"stack state unaligned", Options{Workers: 4, MinSegmentRefs: 64, StackState: true}, "stack-simulation"},
+		{"stack state single epoch", Options{Workers: 4, MinSegmentRefs: 64, Quantum: 1 << 20, StackState: true}, "stack-simulation"},
+	} {
+		res, err := Run(ctx, refs, toyFactory(false), tc.opts, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(res.SerialReason, tc.want) {
+			t.Errorf("%s: reason %q does not mention %q", tc.name, res.SerialReason, tc.want)
+		}
+	}
+
+	// An exhausted shared budget degrades to serial instead of spawning.
+	drained := NewBudget(1)
+	res, err := Run(ctx, refs, toyFactory(false),
+		Options{Workers: 4, MinSegmentRefs: 64, Budget: drained}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.SerialReason, "budget") {
+		t.Errorf("drained budget: reason %q", res.SerialReason)
+	}
+}
+
+func TestRunUnalignedConverges(t *testing.T) {
+	refs := toyStream(10000)
+	res, err := Run(context.Background(), refs, toyFactory(false),
+		Options{Workers: 4, MinSegmentRefs: 100, CheckEvery: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SerialReason != "" {
+		t.Fatalf("unexpected serial fallback: %s", res.SerialReason)
+	}
+	if res.Aligned {
+		t.Fatal("quantum-free run reported an aligned plan")
+	}
+	if res.Segments != 4 || len(res.Boundaries) != 3 {
+		t.Fatalf("segments=%d boundaries=%d, want 4/3", res.Segments, len(res.Boundaries))
+	}
+	for _, b := range res.Boundaries {
+		if !b.Converged {
+			t.Errorf("boundary %d did not converge", b.Seg)
+		}
+		if b.Distance != 64 {
+			t.Errorf("boundary %d distance %d, want first check point 64", b.Seg, b.Distance)
+		}
+	}
+	checkToyTotals(t, res, refs, 0)
+}
+
+func TestRunUnalignedSerialSplice(t *testing.T) {
+	refs := toyStream(8000)
+	res, err := Run(context.Background(), refs, toyFactory(true),
+		Options{Workers: 3, MinSegmentRefs: 100, CheckEvery: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SerialReason != "" {
+		t.Fatalf("unexpected serial fallback: %s", res.SerialReason)
+	}
+	for _, b := range res.Boundaries {
+		if b.Converged {
+			t.Errorf("boundary %d claimed convergence from a never-equal target", b.Seg)
+		}
+	}
+	// Even without convergence the serial-splice fallback is exact.
+	checkToyTotals(t, res, refs, 0)
+}
+
+func TestRunAligned(t *testing.T) {
+	const quantum = 1000
+	refs := toyStream(10000)
+	res, err := Run(context.Background(), refs, toyFactory(false),
+		Options{Workers: 4, MinSegmentRefs: 100, Quantum: quantum, StackState: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SerialReason != "" {
+		t.Fatalf("unexpected serial fallback: %s", res.SerialReason)
+	}
+	if !res.Aligned {
+		t.Fatal("purge-rich run did not align")
+	}
+	for _, b := range res.Boundaries {
+		if !b.Converged || b.Distance != 0 {
+			t.Errorf("aligned boundary %d: converged=%v distance=%d", b.Seg, b.Converged, b.Distance)
+		}
+		if b.Start%quantum != 0 {
+			t.Errorf("aligned boundary %d at %d, not a purge point", b.Seg, b.Start)
+		}
+	}
+	checkToyTotals(t, res, refs, quantum)
+}
+
+func TestRunClampsToPurgeEpochs(t *testing.T) {
+	// 10000 refs with quantum 4000 → purges at 4000 and 8000: at most 3
+	// segments no matter how many workers.
+	refs := toyStream(10000)
+	res, err := Run(context.Background(), refs, toyFactory(false),
+		Options{Workers: 8, MinSegmentRefs: 100, Quantum: 4000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SerialReason != "" {
+		t.Fatalf("unexpected serial fallback: %s", res.SerialReason)
+	}
+	if !res.Aligned || res.Segments > 3 {
+		t.Fatalf("aligned=%v segments=%d, want aligned with <= 3 segments", res.Aligned, res.Segments)
+	}
+	checkToyTotals(t, res, refs, 4000)
+}
+
+func TestRunProgressAccounting(t *testing.T) {
+	refs := toyStream(10000)
+	var total atomic.Int64
+	_, err := Run(context.Background(), refs, toyFactory(false),
+		Options{Workers: 4, MinSegmentRefs: 100, CheckEvery: 64},
+		func(d int64) { total.Add(d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 simulates every ref once; reconciliation re-simulates two
+	// replicas per boundary for at least one check interval.
+	if total.Load() < int64(len(refs)) {
+		t.Fatalf("progress total %d < stream length %d", total.Load(), len(refs))
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A never-converging target forces reconciliation across whole
+	// segments, whose loop checks ctx at every CheckEvery step.
+	_, err := Run(ctx, toyStream(8000), toyFactory(true),
+		Options{Workers: 2, MinSegmentRefs: 100, CheckEvery: 64}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunFactoryError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), toyStream(8000),
+		func() (Replica, error) { return nil, boom },
+		Options{Workers: 2, MinSegmentRefs: 100}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want factory error", err)
+	}
+}

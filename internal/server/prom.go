@@ -115,6 +115,22 @@ func (s *Server) buildProm() {
 	s.sampledFraction = reg.NewHistogram("cacheeval_sampled_fraction",
 		"Fraction of the trace simulated by sampled runs (above 1 means a fallback re-ran the trace exactly).",
 		[]float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1, 1.5, 2})
+
+	s.parallelRuns = reg.NewCounter("cacheeval_parallel_runs_total",
+		"Time-parallel engine runs completed (serial fallbacks included).")
+	s.parallelFallback = reg.NewCounter("cacheeval_parallel_serial_fallbacks_total",
+		"Time-parallel runs that delegated to a serial engine.")
+	s.parallelSegments = reg.NewCounter("cacheeval_parallel_segments_total",
+		"Stream segments simulated concurrently, summed over parallel runs.")
+	s.parallelAligned = reg.NewCounter("cacheeval_parallel_aligned_runs_total",
+		"Parallel runs whose plan cut segments at purge boundaries (no reconciliation needed).")
+	s.parallelBoundaries = reg.NewCounter("cacheeval_parallel_boundaries_total",
+		"Segment boundaries reconciled, summed over parallel runs.")
+	s.parallelConverged = reg.NewCounter("cacheeval_parallel_boundaries_converged_total",
+		"Reconciled boundaries whose speculative state provably reached the true state before segment end.")
+	s.parallelDistance = reg.NewHistogram("cacheeval_parallel_convergence_distance_refs",
+		"References re-simulated per boundary before speculative and true state converged (unconverged boundaries count their whole segment).",
+		[]float64{256, 1024, 4096, 16384, 65536, 262144, 1048576})
 }
 
 // simProbe adapts engine run completions into the engine throughput metrics.
@@ -159,4 +175,30 @@ func (p simProbe) SampledRun(stage string, errorBudget, achieved, fraction float
 	}
 }
 
+// ParallelRun and ParallelBoundary make simProbe an obs.ParallelProbe: the
+// time-parallel engine reports each run's plan and each boundary's
+// reconciliation cost here, feeding the cacheeval_parallel_* families —
+// most importantly the convergence-distance histogram, the metric that says
+// how much re-simulation the speculative segmentation is really costing.
+func (p simProbe) ParallelRun(stage string, segments int, aligned, fellBack bool, reason string) {
+	p.s.parallelRuns.Add(1)
+	if fellBack {
+		p.s.parallelFallback.Add(1)
+		return
+	}
+	p.s.parallelSegments.Add(int64(segments))
+	if aligned {
+		p.s.parallelAligned.Add(1)
+	}
+}
+
+func (p simProbe) ParallelBoundary(stage string, distanceRefs int64, converged bool) {
+	p.s.parallelBoundaries.Add(1)
+	if converged {
+		p.s.parallelConverged.Add(1)
+	}
+	p.s.parallelDistance.Observe(float64(distanceRefs))
+}
+
 var _ obs.SampleProbe = simProbe{}
+var _ obs.ParallelProbe = simProbe{}

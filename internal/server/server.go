@@ -101,21 +101,28 @@ type Server struct {
 	// Prometheus exposition (see prom.go). The func-backed families read
 	// straight from metrics/state at scrape time; only the histograms and
 	// the engine refs counter hold their own state.
-	prom            *obs.Registry
-	evalHist        *obs.Histogram
-	sweepHist       *obs.Histogram
-	engineRefs      *obs.Counter
-	refsRateHist    *obs.Histogram
-	causeCompulsory *obs.Counter
-	causeCapacity   *obs.Counter
-	causeConflict   *obs.Counter
-	sampledRuns     *obs.Counter
-	sampledFallback *obs.Counter
-	sampledRounds   *obs.Counter
-	sampledRelErr   *obs.Histogram
-	sampledVsBudget *obs.Histogram
-	sampledFraction *obs.Histogram
-	httpInFlight    atomic.Int64
+	prom               *obs.Registry
+	evalHist           *obs.Histogram
+	sweepHist          *obs.Histogram
+	engineRefs         *obs.Counter
+	refsRateHist       *obs.Histogram
+	causeCompulsory    *obs.Counter
+	causeCapacity      *obs.Counter
+	causeConflict      *obs.Counter
+	sampledRuns        *obs.Counter
+	sampledFallback    *obs.Counter
+	sampledRounds      *obs.Counter
+	sampledRelErr      *obs.Histogram
+	sampledVsBudget    *obs.Histogram
+	sampledFraction    *obs.Histogram
+	parallelRuns       *obs.Counter
+	parallelFallback   *obs.Counter
+	parallelSegments   *obs.Counter
+	parallelAligned    *obs.Counter
+	parallelBoundaries *obs.Counter
+	parallelConverged  *obs.Counter
+	parallelDistance   *obs.Histogram
+	httpInFlight       atomic.Int64
 
 	mu      sync.Mutex
 	memo    *memoLRU
@@ -269,6 +276,13 @@ type EvaluateRequest struct {
 	// mode. When sampling cannot meet it the server transparently falls
 	// back to exact simulation and says so in the response.
 	ErrorBudget float64 `json:"error_budget"`
+	// Parallel asks for time-parallel exact simulation with that many
+	// segment workers. 0 and 1 run serially; values above 2 engage the
+	// reconciling segment engine — results are bit-identical to serial,
+	// and the response's "parallel" block reports the plan (or why it fell
+	// back). Rejected when negative, above the service limit, or combined
+	// with "mode":"sampled" on this endpoint.
+	Parallel int `json:"parallel"`
 	// Trace opts into the per-stage timing breakdown. It cannot change the
 	// simulation's result, so it is excluded from the memoization key; a
 	// memoized answer returns the spans of the run that computed it.
@@ -314,6 +328,56 @@ func sampledOut(info *core.SampledInfo) *SampledOut {
 	}
 }
 
+// ParallelOut reports how a time-parallel run went: the plan it executed
+// (or the serial engine it delegated to, and why), and the reconciliation
+// cost in re-simulated references.
+type ParallelOut struct {
+	Engine               string `json:"engine"`
+	Segments             int    `json:"segments"`
+	Aligned              bool   `json:"aligned"`
+	Boundaries           int    `json:"boundaries"`
+	Converged            int    `json:"converged"`
+	MaxConvergenceRefs   int    `json:"max_convergence_refs"`
+	TotalConvergenceRefs uint64 `json:"total_convergence_refs"`
+	FellBack             bool   `json:"fell_back"`
+	FallbackReason       string `json:"fallback_reason,omitempty"`
+}
+
+// parallelOut converts the core metadata to its response form.
+func parallelOut(info *core.ParallelInfo) *ParallelOut {
+	if info == nil {
+		return nil
+	}
+	return &ParallelOut{
+		Engine:               info.Engine,
+		Segments:             info.Segments,
+		Aligned:              info.Aligned,
+		Boundaries:           info.Boundaries,
+		Converged:            info.Converged,
+		MaxConvergenceRefs:   info.MaxConvergenceRefs,
+		TotalConvergenceRefs: info.TotalConvergenceRefs,
+		FellBack:             info.FellBack,
+		FallbackReason:       info.FallbackReason,
+	}
+}
+
+// maxParallelWorkers bounds the per-request segment-worker count. Segment
+// replicas each hold a full tag store per size, so letting a request name an
+// arbitrary worker count would multiply memory without bound.
+const maxParallelWorkers = 64
+
+// validateParallel checks the parallel field shared by both endpoints.
+func validateParallel(workers int) *requestError {
+	if workers < 0 {
+		return &requestError{http.StatusBadRequest, "parallel must be >= 0"}
+	}
+	if workers > maxParallelWorkers {
+		return &requestError{http.StatusBadRequest,
+			"parallel exceeds the service limit of 64 workers"}
+	}
+	return nil
+}
+
 // missCIOut converts a cache-layer CI to its response form.
 func missCIOut(ci *cache.MissCI) *MissCIOut {
 	if ci == nil {
@@ -326,9 +390,10 @@ func missCIOut(ci *cache.MissCI) *MissCIOut {
 // appear only for sampled-mode requests (and the CI only when sampling
 // succeeded — a fallback's results are exact and need no interval).
 type EvaluateResponse struct {
-	Report      core.Report `json:"report"`
-	MissRatioCI *MissCIOut  `json:"miss_ratio_ci,omitempty"`
-	Sampled     *SampledOut `json:"sampled,omitempty"`
+	Report      core.Report  `json:"report"`
+	MissRatioCI *MissCIOut   `json:"miss_ratio_ci,omitempty"`
+	Sampled     *SampledOut  `json:"sampled,omitempty"`
+	Parallel    *ParallelOut `json:"parallel,omitempty"`
 	// Cached reports a memoization hit; Shared reports singleflight dedup
 	// against a concurrent identical request.
 	Cached    bool              `json:"cached"`
@@ -341,10 +406,11 @@ type EvaluateResponse struct {
 // sampled-mode outputs when they exist, plus the spans of the run that
 // produced it.
 type evalMemo struct {
-	Report  core.Report
-	CI      *MissCIOut
-	Sampled *SampledOut
-	Trace   []obs.SpanSummary
+	Report   core.Report
+	CI       *MissCIOut
+	Sampled  *SampledOut
+	Parallel *ParallelOut
+	Trace    []obs.SpanSummary
 }
 
 // requestError is a validation failure plus the HTTP status it maps to.
@@ -410,6 +476,17 @@ func (s *Server) validateEvaluate(req *EvaluateRequest) (cache.SystemConfig, wor
 		return cache.SystemConfig{}, workload.Mix{}, verr
 	}
 	req.Mode = mode // canonical spelling, relied on by downstream keying
+	if verr := validateParallel(req.Parallel); verr != nil {
+		return cache.SystemConfig{}, workload.Mix{}, verr
+	}
+	if req.Parallel >= 2 && req.Mode == "sampled" {
+		return cache.SystemConfig{}, workload.Mix{}, &requestError{
+			http.StatusBadRequest,
+			`parallel and "mode":"sampled" are mutually exclusive on /v1/evaluate`}
+	}
+	if req.Parallel < 2 {
+		req.Parallel = 0 // canonical serial spelling, relied on by keying
+	}
 	design := req.Design
 	if design == (cache.SystemConfig{}) {
 		design = cache.SystemConfig{
@@ -479,7 +556,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		RefLimit    int
 		Mode        string
 		ErrorBudget float64
-	}{design, mix.Name, req.RefLimit, req.Mode, req.ErrorBudget})
+		Parallel    int
+	}{design, mix.Name, req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel})
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
@@ -509,6 +587,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 				}
 				return evalMemo{Report: rep, CI: missCIOut(ci), Sampled: sampledOut(info), Trace: tr.Summary()}, nil
 			}
+			if req.Parallel >= 2 {
+				rep, info, err := core.EvaluateParallelRefsContext(fctx, design, mix.Name, refs,
+					&core.ParallelOptions{Workers: req.Parallel})
+				if err != nil {
+					return nil, err
+				}
+				return evalMemo{Report: rep, Parallel: parallelOut(info), Trace: tr.Summary()}, nil
+			}
 			rep, err := core.EvaluateRefsContext(fctx, design, mix.Name, refs)
 			if err != nil {
 				return nil, err
@@ -524,7 +610,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	memo := val.(evalMemo)
 	resp := EvaluateResponse{
 		Report: memo.Report, MissRatioCI: memo.CI, Sampled: memo.Sampled,
-		Cached: hit, Shared: shared,
+		Parallel: memo.Parallel,
+		Cached:   hit, Shared: shared,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if req.Trace {
@@ -564,6 +651,12 @@ type SweepRequest struct {
 	// miss-ratio CI and the response lists per-pass sampling metadata.
 	Mode        string  `json:"mode"`
 	ErrorBudget float64 `json:"error_budget"`
+	// Parallel asks for time-parallel exact simulation with that many
+	// workers shared between grid jobs and stream segments (one pool, no
+	// oversubscription). Results are bit-identical to serial; the response
+	// lists per-pass plan metadata. Composable with "mode":"sampled" —
+	// a pass whose sampling falls back to exact re-runs parallel.
+	Parallel int `json:"parallel"`
 	// Trace opts into the per-stage timing breakdown; like timeout_ms it is
 	// excluded from the memoization key (see EvaluateRequest.Trace).
 	Trace bool `json:"trace"`
@@ -597,15 +690,24 @@ type SampledPassOut struct {
 	SampledOut
 }
 
+// ParallelPassOut is ParallelOut for one sweep grid pass.
+type ParallelPassOut struct {
+	Mix      string `json:"mix"`
+	Split    bool   `json:"split"`
+	Prefetch bool   `json:"prefetch"`
+	ParallelOut
+}
+
 // sweepPayload is the memoized portion of a sweep response. Mode is the
 // canonical request mode ("exact" or "sampled"); Sampled lists per-pass
 // sampling metadata for sampled sweeps.
 type sweepPayload struct {
-	Sizes   []int            `json:"sizes"`
-	Mixes   []string         `json:"mixes"`
-	Mode    string           `json:"mode"`
-	Cells   [][]SweepCellOut `json:"cells"`
-	Sampled []SampledPassOut `json:"sampled,omitempty"`
+	Sizes    []int             `json:"sizes"`
+	Mixes    []string          `json:"mixes"`
+	Mode     string            `json:"mode"`
+	Cells    [][]SweepCellOut  `json:"cells"`
+	Sampled  []SampledPassOut  `json:"sampled,omitempty"`
+	Parallel []ParallelPassOut `json:"parallel,omitempty"`
 }
 
 // SweepResponse is the POST /v1/sweep reply; Cells is indexed [mix][size].
@@ -675,6 +777,12 @@ func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, cache.Replace
 		return nil, 0, verr
 	}
 	req.Mode = mode // canonical spelling, relied on by downstream keying
+	if verr := validateParallel(req.Parallel); verr != nil {
+		return nil, 0, verr
+	}
+	if req.Parallel < 2 {
+		req.Parallel = 0 // canonical serial spelling, relied on by keying
+	}
 	return mixes, repl, nil
 }
 
@@ -707,6 +815,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Mode == "sampled" {
 		opts.Sampled = &core.SampledOptions{ErrorBudget: req.ErrorBudget}
 	}
+	if req.Parallel >= 2 {
+		// One pool serves both grid jobs and stream segments (the
+		// experiments layer shares its budget with the parallel engine), so
+		// the request never exceeds its granted worker count.
+		if req.Parallel > opts.Workers {
+			opts.Workers = req.Parallel
+		}
+	} else {
+		// Pin the serial engines: without this, an operator-configured
+		// SimWorkers > 1 would opt every sweep into the parallel engine.
+		opts.Parallel = &core.ParallelOptions{Workers: 1}
+	}
 	// The key carries the parsed policy's canonical name, so the "slru",
 	// "segmented-lru" and "2q" spellings memoize as one entry. Mode and
 	// budget isolate sampled results from exact ones.
@@ -718,7 +838,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		RefLimit    int
 		Mode        string
 		ErrorBudget float64
-	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit, req.Mode, req.ErrorBudget})
+		Parallel    int
+	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel})
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
@@ -768,6 +889,12 @@ func summarizeSweep(res *experiments.SweepResult, mode string) sweepPayload {
 		out.Sampled = append(out.Sampled, SampledPassOut{
 			Mix: p.Mix, Split: p.Split, Prefetch: p.Prefetch,
 			SampledOut: *sampledOut(&p.Info),
+		})
+	}
+	for _, p := range res.Parallel {
+		out.Parallel = append(out.Parallel, ParallelPassOut{
+			Mix: p.Mix, Split: p.Split, Prefetch: p.Prefetch,
+			ParallelOut: *parallelOut(&p.Info),
 		})
 	}
 	variant := func(o experiments.SimOut, split bool) VariantOut {
