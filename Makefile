@@ -55,22 +55,23 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # Record the perf trajectory: run the artifact + simulator benchmarks
-# (including the exact/sampled/parallel sweep trio) and merge the numbers
-# into BENCH_5.json under the "after" key (use BENCHKEY=before to record a
-# baseline first). Prior records (BENCH_2..4.json) are kept as history.
+# (including the exact/sampled/parallel/hierarchy sweep family) and merge the
+# numbers into BENCH_6.json under the "after" key (use BENCHKEY=before to
+# record a baseline first). Prior records (BENCH_2..5.json) are kept as
+# history.
 BENCHKEY ?= after
 BENCHREGEX = Table|Figure|Cache|StackSim|MultiSystem|FanoutSystem|Sweep
 benchjson:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchmem . \
-		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_5.json
+		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_6.json
 
 # Local regression check: one quick iteration of the recorded benchmarks
-# against the BENCH_5.json record. Meaningful only on the machine that
+# against the BENCH_6.json record. Meaningful only on the machine that
 # recorded the baseline (absolute timings are machine-specific); CI instead
 # runs a blocking gate that baselines the merge-base on the same runner
 # (see .github/workflows/ci.yml, bench-smoke job).
 BENCHTHRESHOLD ?= 1.5
-BENCHBASE ?= BENCH_5.json
+BENCHBASE ?= BENCH_6.json
 benchcheck:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson -against $(BENCHBASE) -threshold $(BENCHTHRESHOLD)
@@ -88,10 +89,17 @@ fuzz:
 	done
 
 # Coverage profile over the short suite (the conformance harness drives the
-# simulators hard enough that short mode is representative).
+# simulators hard enough that short mode is representative). The hierarchy
+# engine source added for the two-level/victim work carries a hard statement
+# floor: it is the newest simulator surface, and the oracle lockstep suite is
+# supposed to keep it hot — falling below the floor means the conformance
+# grids stopped reaching code they were written to pin.
+COVERFLOOR ?= 85
+COVERFLOORFILE = internal/cache/hierarchy.go
 cover:
 	$(GO) test -short -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
+	@awk -v floor=$(COVERFLOOR) -v file=$(COVERFLOORFILE) 'index($$1, file ":") { total += $$2; if ($$3 > 0) covered += $$2 } END { if (total == 0) { print "cover: no statements matched " file; exit 1 } pct = 100 * covered / total; printf "cover floor: %s %.1f%% of statements (floor %d%%)\n", file, pct, floor; if (pct < floor) { print "cover: hierarchy coverage below floor"; exit 1 } }' cover.out
 
 # Regenerate every table and figure at the paper's run lengths (~1 min).
 repro:

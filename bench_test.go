@@ -280,6 +280,25 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepHierarchy runs the same grid as BenchmarkSweepExact with a
+// hierarchy behind every L1: a 4-line victim buffer plus a 256KB unified L2
+// (large enough to back the split grid's biggest 2×64KB pass). Neither
+// extension preserves stack inclusion, so the registry routes every pass to
+// the per-size hierarchy engine; the recorded BENCH_6.json pair (exact vs
+// hierarchy) prices that routing against the one-pass stack engines the
+// single-level sweep gets to use.
+func BenchmarkSweepHierarchy(b *testing.B) {
+	o, mixes := benchSampledOpts(b)
+	o.Victim = 4
+	o.L2 = &core.L2Spec{Size: 262144, LineSize: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SweepMixes(o, mixes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- microbenchmarks of the hot paths ---
 
 // benchRefs materializes a workload once for the cache microbenchmarks,

@@ -45,6 +45,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	subblock := fs.Int("subblock", 0, "sector-cache sub-block bytes (0 = whole-line fetch)")
 	combine := fs.Int("combine", 0, "write-combining buffer width in bytes for write-through (0 = off)")
 	split := fs.Bool("split", false, "split instruction/data caches instead of unified")
+	victim := fs.Int("victim", 0, "victim buffer lines behind each cache (fully associative; 0 = none)")
+	l2Size := fs.Int("l2-size", 0, "second-level cache size in bytes (0 = single level)")
+	l2Line := fs.Int("l2-line", 0, "second-level line size in bytes (0 = inherit -line)")
+	l2Assoc := fs.Int("l2-assoc", 0, "second-level associativity (0 = fully associative)")
 	purge := fs.Int("purge", 0, "purge interval in references (0 = never)")
 	maxRefs := fs.Int("n", 0, "stop after N references (0 = whole trace)")
 	seed := fs.Uint64("seed", 1, "seed for random replacement")
@@ -62,10 +66,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *parallelN >= 2 && *sampleBudget > 0 {
 		return fmt.Errorf("-parallel and -sample-budget are mutually exclusive")
 	}
+	if *l2Size == 0 && (*l2Line != 0 || *l2Assoc != 0) {
+		return fmt.Errorf("-l2-line and -l2-assoc require -l2-size")
+	}
+	if *victim > 0 || *l2Size > 0 {
+		// Neither the sampled nor the time-parallel engine is sound for
+		// victim buffers or hierarchies (see core.SweepSpec.Validate).
+		if *sampleBudget > 0 {
+			return fmt.Errorf("-victim/-l2-size and -sample-budget are mutually exclusive")
+		}
+		if *parallelN >= 2 {
+			return fmt.Errorf("-victim/-l2-size and -parallel are mutually exclusive")
+		}
+	}
 
 	cfg := cache.Config{
 		Size: *size, LineSize: *line, Assoc: *assoc,
 		SubBlock: *subblock, CombineWidth: *combine, Seed: *seed,
+		VictimLines: *victim,
 	}
 	r, err := cache.ParseReplacement(*repl)
 	if err != nil {
@@ -112,6 +130,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	defer closeFn()
+	if *l2Size > 0 {
+		l2cfg := cache.Config{Size: *l2Size, LineSize: *l2Line, Assoc: *l2Assoc}
+		if l2cfg.LineSize == 0 {
+			l2cfg.LineSize = *line
+		}
+		return runHierarchy(stdout, cache.HierarchyConfig{L1: sc, L2: l2cfg}, cfg, rd, *maxRefs, *jsonOut)
+	}
 	if *sampleBudget > 0 {
 		return runSampled(stdout, sc, cfg, rd, *maxRefs, *sampleBudget, *jsonOut)
 	}
@@ -146,9 +171,102 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		st.BytesToMemory, st.WriteTransactions, st.CombinedWrites)
 	fmt.Fprintf(stdout, "pushes:           %d (%d dirty, %.2f dirty fraction, %d by purge)\n",
 		st.Pushes, st.DirtyPushes, st.FracPushesDirty(), st.PurgePushes)
+	if *victim > 0 {
+		fmt.Fprintf(stdout, "victim buffer:    %d lines, %d hits, %d fills\n",
+			*victim, st.VictimHits, st.VictimFills)
+	}
 	fmt.Fprintf(stdout, "traffic ratio:    %.3f (vs cacheless, [Hil84])\n", sys.TrafficRatio())
 	fmt.Fprintf(stdout, "purges:           %d\n", sys.Purges())
 	return nil
+}
+
+// runHierarchy executes the trace through a two-level hierarchy: the
+// configured system becomes the first level and every L1 miss (and dirty
+// push) feeds the unified second-level cache. The output reports the
+// processor's view (the L1 figures), the L2's event stream with its local
+// miss ratio, and the global miss ratio — the fraction of references that
+// went all the way to memory.
+func runHierarchy(stdout io.Writer, hc cache.HierarchyConfig, cfg cache.Config, rd trace.Reader, maxRefs int, jsonOut bool) error {
+	h, err := cache.NewHierarchy(hc)
+	if err != nil {
+		return err
+	}
+	n, err := h.Run(rd, maxRefs)
+	if err != nil {
+		return err
+	}
+	rs := h.RefStats()
+	l1, l2, ev := h.Stats(), h.L2Stats(), h.HierStats()
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(hierJSONResult{
+			Configuration:   cfg.String(),
+			L2Configuration: hc.L2.String(),
+			References:      n,
+			MissRatio:       rs.MissRatio(),
+			InstrMiss:       rs.KindMissRatio(trace.IFetch),
+			DataMiss:        rs.DataMissRatio(),
+			VictimHits:      l1.VictimHits,
+			L2Fetches:       ev.Fetches,
+			L2FetchMisses:   ev.FetchMisses,
+			L2Writes:        ev.Writes,
+			L2WriteMisses:   ev.WriteMisses,
+			L2LocalMiss:     ev.LocalMissRatio(),
+			GlobalMiss:      h.GlobalMissRatio(),
+			BytesFromMemory: l2.BytesFromMemory,
+			BytesToMemory:   l2.BytesToMemory,
+			Purges:          h.Purges(),
+			L1Stats:         l1,
+			L2Stats:         l2,
+		})
+	}
+	fmt.Fprintf(stdout, "configuration:    %s", cfg)
+	if hc.L1.Split {
+		fmt.Fprintf(stdout, " (split I/D)")
+	}
+	fmt.Fprintf(stdout, " + L2 %s", hc.L2)
+	if hc.L1.PurgeInterval > 0 {
+		fmt.Fprintf(stdout, ", purge every %d refs", hc.L1.PurgeInterval)
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "references:       %d (ifetch %d, read %d, write %d)\n",
+		n, rs.Refs[trace.IFetch], rs.Refs[trace.Read], rs.Refs[trace.Write])
+	fmt.Fprintf(stdout, "L1 miss ratio:    %.4f overall, %.4f instruction, %.4f data\n",
+		rs.MissRatio(), rs.KindMissRatio(trace.IFetch), rs.DataMissRatio())
+	if l1.VictimHits > 0 || l1.VictimFills > 0 {
+		fmt.Fprintf(stdout, "victim buffer:    %d hits, %d fills\n", l1.VictimHits, l1.VictimFills)
+	}
+	fmt.Fprintf(stdout, "L2 events:        %d fetches (%d missed), %d write-backs (%d missed)\n",
+		ev.Fetches, ev.FetchMisses, ev.Writes, ev.WriteMisses)
+	fmt.Fprintf(stdout, "L2 miss ratio:    %.4f local, %.4f global\n",
+		ev.LocalMissRatio(), h.GlobalMissRatio())
+	fmt.Fprintf(stdout, "memory traffic:   %d bytes fetched, %d bytes written\n",
+		l2.BytesFromMemory, l2.BytesToMemory)
+	fmt.Fprintf(stdout, "purges:           %d\n", h.Purges())
+	return nil
+}
+
+// hierJSONResult is the -json output shape of an -l2-size run.
+type hierJSONResult struct {
+	Configuration   string      `json:"configuration"`
+	L2Configuration string      `json:"l2_configuration"`
+	References      int         `json:"references"`
+	MissRatio       float64     `json:"miss_ratio"`
+	InstrMiss       float64     `json:"instruction_miss_ratio"`
+	DataMiss        float64     `json:"data_miss_ratio"`
+	VictimHits      uint64      `json:"victim_hits"`
+	L2Fetches       uint64      `json:"l2_fetches"`
+	L2FetchMisses   uint64      `json:"l2_fetch_misses"`
+	L2Writes        uint64      `json:"l2_writes"`
+	L2WriteMisses   uint64      `json:"l2_write_misses"`
+	L2LocalMiss     float64     `json:"l2_local_miss_ratio"`
+	GlobalMiss      float64     `json:"global_miss_ratio"`
+	BytesFromMemory uint64      `json:"bytes_from_memory"`
+	BytesToMemory   uint64      `json:"bytes_to_memory"`
+	Purges          uint64      `json:"purges"`
+	L1Stats         cache.Stats `json:"l1_stats"`
+	L2Stats         cache.Stats `json:"l2_stats"`
 }
 
 // runSampled executes the trace under interval sampling with the given

@@ -317,3 +317,83 @@ func TestRunJSON(t *testing.T) {
 		t.Error("miss ratio should be positive")
 	}
 }
+
+// TestRunVictim drives the -victim flag: the buffer shows up in the text
+// output and in the JSON stats, and hits reduce demand fetches.
+func TestRunVictim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "256", "-assoc", "1", "-victim", "4"},
+		strings.NewReader(testTrace(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "victim buffer:") {
+		t.Errorf("text output missing victim line:\n%s", out.String())
+	}
+	var js bytes.Buffer
+	if err := run([]string{"-size", "256", "-assoc", "1", "-victim", "4", "-json"},
+		strings.NewReader(testTrace(t)), &js); err != nil {
+		t.Fatal(err)
+	}
+	var res jsonResult
+	if err := json.Unmarshal(js.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.VictimHits == 0 {
+		t.Error("direct-mapped cache with a victim buffer recorded no victim hits")
+	}
+}
+
+// TestRunHierarchy drives the -l2-* flags in text and JSON form and checks
+// the cross-level identities the simulator must satisfy.
+func TestRunHierarchy(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "256", "-l2-size", "4096", "-l2-line", "32"},
+		strings.NewReader(testTrace(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"L1 miss ratio:", "L2 events:", "L2 miss ratio:", "+ L2 4096B/32B"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := run([]string{"-size", "256", "-l2-size", "4096", "-l2-line", "32", "-json"},
+		strings.NewReader(testTrace(t)), &js); err != nil {
+		t.Fatal(err)
+	}
+	var res hierJSONResult
+	if err := json.Unmarshal(js.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.L2Fetches != res.L1Stats.DemandFetches+res.L1Stats.PrefetchFetches {
+		t.Errorf("L2 fetches %d != L1 fetches %d",
+			res.L2Fetches, res.L1Stats.DemandFetches+res.L1Stats.PrefetchFetches)
+	}
+	if res.L2Writes != res.L1Stats.DirtyPushes {
+		t.Errorf("L2 writes %d != L1 dirty pushes %d", res.L2Writes, res.L1Stats.DirtyPushes)
+	}
+	if res.GlobalMiss > res.MissRatio {
+		t.Errorf("global miss ratio %v exceeds L1 miss ratio %v", res.GlobalMiss, res.MissRatio)
+	}
+}
+
+// TestRunHierarchyFlagValidation pins the CLI-level rejections for the new
+// flags: engines that cannot cross levels, orphaned -l2-* flags, and
+// inverted hierarchies.
+func TestRunHierarchyFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-l2-line", "32"},
+		{"-l2-assoc", "2"},
+		{"-victim", "2", "-sample-budget", "0.05"},
+		{"-l2-size", "4096", "-sample-budget", "0.05"},
+		{"-victim", "2", "-parallel", "4"},
+		{"-l2-size", "4096", "-parallel", "4"},
+		{"-size", "4096", "-l2-size", "512"},
+		{"-victim", "-1"},
+		{"-victim", "2", "-subblock", "4"},
+	} {
+		if err := run(args, strings.NewReader(testTrace(t)), &bytes.Buffer{}); err == nil {
+			t.Errorf("%v: expected an error", args)
+		}
+	}
+}

@@ -28,9 +28,17 @@ type Cache struct {
 	sets      []set
 	stats     Stats
 	rng       *rand.Rand // only for Random replacement
-	resident  int        // total valid lines, for invariant checks
+	resident  int        // total valid main-array lines, for invariant checks
 	protCap   int32      // SegmentedLRU protected-segment capacity per set
 	causes    *causeTracker
+
+	// vbuf is the fully associative victim buffer (Config.VictimLines > 0):
+	// lists[0] holds entries most-recently-filled first, free recycles
+	// frames vacated by victim hits. Nil when disabled.
+	vbuf *set
+	// sink observes memory-side traffic (the next hierarchy level); nil
+	// means traffic is only counted.
+	sink MemSink
 
 	// write-combining buffer state (write-through only): the unit of the
 	// immediately preceding store, cleared by any intervening access.
@@ -221,8 +229,29 @@ func New(cfg Config) (*Cache, error) {
 			c.protCap = 1
 		}
 	}
+	if cfg.VictimLines > 0 {
+		vb := newSet(cfg.VictimLines)
+		c.vbuf = &vb
+	}
 	return c, nil
 }
+
+// MemSink observes a cache's memory-side traffic: every line (sub-block)
+// fetch and every byte written toward memory, at the moment the matching
+// Stats field accrues. A two-level hierarchy installs the L2 as the L1's
+// sink; a nil sink (the default) costs one predictable branch per event.
+type MemSink interface {
+	// MemRead reports a fetch of size bytes at the (fetch-unit-aligned)
+	// address addr.
+	MemRead(addr uint64, size int)
+	// MemWrite reports size bytes written toward memory at addr: a dirty
+	// sub-block on a push, or a write-through / no-allocate store.
+	MemWrite(addr uint64, size int)
+}
+
+// SetMemSink installs ms as the observer of this cache's memory-side
+// traffic. Call before simulation starts; nil uninstalls.
+func (c *Cache) SetMemSink(ms MemSink) { c.sink = ms }
 
 // Config returns the configuration the cache was built with.
 func (c *Cache) Config() Config { return c.cfg }
@@ -328,6 +357,9 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 			// The store goes to memory but the line is not brought in.
 			c.stats.BytesToMemory += uint64(storeBytes)
 			c.accountWriteTransaction(addr)
+			if c.sink != nil {
+				c.sink.MemWrite(addr, storeBytes)
+			}
 			return false, false
 		}
 	}
@@ -338,14 +370,36 @@ func (c *Cache) demand(addr uint64, write bool, storeBytes int) (hit, firstUse b
 		c.touch(s, ni)
 		c.stats.DemandFetches++
 		c.stats.BytesFromMemory += c.subSize
+		if c.sink != nil {
+			c.sink.MemRead(addr&^(c.subSize-1), int(c.subSize))
+		}
 		c.applyWrite(n, sub, addr, write, storeBytes)
 		return false, false
 	}
-	// Line absent: allocate a frame and fetch the referenced sub-block
-	// (fetch-on-write under copy-back; write-allocate under write-through).
+	// Line absent: a victim-buffer hit swaps the line back into the main
+	// array with no memory traffic (the access still counted as a miss
+	// above — the buffer shortens the miss penalty, it does not hide the
+	// miss).
+	if c.vbuf != nil {
+		if vi, hit := c.vbuf.lookup(line); hit {
+			valid, dirty := c.vbuf.nodes[vi].valid, c.vbuf.nodes[vi].dirty
+			c.vbufRemove(vi)
+			c.stats.VictimHits++
+			ni = c.insert(s, line, valid, false)
+			s.nodes[ni].dirty = dirty
+			c.applyWrite(&s.nodes[ni], sub, addr, write, storeBytes)
+			return false, false
+		}
+	}
+	// Line absent everywhere: allocate a frame and fetch the referenced
+	// sub-block (fetch-on-write under copy-back; write-allocate under
+	// write-through).
 	ni = c.insert(s, line, 1<<sub, false)
 	c.stats.DemandFetches++
 	c.stats.BytesFromMemory += c.subSize
+	if c.sink != nil {
+		c.sink.MemRead(addr&^(c.subSize-1), int(c.subSize))
+	}
 	c.applyWrite(&s.nodes[ni], sub, addr, write, storeBytes)
 	return false, false
 }
@@ -363,6 +417,9 @@ func (c *Cache) applyWrite(n *node, sub uint, addr uint64, write bool, storeByte
 	case WriteThrough:
 		c.stats.BytesToMemory += uint64(storeBytes)
 		c.accountWriteTransaction(addr)
+		if c.sink != nil {
+			c.sink.MemWrite(addr, storeBytes)
+		}
 	}
 }
 
@@ -397,10 +454,21 @@ func (c *Cache) prefetch(addr uint64) {
 		}
 		n.valid |= 1 << sub
 	} else {
+		// A line sitting in the victim buffer is already close at hand:
+		// prefetching it would be pure churn, so the probe treats it as
+		// present (no fetch, no swap — only a demand reference promotes).
+		if c.vbuf != nil {
+			if _, hit := c.vbuf.lookup(line); hit {
+				return
+			}
+		}
 		c.insert(s, line, 1<<sub, true)
 	}
 	c.stats.PrefetchFetches++
 	c.stats.BytesFromMemory += c.subSize
+	if c.sink != nil {
+		c.sink.MemRead(addr&^(c.subSize-1), int(c.subSize))
+	}
 }
 
 // touch updates replacement state for a demand reference to a resident
@@ -451,7 +519,7 @@ func (c *Cache) insert(s *set, line uint64, valid uint64, prefetched bool) int32
 		s.used++
 	} else {
 		ni = c.victim(s)
-		c.push(s, ni, false)
+		c.evictLine(s, ni)
 	}
 	c.resident++
 	n := &s.nodes[ni]
@@ -605,7 +673,7 @@ func (c *Cache) arcReplace(s *set, inB2 bool) {
 func (c *Cache) arcEvict(s *set, li int, ghost bool) {
 	ni := s.lists[li].tail
 	tag := s.nodes[ni].tag
-	c.push(s, ni, false)
+	c.evictLine(s, ni)
 	s.free = append(s.free, ni)
 	if ghost {
 		s.ghosts[li] = ghostPrepend(s.ghosts[li], tag)
@@ -656,6 +724,20 @@ func ghostDropLRU(g []uint64) []uint64 { return g[:len(g)-1] }
 // purge.
 func (c *Cache) push(s *set, ni int32, purge bool) {
 	n := &s.nodes[ni]
+	c.accountPush(n, purge)
+	s.idxDelete(n.tag)
+	s.unlink(ni)
+	n.present = false
+	n.valid = 0
+	n.dirty = 0
+	n.prefetched = false
+	c.resident--
+}
+
+// accountPush charges one push leaving the cache subsystem for memory:
+// push counters, write-back traffic for dirty sub-blocks, and the sink
+// events the next hierarchy level consumes.
+func (c *Cache) accountPush(n *node, purge bool) {
 	c.stats.Pushes++
 	if purge {
 		c.stats.PurgePushes++
@@ -664,14 +746,103 @@ func (c *Cache) push(s *set, ni int32, purge bool) {
 		c.stats.DirtyPushes++
 		c.stats.WriteTransactions++
 		c.stats.BytesToMemory += uint64(bits.OnesCount64(n.dirty)) * c.subSize
+		if c.sink != nil {
+			base := n.tag << c.lineShift
+			for m := n.dirty; m != 0; m &= m - 1 {
+				sub := uint(bits.TrailingZeros64(m))
+				c.sink.MemWrite(base+uint64(sub)<<c.subShift, int(c.subSize))
+			}
+		}
 	}
-	s.idxDelete(n.tag)
+}
+
+// victim buffer --------------------------------------------------------
+//
+// The victim buffer [Jouppi, ISCA '90] is a small fully associative LRU
+// annex behind the main array. Capacity evictions transfer their line into
+// the buffer instead of pushing it to memory (evictLine); a later demand
+// miss that finds its line there swaps it back with no memory traffic
+// (demand). Only overflow out of the buffer — and purges — reach memory,
+// so `Pushes` keeps meaning "lines leaving the cache subsystem".
+
+// evictLine removes a replacement victim from the main array: into the
+// victim buffer when one is configured (its LRU entry overflowing to
+// memory if full), straight to memory otherwise. Purge evictions never
+// come here — a task switch flushes the buffer too.
+func (c *Cache) evictLine(s *set, ni int32) {
+	if c.vbuf == nil {
+		c.push(s, ni, false)
+		return
+	}
+	n := &s.nodes[ni]
+	tag, valid, dirty := n.tag, n.valid, n.dirty
+	// Leave the main array without push accounting: the line stays inside
+	// the cache subsystem.
+	s.idxDelete(tag)
 	s.unlink(ni)
 	n.present = false
 	n.valid = 0
 	n.dirty = 0
 	n.prefetched = false
 	c.resident--
+	c.stats.VictimFills++
+	vb := c.vbuf
+	if vb.lists[0].n == int32(len(vb.nodes)) {
+		c.vbufPush(vb.lists[0].tail, false)
+	}
+	vi := c.vbufFrame()
+	vn := &vb.nodes[vi]
+	vn.tag = tag
+	vn.present = true
+	vn.valid = valid
+	vn.dirty = dirty
+	vn.prefetched = false
+	vn.freq = 0
+	vb.idxInsert(tag, vi)
+	vb.pushFront(0, vi)
+}
+
+// vbufFrame allocates a victim-buffer frame: one recycled by a victim hit
+// if available, else the next never-used one.
+func (c *Cache) vbufFrame() int32 {
+	vb := c.vbuf
+	if n := len(vb.free); n > 0 {
+		vi := vb.free[n-1]
+		vb.free = vb.free[:n-1]
+		return vi
+	}
+	vi := vb.used
+	vb.used++
+	return vi
+}
+
+// vbufRemove takes an entry out of the victim buffer with no push
+// accounting (a victim hit: the line returns to the main array).
+func (c *Cache) vbufRemove(vi int32) {
+	vb := c.vbuf
+	n := &vb.nodes[vi]
+	vb.idxDelete(n.tag)
+	vb.unlink(vi)
+	n.present = false
+	n.valid = 0
+	n.dirty = 0
+	n.prefetched = false
+	vb.free = append(vb.free, vi)
+}
+
+// vbufPush writes a victim-buffer entry out to memory with full push
+// accounting; purge marks pushes caused by a task-switch purge.
+func (c *Cache) vbufPush(vi int32, purge bool) {
+	vb := c.vbuf
+	n := &vb.nodes[vi]
+	c.accountPush(n, purge)
+	vb.idxDelete(n.tag)
+	vb.unlink(vi)
+	n.present = false
+	n.valid = 0
+	n.dirty = 0
+	n.prefetched = false
+	vb.free = append(vb.free, vi)
 }
 
 // Purge empties the cache, pushing every resident line (dirty sub-blocks
@@ -694,6 +865,16 @@ func (c *Cache) Purge() {
 		s.ghosts[1] = s.ghosts[1][:0]
 		s.p = 0
 		s.free = s.free[:0]
+	}
+	if c.vbuf != nil {
+		vb := c.vbuf
+		for vi := vb.lists[0].head; vi != -1; {
+			next := vb.nodes[vi].next
+			c.vbufPush(vi, true)
+			vi = next
+		}
+		vb.used = 0
+		vb.free = vb.free[:0]
 	}
 	if c.causes != nil {
 		c.causes.purge()
@@ -819,6 +1000,53 @@ func (c *Cache) checkInvariants() error {
 	}
 	if total != c.resident {
 		return fmt.Errorf("resident count %d != %d actual", c.resident, total)
+	}
+	if c.vbuf != nil {
+		if err := c.checkVbufInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkVbufInvariants validates the victim buffer: list linkage, table
+// agreement, capacity, and exclusion (no line may be resident in both the
+// buffer and its main set).
+func (c *Cache) checkVbufInvariants() error {
+	vb := c.vbuf
+	cnt := 0
+	prev := int32(-1)
+	for vi := vb.lists[0].head; vi != -1; vi = vb.nodes[vi].next {
+		n := &vb.nodes[vi]
+		if !n.present || n.valid == 0 {
+			return fmt.Errorf("vbuf: empty node %d on list", vi)
+		}
+		if n.prev != prev {
+			return fmt.Errorf("vbuf: node %d prev mismatch", vi)
+		}
+		if got, ok := vb.lookup(n.tag); !ok || got != vi {
+			return fmt.Errorf("vbuf: index mismatch for tag %#x", n.tag)
+		}
+		if n.dirty&^n.valid != 0 {
+			return fmt.Errorf("vbuf: dirty sub-blocks not valid in tag %#x", n.tag)
+		}
+		if _, resident := c.sets[n.tag&c.setMask].lookup(n.tag); resident {
+			return fmt.Errorf("vbuf: tag %#x resident in both buffer and main set", n.tag)
+		}
+		prev = vi
+		cnt++
+		if cnt > len(vb.nodes) {
+			return fmt.Errorf("vbuf: list cycle")
+		}
+	}
+	if prev != vb.lists[0].tail {
+		return fmt.Errorf("vbuf: tail mismatch")
+	}
+	if int32(cnt) != vb.lists[0].n {
+		return fmt.Errorf("vbuf: list length %d, counter %d", cnt, vb.lists[0].n)
+	}
+	if int(vb.used) != cnt+len(vb.free) {
+		return fmt.Errorf("vbuf: used %d != on-list %d + free %d", vb.used, cnt, len(vb.free))
 	}
 	return nil
 }

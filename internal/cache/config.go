@@ -191,6 +191,14 @@ type Config struct {
 	// "adjacent short writes are combined into a longer write". Zero
 	// disables combining. Power of two; requires WriteThrough.
 	CombineWidth int
+	// VictimLines enables a Jouppi-style victim cache: a small fully
+	// associative LRU buffer behind the main array holding the lines most
+	// recently evicted by capacity replacement. A demand miss that finds
+	// its line in the buffer swaps it back into the main array with no
+	// memory traffic (Stats.VictimHits). Zero disables the buffer.
+	// Requires unsectored lines (SubBlock 0 or LineSize); at most
+	// MaxVictimLines entries.
+	VictimLines int
 	// Seed drives Random replacement; ignored by LRU and FIFO.
 	Seed uint64
 }
@@ -262,8 +270,20 @@ func (c Config) Validate() error {
 			return fmt.Errorf("cache: combine width %d is not a power of two", c.CombineWidth)
 		}
 	}
+	if c.VictimLines < 0 || c.VictimLines > MaxVictimLines {
+		return fmt.Errorf("cache: victim buffer of %d lines outside [0, %d]", c.VictimLines, MaxVictimLines)
+	}
+	if c.VictimLines > 0 && c.EffectiveSubBlock() != c.LineSize {
+		return fmt.Errorf("cache: victim buffer requires unsectored lines (sub-block %d != line %d)", c.SubBlock, c.LineSize)
+	}
 	return nil
 }
+
+// MaxVictimLines bounds Config.VictimLines: a victim buffer is by
+// construction small (Jouppi evaluated 1-15 entries), and the bound keeps
+// adversarial configurations from turning the fully associative buffer
+// into an O(n) scan per miss.
+const MaxVictimLines = 1024
 
 // EffectiveSubBlock returns the fetch granularity in bytes: SubBlock when
 // sectoring is enabled, LineSize otherwise.

@@ -43,6 +43,15 @@ type Stats struct {
 	// into the previous transaction by the combining buffer (§3.3).
 	WriteTransactions uint64
 	CombinedWrites    uint64
+
+	// VictimHits counts demand misses whose line was found in the victim
+	// buffer and swapped back with no memory fetch (so
+	// DemandFetches == Misses - VictimHits for unsectored demand caches).
+	// VictimFills counts lines transferred from the main array into the
+	// buffer by capacity replacement; both are zero without a victim
+	// buffer (Config.VictimLines).
+	VictimHits  uint64
+	VictimFills uint64
 }
 
 // MissRatio returns Misses/Accesses, or 0 when there were no accesses.
@@ -107,6 +116,8 @@ func (s Stats) Scaled(f float64) Stats {
 		BytesToMemory:     sc(s.BytesToMemory),
 		WriteTransactions: sc(s.WriteTransactions),
 		CombinedWrites:    sc(s.CombinedWrites),
+		VictimHits:        sc(s.VictimHits),
+		VictimFills:       sc(s.VictimFills),
 	}
 }
 
@@ -126,4 +137,6 @@ func (s *Stats) Add(o Stats) {
 	s.BytesToMemory += o.BytesToMemory
 	s.WriteTransactions += o.WriteTransactions
 	s.CombinedWrites += o.CombinedWrites
+	s.VictimHits += o.VictimHits
+	s.VictimFills += o.VictimFills
 }

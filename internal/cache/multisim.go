@@ -82,6 +82,9 @@ type SizeResult struct {
 	// comparable with == across exact engines — the equivalence and
 	// conformance tests rely on that.
 	CI *MissCI
+	// H carries the L2 side of a two-level simulation; the zero value
+	// (every field comparable) means single level.
+	H HierResult
 }
 
 // MissCI is an estimated confidence interval on a miss ratio, attached to

@@ -97,6 +97,18 @@ func TestOracleCrossCheck(t *testing.T) {
 		{Size: 256, LineSize: 16, Assoc: 2, Repl: cache.ARC, SubBlock: 8},
 		{Size: 512, LineSize: 16, Repl: cache.ARC, Fetch: cache.PrefetchAlways},
 		{Size: 256, LineSize: 16, Repl: cache.ARC, Write: cache.WriteThrough, NoWriteAllocate: true},
+
+		// Victim buffers: the classic direct-mapped case, set-assoc and
+		// fully-assoc mains, non-LRU policies (ARC's ghosts interact with
+		// swap-backs), prefetch (vbuf probe is a no-op), and write-through
+		// (vbuf lines are never dirty).
+		{Size: 256, LineSize: 16, Assoc: 1, VictimLines: 4}, // Jouppi's organization
+		{Size: 256, LineSize: 16, VictimLines: 1},
+		{Size: 512, LineSize: 32, Assoc: 4, Repl: cache.FIFO, VictimLines: 2},
+		{Size: 256, LineSize: 16, Repl: cache.ARC, VictimLines: 2},
+		{Size: 512, LineSize: 16, Repl: cache.LFU, VictimLines: 3, Fetch: cache.PrefetchAlways},
+		{Size: 256, LineSize: 16, Assoc: 2, Repl: cache.SegmentedLRU, VictimLines: 2, Fetch: cache.TaggedPrefetch},
+		{Size: 256, LineSize: 16, Write: cache.WriteThrough, NoWriteAllocate: true, VictimLines: 2},
 	}
 	for _, cfg := range configs {
 		for seed := int64(0); seed < 3; seed++ {

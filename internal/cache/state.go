@@ -28,9 +28,9 @@ import "slices"
 // StateEqual reports whether c and o — two caches built from the same
 // Config — hold identical logical state: the same tags in the same
 // replacement-list order with the same valid/dirty/prefetched/use-count
-// metadata, the same ARC ghost history and target, and the same
-// write-combining buffer. See the package comment above for what
-// "logical" excludes.
+// metadata, the same ARC ghost history and target, the same victim-buffer
+// contents in the same recency order, and the same write-combining buffer.
+// See the package comment above for what "logical" excludes.
 func (c *Cache) StateEqual(o *Cache) bool {
 	if len(c.sets) != len(o.sets) || c.resident != o.resident {
 		return false
@@ -39,6 +39,9 @@ func (c *Cache) StateEqual(o *Cache) bool {
 		return false
 	}
 	if c.combineLive && c.combineUnit != o.combineUnit {
+		return false
+	}
+	if !vbufEqual(c.vbuf, o.vbuf) {
 		return false
 	}
 	for si := range c.sets {
@@ -82,6 +85,31 @@ func cachePairEqual(a, b *Cache) bool {
 		return false
 	}
 	return a == nil || a.StateEqual(b)
+}
+
+// vbufEqual compares two victim buffers' logical state: the same lines in
+// the same recency order with the same valid/dirty masks. Frame indices
+// and free-list order are allocation details, excluded like the main
+// array's.
+func vbufEqual(a, b *set) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.lists[0].n != b.lists[0].n {
+		return false
+	}
+	bi := b.lists[0].head
+	for ai := a.lists[0].head; ai != -1; ai = a.nodes[ai].next {
+		an, bn := &a.nodes[ai], &b.nodes[bi]
+		if an.tag != bn.tag || an.valid != bn.valid || an.dirty != bn.dirty {
+			return false
+		}
+		bi = bn.next
+	}
+	return true
 }
 
 // StateEqual reports whether two engines built from the same MultiConfig

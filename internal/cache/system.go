@@ -155,6 +155,26 @@ func (s *System) reportCauses() {
 	cp.MissCauses(s.stage, compulsory, capacity, conflict)
 }
 
+// reportVictim emits victim-buffer hits to a HierarchyProbe when the run's
+// configuration includes a victim buffer (zero L2 events: this system is
+// single-level; the Hierarchy type reports its own batch).
+func (s *System) reportVictim() {
+	hp, ok := s.probe.(obs.HierarchyProbe)
+	if !ok {
+		return
+	}
+	victim := false
+	for _, c := range []*Cache{s.unified, s.icache, s.dcache} {
+		if c != nil && c.cfg.VictimLines > 0 {
+			victim = true
+		}
+	}
+	if !victim {
+		return
+	}
+	hp.HierarchyRun(s.stage, 0, 0, 0, 0, s.Stats().VictimHits)
+}
+
 // cacheFor returns the cache that serves references of kind k.
 func (s *System) cacheFor(k trace.Kind) *Cache {
 	if !s.cfg.Split {
@@ -278,6 +298,7 @@ func (s *System) Run(rd trace.Reader, max int) (int, error) {
 		if err != nil {
 			s.runEnd(n, t0)
 			s.reportCauses()
+			s.reportVictim()
 			return n, err
 		}
 		s.Ref(ref)
@@ -288,5 +309,6 @@ func (s *System) Run(rd trace.Reader, max int) (int, error) {
 	}
 	s.runEnd(n, t0)
 	s.reportCauses()
+	s.reportVictim()
 	return n, nil
 }

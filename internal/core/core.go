@@ -51,6 +51,30 @@ type Report struct {
 	// PrefetchAccuracy is the fraction of prefetched lines used before
 	// being pushed (0 when prefetch is off).
 	PrefetchAccuracy float64
+
+	// VictimHits counts misses served by a victim buffer without a memory
+	// fetch (0 when the design has no buffer).
+	VictimHits uint64
+	// Hierarchy carries the L2 side of a two-level evaluation; nil for
+	// single-level designs.
+	Hierarchy *HierarchyReport
+}
+
+// HierarchyReport is the L2 block of a two-level evaluation: the event
+// counts over the L1-filtered stream and the miss ratios the hierarchy
+// literature tracks — local (over the stream the L2 actually saw) and
+// global (the fraction of L1 accesses that went all the way to memory).
+type HierarchyReport struct {
+	L2Design cache.Config
+
+	L2Fetches     uint64
+	L2FetchMisses uint64
+	L2Writes      uint64
+	L2WriteMisses uint64
+
+	L2LocalMissRatio float64
+	L2FetchMissRatio float64
+	GlobalMissRatio  float64
 }
 
 // Evaluate runs the workload mix through the design and reports the
@@ -117,6 +141,68 @@ func evaluateReader(ctx context.Context, design cache.SystemConfig, name string,
 		TrafficRatio:      sys.TrafficRatio(),
 		DirtyPushFraction: dataCache.Stats().FracPushesDirty(),
 		PrefetchAccuracy:  all.PrefetchAccuracy(),
+		VictimHits:        all.VictimHits,
+	}, nil
+}
+
+// EvaluateHierarchyRefsContext evaluates a two-level design against an
+// already-materialized reference stream. The Report's reference-level
+// figures describe the processor's view (the L1); the traffic figures
+// describe the true memory interface (the L2's outer side); the Hierarchy
+// block carries the L2 event counts and miss ratios.
+func EvaluateHierarchyRefsContext(ctx context.Context, hc cache.HierarchyConfig, name string, refs []trace.Ref) (Report, error) {
+	rd := trace.NewContextReader(ctx, trace.NewSliceReader(refs))
+	h, err := cache.NewHierarchy(hc)
+	if err != nil {
+		return Report{}, err
+	}
+	if p := obs.ProbeFrom(ctx); p != nil {
+		h.SetProbe(p, "simulate:"+name, 0)
+	}
+	sp := obs.StartSpan(ctx, "simulate:"+name)
+	n, err := h.Run(rd, 0)
+	sp.AddRefs(int64(n))
+	sp.End()
+	if err != nil {
+		return Report{}, fmt.Errorf("core: evaluating %s: %w", name, err)
+	}
+	rs := h.RefStats()
+	dataCache := h.L1().Unified()
+	if hc.L1.Split {
+		dataCache = h.L1().DCache()
+	}
+	l1 := h.Stats()
+	l2 := h.L2Stats()
+	ev := h.HierStats()
+	var traffic float64
+	if rb := h.RefBytes(); rb > 0 {
+		traffic = float64(l2.MemoryTraffic()) / float64(rb)
+	}
+	return Report{
+		Design:            hc.L1,
+		Workload:          name,
+		Refs:              rs.TotalRefs(),
+		MissRatio:         rs.MissRatio(),
+		InstrMiss:         rs.KindMissRatio(trace.IFetch),
+		DataMiss:          rs.DataMissRatio(),
+		ReadMiss:          rs.KindMissRatio(trace.Read),
+		WriteMiss:         rs.KindMissRatio(trace.Write),
+		BytesFromMemory:   l2.BytesFromMemory,
+		BytesToMemory:     l2.BytesToMemory,
+		TrafficRatio:      traffic,
+		DirtyPushFraction: dataCache.Stats().FracPushesDirty(),
+		PrefetchAccuracy:  l1.PrefetchAccuracy(),
+		VictimHits:        l1.VictimHits,
+		Hierarchy: &HierarchyReport{
+			L2Design:         hc.L2,
+			L2Fetches:        ev.Fetches,
+			L2FetchMisses:    ev.FetchMisses,
+			L2Writes:         ev.Writes,
+			L2WriteMisses:    ev.WriteMisses,
+			L2LocalMissRatio: ev.LocalMissRatio(),
+			L2FetchMissRatio: ev.FetchMissRatio(),
+			GlobalMissRatio:  h.GlobalMissRatio(),
+		},
 	}, nil
 }
 

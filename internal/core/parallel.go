@@ -209,7 +209,10 @@ func (r sysReplica) StateEqual(o parallel.Replica) bool {
 var parallelEngine = SweepEngine{
 	Name: "parallel",
 	Supports: func(s SweepSpec) bool {
-		return s.Parallel != nil && s.Parallel.Workers > 1
+		// Victim buffers and hierarchies are excluded (Validate rejects the
+		// combination): segment replicas would have to converge vbuf and L2
+		// state too, which the reconciliation machinery does not model.
+		return s.Parallel != nil && s.Parallel.Workers > 1 && s.Victim == 0 && s.L2 == nil
 	},
 }
 

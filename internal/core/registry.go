@@ -47,25 +47,71 @@ type SweepSpec struct {
 	// exact simulation, the fallback re-enters the registry and picks the
 	// parallel engine.
 	Parallel *ParallelOptions
+	// Victim adds a victim buffer of this many fully-associative lines
+	// behind every cache in the sweep (Jouppi's organization). Zero means
+	// no buffer. A buffer breaks stack inclusion — its contents depend on
+	// the eviction stream, which varies with cache size — so victim sweeps
+	// never route to the one-pass engines.
+	Victim int
+	// L2 opts the sweep into two-level simulation: every L1 size runs in
+	// front of this second-level cache. The L2 sees only the L1's memory
+	// traffic, which changes with L1 size, so no multi-size engine is
+	// sound for hierarchies; the registry routes them to the per-size
+	// hierarchy engine.
+	L2 *L2Spec
+}
+
+// L2Spec describes the second-level cache of a two-level sweep: a unified
+// demand-fetch LRU copy-back cache. LineSize 0 inherits the sweep's line
+// size; Assoc 0 means fully associative.
+type L2Spec struct {
+	Size     int
+	LineSize int
+	Assoc    int
+}
+
+// config returns the cache configuration the L2 spec implies, inheriting
+// the sweep's line size when unset.
+func (l *L2Spec) config(sweepLine int) cache.Config {
+	line := l.LineSize
+	if line == 0 {
+		line = sweepLine
+	}
+	return cache.Config{Size: l.Size, LineSize: line, Assoc: l.Assoc}
 }
 
 // StackInclusion reports whether Mattson stack inclusion holds for this
 // configuration — the property the one-pass stack-simulation engines
-// require. It holds only for demand fetch with LRU replacement.
+// require. It holds only for demand fetch with LRU replacement, with no
+// victim buffer and no second level.
 func (s SweepSpec) StackInclusion() bool {
-	return s.Fetch == cache.DemandFetch && s.Repl == cache.LRU
+	return s.Fetch == cache.DemandFetch && s.Repl == cache.LRU && s.Victim == 0 && s.L2 == nil
 }
 
-// Validate checks the spec by validating the per-size cache configs it
-// implies and the sampling options, when present.
+// Validate checks the spec by validating the per-size cache (or
+// hierarchy) configs it implies and the sampling/parallel options, when
+// present. Sampling and time-parallel simulation do not compose with
+// victim buffers or hierarchies; those combinations are rejected here so
+// every caller — the service's validators in particular — fails them
+// before an engine runs.
 func (s SweepSpec) Validate() error {
 	if len(s.Sizes) == 0 {
 		return fmt.Errorf("core: sweep has no sizes")
 	}
 	for _, size := range s.Sizes {
-		if err := s.systemConfig(size).Validate(); err != nil {
+		if s.L2 != nil {
+			if err := s.hierarchyConfig(size).Validate(); err != nil {
+				return err
+			}
+		} else if err := s.systemConfig(size).Validate(); err != nil {
 			return err
 		}
+	}
+	if s.Sampled != nil && s.Sampled.ErrorBudget > 0 && (s.Victim > 0 || s.L2 != nil) {
+		return fmt.Errorf("core: sampled sweeps do not support victim buffers or hierarchies")
+	}
+	if s.Parallel != nil && s.Parallel.Workers > 1 && (s.Victim > 0 || s.L2 != nil) {
+		return fmt.Errorf("core: time-parallel sweeps do not support victim buffers or hierarchies")
 	}
 	if err := s.Sampled.Validate(); err != nil {
 		return err
@@ -75,7 +121,8 @@ func (s SweepSpec) Validate() error {
 
 // systemConfig returns the per-size system configuration the spec implies.
 func (s SweepSpec) systemConfig(size int) cache.SystemConfig {
-	base := cache.Config{Size: size, LineSize: s.LineSize, Fetch: s.Fetch, Repl: s.Repl}
+	base := cache.Config{Size: size, LineSize: s.LineSize, Fetch: s.Fetch, Repl: s.Repl,
+		VictimLines: s.Victim}
 	sc := cache.SystemConfig{PurgeInterval: s.Quantum}
 	if s.Split {
 		sc.Split = true
@@ -84,6 +131,12 @@ func (s SweepSpec) systemConfig(size int) cache.SystemConfig {
 		sc.Unified = base
 	}
 	return sc
+}
+
+// hierarchyConfig returns the per-size two-level configuration the spec
+// implies. Only meaningful when L2 is set.
+func (s SweepSpec) hierarchyConfig(size int) cache.HierarchyConfig {
+	return cache.HierarchyConfig{L1: s.systemConfig(size), L2: s.L2.config(s.LineSize)}
 }
 
 // SweepOut is what a sweep engine produces: the per-size results (in
@@ -132,8 +185,10 @@ var multiEngine = SweepEngine{
 // caches; sound for prefetch-always under LRU (inclusion does not hold,
 // but the shared per-reference work is size-independent).
 var fanoutEngine = SweepEngine{
-	Name:     "fanout",
-	Supports: func(s SweepSpec) bool { return s.Fetch == cache.PrefetchAlways && s.Repl == cache.LRU },
+	Name: "fanout",
+	Supports: func(s SweepSpec) bool {
+		return s.Fetch == cache.PrefetchAlways && s.Repl == cache.LRU && s.Victim == 0 && s.L2 == nil
+	},
 	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) (SweepOut, error) {
 		fs, err := cache.NewFanoutSystem(cache.FanoutConfig{
 			Sizes: s.Sizes, LineSize: s.LineSize, Split: s.Split, PurgeInterval: s.Quantum,
@@ -188,6 +243,46 @@ var perSizeEngine = SweepEngine{
 	},
 }
 
+// hierarchyEngine: two-level simulation, one cache.Hierarchy per L1 size.
+// Every hierarchy spec routes here — the L2's input stream is the L1's
+// memory traffic, which changes with L1 size, so no one-pass engine is
+// sound — and only hierarchy specs route here, keeping the single-level
+// engines' selection table untouched.
+var hierarchyEngine = SweepEngine{
+	Name:     "hierarchy",
+	Supports: func(s SweepSpec) bool { return s.L2 != nil },
+	Run: func(ctx context.Context, s SweepSpec, rd trace.Reader, probe obs.Probe, stage string, total int64) (SweepOut, error) {
+		refs, err := trace.Collect(rd, 0, 0)
+		if err != nil {
+			return SweepOut{}, err
+		}
+		out := make([]cache.SizeResult, len(s.Sizes))
+		var purges uint64
+		for i, size := range s.Sizes {
+			h, err := cache.NewHierarchy(s.hierarchyConfig(size))
+			if err != nil {
+				return SweepOut{}, err
+			}
+			if probe != nil {
+				h.SetProbe(probe, stage+":"+strconv.Itoa(size), int64(len(refs)))
+			}
+			if _, err := h.Run(trace.NewContextReader(ctx, trace.NewSliceReader(refs)), 0); err != nil {
+				return SweepOut{}, err
+			}
+			r := cache.SizeResult{Size: size, Ref: h.RefStats(),
+				H: cache.HierResult{Ev: h.HierStats(), U: h.L2Stats()}}
+			if s.Split {
+				r.I, r.D = h.L1().ICache().Stats(), h.L1().DCache().Stats()
+			} else {
+				r.U = h.L1().Unified().Stats()
+			}
+			out[i] = r
+			purges = h.Purges()
+		}
+		return SweepOut{Results: out, Purges: purges}, nil
+	},
+}
+
 // Engines returns the registered sweep engines in selection order: fastest
 // first, universal fallback last. SelectEngine picks the first whose
 // Supports accepts the spec, so an engine earlier in this list must be
@@ -197,9 +292,11 @@ var perSizeEngine = SweepEngine{
 // budget stripped when sampling cannot meet it. The parallel engine comes
 // next — exact results from concurrent segments when the spec grants
 // workers, with its own serial-delegation escape hatch re-entering this
-// list when no sound parallel plan exists.
+// list when no sound parallel plan exists. The hierarchy engine sits just
+// ahead of the fallback: it claims exactly the L2 specs, which the
+// single-level fallback cannot serve.
 func Engines() []SweepEngine {
-	return []SweepEngine{sampledEngine, parallelEngine, multiEngine, fanoutEngine, perSizeEngine}
+	return []SweepEngine{sampledEngine, parallelEngine, multiEngine, fanoutEngine, hierarchyEngine, perSizeEngine}
 }
 
 // SelectEngine returns the fastest sound engine for the spec. The

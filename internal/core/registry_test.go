@@ -64,6 +64,25 @@ func TestSelectEngineTable(t *testing.T) {
 			if got := SelectEngine(spec).Name; got != want(fetch, repl) {
 				t.Errorf("SelectEngine(%v, %v, workers 1) = %q, want %q", fetch, repl, got, want(fetch, repl))
 			}
+			// A victim buffer breaks stack inclusion (the buffer's contents
+			// depend on the size-varying eviction stream), so victim sweeps
+			// must run per size — never on a stack engine.
+			spec.Parallel = nil
+			spec.Victim = 4
+			if got := SelectEngine(spec).Name; got != "persize" {
+				t.Errorf("SelectEngine(%v, %v, victim 4) = %q, want persize", fetch, repl, got)
+			}
+			// Any L2 routes to the hierarchy engine — victim or not — and
+			// never to a stack engine: the L2's input stream changes with L1
+			// size, so stack inclusion cannot hold across levels.
+			spec.L2 = &L2Spec{Size: 1 << 20}
+			if got := SelectEngine(spec).Name; got != "hierarchy" {
+				t.Errorf("SelectEngine(%v, %v, victim+L2) = %q, want hierarchy", fetch, repl, got)
+			}
+			spec.Victim = 0
+			if got := SelectEngine(spec).Name; got != "hierarchy" {
+				t.Errorf("SelectEngine(%v, %v, L2) = %q, want hierarchy", fetch, repl, got)
+			}
 		}
 	}
 }
@@ -100,6 +119,24 @@ func TestInclusionBreakingNeverStackSimulated(t *testing.T) {
 		if e.Supports(broken) {
 			t.Errorf("engine %q claims support for an inclusion-breaking spec", e.Name)
 		}
+	}
+	// The same order invariant for the inclusion-breaking single-level
+	// extensions: a victim buffer is only ever served by the fallback, and
+	// an L2 only by the hierarchy engine.
+	victim := SweepSpec{Sizes: []int{512}, LineSize: 16, Victim: 2}
+	for _, e := range engines[:len(engines)-1] {
+		if e.Supports(victim) {
+			t.Errorf("engine %q claims support for a victim-buffer spec", e.Name)
+		}
+	}
+	l2 := SweepSpec{Sizes: []int{512}, LineSize: 16, L2: &L2Spec{Size: 4096}}
+	for _, e := range engines {
+		if got := e.Supports(l2); got != (e.Name == "hierarchy" || e.Name == "persize") {
+			t.Errorf("engine %q Supports(L2 spec) = %v", e.Name, got)
+		}
+	}
+	if SelectEngine(l2).Name != "hierarchy" {
+		t.Errorf("L2 spec selected %q, want hierarchy", SelectEngine(l2).Name)
 	}
 }
 
@@ -164,6 +201,52 @@ func TestRunSweepMatchesPerSize(t *testing.T) {
 	}
 }
 
+// TestRunSweepHierarchy drives a two-level sweep through the registry on a
+// real stream and checks the L2 block is populated, coherent with the L1
+// counters at every size, and distinct across L1 sizes (the L1-filtered
+// stream really changes).
+func TestRunSweepHierarchy(t *testing.T) {
+	spec1, err := workload.ByName("VTEKOFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Mix{Name: "VTEKOFF", Specs: []workload.Spec{spec1}, Quantum: 3000}
+	rd, err := mix.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.Collect(trace.NewLimitReader(rd, 12000), 0, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SweepSpec{
+		Sizes: []int{256, 1024}, LineSize: 16, Quantum: mix.Quantum,
+		Victim: 2, L2: &L2Spec{Size: 16384, LineSize: 32},
+	}
+	out, err := RunSweep(context.Background(), spec, trace.NewSliceReader(refs), nil, "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	for _, r := range out.Results {
+		if r.H.Ev.Fetches == 0 || r.H.U.Accesses == 0 {
+			t.Fatalf("size %d: empty L2 block %+v", r.Size, r.H)
+		}
+		if r.H.Ev.Fetches != r.U.DemandFetches+r.U.PrefetchFetches {
+			t.Fatalf("size %d: L2 fetch events %d != L1 line fetches %d",
+				r.Size, r.H.Ev.Fetches, r.U.DemandFetches+r.U.PrefetchFetches)
+		}
+		if r.U.VictimHits == 0 {
+			t.Fatalf("size %d: victim buffer never hit on this stream", r.Size)
+		}
+	}
+	if out.Results[0].H.Ev == out.Results[1].H.Ev {
+		t.Fatal("identical L2 event counts across L1 sizes — the filtered stream did not change")
+	}
+}
+
 // TestRunSweepValidates checks that a malformed spec is rejected before any
 // engine runs.
 func TestRunSweepValidates(t *testing.T) {
@@ -178,6 +261,16 @@ func TestRunSweepValidates(t *testing.T) {
 		{Sizes: []int{128}, LineSize: 16, Parallel: &ParallelOptions{Workers: -1}},
 		{Sizes: []int{128}, LineSize: 16, Parallel: &ParallelOptions{Workers: 2, MinSegmentRefs: -1}},
 		{Sizes: []int{128}, LineSize: 16, Parallel: &ParallelOptions{Workers: 2, CheckEvery: -1}},
+		{Sizes: []int{128}, LineSize: 16, Victim: -1},                       // negative buffer
+		{Sizes: []int{128}, LineSize: 16, Victim: 1 << 20},                  // absurd buffer
+		{Sizes: []int{4096}, LineSize: 16, L2: &L2Spec{Size: 512}},          // inverted hierarchy: L2 < L1
+		{Sizes: []int{128}, LineSize: 16, L2: &L2Spec{Size: 0}},             // empty L2
+		{Sizes: []int{128}, LineSize: 16, L2: &L2Spec{Size: 515}},           // non-power-of-two L2
+		{Sizes: []int{128}, LineSize: 16, L2: &L2Spec{Size: 512, Assoc: 3}}, // bad associativity
+		{Sizes: []int{128}, LineSize: 16, Victim: 2, Sampled: &SampledOptions{ErrorBudget: 0.02}},
+		{Sizes: []int{128}, LineSize: 16, L2: &L2Spec{Size: 512}, Sampled: &SampledOptions{ErrorBudget: 0.02}},
+		{Sizes: []int{128}, LineSize: 16, Victim: 2, Parallel: &ParallelOptions{Workers: 4}},
+		{Sizes: []int{128}, LineSize: 16, L2: &L2Spec{Size: 512}, Parallel: &ParallelOptions{Workers: 4}},
 	}
 	for i, spec := range bad {
 		if _, err := RunSweep(context.Background(), spec, trace.NewSliceReader(nil), nil, "test", 0); err == nil {

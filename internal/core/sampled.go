@@ -219,7 +219,10 @@ func sampledTarget(s SweepSpec) (sampling.Target, error) {
 var sampledEngine = SweepEngine{
 	Name: "sampled",
 	Supports: func(s SweepSpec) bool {
-		return s.Sampled != nil && s.Sampled.ErrorBudget > 0
+		// Victim buffers and hierarchies are excluded (Validate rejects the
+		// combination): warmup windows cannot reconstruct a victim buffer or
+		// an L1-filtered L2 stream from a cold start.
+		return s.Sampled != nil && s.Sampled.ErrorBudget > 0 && s.Victim == 0 && s.L2 == nil
 	},
 }
 

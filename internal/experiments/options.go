@@ -57,6 +57,15 @@ type Options struct {
 	// the given error budget (see core.SampledOptions); nil runs exact
 	// simulation, and a zero budget degrades to exact bit-identically.
 	Sampled *core.SampledOptions
+	// Victim adds a fully-associative victim buffer of this many lines
+	// behind every simulated cache (see core.SweepSpec.Victim); zero means
+	// no buffer. A buffer breaks stack inclusion, so such sweeps run one
+	// cache per size.
+	Victim int
+	// L2 opts every sweep pass into two-level simulation behind this
+	// second-level cache (see core.SweepSpec.L2); nil keeps single-level
+	// simulation. Hierarchies route to the per-size hierarchy engine.
+	L2 *core.L2Spec
 	// Parallel tunes time-parallel exact simulation inside each sweep pass
 	// (see core.ParallelOptions). Nil defaults to Workers segment workers:
 	// jobs and segments then compete for one shared pool of Workers
@@ -104,9 +113,13 @@ func (o Options) withDefaults() Options {
 // parallelSpec returns the ParallelOptions a sweep pass should carry:
 // the configured options with the experiment's shared budget injected
 // (unless the caller brought their own), or nil when parallel simulation
-// is off so the spec stays identical to the serial one.
+// is off so the spec stays identical to the serial one. Victim buffers
+// and hierarchies run serially (core.SweepSpec.Validate rejects the
+// combination): withDefaults injects Workers unconditionally, so without
+// this suppression every victim/L2 sweep on a multicore host would be an
+// error rather than a quiet serial run.
 func (o Options) parallelSpec() *core.ParallelOptions {
-	if o.Parallel == nil || o.Parallel.Workers < 2 {
+	if o.Parallel == nil || o.Parallel.Workers < 2 || o.Victim > 0 || o.L2 != nil {
 		return nil
 	}
 	po := *o.Parallel

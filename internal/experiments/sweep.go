@@ -14,11 +14,14 @@ import (
 // SimOut captures one simulation's results: reference-level statistics plus
 // per-cache line-level statistics (I and D for split organizations, U for
 // unified). CI is the miss-ratio confidence interval when the pass ran
-// under the sampled engine; exact passes leave it nil.
+// under the sampled engine; exact passes leave it nil. H carries the L2
+// side of a two-level sweep (Options.L2); single-level passes leave it
+// zero.
 type SimOut struct {
 	Ref     cache.RefStats
 	I, D, U cache.Stats
 	CI      *cache.MissCI
+	H       cache.HierResult
 }
 
 // SweepCell holds the four §3.3-§3.5 simulations of one workload at one
@@ -219,6 +222,7 @@ func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref,
 	spec := core.SweepSpec{
 		Sizes: o.Sizes, LineSize: o.LineSize, Split: split,
 		Quantum: mix.Quantum, Fetch: fetch, Repl: o.Repl,
+		Victim: o.Victim, L2: o.L2,
 		Sampled: sampled, Parallel: o.parallelSpec(),
 	}
 	out, err := core.RunSweep(ctx, spec, trace.NewSliceReader(refs), o.Probe, stage, int64(len(refs)))
@@ -227,7 +231,7 @@ func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref,
 	}
 	sp.AddRefs(int64(len(refs)))
 	for si, r := range out.Results {
-		cell := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U, CI: r.CI}
+		cell := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U, CI: r.CI, H: r.H}
 		switch {
 		case split && prefetch:
 			row[si].SplitPrefetch = cell

@@ -70,6 +70,16 @@ type ParallelProbe interface {
 	ParallelBoundary(stage string, distanceRefs int64, converged bool)
 }
 
+// HierarchyProbe is an optional Probe extension. A two-level hierarchy
+// run reports the L2-side event totals — the L1-filtered stream — in one
+// batch alongside RunEnd; a single-level run with a victim buffer
+// reports only the victim hits (zero L2 events). The metrics layer uses
+// these for the cacheeval_hierarchy_* Prometheus families.
+type HierarchyProbe interface {
+	Probe
+	HierarchyRun(stage string, l2Fetches, l2FetchMisses, l2Writes, l2WriteMisses, victimHits uint64)
+}
+
 // NopProbe is a Probe that does nothing. Installing it (rather than nil)
 // exercises the instrumented engine path; the benchmark suite does exactly
 // that so `make benchcheck` guards the overhead.

@@ -45,6 +45,19 @@ func FuzzEvaluateRequestDecode(f *testing.F) {
 	f.Add(`{"mix":"FGO1","mode":"sampled","error_budget":-0.5}`)
 	f.Add(`{"mix":"FGO1","mode":"sampled","error_budget":1e308}`)
 	f.Add(`{"mix":"FGO1","mode":"exact","error_budget":0.02}`)
+	f.Add(`{"mix":"FGO1","victim":4}`)
+	f.Add(`{"mix":"FGO1","victim":-1}`)
+	f.Add(`{"mix":"FGO1","victim":1048576}`)
+	f.Add(`{"mix":"FGO1","victim":0,"l2":{"size":65536}}`)
+	f.Add(`{"mix":"FGO1","victim":2,"policy":"random"}`)
+	f.Add(`{"mix":"FGO1","l2":{"size":65536,"line_size":32,"assoc":4}}`)
+	f.Add(`{"mix":"FGO1","design":{"Unified":{"Size":4096,"LineSize":16}},"l2":{"size":512}}`)
+	f.Add(`{"mix":"FGO1","l2":{}}`)
+	f.Add(`{"mix":"FGO1","l2":{"size":65537}}`)
+	f.Add(`{"mix":"FGO1","l2":{"size":65536},"mode":"sampled","error_budget":0.02}`)
+	f.Add(`{"mix":"FGO1","l2":{"size":65536},"parallel":4}`)
+	f.Add(`{"mix":"FGO1","victim":4,"parallel":8}`)
+	f.Add(`{"mix":"FGO1","design":{"Unified":{"Size":1024,"LineSize":16,"SubBlock":4}},"victim":2}`)
 	f.Add(strings.Repeat("[", 1000))
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body))
@@ -82,6 +95,15 @@ func FuzzSweepRequestDecode(f *testing.F) {
 	f.Add(`{"mixes":["FGO1"],"error_budget":0.02}`)
 	f.Add(`{"mixes":["FGO1"],"mode":"sampled","error_budget":-1}`)
 	f.Add(`{"mixes":["FGO1"],"mode":"sampled","error_budget":2}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[256],"victim":2}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[256],"victim":-3}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[256],"victim":0,"l2":{"size":16384}}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[4096],"l2":{"size":512}}`)
+	f.Add(`{"mixes":["FGO1"],"l2":{"size":1024}}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[256],"l2":{"size":16384,"assoc":3}}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[256],"victim":2,"policy":"random"}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[256],"l2":{"size":16384},"mode":"sampled","error_budget":0.02}`)
+	f.Add(`{"mixes":["FGO1"],"sizes":[256],"victim":2,"parallel":4}`)
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
 		w := httptest.NewRecorder()

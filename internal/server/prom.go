@@ -131,6 +131,17 @@ func (s *Server) buildProm() {
 	s.parallelDistance = reg.NewHistogram("cacheeval_parallel_convergence_distance_refs",
 		"References re-simulated per boundary before speculative and true state converged (unconverged boundaries count their whole segment).",
 		[]float64{256, 1024, 4096, 16384, 65536, 262144, 1048576})
+
+	s.hierL2Fetches = reg.NewCounter("cacheeval_hierarchy_l2_fetches_total",
+		"Fetch events the second-level cache served, summed over two-level engine runs.")
+	s.hierL2FetchMisses = reg.NewCounter("cacheeval_hierarchy_l2_fetch_misses_total",
+		"Fetch events the second-level cache missed on, summed over two-level engine runs.")
+	s.hierL2Writes = reg.NewCounter("cacheeval_hierarchy_l2_writes_total",
+		"Write-back events the second-level cache absorbed, summed over two-level engine runs.")
+	s.hierL2WriteMisses = reg.NewCounter("cacheeval_hierarchy_l2_write_misses_total",
+		"Write-back events the second-level cache missed on, summed over two-level engine runs.")
+	s.hierVictimHits = reg.NewCounter("cacheeval_hierarchy_victim_hits_total",
+		"Misses served from a victim buffer without a memory fetch, summed over engine runs.")
 }
 
 // simProbe adapts engine run completions into the engine throughput metrics.
@@ -200,5 +211,17 @@ func (p simProbe) ParallelBoundary(stage string, distanceRefs int64, converged b
 	p.s.parallelDistance.Observe(float64(distanceRefs))
 }
 
+// HierarchyRun makes simProbe an obs.HierarchyProbe: two-level and victim
+// runs report their completion totals here, feeding the
+// cacheeval_hierarchy_* families. Victim-only runs report zero L2 events.
+func (p simProbe) HierarchyRun(stage string, l2Fetches, l2FetchMisses, l2Writes, l2WriteMisses, victimHits uint64) {
+	p.s.hierL2Fetches.Add(int64(l2Fetches))
+	p.s.hierL2FetchMisses.Add(int64(l2FetchMisses))
+	p.s.hierL2Writes.Add(int64(l2Writes))
+	p.s.hierL2WriteMisses.Add(int64(l2WriteMisses))
+	p.s.hierVictimHits.Add(int64(victimHits))
+}
+
 var _ obs.SampleProbe = simProbe{}
 var _ obs.ParallelProbe = simProbe{}
+var _ obs.HierarchyProbe = simProbe{}

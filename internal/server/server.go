@@ -38,6 +38,7 @@ import (
 	"cacheeval/internal/cache"
 	"cacheeval/internal/core"
 	"cacheeval/internal/experiments"
+	"cacheeval/internal/model"
 	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
 	"cacheeval/internal/workload"
@@ -122,6 +123,11 @@ type Server struct {
 	parallelBoundaries *obs.Counter
 	parallelConverged  *obs.Counter
 	parallelDistance   *obs.Histogram
+	hierL2Fetches      *obs.Counter
+	hierL2FetchMisses  *obs.Counter
+	hierL2Writes       *obs.Counter
+	hierL2WriteMisses  *obs.Counter
+	hierVictimHits     *obs.Counter
 	httpInFlight       atomic.Int64
 
 	mu      sync.Mutex
@@ -283,10 +289,53 @@ type EvaluateRequest struct {
 	// back). Rejected when negative, above the service limit, or combined
 	// with "mode":"sampled" on this endpoint.
 	Parallel int `json:"parallel"`
+	// Victim adds a fully-associative victim buffer of this many lines
+	// behind every cache in the design (Jouppi's organization); 0 means no
+	// buffer. Folded into the design before keying, so "victim":4 and a
+	// design with VictimLines set directly memoize identically. Rejected
+	// when combined with "mode":"sampled" or parallel.
+	Victim int `json:"victim"`
+	// L2 opts the evaluation into two-level simulation: the design becomes
+	// the first level and every L1 miss (and dirty push) feeds this unified
+	// second-level cache. The report then carries an L2 block with local
+	// and global miss ratios. Rejected when combined with "mode":"sampled"
+	// or parallel — neither engine is sound across levels.
+	L2 *L2In `json:"l2"`
 	// Trace opts into the per-stage timing breakdown. It cannot change the
 	// simulation's result, so it is excluded from the memoization key; a
 	// memoized answer returns the spans of the run that computed it.
 	Trace bool `json:"trace"`
+}
+
+// L2In is the request form of a second-level cache: a unified demand-fetch
+// LRU copy-back cache behind the L1. LineSize 0 inherits the L1's line
+// size; Assoc 0 means fully associative, 1 direct mapped.
+type L2In struct {
+	Size     int `json:"size"`
+	LineSize int `json:"line_size"`
+	Assoc    int `json:"assoc"`
+}
+
+// config returns the cache configuration an L2 request block implies,
+// inheriting the L1 design's line size when unset.
+func (l *L2In) config(design cache.SystemConfig) cache.Config {
+	line := l.LineSize
+	if line == 0 {
+		if design.Split {
+			line = design.I.LineSize
+		} else {
+			line = design.Unified.LineSize
+		}
+	}
+	return cache.Config{Size: l.Size, LineSize: line, Assoc: l.Assoc}
+}
+
+// spec converts an L2 request block to the core sweep form.
+func (l *L2In) spec() *core.L2Spec {
+	if l == nil {
+		return nil
+	}
+	return &core.L2Spec{Size: l.Size, LineSize: l.LineSize, Assoc: l.Assoc}
 }
 
 // MissCIOut is a miss-ratio confidence interval in responses.
@@ -487,6 +536,22 @@ func (s *Server) validateEvaluate(req *EvaluateRequest) (cache.SystemConfig, wor
 	if req.Parallel < 2 {
 		req.Parallel = 0 // canonical serial spelling, relied on by keying
 	}
+	if req.Victim < 0 {
+		return cache.SystemConfig{}, workload.Mix{}, &requestError{
+			http.StatusBadRequest, "victim must be >= 0"}
+	}
+	if req.Victim > 0 || req.L2 != nil {
+		if req.Mode == "sampled" {
+			return cache.SystemConfig{}, workload.Mix{}, &requestError{
+				http.StatusBadRequest,
+				`victim and l2 are mutually exclusive with "mode":"sampled"`}
+		}
+		if req.Parallel >= 2 {
+			return cache.SystemConfig{}, workload.Mix{}, &requestError{
+				http.StatusBadRequest,
+				"victim and l2 are mutually exclusive with parallel"}
+		}
+	}
 	design := req.Design
 	if design == (cache.SystemConfig{}) {
 		design = cache.SystemConfig{
@@ -521,12 +586,30 @@ func (s *Server) validateEvaluate(req *EvaluateRequest) (cache.SystemConfig, wor
 			design.Unified.Fetch = fetch
 		}
 	}
+	// Fold the victim-buffer request into the design like the policy
+	// overrides, so "victim":4 and VictimLines set directly key as one.
+	if req.Victim > 0 {
+		if design.Split {
+			design.I.VictimLines, design.D.VictimLines = req.Victim, req.Victim
+		} else {
+			design.Unified.VictimLines = req.Victim
+		}
+	}
 	for _, c := range []cache.Config{design.Unified, design.I, design.D} {
 		if c.Size > maxCacheBytes {
 			return cache.SystemConfig{}, workload.Mix{}, errCacheTooLarge
 		}
 	}
-	if _, err := cache.NewSystem(design); err != nil {
+	if req.L2 != nil {
+		if req.L2.Size > maxCacheBytes {
+			return cache.SystemConfig{}, workload.Mix{}, errCacheTooLarge
+		}
+		hc := cache.HierarchyConfig{L1: design, L2: req.L2.config(design)}
+		if err := hc.Validate(); err != nil {
+			return cache.SystemConfig{}, workload.Mix{}, &requestError{
+				http.StatusBadRequest, "invalid hierarchy: " + err.Error()}
+		}
+	} else if _, err := cache.NewSystem(design); err != nil {
 		return cache.SystemConfig{}, workload.Mix{}, &requestError{
 			http.StatusBadRequest, "invalid design: " + err.Error()}
 	}
@@ -550,6 +633,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.error(w, verr.code, verr.msg)
 		return
 	}
+	// L2 keys by its resolved cache config (nil for single-level), so an L2
+	// block that spells out the inherited line size memoizes with one that
+	// omits it — and a hierarchy request can never share an entry with a
+	// single-level request for the same L1 design.
+	var l2cfg *cache.Config
+	if req.L2 != nil {
+		c := req.L2.config(design)
+		l2cfg = &c
+	}
 	key, err := requestKey("evaluate", struct {
 		Design      cache.SystemConfig
 		Mix         string
@@ -557,7 +649,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		Mode        string
 		ErrorBudget float64
 		Parallel    int
-	}{design, mix.Name, req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel})
+		L2          *cache.Config
+	}{design, mix.Name, req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel, l2cfg})
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
@@ -594,6 +687,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 					return nil, err
 				}
 				return evalMemo{Report: rep, Parallel: parallelOut(info), Trace: tr.Summary()}, nil
+			}
+			if l2cfg != nil {
+				rep, err := core.EvaluateHierarchyRefsContext(fctx,
+					cache.HierarchyConfig{L1: design, L2: *l2cfg}, mix.Name, refs)
+				if err != nil {
+					return nil, err
+				}
+				return evalMemo{Report: rep, Trace: tr.Summary()}, nil
 			}
 			rep, err := core.EvaluateRefsContext(fctx, design, mix.Name, refs)
 			if err != nil {
@@ -657,6 +758,17 @@ type SweepRequest struct {
 	// lists per-pass plan metadata. Composable with "mode":"sampled" —
 	// a pass whose sampling falls back to exact re-runs parallel.
 	Parallel int `json:"parallel"`
+	// Victim adds a fully-associative victim buffer of this many lines
+	// behind every cache in the grid; 0 means none. Victim sweeps break
+	// stack inclusion and run one cache per size. Rejected when combined
+	// with "mode":"sampled" or parallel.
+	Victim int `json:"victim"`
+	// L2 opts the whole grid into two-level simulation: every L1 size runs
+	// in front of this second-level cache, and each variant then carries an
+	// "l2" block with local and global miss ratios. The L2 must hold the
+	// largest L1 in the grid (both caches of a split organization).
+	// Rejected when combined with "mode":"sampled" or parallel.
+	L2 *L2In `json:"l2"`
 	// Trace opts into the per-stage timing breakdown; like timeout_ms it is
 	// excluded from the memoization key (see EvaluateRequest.Trace).
 	Trace bool `json:"trace"`
@@ -664,13 +776,32 @@ type SweepRequest struct {
 
 // VariantOut summarizes one of a sweep cell's four simulations.
 // MissRatioCI appears only for sampled-mode sweeps whose pass met the
-// budget by sampling (a fallen-back pass is exact).
+// budget by sampling (a fallen-back pass is exact). VictimHits and L2
+// appear only for victim and two-level sweeps respectively; for two-level
+// sweeps TrafficBytes is the L2's memory-side traffic, the hierarchy's
+// true memory interface.
 type VariantOut struct {
-	MissRatio    float64    `json:"miss_ratio"`
-	InstrMiss    float64    `json:"instr_miss"`
-	DataMiss     float64    `json:"data_miss"`
-	TrafficBytes uint64     `json:"traffic_bytes"`
-	MissRatioCI  *MissCIOut `json:"miss_ratio_ci,omitempty"`
+	MissRatio    float64       `json:"miss_ratio"`
+	InstrMiss    float64       `json:"instr_miss"`
+	DataMiss     float64       `json:"data_miss"`
+	TrafficBytes uint64        `json:"traffic_bytes"`
+	MissRatioCI  *MissCIOut    `json:"miss_ratio_ci,omitempty"`
+	VictimHits   uint64        `json:"victim_hits,omitempty"`
+	L2           *L2VariantOut `json:"l2,omitempty"`
+}
+
+// L2VariantOut is the second-level block of a two-level sweep variant: the
+// L2's event counts over the L1-filtered stream and the hierarchy miss
+// ratios — local (over the stream the L2 actually saw) and global (the
+// fraction of processor references that went all the way to memory).
+type L2VariantOut struct {
+	Fetches         uint64  `json:"fetches"`
+	FetchMisses     uint64  `json:"fetch_misses"`
+	Writes          uint64  `json:"writes"`
+	WriteMisses     uint64  `json:"write_misses"`
+	LocalMissRatio  float64 `json:"local_miss_ratio"`
+	FetchMissRatio  float64 `json:"fetch_miss_ratio"`
+	GlobalMissRatio float64 `json:"global_miss_ratio"`
 }
 
 // SweepCellOut summarizes one (mix, size) grid cell.
@@ -783,6 +914,39 @@ func (s *Server) validateSweep(req *SweepRequest) ([]workload.Mix, cache.Replace
 	if req.Parallel < 2 {
 		req.Parallel = 0 // canonical serial spelling, relied on by keying
 	}
+	if req.Victim != 0 || req.L2 != nil {
+		if req.Mode == "sampled" {
+			return nil, 0, &requestError{http.StatusBadRequest,
+				`victim and l2 are mutually exclusive with "mode":"sampled"`}
+		}
+		if req.Parallel >= 2 {
+			return nil, 0, &requestError{http.StatusBadRequest,
+				"victim and l2 are mutually exclusive with parallel"}
+		}
+		if req.L2 != nil && req.L2.Size > maxCacheBytes {
+			return nil, 0, errCacheTooLarge
+		}
+		// Validate the per-size configs the grid will actually build by
+		// running the core spec check on the split organization (the
+		// stricter one: the L2 must hold both caches), with the documented
+		// defaults filled in. This turns an inverted hierarchy or an
+		// out-of-range victim buffer into a structured 400 instead of a
+		// mid-simulation 500.
+		sizes := req.Sizes
+		if len(sizes) == 0 {
+			sizes = model.CacheSizes
+		}
+		line := req.LineSize
+		if line == 0 {
+			line = 16
+		}
+		spec := core.SweepSpec{Sizes: sizes, LineSize: line, Split: true,
+			Repl: repl, Victim: req.Victim, L2: req.L2.spec()}
+		if err := spec.Validate(); err != nil {
+			return nil, 0, &requestError{http.StatusBadRequest,
+				"invalid sweep: " + err.Error()}
+		}
+	}
 	return mixes, repl, nil
 }
 
@@ -806,7 +970,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	opts := experiments.Options{
 		Sizes: req.Sizes, LineSize: req.LineSize,
 		RefLimit: req.RefLimit, Workers: s.cfg.SimWorkers,
-		Repl: repl,
+		Repl: repl, Victim: req.Victim, L2: req.L2.spec(),
 		StreamSource: func(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
 			return s.mixStreamPerMember(ctx, m, req.RefLimit)
 		},
@@ -839,7 +1003,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Mode        string
 		ErrorBudget float64
 		Parallel    int
-	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel})
+		Victim      int
+		L2          *core.L2Spec
+	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel,
+		req.Victim, req.L2.spec()})
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
@@ -899,16 +1066,37 @@ func summarizeSweep(res *experiments.SweepResult, mode string) sweepPayload {
 	}
 	variant := func(o experiments.SimOut, split bool) VariantOut {
 		traffic := o.U.MemoryTraffic()
+		victim := o.U.VictimHits
 		if split {
 			traffic = o.I.MemoryTraffic() + o.D.MemoryTraffic()
+			victim = o.I.VictimHits + o.D.VictimHits
 		}
-		return VariantOut{
+		v := VariantOut{
 			MissRatio:    o.Ref.MissRatio(),
 			InstrMiss:    o.Ref.KindMissRatio(trace.IFetch),
 			DataMiss:     o.Ref.DataMissRatio(),
 			TrafficBytes: traffic,
 			MissRatioCI:  missCIOut(o.CI),
+			VictimHits:   victim,
 		}
+		if o.H != (cache.HierResult{}) {
+			// A two-level variant's memory interface is the L2's outer side.
+			v.TrafficBytes = o.H.U.MemoryTraffic()
+			var global float64
+			if n := o.Ref.TotalRefs(); n > 0 {
+				global = float64(o.H.Ev.FetchMisses) / float64(n)
+			}
+			v.L2 = &L2VariantOut{
+				Fetches:         o.H.Ev.Fetches,
+				FetchMisses:     o.H.Ev.FetchMisses,
+				Writes:          o.H.Ev.Writes,
+				WriteMisses:     o.H.Ev.WriteMisses,
+				LocalMissRatio:  o.H.Ev.LocalMissRatio(),
+				FetchMissRatio:  o.H.Ev.FetchMissRatio(),
+				GlobalMissRatio: global,
+			}
+		}
+		return v
 	}
 	out.Cells = make([][]SweepCellOut, len(res.Cells))
 	for mi, row := range res.Cells {

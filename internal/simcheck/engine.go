@@ -19,14 +19,20 @@ type Workload struct {
 // Grid describes the organization sweep a conformance run evaluates: the
 // cache sizes, the shared line size, split vs unified, demand fetch vs
 // prefetch-always — the four axes of the paper's §3.3-§3.5 master sweep —
-// plus the replacement policy (zero value LRU, the paper's default). All
-// grid caches are fully associative copy-back.
+// plus the replacement policy (zero value LRU, the paper's default), an
+// optional victim buffer on each L1 cache, and an optional L2 behind the
+// whole L1 (L2Size 0 means single-level; L2Line 0 inherits the grid line
+// size). All grid caches are fully associative copy-back; the L2 is
+// demand-fetch LRU.
 type Grid struct {
 	Sizes    []int
 	LineSize int
 	Split    bool
 	Prefetch bool
 	Repl     cache.Replacement
+	Victim   int
+	L2Size   int
+	L2Line   int
 }
 
 func (g Grid) fetch() cache.FetchPolicy {
@@ -36,9 +42,17 @@ func (g Grid) fetch() cache.FetchPolicy {
 	return cache.DemandFetch
 }
 
+func (g Grid) l2Line() int {
+	if g.L2Line > 0 {
+		return g.L2Line
+	}
+	return g.LineSize
+}
+
 // SystemConfig returns the per-size system configuration the grid implies.
 func (g Grid) SystemConfig(size, quantum int) cache.SystemConfig {
-	base := cache.Config{Size: size, LineSize: g.LineSize, Fetch: g.fetch(), Repl: g.Repl}
+	base := cache.Config{Size: size, LineSize: g.LineSize, Fetch: g.fetch(), Repl: g.Repl,
+		VictimLines: g.Victim}
 	sc := cache.SystemConfig{PurgeInterval: quantum}
 	if g.Split {
 		sc.Split = true
@@ -47,6 +61,15 @@ func (g Grid) SystemConfig(size, quantum int) cache.SystemConfig {
 		sc.Unified = base
 	}
 	return sc
+}
+
+// HierarchyConfig returns the two-level configuration the grid implies at
+// one L1 size. Only meaningful when L2Size > 0.
+func (g Grid) HierarchyConfig(size, quantum int) cache.HierarchyConfig {
+	return cache.HierarchyConfig{
+		L1: g.SystemConfig(size, quantum),
+		L2: cache.Config{Size: g.L2Size, LineSize: g.l2Line()},
+	}
 }
 
 // Outcome is what an engine produced for one (grid, workload) pair: the
@@ -135,10 +158,10 @@ type ReferenceEngine struct{}
 // Name identifies the engine in reports.
 func (ReferenceEngine) Name() string { return "reference" }
 
-// Supports reports grid coverage: the reference model covers everything
-// except Random replacement (which would need the implementation's RNG
-// stream).
-func (ReferenceEngine) Supports(g Grid) bool { return g.Repl != cache.Random }
+// Supports reports grid coverage: the reference model covers every
+// single-level grid except Random replacement (which would need the
+// implementation's RNG stream); two-level grids go to RefHierarchyEngine.
+func (ReferenceEngine) Supports(g Grid) bool { return g.Repl != cache.Random && g.L2Size == 0 }
 
 // Simulate runs the reference model over the workload at every grid size.
 func (ReferenceEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
@@ -169,9 +192,10 @@ type SystemEngine struct{}
 // Name identifies the engine in reports.
 func (SystemEngine) Name() string { return "system" }
 
-// Supports reports grid coverage: System covers every fetch and
-// replacement policy.
-func (SystemEngine) Supports(Grid) bool { return true }
+// Supports reports grid coverage: System covers every single-level grid —
+// any fetch and replacement policy, victim buffers included; two-level
+// grids go to HierarchyEngine.
+func (SystemEngine) Supports(g Grid) bool { return g.L2Size == 0 }
 
 // Simulate runs cache.System over the workload at every grid size.
 func (SystemEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
@@ -202,8 +226,12 @@ func (MultiEngine) Name() string { return "multisystem" }
 
 // Supports reports grid coverage: the stack-inclusion engine requires
 // demand fetch and LRU replacement — the only combination for which
-// Mattson inclusion holds across sizes.
-func (MultiEngine) Supports(g Grid) bool { return !g.Prefetch && g.Repl == cache.LRU }
+// Mattson inclusion holds across sizes — and neither a victim buffer (the
+// buffer's contents depend on the eviction stream, which varies with
+// size) nor an L2 (whose input stream varies with L1 size).
+func (MultiEngine) Supports(g Grid) bool {
+	return !g.Prefetch && g.Repl == cache.LRU && g.Victim == 0 && g.L2Size == 0
+}
 
 // Simulate runs cache.MultiSystem once over the workload.
 func (MultiEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
@@ -228,8 +256,11 @@ type FanoutEngine struct{}
 func (FanoutEngine) Name() string { return "fanout" }
 
 // Supports reports grid coverage: the fan-out engine serves
-// prefetch-always grids, and only under LRU replacement.
-func (FanoutEngine) Supports(g Grid) bool { return g.Prefetch && g.Repl == cache.LRU }
+// prefetch-always grids, only under LRU replacement and — like
+// MultiEngine — never with a victim buffer or an L2.
+func (FanoutEngine) Supports(g Grid) bool {
+	return g.Prefetch && g.Repl == cache.LRU && g.Victim == 0 && g.L2Size == 0
+}
 
 // Simulate runs cache.FanoutSystem once over the workload.
 func (FanoutEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
@@ -246,7 +277,96 @@ func (FanoutEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
 		Results: fs.Results(), Purges: fs.Purges()}, nil
 }
 
-// Engines returns every engine the harness knows, reference model first.
+// perSizeHierOutcome assembles an Outcome from independent per-size
+// two-level runs; sim runs one hierarchy and reports L1 results plus the
+// L2 side.
+func perSizeHierOutcome(name string, g Grid, w Workload,
+	sim func(hc cache.HierarchyConfig) (cache.RefStats, [3]cache.Stats, cache.HierResult, uint64, error)) (*Outcome, error) {
+	out := &Outcome{Engine: name, Grid: g, Workload: w, Results: make([]cache.SizeResult, len(g.Sizes))}
+	for i, size := range g.Sizes {
+		refs, stats, hier, purges, err := sim(g.HierarchyConfig(size, w.Quantum))
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", size, err)
+		}
+		out.Results[i] = cache.SizeResult{Size: size, Ref: refs, I: stats[0], D: stats[1], U: stats[2], H: hier}
+		if i == 0 {
+			out.Purges = purges
+		} else if purges != out.Purges {
+			return nil, fmt.Errorf("size %d: %d purges, size %d: %d — the purge schedule is size-independent",
+				g.Sizes[0], out.Purges, size, purges)
+		}
+	}
+	return out, nil
+}
+
+// HierarchyEngine runs the production two-level simulator
+// (cache.Hierarchy) independently at every L1 size.
+type HierarchyEngine struct{}
+
+// Name identifies the engine in reports.
+func (HierarchyEngine) Name() string { return "hierarchy" }
+
+// Supports reports grid coverage: every two-level grid.
+func (HierarchyEngine) Supports(g Grid) bool { return g.L2Size > 0 }
+
+// Simulate runs cache.Hierarchy over the workload at every L1 size.
+func (HierarchyEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
+	return perSizeHierOutcome("hierarchy", g, w,
+		func(hc cache.HierarchyConfig) (cache.RefStats, [3]cache.Stats, cache.HierResult, uint64, error) {
+			h, err := cache.NewHierarchy(hc)
+			if err != nil {
+				return cache.RefStats{}, [3]cache.Stats{}, cache.HierResult{}, 0, err
+			}
+			if _, err := h.Run(trace.NewSliceReader(w.Refs), 0); err != nil {
+				return cache.RefStats{}, [3]cache.Stats{}, cache.HierResult{}, 0, err
+			}
+			var st [3]cache.Stats
+			if hc.L1.Split {
+				st[0], st[1] = h.L1().ICache().Stats(), h.L1().DCache().Stats()
+			} else {
+				st[2] = h.L1().Unified().Stats()
+			}
+			hr := cache.HierResult{Ev: h.HierStats(), U: h.L2Stats()}
+			return h.RefStats(), st, hr, h.Purges(), nil
+		})
+}
+
+// RefHierarchyEngine runs the naive two-level reference simulator
+// (RefHierarchy) independently at every L1 size — the trusted model
+// HierarchyEngine is compared against.
+type RefHierarchyEngine struct{}
+
+// Name identifies the engine in reports.
+func (RefHierarchyEngine) Name() string { return "ref-hierarchy" }
+
+// Supports reports grid coverage: two-level grids, minus Random
+// replacement (same RNG-stream caveat as ReferenceEngine).
+func (RefHierarchyEngine) Supports(g Grid) bool { return g.L2Size > 0 && g.Repl != cache.Random }
+
+// Simulate runs RefHierarchy over the workload at every L1 size.
+func (RefHierarchyEngine) Simulate(g Grid, w Workload) (*Outcome, error) {
+	return perSizeHierOutcome("ref-hierarchy", g, w,
+		func(hc cache.HierarchyConfig) (cache.RefStats, [3]cache.Stats, cache.HierResult, uint64, error) {
+			h, err := NewRefHierarchy(hc)
+			if err != nil {
+				return cache.RefStats{}, [3]cache.Stats{}, cache.HierResult{}, 0, err
+			}
+			for _, r := range w.Refs {
+				h.Ref(r)
+			}
+			var st [3]cache.Stats
+			if hc.L1.Split {
+				st[0], st[1] = h.L1().ICache().Stats(), h.L1().DCache().Stats()
+			} else {
+				st[2] = h.L1().Unified().Stats()
+			}
+			hr := cache.HierResult{Ev: h.HierStats(), U: h.L2Stats()}
+			return h.RefStats(), st, hr, h.Purges(), nil
+		})
+}
+
+// Engines returns every engine the harness knows, reference models first.
 func Engines() []Engine {
-	return []Engine{ReferenceEngine{}, SystemEngine{}, MultiEngine{}, FanoutEngine{}}
+	return []Engine{ReferenceEngine{}, RefHierarchyEngine{}, SystemEngine{},
+		MultiEngine{}, FanoutEngine{}, HierarchyEngine{}}
 }

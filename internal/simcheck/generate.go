@@ -89,6 +89,40 @@ func RandGrid(rng *rand.Rand, prefetch bool) Grid {
 	return Grid{Sizes: sizes, LineSize: lineSize, Split: rng.Intn(2) == 0, Prefetch: prefetch}
 }
 
+// RandVictimGrid draws a random single-level grid with a victim buffer of
+// one to four lines on each cache.
+func RandVictimGrid(rng *rand.Rand, prefetch bool) Grid {
+	g := RandGrid(rng, prefetch)
+	g.Victim = 1 + rng.Intn(4)
+	return g
+}
+
+// RandHierGrid draws a random two-level grid: a RandGrid L1 (optionally
+// victim-buffered) backed by an L2 whose line is one to four times the L1
+// line and whose size covers the largest L1 configuration with room to
+// spare — the L2-at-least-L1 validation rule by construction.
+func RandHierGrid(rng *rand.Rand, prefetch bool) Grid {
+	g := RandGrid(rng, prefetch)
+	if rng.Intn(2) == 0 {
+		g.Victim = 1 + rng.Intn(4)
+	}
+	g.L2Line = g.LineSize << rng.Intn(3)
+	l1Bytes := 0
+	for _, s := range g.Sizes {
+		if s > l1Bytes {
+			l1Bytes = s
+		}
+	}
+	if g.Split {
+		l1Bytes *= 2
+	}
+	g.L2Size = l1Bytes << rng.Intn(3)
+	if g.L2Size < g.L2Line {
+		g.L2Size = g.L2Line
+	}
+	return g
+}
+
 // RandConfig draws a random single-cache configuration for lockstep oracle
 // tests: line size, size, associativity (direct-mapped through fully
 // associative), any deterministic replacement policy (LRU, FIFO, LFU,
@@ -125,6 +159,11 @@ func RandConfig(rng *rand.Rand) cache.Config {
 		cfg.Fetch = []cache.FetchPolicy{
 			cache.PrefetchAlways, cache.PrefetchOnMiss, cache.TaggedPrefetch,
 		}[rng.Intn(3)]
+	}
+	// A victim buffer composes with any of the above but requires
+	// unsectored lines.
+	if cfg.SubBlock == 0 && rng.Intn(3) == 0 {
+		cfg.VictimLines = 1 + rng.Intn(4)
 	}
 	return cfg
 }

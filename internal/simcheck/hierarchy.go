@@ -1,0 +1,142 @@
+package simcheck
+
+import (
+	"cacheeval/internal/cache"
+	"cacheeval/internal/trace"
+)
+
+// RefHierarchy is the naive counterpart of cache.Hierarchy: a RefSystem
+// L1 whose memory-side events (fetches and write-backs, via the MemSink
+// hooks) drive a unified RefCache L2, with purges propagating L1-first
+// so dirty L1 lines flow through the L2 before it flushes. Every
+// structural choice — event order, fetch-unit decomposition, purge
+// ordering — mirrors the production type so lockstep comparison is
+// bit-for-bit.
+type RefHierarchy struct {
+	cfg        cache.HierarchyConfig
+	l1         *RefSystem
+	l2         *RefCache
+	ev         cache.HierStats
+	sincePurge int
+	purges     uint64
+}
+
+// NewRefHierarchy builds both levels and installs the L2 as the L1's
+// memory sink.
+func NewRefHierarchy(hc cache.HierarchyConfig) (*RefHierarchy, error) {
+	if err := hc.Validate(); err != nil {
+		return nil, err
+	}
+	l1cfg := hc.L1
+	// The hierarchy schedules purges itself, exactly as cache.Hierarchy
+	// strips the inner System's interval.
+	l1cfg.PurgeInterval = 0
+	l1, err := NewRefSystem(l1cfg)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewRefCache(hc.L2)
+	if err != nil {
+		return nil, err
+	}
+	h := &RefHierarchy{cfg: hc, l1: l1, l2: l2}
+	for _, c := range []*RefCache{l1.unified, l1.icache, l1.dcache} {
+		if c != nil {
+			c.SetMemSink(h)
+		}
+	}
+	return h, nil
+}
+
+// MemRead receives one L1 fetch event and serves it as an L2 read.
+func (h *RefHierarchy) MemRead(addr uint64, size int) {
+	h.ev.Fetches++
+	if h.l2access(addr, size, false) {
+		h.ev.FetchMisses++
+	}
+}
+
+// MemWrite receives one L1 write-back (or store-through) event and
+// serves it as an L2 write.
+func (h *RefHierarchy) MemWrite(addr uint64, size int) {
+	h.ev.Writes++
+	if h.l2access(addr, size, true) {
+		h.ev.WriteMisses++
+	}
+}
+
+// l2access decomposes one L1 memory event over the L2's fetch units,
+// mirroring Hierarchy.l2access; it reports whether any unit missed.
+func (h *RefHierarchy) l2access(addr uint64, size int, write bool) bool {
+	c := h.l2
+	if size < 1 {
+		size = 1
+	}
+	unit := c.subBytes()
+	first := addr - addr%unit
+	end := addr + uint64(size) - 1
+	last := end - end%unit
+	if first == last {
+		return !c.Access(first, write, size)
+	}
+	units := int((last-first)/unit) + 1
+	storeBytes := size / units
+	if storeBytes < 1 {
+		storeBytes = 1
+	}
+	miss := false
+	for a := first; ; a += unit {
+		if !c.Access(a, write, storeBytes) {
+			miss = true
+		}
+		if a >= last {
+			break
+		}
+	}
+	return miss
+}
+
+// Ref processes one trace reference: hierarchy-level purge scheduling,
+// then the L1 access.
+func (h *RefHierarchy) Ref(r trace.Ref) {
+	if h.cfg.L1.PurgeInterval > 0 {
+		if h.sincePurge >= h.cfg.L1.PurgeInterval {
+			h.Purge()
+			h.sincePurge = 0
+		}
+		h.sincePurge++
+	}
+	h.l1.Ref(r)
+}
+
+// Purge flushes the whole hierarchy, L1 first (its dirty lines write
+// back through the L2), then the L2.
+func (h *RefHierarchy) Purge() {
+	h.purges++
+	h.l1.Purge()
+	h.l2.Purge()
+}
+
+// Purges returns how many task-switch purges have occurred.
+func (h *RefHierarchy) Purges() uint64 { return h.purges }
+
+// L1 returns the first-level system.
+func (h *RefHierarchy) L1() *RefSystem { return h.l1 }
+
+// L2 returns the second-level cache.
+func (h *RefHierarchy) L2() *RefCache { return h.l2 }
+
+// RefStats returns the L1's reference-level statistics.
+func (h *RefHierarchy) RefStats() cache.RefStats { return h.l1.RefStats() }
+
+// RefBytes returns the total bytes the processor requested.
+func (h *RefHierarchy) RefBytes() uint64 { return h.l1.RefBytes() }
+
+// Stats returns the aggregate L1 line-level statistics.
+func (h *RefHierarchy) Stats() cache.Stats { return h.l1.Stats() }
+
+// L2Stats returns the L2 cache's line-level statistics.
+func (h *RefHierarchy) L2Stats() cache.Stats { return h.l2.Stats() }
+
+// HierStats returns the event-level outcomes of the L2.
+func (h *RefHierarchy) HierStats() cache.HierStats { return h.ev }

@@ -1,0 +1,229 @@
+package simcheck_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cacheeval/internal/cache"
+	"cacheeval/internal/simcheck"
+	"cacheeval/internal/trace"
+)
+
+// TestHierarchyEnginesConformOverRandomizedGrids is the two-level master
+// property: over seeded randomized workloads and hierarchy grids (random
+// L1 organization, optional victim buffer, L2 line and size drawn per
+// grid), the production cache.Hierarchy agrees bit-for-bit with the naive
+// RefHierarchy at every L1 size, and every per-run invariant — including
+// hierarchy-conservation — holds on both outcomes.
+func TestHierarchyEnginesConformOverRandomizedGrids(t *testing.T) {
+	trials := 5
+	if testing.Short() {
+		trials = 3
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < trials; trial++ {
+		w := simcheck.RandWorkload(rng, 2500)
+		for _, prefetch := range []bool{false, true} {
+			g := simcheck.RandHierGrid(rng, prefetch)
+			ref := mustRun(t, simcheck.RefHierarchyEngine{}, g, w)
+			if err := simcheck.Compare(mustRun(t, simcheck.HierarchyEngine{}, g, w), ref); err != nil {
+				t.Fatalf("trial %d grid %+v: %v", trial, g, err)
+			}
+		}
+	}
+}
+
+// TestHierarchyPolicyGridsConform extends the two-level property across
+// the replacement-policy family, and pins that the one-pass stack engines
+// refuse every hierarchy grid — the L2's input stream changes with L1
+// size, so stack inclusion cannot route them.
+func TestHierarchyPolicyGridsConform(t *testing.T) {
+	trials := 2
+	if testing.Short() {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(20260809))
+	policies := []cache.Replacement{cache.LRU, cache.FIFO, cache.LFU, cache.SegmentedLRU, cache.ARC}
+	for trial := 0; trial < trials; trial++ {
+		w := simcheck.RandWorkload(rng, 2000)
+		for _, repl := range policies {
+			g := simcheck.RandHierGrid(rng, trial%2 == 1)
+			g.Repl = repl
+			if (simcheck.MultiEngine{}).Supports(g) || (simcheck.FanoutEngine{}).Supports(g) {
+				t.Fatalf("a one-pass stack engine claims to support hierarchy grid %+v", g)
+			}
+			ref := mustRun(t, simcheck.RefHierarchyEngine{}, g, w)
+			if err := simcheck.Compare(mustRun(t, simcheck.HierarchyEngine{}, g, w), ref); err != nil {
+				t.Fatalf("trial %d %v grid %+v: %v", trial, repl, g, err)
+			}
+		}
+	}
+}
+
+// TestVictimGridsConform closes the single-level victim loop at system
+// scope: victim-buffered grids conform between the production per-size
+// engine and the naive reference across policies and quanta, and the
+// one-pass stack engines refuse them (the buffer's contents depend on the
+// eviction stream, which varies with size).
+func TestVictimGridsConform(t *testing.T) {
+	trials := 3
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(20260810))
+	for trial := 0; trial < trials; trial++ {
+		w := simcheck.RandWorkload(rng, 2200)
+		for _, prefetch := range []bool{false, true} {
+			g := simcheck.RandVictimGrid(rng, prefetch)
+			if (simcheck.MultiEngine{}).Supports(g) || (simcheck.FanoutEngine{}).Supports(g) {
+				t.Fatalf("a one-pass stack engine claims to support victim grid %+v", g)
+			}
+			ref := mustRun(t, simcheck.ReferenceEngine{}, g, w)
+			if err := simcheck.Compare(mustRun(t, simcheck.SystemEngine{}, g, w), ref); err != nil {
+				t.Fatalf("trial %d grid %+v: %v", trial, g, err)
+			}
+		}
+	}
+}
+
+// TestRefHierarchyHandComputed pins the naive two-level model against
+// stats worked out by hand, so its trust does not rest on agreement with
+// the production implementation it judges.
+func TestRefHierarchyHandComputed(t *testing.T) {
+	// L1: 32B fully-associative LRU copy-back, 16B lines (2 frames).
+	// L2: 64B fully-associative LRU copy-back, 16B lines (4 frames).
+	h, err := simcheck.NewRefHierarchy(cache.HierarchyConfig{
+		L1: cache.SystemConfig{Unified: cache.Config{Size: 32, LineSize: 16}},
+		L2: cache.Config{Size: 64, LineSize: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		{Addr: 0, Size: 4, Kind: trace.Write},  // L1 miss, fetch line 0 -> L2 miss; line 0 dirty
+		{Addr: 16, Size: 4, Kind: trace.Read},  // L1 miss, fetch line 1 -> L2 miss
+		{Addr: 32, Size: 4, Kind: trace.Read},  // L1 miss, evicts dirty line 0 (write-back -> L2 hit), fetch line 2 -> L2 miss
+		{Addr: 0, Size: 4, Kind: trace.Read},   // L1 miss again, evicts line 1 (clean), fetch line 0 -> L2 HIT
+		{Addr: 0, Size: 4, Kind: trace.IFetch}, // L1 hit, L2 sees nothing
+	}
+	for _, r := range refs {
+		h.Ref(r)
+	}
+	ev := h.HierStats()
+	if want := (cache.HierStats{Fetches: 4, FetchMisses: 3, Writes: 1, WriteMisses: 0}); ev != want {
+		t.Fatalf("L2 events %+v, want %+v", ev, want)
+	}
+	l1 := h.Stats()
+	if l1.Misses != 4 || l1.DirtyPushes != 1 || l1.Pushes != 2 {
+		t.Fatalf("unexpected L1 stats %+v", l1)
+	}
+	l2 := h.L2Stats()
+	// The L2 absorbed 5 accesses (4 fetches + 1 write-back), missed 3,
+	// and write-allocated nothing new on the write-back (line 0 resident).
+	if l2.Accesses != 5 || l2.Misses != 3 || l2.DemandFetches != 3 {
+		t.Fatalf("unexpected L2 stats %+v", l2)
+	}
+	// Purging flushes L1 first: its dirty line 0 (written again? no —
+	// only ref 0 dirtied it, and its write-back already happened), then
+	// the L2's own dirty line (line 0, dirtied by the L1 write-back).
+	h.Purge()
+	if h.Purges() != 1 {
+		t.Fatalf("purges = %d, want 1", h.Purges())
+	}
+	l2 = h.L2Stats()
+	if l2.DirtyPushes != 1 || l2.PurgePushes != l2.Pushes {
+		t.Fatalf("post-purge L2 stats %+v", l2)
+	}
+}
+
+// TestVictimSwapHandComputed pins victim-buffer semantics by hand: a
+// 2-frame L1 with a 1-line buffer behaves as a 3-deep LRU stack, a buffer
+// hit counts as a miss served without a memory fetch, and the swapped-in
+// line keeps its dirty state.
+func TestVictimSwapHandComputed(t *testing.T) {
+	c, err := simcheck.NewRefCache(cache.Config{Size: 32, LineSize: 16, VictimLines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, true, 4)   // miss, fetch line 0, dirty
+	c.Access(16, false, 4) // miss, fetch line 1
+	c.Access(32, false, 4) // miss, line 0 -> victim buffer (no push)
+	c.Access(0, false, 4)  // miss, but line 0 swaps back from the buffer: no fetch
+	st := c.Stats()
+	want := st
+	if st.Misses != 4 || st.VictimHits != 1 || st.VictimFills != 2 || st.DemandFetches != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Pushes != 0 {
+		t.Fatalf("victim transfers counted as pushes: %+v", st)
+	}
+	c.Access(48, false, 4) // miss, line 2 -> buffer, line 1 overflows (clean push)
+	st = c.Stats()
+	if st.Pushes != 1 || st.DirtyPushes != 0 {
+		t.Fatalf("overflow push missing or dirty: %+v", st)
+	}
+	// Purge drains main (line 0 still dirty -> dirty push) and the buffer.
+	c.Purge()
+	st = c.Stats()
+	if st.DirtyPushes != 1 || st.PurgePushes != 3 || st.Pushes != 4 {
+		t.Fatalf("post-purge stats %+v (pre %+v)", st, want)
+	}
+}
+
+// TestGlobalMissRatioProductIdentity pins the paper-level identity on the
+// production type: under demand fetch, write-allocate, unsectored lines
+// and no victim buffer, every L1 miss is exactly one L2 fetch event, so
+// global miss ratio equals L1 miss ratio times L2 fetch miss ratio.
+func TestGlobalMissRatioProductIdentity(t *testing.T) {
+	h, err := cache.NewHierarchy(cache.HierarchyConfig{
+		L1: cache.SystemConfig{Unified: cache.Config{Size: 128, LineSize: 16}},
+		L2: cache.Config{Size: 512, LineSize: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcheck.RandWorkload(rand.New(rand.NewSource(7)), 3000)
+	for _, r := range w.Refs {
+		h.Ref(r)
+	}
+	l1 := h.Stats()
+	if h.HierStats().Fetches != l1.Misses {
+		t.Fatalf("L2 fetch events %d != L1 misses %d", h.HierStats().Fetches, l1.Misses)
+	}
+	l1Ratio := float64(l1.Misses) / float64(l1.Accesses)
+	product := l1Ratio * h.HierStats().FetchMissRatio()
+	if got := h.GlobalMissRatio(); math.Abs(got-product) > 1e-12 {
+		t.Fatalf("global miss ratio %g != product %g", got, product)
+	}
+	if h.L2LocalMissRatio() <= 0 || h.L2LocalMissRatio() > 1 {
+		t.Fatalf("L2 local miss ratio %g outside (0,1]", h.L2LocalMissRatio())
+	}
+}
+
+// TestHierarchyDiffersFromSingleLevelL2 guards against a degenerate
+// implementation: the L2 behind an L1 must see different traffic — and
+// produce different stats — than the same cache fed the raw stream.
+func TestHierarchyDiffersFromSingleLevelL2(t *testing.T) {
+	l2cfg := cache.Config{Size: 2048, LineSize: 16}
+	h, err := cache.NewHierarchy(cache.HierarchyConfig{
+		L1: cache.SystemConfig{Unified: cache.Config{Size: 512, LineSize: 16}},
+		L2: l2cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := cache.NewSystem(cache.SystemConfig{Unified: l2cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simcheck.RandWorkload(rand.New(rand.NewSource(11)), 3000)
+	for _, r := range w.Refs {
+		h.Ref(r)
+		solo.Ref(r)
+	}
+	if h.L2Stats().Accesses >= solo.Stats().Accesses {
+		t.Fatalf("L2 behind an L1 saw %d accesses, raw stream has %d — the L1 filtered nothing",
+			h.L2Stats().Accesses, solo.Stats().Accesses)
+	}
+}

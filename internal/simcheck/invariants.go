@@ -28,6 +28,7 @@ func PerRun() []Invariant {
 		PurgeConservation,
 		StatsSanity,
 		AccessAccounting,
+		HierarchyConservation,
 	}
 }
 
@@ -151,7 +152,8 @@ var PurgeConservation = Invariant{
 				o.Purges, len(o.Workload.Refs), o.Workload.Quantum, want)
 		}
 		for _, res := range o.Results {
-			lines := uint64(res.Size / o.Grid.LineSize)
+			// A purge drains the main array plus the victim buffer.
+			lines := uint64(res.Size/o.Grid.LineSize) + uint64(o.Grid.Victim)
 			for label, st := range activeStats(o.Grid, res) {
 				if st.PurgePushes > o.Purges*lines {
 					return fmt.Errorf("size %d %s: %d purge pushes > %d purges x %d lines",
@@ -186,9 +188,17 @@ var StatsSanity = Invariant{
 				if !o.Grid.Prefetch && (st.PrefetchFetches != 0 || st.PrefetchUsed != 0) {
 					return fmt.Errorf("size %d %s: prefetch activity on a demand grid: %+v", res.Size, label, st)
 				}
-				if st.DemandFetches != st.Misses {
-					return fmt.Errorf("size %d %s: %d demand fetches != %d misses (copy-back write-allocate)",
-						res.Size, label, st.DemandFetches, st.Misses)
+				if st.VictimHits > st.Misses {
+					return fmt.Errorf("size %d %s: %d victim hits > %d misses", res.Size, label, st.VictimHits, st.Misses)
+				}
+				if o.Grid.Victim == 0 && (st.VictimHits != 0 || st.VictimFills != 0) {
+					return fmt.Errorf("size %d %s: victim activity without a victim buffer: %+v", res.Size, label, st)
+				}
+				// A victim-buffer hit is a miss the buffer served without a
+				// memory fetch; everything else demand-fetches.
+				if st.DemandFetches != st.Misses-st.VictimHits {
+					return fmt.Errorf("size %d %s: %d demand fetches != %d misses - %d victim hits (copy-back write-allocate)",
+						res.Size, label, st.DemandFetches, st.Misses, st.VictimHits)
 				}
 				if st.BytesFromMemory != st.LinesFetched()*uint64(o.Grid.LineSize) {
 					return fmt.Errorf("size %d %s: %d bytes from memory != %d lines x %dB",
@@ -242,6 +252,74 @@ var AccessAccounting = Invariant{
 				if res.U.WriteAccesses < r.Refs[trace.Write] {
 					return fmt.Errorf("U: %d write accesses < %d write refs", res.U.WriteAccesses, r.Refs[trace.Write])
 				}
+			}
+		}
+		return nil
+	},
+}
+
+// HierarchyConservation: the L2 sees exactly the L1's memory-side traffic,
+// so its event counts are fully determined by L1 counters — L2 fetch
+// events equal L1 line fetches (demand + prefetch), L2 write events equal
+// L1 dirty pushes (copy-back, unsectored lines: one write-back each) —
+// and on demand grids the fetch stream equals L1 misses net of victim
+// hits, the integer form of the global-miss-ratio product identity. The
+// L2's own counters obey single-level sanity, and a single-level grid
+// must carry a zero H.
+var HierarchyConservation = Invariant{
+	Name: "hierarchy-conservation",
+	Check: func(o *Outcome) error {
+		if o.Grid.L2Size == 0 {
+			for _, res := range o.Results {
+				if res.H != (cache.HierResult{}) {
+					return fmt.Errorf("size %d: single-level grid carries hierarchy results: %+v", res.Size, res.H)
+				}
+			}
+			return nil
+		}
+		l2Line := uint64(o.Grid.l2Line())
+		l2Lines := uint64(o.Grid.L2Size) / l2Line
+		for _, res := range o.Results {
+			var fetches, dirty, netMisses uint64
+			for _, st := range activeStats(o.Grid, res) {
+				fetches += st.DemandFetches + st.PrefetchFetches
+				dirty += st.DirtyPushes
+				netMisses += st.Misses - st.VictimHits
+			}
+			ev := res.H.Ev
+			if ev.Fetches != fetches {
+				return fmt.Errorf("size %d: L2 saw %d fetch events, L1 fetched %d lines", res.Size, ev.Fetches, fetches)
+			}
+			if ev.Writes != dirty {
+				return fmt.Errorf("size %d: L2 saw %d write events, L1 pushed %d dirty lines", res.Size, ev.Writes, dirty)
+			}
+			if !o.Grid.Prefetch && ev.Fetches != netMisses {
+				return fmt.Errorf("size %d: %d L2 fetch events != %d net L1 misses (demand product identity)",
+					res.Size, ev.Fetches, netMisses)
+			}
+			if ev.FetchMisses > ev.Fetches || ev.WriteMisses > ev.Writes {
+				return fmt.Errorf("size %d: L2 event misses exceed events: %+v", res.Size, ev)
+			}
+			l2 := res.H.U
+			if l2.Misses > l2.Accesses || l2.WriteAccesses > l2.Accesses {
+				return fmt.Errorf("size %d L2: misses/writes exceed accesses: %+v", res.Size, l2)
+			}
+			if l2.VictimHits != 0 || l2.VictimFills != 0 || l2.PrefetchFetches != 0 {
+				return fmt.Errorf("size %d L2: unexpected victim/prefetch activity: %+v", res.Size, l2)
+			}
+			if l2.DemandFetches != l2.Misses {
+				return fmt.Errorf("size %d L2: %d demand fetches != %d misses", res.Size, l2.DemandFetches, l2.Misses)
+			}
+			if l2.BytesFromMemory != l2.DemandFetches*l2Line {
+				return fmt.Errorf("size %d L2: %d bytes from memory != %d fetches x %dB lines",
+					res.Size, l2.BytesFromMemory, l2.DemandFetches, l2Line)
+			}
+			if l2.WriteTransactions != l2.DirtyPushes || l2.BytesToMemory != l2.DirtyPushes*l2Line {
+				return fmt.Errorf("size %d L2: write-back accounting inconsistent: %+v", res.Size, l2)
+			}
+			if l2.PurgePushes > o.Purges*l2Lines {
+				return fmt.Errorf("size %d L2: %d purge pushes > %d purges x %d lines",
+					res.Size, l2.PurgePushes, o.Purges, l2Lines)
 			}
 		}
 		return nil

@@ -70,6 +70,12 @@ type RefCache struct {
 	protCap int // SegmentedLRU protected-segment capacity
 	stats   cache.Stats
 
+	// vbuf is the victim buffer (cfg.VictimLines > 0): a plain slice
+	// ordered most-recently-filled first.
+	vbuf []*refLine
+	// sink observes memory-side traffic, mirroring cache.Cache.SetMemSink.
+	sink cache.MemSink
+
 	// write-combining buffer state (write-through only).
 	combineUnit uint64
 	combineLive bool
@@ -95,6 +101,10 @@ func NewRefCache(cfg cache.Config) (*RefCache, error) {
 
 // Config returns the configuration the cache was built with.
 func (c *RefCache) Config() cache.Config { return c.cfg }
+
+// SetMemSink installs an observer of this cache's memory-side traffic,
+// with cache.Cache.SetMemSink's exact contract and event order.
+func (c *RefCache) SetMemSink(ms cache.MemSink) { c.sink = ms }
 
 // Stats returns a snapshot of the accumulated statistics.
 func (c *RefCache) Stats() cache.Stats { return c.stats }
@@ -168,6 +178,9 @@ func (c *RefCache) demand(addr uint64, write bool, storeBytes int) (hit, firstUs
 			// order are untouched.
 			c.stats.BytesToMemory += uint64(storeBytes)
 			c.writeTransaction(addr)
+			if c.sink != nil {
+				c.sink.MemWrite(addr, storeBytes)
+			}
 			return false, false
 		}
 	}
@@ -177,13 +190,34 @@ func (c *RefCache) demand(addr uint64, write bool, storeBytes int) (hit, firstUs
 		c.touch(s, li, i)
 		c.stats.DemandFetches++
 		c.stats.BytesFromMemory += c.subBytes()
+		if c.sink != nil {
+			c.sink.MemRead(addr-addr%c.subBytes(), int(c.subBytes()))
+		}
 		c.applyWrite(l, sub, addr, write, storeBytes)
 		return false, false
 	}
-	// Line absent.
+	// Line absent: a victim-buffer hit swaps the line back with no memory
+	// traffic. The implementation re-inserts via the normal path (freq 1,
+	// not prefetched) and then restores the dirty mask; so does this.
+	if c.cfg.VictimLines > 0 {
+		if vi := c.vbufFind(line); vi >= 0 {
+			vl := c.vbuf[vi]
+			c.vbuf = append(c.vbuf[:vi], c.vbuf[vi+1:]...)
+			c.stats.VictimHits++
+			nl := &refLine{tag: line, valid: vl.valid, dirty: map[uint64]bool{}, freq: 1}
+			c.place(s, nl)
+			nl.dirty = vl.dirty
+			c.applyWrite(nl, sub, addr, write, storeBytes)
+			return false, false
+		}
+	}
+	// Line absent everywhere.
 	l = c.insert(s, line, sub, false)
 	c.stats.DemandFetches++
 	c.stats.BytesFromMemory += c.subBytes()
+	if c.sink != nil {
+		c.sink.MemRead(addr-addr%c.subBytes(), int(c.subBytes()))
+	}
 	c.applyWrite(l, sub, addr, write, storeBytes)
 	return false, false
 }
@@ -227,6 +261,9 @@ func (c *RefCache) applyWrite(l *refLine, sub uint64, addr uint64, write bool, s
 	case cache.WriteThrough:
 		c.stats.BytesToMemory += uint64(storeBytes)
 		c.writeTransaction(addr)
+		if c.sink != nil {
+			c.sink.MemWrite(addr, storeBytes)
+		}
 	}
 }
 
@@ -257,11 +294,22 @@ func (c *RefCache) prefetch(addr uint64) {
 		l.valid[sub] = true
 		c.stats.PrefetchFetches++
 		c.stats.BytesFromMemory += c.subBytes()
+		if c.sink != nil {
+			c.sink.MemRead(addr-addr%c.subBytes(), int(c.subBytes()))
+		}
+		return
+	}
+	// A line sitting in the victim buffer is treated as present: no
+	// fetch, no swap (only a demand reference promotes).
+	if c.cfg.VictimLines > 0 && c.vbufFind(line) >= 0 {
 		return
 	}
 	c.insert(s, line, sub, true)
 	c.stats.PrefetchFetches++
 	c.stats.BytesFromMemory += c.subBytes()
+	if c.sink != nil {
+		c.sink.MemRead(addr-addr%c.subBytes(), int(c.subBytes()))
+	}
 }
 
 func (c *RefCache) insert(s *refSet, line, sub uint64, prefetched bool) *refLine {
@@ -274,16 +322,53 @@ func (c *RefCache) insert(s *refSet, line, sub uint64, prefetched bool) *refLine
 	if !prefetched {
 		l.freq = 1 // a demand fill counts as one use
 	}
+	c.place(s, l)
+	return l
+}
+
+// place puts a prebuilt line into s, evicting (into the victim buffer
+// when configured) if the set is full.
+func (c *RefCache) place(s *refSet, l *refLine) {
 	if c.cfg.Repl == cache.ARC {
 		c.arcInsert(s, l)
-		return l
+		return
 	}
 	if len(s.lists[0])+len(s.lists[1]) == c.cfg.EffectiveAssoc() {
 		vli, vi := c.victim(s)
-		c.push(removeAt(&s.lists[vli], vi), false)
+		c.evictLine(removeAt(&s.lists[vli], vi))
 	}
 	s.lists[0] = prepend(s.lists[0], l)
-	return l
+}
+
+// vbufFind locates a line in the victim buffer, -1 if absent.
+func (c *RefCache) vbufFind(line uint64) int {
+	for i, l := range c.vbuf {
+		if l.tag == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// evictLine transfers a capacity-evicted line into the victim buffer
+// (its LRU entry overflowing to memory with full push accounting), or
+// pushes it straight to memory when no buffer is configured — mirroring
+// cache.Cache.evictLine, including the event order: the overflow
+// write-back happens before the caller fetches the new line.
+func (c *RefCache) evictLine(l *refLine) {
+	if c.cfg.VictimLines == 0 {
+		c.push(l, false)
+		return
+	}
+	c.stats.VictimFills++
+	if len(c.vbuf) == c.cfg.VictimLines {
+		lru := c.vbuf[len(c.vbuf)-1]
+		c.vbuf = c.vbuf[:len(c.vbuf)-1]
+		c.push(lru, false)
+	}
+	l.prefetched = false
+	l.freq = 0
+	c.vbuf = append([]*refLine{l}, c.vbuf...)
 }
 
 // victim picks the line to evict from a full set (non-ARC policies).
@@ -357,7 +442,7 @@ func (c *RefCache) arcInsert(s *refSet, l *refLine) {
 				c.arcReplace(s, false)
 			} else {
 				// T1 full, B1 empty: drop the T1 LRU line with no ghost.
-				c.push(removeAt(&s.lists[0], t1-1), false)
+				c.evictLine(removeAt(&s.lists[0], t1-1))
 			}
 		} else if t1+t2+b1+b2 >= assoc {
 			if t1+t2+b1+b2 >= 2*assoc {
@@ -388,8 +473,9 @@ func (c *RefCache) arcReplace(s *refSet, inB2 bool) {
 // end of the matching ghost list.
 func (c *RefCache) arcEvict(s *refSet, li int) {
 	l := removeAt(&s.lists[li], len(s.lists[li])-1)
-	c.push(l, false)
-	s.ghosts[li] = append([]uint64{l.tag}, s.ghosts[li]...)
+	tag := l.tag
+	c.evictLine(l)
+	s.ghosts[li] = append([]uint64{tag}, s.ghosts[li]...)
 }
 
 func ghostIndex(g []uint64, tag uint64) int {
@@ -410,6 +496,18 @@ func (c *RefCache) push(l *refLine, purge bool) {
 		c.stats.DirtyPushes++
 		c.stats.WriteTransactions++
 		c.stats.BytesToMemory += uint64(len(l.dirty)) * c.subBytes()
+		if c.sink != nil {
+			// Dirty sub-blocks write back in ascending sub-index order —
+			// the map must not be ranged, or the L2 stream diverges from
+			// cache.Cache's bit-scan order.
+			base := l.tag * uint64(c.cfg.LineSize)
+			subs := uint64(c.cfg.LineSize) / c.subBytes()
+			for sub := uint64(0); sub < subs; sub++ {
+				if l.dirty[sub] {
+					c.sink.MemWrite(base+sub*c.subBytes(), int(c.subBytes()))
+				}
+			}
+		}
 	}
 }
 
@@ -447,6 +545,12 @@ func (c *RefCache) Purge() {
 		s.ghosts[0], s.ghosts[1] = nil, nil
 		s.p = 0
 	}
+	// The victim buffer drains after the main sets, MRU to LRU, matching
+	// cache.Cache.Purge's event order.
+	for _, l := range c.vbuf {
+		c.push(l, true)
+	}
+	c.vbuf = nil
 }
 
 // RefSystem is the naive counterpart of cache.System: split/unified
