@@ -56,22 +56,22 @@ bench-smoke:
 
 # Record the perf trajectory: run the artifact + simulator benchmarks
 # (including the exact/sampled/parallel/hierarchy sweep family) and merge the
-# numbers into BENCH_6.json under the "after" key (use BENCHKEY=before to
-# record a baseline first). Prior records (BENCH_2..5.json) are kept as
+# numbers into BENCH_7.json under the "after" key (use BENCHKEY=before to
+# record a baseline first). Prior records (BENCH_2..6.json) are kept as
 # history.
 BENCHKEY ?= after
 BENCHREGEX = Table|Figure|Cache|StackSim|MultiSystem|FanoutSystem|Sweep
 benchjson:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchmem . \
-		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_6.json
+		| $(GO) run ./cmd/benchjson -key $(BENCHKEY) -o BENCH_7.json
 
 # Local regression check: one quick iteration of the recorded benchmarks
-# against the BENCH_6.json record. Meaningful only on the machine that
+# against the BENCH_7.json record. Meaningful only on the machine that
 # recorded the baseline (absolute timings are machine-specific); CI instead
 # runs a blocking gate that baselines the merge-base on the same runner
 # (see .github/workflows/ci.yml, bench-smoke job).
 BENCHTHRESHOLD ?= 1.5
-BENCHBASE ?= BENCH_6.json
+BENCHBASE ?= BENCH_7.json
 benchcheck:
 	$(GO) test -run '^$$' -bench '$(BENCHREGEX)' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson -against $(BENCHBASE) -threshold $(BENCHTHRESHOLD)

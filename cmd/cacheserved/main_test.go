@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"regexp"
@@ -146,12 +147,29 @@ func TestPprofFlag(t *testing.T) {
 	if got := status(addr, "/healthz"); got != http.StatusOK {
 		t.Errorf("healthz with -pprof: status %d", got)
 	}
+	// The debug listener also serves the process expvars, including the
+	// server's own published snapshot.
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["cacheserved"]; !ok {
+		t.Error("/debug/vars missing the cacheserved snapshot")
+	}
 	stop()
 
 	addr, stop = startTestServer(t)
 	defer stop()
 	if got := status(addr, "/debug/pprof/"); got == http.StatusOK {
 		t.Error("pprof index served without -pprof")
+	}
+	if got := status(addr, "/debug/vars"); got == http.StatusOK {
+		t.Error("expvars served without -pprof")
 	}
 	if got := status(addr, "/healthz"); got != http.StatusOK {
 		t.Errorf("healthz without -pprof: status %d", got)

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cacheeval/internal/server"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Config{})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(s.Close)
+	return hs
+}
+
+func TestWatchSweepPlain(t *testing.T) {
+	hs := newBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", hs.URL, "-plain",
+		"-sweep", `{"mixes":["FGO1"],"sizes":[1024,4096],"ref_limit":20000}`,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"accepted",
+		"sweep:FGO1:demand:split: start",
+		"sweep:FGO1:demand:split: done",
+		"cell: FGO1 size=1024",
+		"cell: FGO1 size=4096",
+		"summary received",
+		"done",
+		`"mixes"`, // indented summary payload printed at the end
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWatchEvaluateLive(t *testing.T) {
+	hs := newBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", hs.URL, "-interval", "1ms",
+		"-evaluate", `{"mix":"CGO1","ref_limit":20000}`,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"job ", "accepted",
+		"[", "]", // a progress bar frame was drawn
+		"done: ",
+		`"report"`, // evaluate summary payload
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWatchAttachAndResume(t *testing.T) {
+	hs := newBackend(t)
+	// Submit via one invocation, then attach with -job and a -from cursor.
+	var first bytes.Buffer
+	if err := run([]string{
+		"-addr", hs.URL, "-plain",
+		"-sweep", `{"mixes":["MVS1"],"sizes":[1024],"ref_limit":20000}`,
+	}, &first); err != nil {
+		t.Fatalf("submit run: %v\n%s", err, first.String())
+	}
+	line := strings.SplitN(first.String(), "\n", 2)[0] // "job <id> (sweep) accepted"
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		t.Fatalf("no job id in %q", line)
+	}
+	id := fields[1]
+
+	var out bytes.Buffer
+	if err := run([]string{"-addr", hs.URL, "-plain", "-job", id, "-from", "2"}, &out); err != nil {
+		t.Fatalf("attach run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if strings.Contains(text, "accepted\n") {
+		t.Errorf("-from 2 should skip the accepted event:\n%s", text)
+	}
+	if !strings.Contains(text, "summary received") || !strings.Contains(text, "done") {
+		t.Errorf("attached stream missing terminal events:\n%s", text)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-plain"}, &out); err == nil {
+		t.Error("no source flag: want error")
+	}
+	if err := run([]string{"-job", "x", "-sweep", "{}"}, &out); err == nil {
+		t.Error("two source flags: want error")
+	}
+}
+
+func TestSiCount(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1500, "1.5k"}, {2.5e6, "2.5M"}, {3e9, "3.0G"},
+	} {
+		if got := siCount(tc.v); got != tc.want {
+			t.Errorf("siCount(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestWatchTruncatedStream(t *testing.T) {
+	// A stream that ends without a terminal event is an error, not a hang.
+	r := strings.NewReader(`{"seq":1,"type":"accepted","elapsed_ms":0}` + "\n")
+	var out bytes.Buffer
+	err := watch(r, &out, true, time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "terminal") {
+		t.Errorf("truncated stream error = %v", err)
+	}
+}

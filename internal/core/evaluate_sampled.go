@@ -63,6 +63,11 @@ func EvaluateSampledRefsContext(ctx context.Context, design cache.SystemConfig, 
 			return sp.End
 		},
 	}
+	if rp, ok := probe.(obs.SampleRoundProbe); ok {
+		ctrl.OnRoundDone = func(round int, a sampling.Attempt) {
+			rp.SampledRound(stage, round, a.Achieved, od.ErrorBudget, a.Fraction)
+		}
+	}
 	t0 := time.Now()
 	if probe != nil {
 		probe.RunStart(stage+":sampled", int64(len(refs)))

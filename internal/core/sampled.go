@@ -265,6 +265,11 @@ func init() {
 				return func() { sp.AddRefs(int64(p.Window) * int64(p.Windows(len(refs)))); sp.End() }
 			},
 		}
+		if rp, ok := probe.(obs.SampleRoundProbe); ok {
+			ctrl.OnRoundDone = func(round int, a sampling.Attempt) {
+				rp.SampledRound(stage, round, a.Achieved, o.ErrorBudget, a.Fraction)
+			}
+		}
 		t0 := time.Now()
 		if probe != nil {
 			probe.RunStart(stage+":sampled", int64(len(refs)))

@@ -83,6 +83,14 @@ type Options struct {
 	// its own stage name. Nil keeps the engines' hot paths on the
 	// uninstrumented fast path (see DESIGN.md §8).
 	Probe obs.Probe
+	// OnPass, when non-nil, receives each completed sweep grid pass — the
+	// (mix, organization, fetch policy) identity plus its per-size
+	// results — as soon as the pass finishes, before the sweep as a whole
+	// completes. With Workers > 1 passes finish concurrently, so the
+	// callback must be safe for concurrent use. The evaluation service
+	// uses it to stream per-cell results from async jobs; nil costs
+	// nothing.
+	OnPass func(p PassResult)
 
 	// budget is the experiment's shared worker pool: Workers-1 grantable
 	// slots split between job-level fan-out (forEachCtx) and segment-level

@@ -197,6 +197,17 @@ func fetchName(prefetch bool) string {
 	return "demand"
 }
 
+// PassResult is one completed sweep grid pass, delivered to
+// Options.OnPass: which (mix, organization, fetch policy) job finished and
+// its per-size outputs, indexed like Sizes.
+type PassResult struct {
+	Mix      string
+	Split    bool
+	Prefetch bool
+	Sizes    []int
+	Results  []SimOut
+}
+
 // runPass executes one (organization, fetch policy) job at every size via
 // the engine capability registry and scatters the per-size results into
 // the mix's cell row. The returned SweepOut carries the sampling and
@@ -230,8 +241,15 @@ func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref,
 		return core.SweepOut{}, err
 	}
 	sp.AddRefs(int64(len(refs)))
+	var outs []SimOut
+	if o.OnPass != nil { // only allocate the callback's copy when someone listens
+		outs = make([]SimOut, len(out.Results))
+	}
 	for si, r := range out.Results {
 		cell := SimOut{Ref: r.Ref, I: r.I, D: r.D, U: r.U, CI: r.CI, H: r.H}
+		if outs != nil {
+			outs[si] = cell
+		}
 		switch {
 		case split && prefetch:
 			row[si].SplitPrefetch = cell
@@ -242,6 +260,12 @@ func runPass(ctx context.Context, o Options, mix workload.Mix, refs []trace.Ref,
 		default:
 			row[si].UnifiedDemand = cell
 		}
+	}
+	if o.OnPass != nil {
+		o.OnPass(PassResult{
+			Mix: mix.Name, Split: split, Prefetch: prefetch,
+			Sizes: o.Sizes, Results: outs,
+		})
 	}
 	return out, nil
 }

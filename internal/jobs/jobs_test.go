@@ -1,0 +1,326 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestRegistry(t *testing.T, cfg Config) (*Registry, *time.Time) {
+	t.Helper()
+	r := NewRegistry(cfg)
+	clock := time.Unix(1_700_000_000, 0)
+	r.now = func() time.Time { return clock }
+	return r, &clock
+}
+
+func TestPublishAndReplay(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{})
+	j, err := r.Create("sweep", "req-1")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	j.Publish(EventAccepted, map[string]string{"id": j.ID})
+	j.Start(nil)
+	j.Publish("progress", map[string]int{"refs": 100})
+	evs, next, terminal, first := j.EventsSince(0)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if terminal {
+		t.Fatal("job reported terminal while running")
+	}
+	if first != 1 {
+		t.Fatalf("firstSeq = %d, want 1", first)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[1].Type != EventStarted {
+		t.Fatalf("event 1 type = %q, want started", evs[1].Type)
+	}
+	// Resume from the cursor: nothing new yet.
+	evs2, _, _, _ := j.EventsSince(next)
+	if len(evs2) != 0 {
+		t.Fatalf("resume returned %d events, want 0", len(evs2))
+	}
+	// A late joiner replays everything from the start.
+	late, _, _, _ := j.EventsSince(0)
+	if len(late) != 3 {
+		t.Fatalf("late joiner got %d events, want 3", len(late))
+	}
+}
+
+func TestFinishStates(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{})
+
+	ok, _ := r.Create("sweep", "")
+	ok.Start(nil)
+	ok.Publish(EventSummary, map[string]string{"k": "v"})
+	ok.Finish(nil)
+	if got := ok.State(); got != StateDone {
+		t.Fatalf("state = %q, want done", got)
+	}
+	evs, _, terminal, _ := ok.EventsSince(0)
+	if !terminal {
+		t.Fatal("done job not terminal")
+	}
+	if last := evs[len(evs)-1]; last.Type != EventDone {
+		t.Fatalf("last event = %q, want done", last.Type)
+	}
+
+	bad, _ := r.Create("evaluate", "")
+	bad.Start(nil)
+	bad.Finish(errors.New("boom"))
+	if got := bad.State(); got != StateFailed {
+		t.Fatalf("state = %q, want failed", got)
+	}
+	if bad.Err() != "boom" {
+		t.Fatalf("Err = %q, want boom", bad.Err())
+	}
+	evs, _, _, _ = bad.EventsSince(0)
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(evs[len(evs)-1].Data, &payload); err != nil || payload.Error != "boom" {
+		t.Fatalf("failed event payload = %s (err %v)", evs[len(evs)-1].Data, err)
+	}
+
+	// Publishing after a terminal state is a silent no-op.
+	n := len(evs)
+	bad.Publish("progress", nil)
+	evs, _, _, _ = bad.EventsSince(0)
+	if len(evs) != n {
+		t.Fatal("publish after terminal state appended an event")
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{})
+	j, _ := r.Create("sweep", "")
+	ctx, cancel := context.WithCancel(context.Background())
+	j.SetCancel(cancel)
+	j.Start(nil)
+	if !j.Cancel() {
+		t.Fatal("Cancel returned false on a running job")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Cancel did not fire the installed cancel func")
+	}
+	// The runner observes ctx death and reports the error; the job maps it
+	// to canceled because cancellation was requested.
+	j.Finish(ctx.Err())
+	if got := j.State(); got != StateCanceled {
+		t.Fatalf("state = %q, want canceled", got)
+	}
+	if j.Cancel() {
+		t.Fatal("Cancel on a terminal job returned true")
+	}
+}
+
+func TestCancelBeforeSetCancel(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{})
+	j, _ := r.Create("sweep", "")
+	if !j.Cancel() {
+		t.Fatal("Cancel on queued job returned false")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.SetCancel(cancel) // must fire immediately: cancel beat the runner
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("SetCancel after Cancel did not fire")
+	}
+}
+
+func TestRingOverflowReportsGap(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{EventBuffer: 4})
+	j, _ := r.Create("sweep", "")
+	for i := 0; i < 10; i++ {
+		j.Publish("progress", map[string]int{"i": i})
+	}
+	evs, next, _, first := j.EventsSince(0)
+	if len(evs) != 4 {
+		t.Fatalf("buffer holds %d events, want 4", len(evs))
+	}
+	if first != 7 {
+		t.Fatalf("firstSeq = %d, want 7", first)
+	}
+	if evs[0].Seq != 7 || evs[len(evs)-1].Seq != 10 {
+		t.Fatalf("buffer spans %d..%d, want 7..10", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+	if next != 11 {
+		t.Fatalf("next = %d, want 11", next)
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", j.Dropped())
+	}
+}
+
+func TestUpdatedWakesSubscriber(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{})
+	j, _ := r.Create("sweep", "")
+	ch := j.Updated()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ch
+	}()
+	j.Publish("progress", nil)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber not woken by publish")
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	r, clock := newTestRegistry(t, Config{TTL: time.Minute})
+	j, _ := r.Create("sweep", "")
+	j.Start(nil)
+	j.Finish(nil)
+	*clock = clock.Add(30 * time.Second)
+	if r.Get(j.ID) == nil {
+		t.Fatal("job evicted before TTL")
+	}
+	*clock = clock.Add(31 * time.Second)
+	if r.Get(j.ID) != nil {
+		t.Fatal("job survived past TTL")
+	}
+	if r.Evicted() != 1 {
+		t.Fatalf("Evicted = %d, want 1", r.Evicted())
+	}
+	// Live jobs never TTL out.
+	live, _ := r.Create("sweep", "")
+	live.Start(nil)
+	*clock = clock.Add(time.Hour)
+	if r.Get(live.ID) == nil {
+		t.Fatal("running job was TTL-evicted")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{MaxJobs: 2, TTL: time.Hour})
+	a, _ := r.Create("sweep", "")
+	a.Start(nil)
+	a.Finish(nil)
+	b, _ := r.Create("sweep", "")
+	b.Start(nil)
+	// Full, but a is finished: creating evicts it.
+	c, err := r.Create("sweep", "")
+	if err != nil {
+		t.Fatalf("Create with evictable job: %v", err)
+	}
+	if r.Get(a.ID) != nil {
+		t.Fatal("finished job not evicted to make room")
+	}
+	c.Start(nil)
+	// Now both held jobs are running: the registry must refuse.
+	if _, err := r.Create("sweep", ""); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("Create on full registry: err = %v, want ErrRegistryFull", err)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	r, clock := newTestRegistry(t, Config{})
+	a, _ := r.Create("sweep", "")
+	*clock = clock.Add(time.Second)
+	b, _ := r.Create("sweep", "")
+	*clock = clock.Add(time.Second)
+	c, _ := r.Create("evaluate", "")
+	got := r.List()
+	if len(got) != 3 || got[0].ID != c.ID || got[1].ID != b.ID || got[2].ID != a.ID {
+		t.Fatalf("List order wrong: %v", []string{got[0].ID, got[1].ID, got[2].ID})
+	}
+}
+
+func TestCountsAndGauges(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{})
+	q, _ := r.Create("sweep", "")
+	run, _ := r.Create("sweep", "")
+	run.Start(nil)
+	fin, _ := r.Create("sweep", "")
+	fin.Start(nil)
+	fin.Finish(nil)
+	active, queued, held := r.Counts()
+	if active != 1 || queued != 1 || held != 3 {
+		t.Fatalf("Counts = (%d,%d,%d), want (1,1,3)", active, queued, held)
+	}
+	if r.Created() != 3 {
+		t.Fatalf("Created = %d, want 3", r.Created())
+	}
+	release := r.SubscriberGauge()
+	if r.Subscribers() != 1 {
+		t.Fatalf("Subscribers = %d, want 1", r.Subscribers())
+	}
+	release()
+	release() // idempotent
+	if r.Subscribers() != 0 {
+		t.Fatalf("Subscribers after release = %d, want 0", r.Subscribers())
+	}
+	_ = q
+}
+
+// TestConcurrentPublishSubscribe drives publishers and a consumer loop at
+// once; run under -race this is the stream-edge stress test for the event
+// bus itself (the HTTP layer adds its own in internal/server).
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	r := NewRegistry(Config{EventBuffer: 64})
+	j, _ := r.Create("sweep", "")
+	j.Start(nil)
+	const publishers, perPublisher = 4, 200
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				j.Publish("progress", map[string]int{"p": p, "i": i})
+			}
+		}(p)
+	}
+	consumed := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var cursor uint64 = 1
+		for {
+			ch := j.Updated()
+			evs, next, terminal, first := j.EventsSince(cursor)
+			if first > cursor {
+				consumed += int(first - cursor) // dropped by the ring
+			}
+			consumed += len(evs)
+			cursor = next
+			if terminal && len(evs) == 0 {
+				return
+			}
+			if len(evs) == 0 {
+				<-ch
+			}
+		}
+	}()
+	wg.Wait()
+	j.Finish(nil)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer did not drain to terminal state")
+	}
+	// started + publishers*perPublisher + done, every one seen or counted
+	// as dropped.
+	want := 1 + publishers*perPublisher + 1
+	if consumed != want {
+		t.Fatalf("consumed %d events, want %d", consumed, want)
+	}
+	if got := r.EventsEmitted(); got != int64(want) {
+		t.Fatalf("EventsEmitted = %d, want %d", got, want)
+	}
+}

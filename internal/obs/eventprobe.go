@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"log/slog"
+	"math"
+	"sync"
+	"time"
+)
+
+// Event type names emitted by EventProbe. The jobs layer forwards them
+// verbatim as the "type" field of its NDJSON stream, so they are part of
+// the public API surface (documented in README "Jobs and live progress").
+const (
+	EventRunStart         = "run_start"
+	EventProgress         = "progress"
+	EventRunEnd           = "run_end"
+	EventSampledRound     = "sampled_round"
+	EventSampledRun       = "sampled"
+	EventParallelRun      = "parallel"
+	EventParallelBoundary = "parallel_boundary"
+	EventHierarchyRun     = "hierarchy"
+	EventMissCauses       = "miss_causes"
+)
+
+// RunStartEvent is the payload of an EventRunStart event.
+type RunStartEvent struct {
+	Stage     string `json:"stage"`
+	TotalRefs int64  `json:"total_refs,omitempty"`
+}
+
+// ProgressEvent is the payload of an EventProgress event: one throttled
+// engine progress tick.
+type ProgressEvent struct {
+	Stage      string  `json:"stage"`
+	Refs       int64   `json:"refs"`
+	TotalRefs  int64   `json:"total_refs,omitempty"`
+	RefsPerSec float64 `json:"refs_per_sec"`
+}
+
+// RunEndEvent is the payload of an EventRunEnd event.
+type RunEndEvent struct {
+	Stage      string  `json:"stage"`
+	Refs       int64   `json:"refs"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	RefsPerSec float64 `json:"refs_per_sec"`
+}
+
+// SampledRoundEvent is the payload of an EventSampledRound event: one
+// adaptive-controller round's achieved CI half-width against its budget.
+// Achieved is rendered as -1 when the round was unusable (+Inf half-width:
+// too few windows or misses), since JSON has no Inf.
+type SampledRoundEvent struct {
+	Stage    string  `json:"stage"`
+	Round    int     `json:"round"`
+	Achieved float64 `json:"achieved_rel_error"`
+	Budget   float64 `json:"error_budget"`
+	Fraction float64 `json:"sampled_fraction"`
+}
+
+// SampledRunEvent is the payload of an EventSampledRun event: a sampled
+// pass's final verdict (see SampleProbe).
+type SampledRunEvent struct {
+	Stage       string  `json:"stage"`
+	ErrorBudget float64 `json:"error_budget"`
+	Achieved    float64 `json:"achieved_rel_error"`
+	Fraction    float64 `json:"sampled_fraction"`
+	Rounds      int     `json:"rounds"`
+	FellBack    bool    `json:"fell_back"`
+}
+
+// ParallelRunEvent is the payload of an EventParallelRun event: a
+// time-parallel pass's plan (see ParallelProbe).
+type ParallelRunEvent struct {
+	Stage    string `json:"stage"`
+	Segments int    `json:"segments"`
+	Aligned  bool   `json:"aligned"`
+	FellBack bool   `json:"fell_back"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// ParallelBoundaryEvent is the payload of an EventParallelBoundary event:
+// one reconciled segment boundary and its convergence distance.
+type ParallelBoundaryEvent struct {
+	Stage        string `json:"stage"`
+	DistanceRefs int64  `json:"distance_refs"`
+	Converged    bool   `json:"converged"`
+}
+
+// HierarchyRunEvent is the payload of an EventHierarchyRun event (see
+// HierarchyProbe).
+type HierarchyRunEvent struct {
+	Stage         string `json:"stage"`
+	L2Fetches     uint64 `json:"l2_fetches"`
+	L2FetchMisses uint64 `json:"l2_fetch_misses"`
+	L2Writes      uint64 `json:"l2_writes"`
+	L2WriteMisses uint64 `json:"l2_write_misses"`
+	VictimHits    uint64 `json:"victim_hits"`
+}
+
+// MissCausesEvent is the payload of an EventMissCauses event (see
+// CauseProbe).
+type MissCausesEvent struct {
+	Stage      string `json:"stage"`
+	Compulsory uint64 `json:"compulsory"`
+	Capacity   uint64 `json:"capacity"`
+	Conflict   uint64 `json:"conflict"`
+}
+
+// EventProbe adapts the engine probe callbacks into typed events for an
+// event bus: every callback (including the optional Cause/Sample/
+// SampleRound/Parallel/Hierarchy extensions) becomes one OnEvent call with
+// one of the payload structs above. Progress ticks are throttled per stage
+// by MinProgressInterval; everything else passes through unthrottled.
+//
+// EventProbe exists for instrumented runs only — the uninstrumented hot
+// path carries a nil probe and never sees it — so it may allocate freely.
+// Callbacks arrive from whatever goroutines run the engines; OnEvent must
+// be safe for concurrent use (the jobs layer's publish is).
+//
+// Next chains a second probe (the server installs its Prometheus simProbe
+// there), so turning a run into an event stream never costs its metrics.
+// Extension callbacks forward to Next only when Next implements that
+// extension. RequestID and Logger carry the originating request's identity
+// into probe-originated log lines: engine callbacks have no context, so
+// without them every line logged from inside an engine goroutine would
+// lose the X-Request-ID the access log is keyed by.
+type EventProbe struct {
+	// OnEvent receives every adapted event; nil drops them (Next still
+	// sees the raw callbacks).
+	OnEvent func(typ string, data any)
+	// Next is an optional downstream probe receiving the raw callbacks.
+	Next Probe
+	// RequestID is the originating request's ID, stamped onto log lines.
+	RequestID string
+	// Logger, when non-nil, receives engine run start/end lines. Pass the
+	// request-scoped logger so the lines correlate with the access log.
+	Logger *slog.Logger
+	// MinProgressInterval throttles ProgressEvent emission per stage; the
+	// zero value emits every engine callback (every ProgressInterval refs).
+	MinProgressInterval time.Duration
+
+	mu     sync.Mutex
+	stages map[string]*eventStage
+}
+
+type eventStage struct {
+	start    time.Time
+	total    int64
+	lastEmit time.Time
+}
+
+func (p *EventProbe) emit(typ string, data any) {
+	if p.OnEvent != nil {
+		p.OnEvent(typ, data)
+	}
+}
+
+// RunStart opens the stage's rate clock and emits a RunStartEvent.
+func (p *EventProbe) RunStart(stage string, totalRefs int64) {
+	now := time.Now()
+	p.mu.Lock()
+	if p.stages == nil {
+		p.stages = make(map[string]*eventStage)
+	}
+	p.stages[stage] = &eventStage{start: now, total: totalRefs, lastEmit: now}
+	p.mu.Unlock()
+	p.emit(EventRunStart, RunStartEvent{Stage: stage, TotalRefs: totalRefs})
+	if p.Logger != nil {
+		p.Logger.Info("engine: run start",
+			"stage", stage, "total_refs", totalRefs, "request_id", p.RequestID)
+	}
+	if p.Next != nil {
+		p.Next.RunStart(stage, totalRefs)
+	}
+}
+
+// RunProgress emits a throttled ProgressEvent with the stage's running rate.
+func (p *EventProbe) RunProgress(stage string, refs int64) {
+	now := time.Now()
+	p.mu.Lock()
+	st := p.stages[stage]
+	emit := st != nil && now.Sub(st.lastEmit) >= p.MinProgressInterval
+	var ev ProgressEvent
+	if emit {
+		st.lastEmit = now
+		ev = ProgressEvent{
+			Stage: stage, Refs: refs, TotalRefs: st.total,
+			RefsPerSec: refsPerSec(refs, now.Sub(st.start)),
+		}
+	}
+	p.mu.Unlock()
+	if emit {
+		p.emit(EventProgress, ev)
+	}
+	if p.Next != nil {
+		p.Next.RunProgress(stage, refs)
+	}
+}
+
+// RunEnd closes the stage and emits a RunEndEvent.
+func (p *EventProbe) RunEnd(stage string, refs int64, elapsed time.Duration) {
+	p.mu.Lock()
+	delete(p.stages, stage)
+	p.mu.Unlock()
+	p.emit(EventRunEnd, RunEndEvent{
+		Stage: stage, Refs: refs,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		RefsPerSec: refsPerSec(refs, elapsed),
+	})
+	if p.Logger != nil {
+		p.Logger.Info("engine: run end",
+			"stage", stage, "refs", refs,
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+			"request_id", p.RequestID)
+	}
+	if p.Next != nil {
+		p.Next.RunEnd(stage, refs, elapsed)
+	}
+}
+
+// MissCauses implements CauseProbe. Note that installing an EventProbe
+// switches the per-size engine onto its 3C attribution path regardless of
+// whether Next cares — the probe's presence is the opt-in, as ever.
+func (p *EventProbe) MissCauses(stage string, compulsory, capacity, conflict uint64) {
+	p.emit(EventMissCauses, MissCausesEvent{
+		Stage: stage, Compulsory: compulsory, Capacity: capacity, Conflict: conflict,
+	})
+	if next, ok := p.Next.(CauseProbe); ok {
+		next.MissCauses(stage, compulsory, capacity, conflict)
+	}
+}
+
+// SampledRound implements SampleRoundProbe.
+func (p *EventProbe) SampledRound(stage string, round int, achieved, budget, fraction float64) {
+	ev := SampledRoundEvent{
+		Stage: stage, Round: round, Achieved: achieved,
+		Budget: budget, Fraction: fraction,
+	}
+	if math.IsInf(ev.Achieved, 1) { // unusable round: JSON has no Inf
+		ev.Achieved = -1
+	}
+	p.emit(EventSampledRound, ev)
+	if next, ok := p.Next.(SampleRoundProbe); ok {
+		next.SampledRound(stage, round, achieved, budget, fraction)
+	}
+}
+
+// SampledRun implements SampleProbe.
+func (p *EventProbe) SampledRun(stage string, errorBudget, achieved, fraction float64, rounds int, fellBack bool) {
+	p.emit(EventSampledRun, SampledRunEvent{
+		Stage: stage, ErrorBudget: errorBudget, Achieved: achieved,
+		Fraction: fraction, Rounds: rounds, FellBack: fellBack,
+	})
+	if next, ok := p.Next.(SampleProbe); ok {
+		next.SampledRun(stage, errorBudget, achieved, fraction, rounds, fellBack)
+	}
+}
+
+// ParallelRun implements ParallelProbe.
+func (p *EventProbe) ParallelRun(stage string, segments int, aligned, fellBack bool, reason string) {
+	p.emit(EventParallelRun, ParallelRunEvent{
+		Stage: stage, Segments: segments, Aligned: aligned,
+		FellBack: fellBack, Reason: reason,
+	})
+	if next, ok := p.Next.(ParallelProbe); ok {
+		next.ParallelRun(stage, segments, aligned, fellBack, reason)
+	}
+}
+
+// ParallelBoundary implements ParallelProbe.
+func (p *EventProbe) ParallelBoundary(stage string, distanceRefs int64, converged bool) {
+	p.emit(EventParallelBoundary, ParallelBoundaryEvent{
+		Stage: stage, DistanceRefs: distanceRefs, Converged: converged,
+	})
+	if next, ok := p.Next.(ParallelProbe); ok {
+		next.ParallelBoundary(stage, distanceRefs, converged)
+	}
+}
+
+// HierarchyRun implements HierarchyProbe.
+func (p *EventProbe) HierarchyRun(stage string, l2Fetches, l2FetchMisses, l2Writes, l2WriteMisses, victimHits uint64) {
+	p.emit(EventHierarchyRun, HierarchyRunEvent{
+		Stage: stage, L2Fetches: l2Fetches, L2FetchMisses: l2FetchMisses,
+		L2Writes: l2Writes, L2WriteMisses: l2WriteMisses, VictimHits: victimHits,
+	})
+	if next, ok := p.Next.(HierarchyProbe); ok {
+		next.HierarchyRun(stage, l2Fetches, l2FetchMisses, l2Writes, l2WriteMisses, victimHits)
+	}
+}
+
+var _ CauseProbe = (*EventProbe)(nil)
+var _ SampleProbe = (*EventProbe)(nil)
+var _ SampleRoundProbe = (*EventProbe)(nil)
+var _ ParallelProbe = (*EventProbe)(nil)
+var _ HierarchyProbe = (*EventProbe)(nil)

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder captures OnEvent calls.
+type recorder struct {
+	mu     sync.Mutex
+	types  []string
+	datas  []any
+	byType map[string][]any
+}
+
+func newRecorder() *recorder { return &recorder{byType: make(map[string][]any)} }
+
+func (r *recorder) on(typ string, data any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.types = append(r.types, typ)
+	r.datas = append(r.datas, data)
+	r.byType[typ] = append(r.byType[typ], data)
+}
+
+// countingProbe records raw callbacks forwarded via Next.
+type countingProbe struct {
+	starts, progresses, ends, causes, rounds int
+}
+
+func (c *countingProbe) RunStart(string, int64)              { c.starts++ }
+func (c *countingProbe) RunProgress(string, int64)           { c.progresses++ }
+func (c *countingProbe) RunEnd(string, int64, time.Duration) { c.ends++ }
+func (c *countingProbe) MissCauses(string, uint64, uint64, uint64) {
+	c.causes++
+}
+func (c *countingProbe) SampledRound(string, int, float64, float64, float64) {
+	c.rounds++
+}
+
+func TestEventProbeLifecycle(t *testing.T) {
+	rec := newRecorder()
+	next := &countingProbe{}
+	p := &EventProbe{OnEvent: rec.on, Next: next}
+
+	p.RunStart("simulate:x", 1000)
+	p.RunProgress("simulate:x", 500)
+	p.RunEnd("simulate:x", 1000, 2*time.Second)
+
+	if got := rec.types; len(got) != 3 ||
+		got[0] != EventRunStart || got[1] != EventProgress || got[2] != EventRunEnd {
+		t.Fatalf("event sequence = %v", rec.types)
+	}
+	start := rec.datas[0].(RunStartEvent)
+	if start.Stage != "simulate:x" || start.TotalRefs != 1000 {
+		t.Fatalf("run_start payload = %+v", start)
+	}
+	prog := rec.datas[1].(ProgressEvent)
+	if prog.Refs != 500 || prog.TotalRefs != 1000 || prog.RefsPerSec < 0 {
+		t.Fatalf("progress payload = %+v", prog)
+	}
+	end := rec.datas[2].(RunEndEvent)
+	if end.Refs != 1000 || end.ElapsedMS != 2000 || end.RefsPerSec != 500 {
+		t.Fatalf("run_end payload = %+v", end)
+	}
+	if next.starts != 1 || next.progresses != 1 || next.ends != 1 {
+		t.Fatalf("next probe saw %d/%d/%d callbacks, want 1/1/1",
+			next.starts, next.progresses, next.ends)
+	}
+}
+
+func TestEventProbeProgressThrottle(t *testing.T) {
+	rec := newRecorder()
+	p := &EventProbe{OnEvent: rec.on, MinProgressInterval: time.Hour}
+	p.RunStart("s", 0)
+	for i := 0; i < 100; i++ {
+		p.RunProgress("s", int64(i))
+	}
+	// lastEmit is primed at RunStart, so an hour-long throttle emits nothing.
+	if n := len(rec.byType[EventProgress]); n != 0 {
+		t.Fatalf("throttled probe emitted %d progress events, want 0", n)
+	}
+	// Zero interval emits every callback.
+	rec2 := newRecorder()
+	p2 := &EventProbe{OnEvent: rec2.on}
+	p2.RunStart("s", 0)
+	for i := 0; i < 5; i++ {
+		p2.RunProgress("s", int64(i))
+	}
+	if n := len(rec2.byType[EventProgress]); n != 5 {
+		t.Fatalf("unthrottled probe emitted %d progress events, want 5", n)
+	}
+	// An unknown stage (RunProgress without RunStart) emits nothing rather
+	// than panicking.
+	p2.RunProgress("never-started", 1)
+}
+
+func TestEventProbeExtensions(t *testing.T) {
+	rec := newRecorder()
+	next := &countingProbe{}
+	p := &EventProbe{OnEvent: rec.on, Next: next}
+
+	p.MissCauses("s", 1, 2, 3)
+	p.SampledRound("s", 2, 0.04, 0.05, 0.3)
+	p.SampledRound("s", 0, math.Inf(1), 0.05, 0.1)
+	p.SampledRun("s", 0.05, 0.04, 0.3, 3, false)
+	p.ParallelRun("s", 4, true, false, "")
+	p.ParallelBoundary("s", 128, true)
+	p.HierarchyRun("s", 10, 2, 5, 1, 7)
+
+	mc := rec.byType[EventMissCauses][0].(MissCausesEvent)
+	if mc.Compulsory != 1 || mc.Capacity != 2 || mc.Conflict != 3 {
+		t.Fatalf("miss_causes payload = %+v", mc)
+	}
+	r0 := rec.byType[EventSampledRound][0].(SampledRoundEvent)
+	if r0.Round != 2 || r0.Achieved != 0.04 || r0.Budget != 0.05 {
+		t.Fatalf("sampled_round payload = %+v", r0)
+	}
+	// +Inf achieved (unusable round) is rendered as -1 for JSON.
+	r1 := rec.byType[EventSampledRound][1].(SampledRoundEvent)
+	if r1.Achieved != -1 {
+		t.Fatalf("infinite achieved rendered as %v, want -1", r1.Achieved)
+	}
+	if len(rec.byType[EventSampledRun]) != 1 || len(rec.byType[EventParallelRun]) != 1 ||
+		len(rec.byType[EventParallelBoundary]) != 1 || len(rec.byType[EventHierarchyRun]) != 1 {
+		t.Fatalf("extension events missing: %v", rec.types)
+	}
+	// Next implements CauseProbe and SampleRoundProbe but not the others;
+	// only the matching callbacks forward.
+	if next.causes != 1 || next.rounds != 2 {
+		t.Fatalf("next saw %d causes and %d rounds, want 1 and 2", next.causes, next.rounds)
+	}
+}
+
+func TestEventProbeLogsCarryRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	p := &EventProbe{RequestID: "req-abc123", Logger: logger}
+	p.RunStart("simulate:y", 10)
+	p.RunEnd("simulate:y", 10, time.Millisecond)
+	out := buf.String()
+	if strings.Count(out, `"request_id":"req-abc123"`) != 2 {
+		t.Fatalf("log lines missing request_id:\n%s", out)
+	}
+	if !strings.Contains(out, "engine: run start") || !strings.Contains(out, "engine: run end") {
+		t.Fatalf("log lines missing lifecycle messages:\n%s", out)
+	}
+}
+
+func TestEventProbeNilOnEvent(t *testing.T) {
+	next := &countingProbe{}
+	p := &EventProbe{Next: next} // no OnEvent: raw callbacks still forward
+	p.RunStart("s", 1)
+	p.RunProgress("s", 1)
+	p.RunEnd("s", 1, time.Millisecond)
+	if next.starts != 1 || next.progresses != 1 || next.ends != 1 {
+		t.Fatalf("nil OnEvent dropped Next callbacks: %+v", next)
+	}
+}
+
+func TestEventProbeConcurrentStages(t *testing.T) {
+	rec := newRecorder()
+	p := &EventProbe{OnEvent: rec.on}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stage := "simulate:" + string(rune('a'+g))
+			p.RunStart(stage, 100)
+			for i := 0; i < 50; i++ {
+				p.RunProgress(stage, int64(i))
+			}
+			p.RunEnd(stage, 100, time.Millisecond)
+		}(g)
+	}
+	wg.Wait()
+	if n := len(rec.byType[EventRunStart]); n != 8 {
+		t.Fatalf("got %d run_start events, want 8", n)
+	}
+	if n := len(rec.byType[EventRunEnd]); n != 8 {
+		t.Fatalf("got %d run_end events, want 8", n)
+	}
+}

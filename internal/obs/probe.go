@@ -56,6 +56,18 @@ type SampleProbe interface {
 	SampledRun(stage string, errorBudget, achieved, fraction float64, rounds int, fellBack bool)
 }
 
+// SampleRoundProbe is an optional Probe extension. The sampled engines
+// report each adaptive round as it completes — the round index, the
+// worst-size relative CI half-width it achieved (+Inf when some size was
+// unusable), the requested budget, and the round's sampled fraction — so a
+// live consumer can watch the controller converge toward (or give up on)
+// its budget instead of learning the outcome only from the final
+// SampledRun call. Fired from the simulating goroutine, between rounds.
+type SampleRoundProbe interface {
+	Probe
+	SampledRound(stage string, round int, achieved, budget, fraction float64)
+}
+
 // ParallelProbe is an optional Probe extension. The time-parallel sweep
 // engine reports each run's plan — segment count, whether the plan was
 // purge-aligned, and whether (and why) the run fell back to a serial

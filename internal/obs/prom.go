@@ -231,6 +231,51 @@ func (h *Histogram) samples(dst []string) []string {
 	return dst
 }
 
+// HistogramState is a point-in-time histogram snapshot collected by a
+// NewHistogramFunc callback: ascending upper bounds (+Inf excluded),
+// per-bucket counts with one extra trailing overflow bucket
+// (len(Counts) == len(Bounds)+1), and the sum of observations.
+type HistogramState struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// histogramFunc is a histogram whose state is collected at scrape time —
+// used to re-expose histograms maintained elsewhere (runtime/metrics' GC
+// pause distribution) without shadow accounting on every observation.
+type histogramFunc struct {
+	name, help string
+	fn         func() HistogramState
+}
+
+// NewHistogramFunc registers a histogram collected from fn at scrape time.
+// fn must return counts consistent with its bounds (see HistogramState);
+// extra counts land in the +Inf bucket, missing ones read as zero, so a
+// sloppy producer degrades rather than corrupting the exposition.
+func (r *Registry) NewHistogramFunc(name, help string, fn func() HistogramState) {
+	r.register(&histogramFunc{name: name, help: help, fn: fn})
+}
+
+func (h *histogramFunc) meta() (string, string, string) { return h.name, h.help, "histogram" }
+func (h *histogramFunc) samples(dst []string) []string {
+	st := h.fn()
+	var cum uint64
+	for i, b := range st.Bounds {
+		if i < len(st.Counts) {
+			cum += st.Counts[i]
+		}
+		dst = append(dst, fmt.Sprintf("%s_bucket{le=%q} %d", h.name, formatFloat(b), cum))
+	}
+	for i := len(st.Bounds); i < len(st.Counts); i++ {
+		cum += st.Counts[i]
+	}
+	dst = append(dst, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", h.name, cum))
+	dst = append(dst, h.name+"_sum "+formatFloat(st.Sum))
+	dst = append(dst, h.name+"_count "+strconv.FormatUint(cum, 10))
+	return dst
+}
+
 // LatencyBuckets returns the default request-latency bounds in seconds,
 // spanning 1ms..60s.
 func LatencyBuckets() []float64 {

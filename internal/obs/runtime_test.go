@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterGoRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterGoRuntime(reg, "testproc")
+	runtime.GC() // guarantee at least one pause in the GC histogram
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	text := sb.String()
+	if err := CheckExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, family := range []string{
+		"# TYPE testproc_go_goroutines gauge",
+		"# TYPE testproc_go_heap_inuse_bytes gauge",
+		"# TYPE testproc_go_gc_pause_seconds histogram",
+	} {
+		if !strings.Contains(text, family+"\n") {
+			t.Errorf("missing %q in exposition:\n%s", family, text)
+		}
+	}
+	// A live Go process has at least one goroutine and a nonzero heap.
+	if !strings.Contains(text, "testproc_go_goroutines ") {
+		t.Fatalf("no goroutines sample:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, "testproc_go_goroutines "); ok {
+			if v == "0" {
+				t.Errorf("goroutine gauge reads 0")
+			}
+		}
+		if v, ok := strings.CutPrefix(line, "testproc_go_heap_inuse_bytes "); ok {
+			if v == "0" {
+				t.Errorf("heap in-use gauge reads 0")
+			}
+		}
+	}
+	// The forced GC above must appear in the pause histogram's count.
+	if !strings.Contains(text, "testproc_go_gc_pause_seconds_count ") ||
+		strings.Contains(text, "testproc_go_gc_pause_seconds_count 0\n") {
+		t.Errorf("GC pause histogram has no observations:\n%s", text)
+	}
+}
+
+func TestGCPauseStateRebucketing(t *testing.T) {
+	// The real runtime histogram re-bucketed into the fixed bounds must
+	// conserve counts: cumulative +Inf equals the total of all buckets.
+	st := gcPauseState(GCPauseBuckets())
+	if len(st.Counts) != len(st.Bounds)+1 {
+		t.Fatalf("counts/bounds mismatch: %d vs %d", len(st.Counts), len(st.Bounds))
+	}
+	if st.Sum < 0 || math.IsNaN(st.Sum) || math.IsInf(st.Sum, 0) {
+		t.Fatalf("sum not finite: %v", st.Sum)
+	}
+}
+
+func TestHistogramFuncExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewHistogramFunc("test_hist_seconds", "help text", func() HistogramState {
+		return HistogramState{
+			Bounds: []float64{0.1, 1},
+			Counts: []uint64{2, 3, 1}, // per-bucket, not cumulative
+			Sum:    2.5,
+		}
+	})
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := CheckExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, line := range []string{
+		`test_hist_seconds_bucket{le="0.1"} 2`,
+		`test_hist_seconds_bucket{le="1"} 5`,
+		`test_hist_seconds_bucket{le="+Inf"} 6`,
+		`test_hist_seconds_sum 2.5`,
+		`test_hist_seconds_count 6`,
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("missing %q in exposition:\n%s", line, text)
+		}
+	}
+}
+
+func TestBucketMid(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi, want float64
+	}{
+		{1, 3, 2},
+		{math.Inf(-1), 5, 5},
+		{5, math.Inf(1), 5},
+		{math.Inf(-1), math.Inf(1), 0},
+	} {
+		if got := bucketMid(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("bucketMid(%v,%v) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}

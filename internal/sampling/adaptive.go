@@ -55,6 +55,12 @@ type Controller struct {
 	// OnRound, when non-nil, brackets each sampled pass; the returned
 	// function is called when the pass ends. Used for span tracing.
 	OnRound func(round int, p Plan) func()
+	// OnRoundDone, when non-nil, is called after each round's estimate is
+	// judged, with the round index and its Attempt record (plan, fraction,
+	// achieved worst-size relative half-width — +Inf for an unusable
+	// round — and simulated references). Used to stream the controller's
+	// convergence live; called from the simulating goroutine.
+	OnRoundDone func(round int, a Attempt)
 }
 
 // Attempt records one sampled round.
@@ -163,6 +169,9 @@ func (c Controller) Run(total, nsizes int, open func() trace.Reader, build func(
 		out.Attempts = append(out.Attempts, Attempt{
 			Plan: plan, Fraction: frac, Achieved: worst, SimulatedRefs: est.SimulatedRefs,
 		})
+		if c.OnRoundDone != nil {
+			c.OnRoundDone(round, out.Attempts[len(out.Attempts)-1])
+		}
 		out.Est, out.Target, out.Achieved = est, t, worst
 		if worst <= c.RelErrBudget {
 			return out, nil

@@ -42,6 +42,8 @@ type Metrics struct {
 	SweepRequests    expvar.Int
 	EvaluateNs       expvar.Int
 	SweepNs          expvar.Int
+	// JobRequests counts POST /v1/jobs submissions, accepted or not.
+	JobRequests expvar.Int
 }
 
 // MetricsSnapshot is a point-in-time copy of the counters, shaped for JSON,
@@ -63,6 +65,7 @@ type MetricsSnapshot struct {
 	SweepRequests    int64   `json:"sweep_requests"`
 	EvaluateNsTotal  int64   `json:"evaluate_ns_total"`
 	SweepNsTotal     int64   `json:"sweep_ns_total"`
+	JobRequests      int64   `json:"job_requests"`
 	MemoEntries      int     `json:"memo_entries"`
 	StreamEntries    int     `json:"stream_entries"`
 
@@ -108,6 +111,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SweepRequests:    m.SweepRequests.Value(),
 		EvaluateNsTotal:  m.EvaluateNs.Value(),
 		SweepNsTotal:     m.SweepNs.Value(),
+		JobRequests:      m.JobRequests.Value(),
 	}
 	snap.MemoHitRatio = hitRatio(snap.MemoHits, snap.MemoMisses)
 	snap.StreamHitRatio = hitRatio(snap.StreamHits, snap.StreamMisses)

@@ -75,6 +75,17 @@ func TestMetricsPrometheus(t *testing.T) {
 		"cacheeval_sweep_duration_seconds",
 		"cacheeval_engine_refs_total",
 		"cacheeval_engine_refs_per_second",
+		"cacheeval_jobs_requests_total",
+		"cacheeval_jobs_created_total",
+		"cacheeval_jobs_evicted_total",
+		"cacheeval_jobs_events_emitted_total",
+		"cacheeval_jobs_active",
+		"cacheeval_jobs_queued",
+		"cacheeval_jobs_held",
+		"cacheeval_jobs_subscribers",
+		"cacheeval_go_goroutines",
+		"cacheeval_go_heap_inuse_bytes",
+		"cacheeval_go_gc_pause_seconds",
 	} {
 		if !strings.Contains(text, "# TYPE "+family+" ") {
 			t.Errorf("family %s missing from exposition", family)

@@ -142,6 +142,35 @@ func (s *Server) buildProm() {
 		"Write-back events the second-level cache missed on, summed over two-level engine runs.")
 	s.hierVictimHits = reg.NewCounter("cacheeval_hierarchy_victim_hits_total",
 		"Misses served from a victim buffer without a memory fetch, summed over engine runs.")
+
+	// Async-job families read straight off the job registry at scrape time.
+	intCounter("cacheeval_jobs_requests_total",
+		"POST /v1/jobs submissions, accepted or not.", m.JobRequests.Value)
+	reg.NewCounterFunc("cacheeval_jobs_created_total",
+		"Async jobs accepted into the registry.",
+		func() float64 { return float64(s.jobs.Created()) })
+	reg.NewCounterFunc("cacheeval_jobs_evicted_total",
+		"Finished jobs evicted from the registry (TTL or capacity).",
+		func() float64 { return float64(s.jobs.Evicted()) })
+	reg.NewCounterFunc("cacheeval_jobs_events_emitted_total",
+		"Events published across all jobs' streams.",
+		func() float64 { return float64(s.jobs.EventsEmitted()) })
+	reg.NewGaugeFunc("cacheeval_jobs_active",
+		"Jobs currently running a simulation.",
+		func() float64 { a, _, _ := s.jobs.Counts(); return float64(a) })
+	reg.NewGaugeFunc("cacheeval_jobs_queued",
+		"Jobs accepted but not yet started.",
+		func() float64 { _, q, _ := s.jobs.Counts(); return float64(q) })
+	reg.NewGaugeFunc("cacheeval_jobs_held",
+		"Jobs held in the registry, finished ones awaiting TTL eviction included.",
+		func() float64 { _, _, h := s.jobs.Counts(); return float64(h) })
+	reg.NewGaugeFunc("cacheeval_jobs_subscribers",
+		"Event-stream consumers currently attached across all jobs.",
+		func() float64 { return float64(s.jobs.Subscribers()) })
+
+	// Go runtime telemetry: scheduler, heap and GC pause health of the
+	// process serving the engines (see obs.RegisterGoRuntime).
+	obs.RegisterGoRuntime(reg, "cacheeval")
 }
 
 // simProbe adapts engine run completions into the engine throughput metrics.

@@ -38,6 +38,7 @@ import (
 	"cacheeval/internal/cache"
 	"cacheeval/internal/core"
 	"cacheeval/internal/experiments"
+	"cacheeval/internal/jobs"
 	"cacheeval/internal/model"
 	"cacheeval/internal/obs"
 	"cacheeval/internal/trace"
@@ -66,6 +67,16 @@ type Config struct {
 	// DefaultTimeout applies to requests that set no timeout_ms; 0 means
 	// no server-imposed deadline.
 	DefaultTimeout time.Duration
+	// MaxJobs bounds the async-job registry (POST /v1/jobs); default 64.
+	// When every held job is live, job creation returns 503.
+	MaxJobs int
+	// JobTTL is how long a finished job's status and events stay fetchable
+	// before eviction; default 10 minutes.
+	JobTTL time.Duration
+	// JobEventBuffer caps each job's replayable event buffer; default 4096
+	// events. Past it the oldest events drop and late subscribers see a
+	// gap marker instead.
+	JobEventBuffer int
 	// Logger receives the structured access log and simulation lifecycle
 	// events, each line carrying the request's ID. Nil discards all logs
 	// (the zero value stays quiet, matching the previous behaviour).
@@ -130,6 +141,8 @@ type Server struct {
 	hierVictimHits     *obs.Counter
 	httpInFlight       atomic.Int64
 
+	jobs *jobs.Registry
+
 	mu      sync.Mutex
 	memo    *memoLRU
 	streams *memoLRU
@@ -161,10 +174,13 @@ func New(cfg Config) *Server {
 		logger = obs.NopLogger()
 	}
 	s := &Server{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		metrics:   &Metrics{},
-		logger:    logger,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		metrics: &Metrics{},
+		logger:  logger,
+		jobs: jobs.NewRegistry(jobs.Config{
+			MaxJobs: cfg.MaxJobs, TTL: cfg.JobTTL, EventBuffer: cfg.JobEventBuffer,
+		}),
 		memo:      newMemoLRU(cfg.MemoEntries),
 		streams:   newMemoLRU(cfg.StreamEntries),
 		flights:   make(map[string]*flight),
@@ -176,6 +192,11 @@ func New(cfg Config) *Server {
 	s.buildCatalog()
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/mixes", s.handleMixes)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -633,10 +654,44 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.error(w, verr.code, verr.msg)
 		return
 	}
-	// L2 keys by its resolved cache config (nil for single-level), so an L2
-	// block that spells out the inherited line size memoizes with one that
-	// omits it — and a hierarchy request can never share an entry with a
-	// single-level request for the same L1 design.
+	key, l2cfg, err := evalRequestKey(&req, design, mix.Name)
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
+		return s.evalFlight(&req, design, mix, l2cfg)(s.flightCtx(fctx, ctx))
+	})
+	if err != nil {
+		s.simError(w, err)
+		return
+	}
+	s.countOutcome(hit, shared)
+	memo := val.(evalMemo)
+	resp := EvaluateResponse{
+		Report: memo.Report, MissRatioCI: memo.CI, Sampled: memo.Sampled,
+		Parallel: memo.Parallel,
+		Cached:   hit, Shared: shared,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.Trace {
+		resp.Trace = memo.Trace
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evalRequestKey computes an evaluate request's memoization key from its
+// validated, canonicalized form, plus the resolved L2 config (nil for
+// single-level). Async jobs (POST /v1/jobs) compute the same key, so an
+// async evaluate and its synchronous twin share one memo entry and one
+// flight. L2 keys by its resolved cache config, so an L2 block that spells
+// out the inherited line size memoizes with one that omits it — and a
+// hierarchy request can never share an entry with a single-level request
+// for the same L1 design.
+func evalRequestKey(req *EvaluateRequest, design cache.SystemConfig, mixName string) (string, *cache.Config, error) {
 	var l2cfg *cache.Config
 	if req.L2 != nil {
 		c := req.L2.config(design)
@@ -650,16 +705,16 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		ErrorBudget float64
 		Parallel    int
 		L2          *cache.Config
-	}{design, mix.Name, req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel, l2cfg})
-	if err != nil {
-		s.error(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	start := time.Now()
-	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
-		fctx = s.flightCtx(fctx, ctx)
+	}{design, mixName, req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel, l2cfg})
+	return key, l2cfg, err
+}
+
+// evalFlight returns the flight body shared by the synchronous handler and
+// the async job runner: everything from trace setup to the mode dispatch.
+// The caller decorates the flight context first (request identity and
+// probe — flightCtx for synchronous requests, jobFlightCtx for jobs).
+func (s *Server) evalFlight(req *EvaluateRequest, design cache.SystemConfig, mix workload.Mix, l2cfg *cache.Config) func(context.Context) (any, error) {
+	return func(fctx context.Context) (any, error) {
 		fctx, tr := obs.NewTrace(fctx)
 		return s.timedSim(func() (any, error) {
 			obs.Logger(fctx).Info("evaluate: simulation start",
@@ -702,23 +757,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			}
 			return evalMemo{Report: rep, Trace: tr.Summary()}, nil
 		})
-	})
-	if err != nil {
-		s.simError(w, err)
-		return
 	}
-	s.countOutcome(hit, shared)
-	memo := val.(evalMemo)
-	resp := EvaluateResponse{
-		Report: memo.Report, MissRatioCI: memo.CI, Sampled: memo.Sampled,
-		Parallel: memo.Parallel,
-		Cached:   hit, Shared: shared,
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	}
-	if req.Trace {
-		resp.Trace = memo.Trace
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // flightCtx grafts the requesting caller's observability identity — request
@@ -967,6 +1006,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.error(w, verr.code, verr.msg)
 		return
 	}
+	opts := s.sweepOptions(&req, repl)
+	opts.Probe = simProbe{s}
+	key, err := sweepRequestKey(&req, repl)
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
+		return s.sweepFlight(&req, mixes, opts)(s.flightCtx(fctx, ctx))
+	})
+	if err != nil {
+		s.simError(w, err)
+		return
+	}
+	s.countOutcome(hit, shared)
+	memo := val.(sweepMemo)
+	resp := SweepResponse{
+		sweepPayload: memo.Payload, Cached: hit, Shared: shared,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.Trace {
+		resp.Trace = memo.Trace
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepOptions builds the experiment options a validated sweep request
+// implies, minus the observers (Probe, OnPass) which differ between the
+// synchronous handler and the async job runner.
+func (s *Server) sweepOptions(req *SweepRequest, repl cache.Replacement) experiments.Options {
 	opts := experiments.Options{
 		Sizes: req.Sizes, LineSize: req.LineSize,
 		RefLimit: req.RefLimit, Workers: s.cfg.SimWorkers,
@@ -974,7 +1046,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		StreamSource: func(ctx context.Context, m workload.Mix) ([]trace.Ref, error) {
 			return s.mixStreamPerMember(ctx, m, req.RefLimit)
 		},
-		Probe: simProbe{s},
 	}
 	if req.Mode == "sampled" {
 		opts.Sampled = &core.SampledOptions{ErrorBudget: req.ErrorBudget}
@@ -991,10 +1062,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// SimWorkers > 1 would opt every sweep into the parallel engine.
 		opts.Parallel = &core.ParallelOptions{Workers: 1}
 	}
-	// The key carries the parsed policy's canonical name, so the "slru",
-	// "segmented-lru" and "2q" spellings memoize as one entry. Mode and
-	// budget isolate sampled results from exact ones.
-	key, err := requestKey("sweep", struct {
+	return opts
+}
+
+// sweepRequestKey computes a sweep request's memoization key from its
+// validated, canonicalized form. The key carries the parsed policy's
+// canonical name, so the "slru", "segmented-lru" and "2q" spellings memoize
+// as one entry. Mode and budget isolate sampled results from exact ones.
+// Async jobs compute the same key, so an async sweep and its synchronous
+// twin share one memo entry and one flight.
+func sweepRequestKey(req *SweepRequest, repl cache.Replacement) (string, error) {
+	return requestKey("sweep", struct {
 		Mixes       []string
 		Sizes       []int
 		LineSize    int
@@ -1007,15 +1085,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		L2          *core.L2Spec
 	}{req.Mixes, req.Sizes, req.LineSize, repl.String(), req.RefLimit, req.Mode, req.ErrorBudget, req.Parallel,
 		req.Victim, req.L2.spec()})
-	if err != nil {
-		s.error(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	start := time.Now()
-	val, hit, shared, err := s.do(ctx, key, func(fctx context.Context) (any, error) {
-		fctx = s.flightCtx(fctx, ctx)
+}
+
+// sweepFlight returns the flight body shared by the synchronous handler
+// and the async job runner; the caller decorates the flight context first.
+func (s *Server) sweepFlight(req *SweepRequest, mixes []workload.Mix, opts experiments.Options) func(context.Context) (any, error) {
+	return func(fctx context.Context) (any, error) {
 		fctx, tr := obs.NewTrace(fctx)
 		return s.timedSim(func() (any, error) {
 			obs.Logger(fctx).Info("sweep: simulation start",
@@ -1029,21 +1104,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			sp.End()
 			return sweepMemo{Payload: payload, Trace: tr.Summary()}, nil
 		})
-	})
-	if err != nil {
-		s.simError(w, err)
-		return
 	}
-	s.countOutcome(hit, shared)
-	memo := val.(sweepMemo)
-	resp := SweepResponse{
-		sweepPayload: memo.Payload, Cached: hit, Shared: shared,
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	}
-	if req.Trace {
-		resp.Trace = memo.Trace
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // summarizeSweep flattens a SweepResult into its JSON summary.
@@ -1064,53 +1125,56 @@ func summarizeSweep(res *experiments.SweepResult, mode string) sweepPayload {
 			ParallelOut: *parallelOut(&p.Info),
 		})
 	}
-	variant := func(o experiments.SimOut, split bool) VariantOut {
-		traffic := o.U.MemoryTraffic()
-		victim := o.U.VictimHits
-		if split {
-			traffic = o.I.MemoryTraffic() + o.D.MemoryTraffic()
-			victim = o.I.VictimHits + o.D.VictimHits
-		}
-		v := VariantOut{
-			MissRatio:    o.Ref.MissRatio(),
-			InstrMiss:    o.Ref.KindMissRatio(trace.IFetch),
-			DataMiss:     o.Ref.DataMissRatio(),
-			TrafficBytes: traffic,
-			MissRatioCI:  missCIOut(o.CI),
-			VictimHits:   victim,
-		}
-		if o.H != (cache.HierResult{}) {
-			// A two-level variant's memory interface is the L2's outer side.
-			v.TrafficBytes = o.H.U.MemoryTraffic()
-			var global float64
-			if n := o.Ref.TotalRefs(); n > 0 {
-				global = float64(o.H.Ev.FetchMisses) / float64(n)
-			}
-			v.L2 = &L2VariantOut{
-				Fetches:         o.H.Ev.Fetches,
-				FetchMisses:     o.H.Ev.FetchMisses,
-				Writes:          o.H.Ev.Writes,
-				WriteMisses:     o.H.Ev.WriteMisses,
-				LocalMissRatio:  o.H.Ev.LocalMissRatio(),
-				FetchMissRatio:  o.H.Ev.FetchMissRatio(),
-				GlobalMissRatio: global,
-			}
-		}
-		return v
-	}
 	out.Cells = make([][]SweepCellOut, len(res.Cells))
 	for mi, row := range res.Cells {
 		out.Cells[mi] = make([]SweepCellOut, len(row))
 		for si, cell := range row {
 			out.Cells[mi][si] = SweepCellOut{
-				SplitDemand:     variant(cell.SplitDemand, true),
-				SplitPrefetch:   variant(cell.SplitPrefetch, true),
-				UnifiedDemand:   variant(cell.UnifiedDemand, false),
-				UnifiedPrefetch: variant(cell.UnifiedPrefetch, false),
+				SplitDemand:     variantOut(cell.SplitDemand, true),
+				SplitPrefetch:   variantOut(cell.SplitPrefetch, true),
+				UnifiedDemand:   variantOut(cell.UnifiedDemand, false),
+				UnifiedPrefetch: variantOut(cell.UnifiedPrefetch, false),
 			}
 		}
 	}
 	return out
+}
+
+// variantOut converts one simulation's outputs to the response form shared
+// by sweep cells and job cell events.
+func variantOut(o experiments.SimOut, split bool) VariantOut {
+	traffic := o.U.MemoryTraffic()
+	victim := o.U.VictimHits
+	if split {
+		traffic = o.I.MemoryTraffic() + o.D.MemoryTraffic()
+		victim = o.I.VictimHits + o.D.VictimHits
+	}
+	v := VariantOut{
+		MissRatio:    o.Ref.MissRatio(),
+		InstrMiss:    o.Ref.KindMissRatio(trace.IFetch),
+		DataMiss:     o.Ref.DataMissRatio(),
+		TrafficBytes: traffic,
+		MissRatioCI:  missCIOut(o.CI),
+		VictimHits:   victim,
+	}
+	if o.H != (cache.HierResult{}) {
+		// A two-level variant's memory interface is the L2's outer side.
+		v.TrafficBytes = o.H.U.MemoryTraffic()
+		var global float64
+		if n := o.Ref.TotalRefs(); n > 0 {
+			global = float64(o.H.Ev.FetchMisses) / float64(n)
+		}
+		v.L2 = &L2VariantOut{
+			Fetches:         o.H.Ev.Fetches,
+			FetchMisses:     o.H.Ev.FetchMisses,
+			Writes:          o.H.Ev.Writes,
+			WriteMisses:     o.H.Ev.WriteMisses,
+			LocalMissRatio:  o.H.Ev.LocalMissRatio(),
+			FetchMissRatio:  o.H.Ev.FetchMissRatio(),
+			GlobalMissRatio: global,
+		}
+	}
+	return v
 }
 
 func (s *Server) handleMixes(w http.ResponseWriter, r *http.Request) {

@@ -131,6 +131,22 @@ func (p *Plot) Render() string {
 	return b.String()
 }
 
+// Bar renders a fixed-width horizontal progress bar like "[####----]".
+// frac is clamped to [0,1]; width is the number of fill cells (minimum 1).
+func Bar(frac float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", filled) + strings.Repeat("-", width-filled) + "]"
+}
+
 // axisValue maps a (possibly log-transformed) axis coordinate back to the
 // data domain for labeling.
 func (p *Plot) axisValue(v float64, logScale bool) float64 {

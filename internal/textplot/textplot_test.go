@@ -109,3 +109,22 @@ func TestAxisLabels(t *testing.T) {
 		t.Errorf("x-min label missing:\n%s", out)
 	}
 }
+
+func TestBar(t *testing.T) {
+	for _, tc := range []struct {
+		frac  float64
+		width int
+		want  string
+	}{
+		{0, 8, "[--------]"},
+		{0.5, 8, "[####----]"},
+		{1, 8, "[########]"},
+		{1.7, 4, "[####]"},  // clamp above
+		{-0.3, 4, "[----]"}, // clamp below
+		{0.5, 0, "[#]"},     // width floor
+	} {
+		if got := Bar(tc.frac, tc.width); got != tc.want {
+			t.Errorf("Bar(%v, %d) = %q, want %q", tc.frac, tc.width, got, tc.want)
+		}
+	}
+}

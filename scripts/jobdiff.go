@@ -1,0 +1,97 @@
+//go:build ignore
+
+// jobdiff compares an async job's summary event payload against the
+// synchronous endpoint's response for the same request. The two must agree
+// exactly once the synchronous per-request envelope (cached, shared,
+// elapsed_ms, trace) is stripped: the job summary is the memoized payload,
+// so any divergence means the async path computed something different.
+//
+// Usage: go run scripts/jobdiff.go <summary.json> <sync.json>
+//
+// Exits 0 when equivalent, 1 with a diff path when not. Comparison is
+// canonical: both documents are decoded to generic values and re-encoded,
+// so key order and whitespace never matter.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: jobdiff <summary.json> <sync.json>")
+		os.Exit(2)
+	}
+	summary, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jobdiff:", err)
+		os.Exit(2)
+	}
+	sync, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jobdiff:", err)
+		os.Exit(2)
+	}
+	if m, ok := sync.(map[string]any); ok {
+		for _, k := range []string{"cached", "shared", "elapsed_ms", "trace"} {
+			delete(m, k)
+		}
+	}
+	if path, ok := diff(summary, sync, "$"); !ok {
+		fmt.Fprintf(os.Stderr, "jobdiff: payloads differ at %s\n", path)
+		os.Exit(1)
+	}
+	fmt.Println("jobdiff: payloads equivalent")
+}
+
+func load(path string) (any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// diff walks both values and returns the path of the first mismatch.
+func diff(a, b any, path string) (string, bool) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return path, false
+		}
+		for k, v := range av {
+			w, ok := bv[k]
+			if !ok {
+				return path + "." + k, false
+			}
+			if p, ok := diff(v, w, path+"."+k); !ok {
+				return p, false
+			}
+		}
+		return "", true
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return path, false
+		}
+		for i, v := range av {
+			if p, ok := diff(v, bv[i], fmt.Sprintf("%s[%d]", path, i)); !ok {
+				return p, false
+			}
+		}
+		return "", true
+	default:
+		if !reflect.DeepEqual(a, b) {
+			return path, false
+		}
+		return "", true
+	}
+}

@@ -77,4 +77,50 @@ done
 grep -qF '"msg":"request"' "$workdir/stderr" || fail "no JSON access log lines on stderr"
 grep -qF '"request_id"' "$workdir/stderr" || fail "access log lines lack request_id"
 
+# --- async jobs: submit, stream, and diff against the synchronous answer ---
+sweep_req='{"mixes":["FGO1"],"sizes":[1024,4096],"ref_limit":20000}'
+
+echo "obs-smoke: submitting async sweep job"
+$CURL -fsS -X POST "http://$addr/v1/jobs" \
+    -d "{\"sweep\":$sweep_req}" >"$workdir/job.json" || fail "job create failed"
+# writeJSON indents with two spaces, so the id line is '  "id": "..."'.
+job_id=$(sed -n 's/^  "id": "\([0-9a-f]*\)",*$/\1/p' "$workdir/job.json")
+[ -n "$job_id" ] || fail "no job id in create reply: $(cat "$workdir/job.json")"
+
+# Consume the NDJSON stream to completion (-N disables curl buffering).
+$CURL -fsSN "http://$addr/v1/jobs/$job_id/events" >"$workdir/events.ndjson" \
+    || fail "event stream failed"
+for typ in accepted started run_start cell summary done; do
+    grep -qF "\"type\":\"$typ\"" "$workdir/events.ndjson" \
+        || fail "event stream missing \"$typ\" event"
+done
+
+# The terminal summary must equal the synchronous answer, canonically.
+sed -n 's/^{"seq":[0-9]*,"type":"summary","elapsed_ms":[0-9.]*,"data"://p' \
+    "$workdir/events.ndjson" | sed 's/}$//' >"$workdir/summary.json"
+[ -s "$workdir/summary.json" ] || fail "could not extract summary payload"
+$CURL -fsS -X POST "http://$addr/v1/sweep" -d "$sweep_req" >"$workdir/sync.json" \
+    || fail "synchronous sweep failed"
+$GO run ./scripts/jobdiff.go "$workdir/summary.json" "$workdir/sync.json" \
+    || fail "job summary differs from synchronous response"
+
+# Job status is resumable after the stream closed.
+$CURL -fsS "http://$addr/v1/jobs/$job_id" >"$workdir/status.json" || fail "job status failed"
+grep -qF '"state": "done"' "$workdir/status.json" || fail "job not done in status"
+grep -qF '"summary"' "$workdir/status.json" || fail "status missing summary"
+
+# Job and Go-runtime telemetry joined the exposition.
+$CURL -fsS "http://$addr/metrics" >"$prom" || fail "/metrics unreachable after job"
+for family in \
+    "# TYPE cacheeval_jobs_requests_total counter" \
+    "# TYPE cacheeval_jobs_created_total counter" \
+    "# TYPE cacheeval_jobs_events_emitted_total counter" \
+    "# TYPE cacheeval_jobs_active gauge" \
+    "# TYPE cacheeval_go_goroutines gauge" \
+    "# TYPE cacheeval_go_heap_inuse_bytes gauge" \
+    "# TYPE cacheeval_go_gc_pause_seconds histogram"; do
+    grep -qF "$family" "$prom" || fail "missing exposition line: $family"
+done
+grep -qE 'cacheeval_jobs_created_total [1-9]' "$prom" || fail "jobs counter did not move"
+
 echo "obs-smoke: OK"
