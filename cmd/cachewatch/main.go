@@ -13,9 +13,9 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -140,18 +140,19 @@ type monitor struct {
 // either a line per event (plain) or a live-redrawn progress frame.
 func watch(stream io.Reader, out io.Writer, plain bool, interval time.Duration) error {
 	m := &monitor{out: out, plain: plain, stages: make(map[string]*stageView)}
-	sc := bufio.NewScanner(stream)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	// A streaming decoder rather than a line scanner: a big sweep's summary
+	// event packs every cell into one JSON value and can exceed any fixed
+	// per-line cap.
+	dec := json.NewDecoder(stream)
 	var last time.Time
 	terminal := ""
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
+	for {
 		var ev jobs.Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("bad event line %q: %w", line, err)
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("event stream: %w", err)
 		}
 		m.apply(ev)
 		switch ev.Type {
@@ -162,9 +163,6 @@ func watch(stream io.Reader, out io.Writer, plain bool, interval time.Duration) 
 			m.renderLive()
 			last = time.Now()
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("event stream: %w", err)
 	}
 	if terminal == "" {
 		return fmt.Errorf("event stream ended without a terminal event")

@@ -358,11 +358,13 @@ func (j *Job) EventsSince(from uint64) (evs []Event, next uint64, terminal bool,
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	first = j.firstSeq
-	start := 0
+	// Offset arithmetic stays in uint64: a from far beyond nextSeq (the
+	// query parameter is untrusted) must not wrap negative on conversion.
+	start := uint64(0)
 	if from > j.firstSeq {
-		start = int(from - j.firstSeq)
+		start = from - j.firstSeq
 	}
-	if start < len(j.events) {
+	if start < uint64(len(j.events)) {
 		evs = append(evs, j.events[start:]...)
 	}
 	return evs, j.nextSeq, j.state.Terminal(), first

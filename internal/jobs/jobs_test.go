@@ -164,6 +164,25 @@ func TestRingOverflowReportsGap(t *testing.T) {
 	}
 }
 
+func TestEventsSinceHugeCursor(t *testing.T) {
+	r, _ := newTestRegistry(t, Config{})
+	j, _ := r.Create("sweep", "")
+	for i := 0; i < 3; i++ {
+		j.Publish("progress", map[string]int{"i": i})
+	}
+	// A cursor far past the tip (untrusted ?from input, up to MaxUint64)
+	// must return no events, not panic on a wrapped slice offset.
+	for _, from := range []uint64{4, 1 << 40, ^uint64(0)} {
+		evs, next, _, _ := j.EventsSince(from)
+		if len(evs) != 0 {
+			t.Fatalf("EventsSince(%d) returned %d events, want 0", from, len(evs))
+		}
+		if next != 4 {
+			t.Fatalf("EventsSince(%d) next = %d, want 4", from, next)
+		}
+	}
+}
+
 func TestUpdatedWakesSubscriber(t *testing.T) {
 	r, _ := newTestRegistry(t, Config{})
 	j, _ := r.Create("sweep", "")

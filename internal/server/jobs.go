@@ -84,16 +84,19 @@ type evalPayload struct {
 // disconnect without replaying the stream — the completed cells so far and,
 // once done, the same summary payload the stream's terminal event carried.
 type JobStatusOut struct {
-	ID        string            `json:"id"`
-	Kind      string            `json:"kind"`
-	State     jobs.State        `json:"state"`
-	RequestID string            `json:"request_id"`
-	CreatedAt time.Time         `json:"created_at"`
-	ElapsedMS float64           `json:"elapsed_ms"`
-	NextSeq   uint64            `json:"next_seq"`
-	Error     string            `json:"error,omitempty"`
-	Cells     []json.RawMessage `json:"cells,omitempty"`
-	Summary   json.RawMessage   `json:"summary,omitempty"`
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	State     jobs.State `json:"state"`
+	RequestID string     `json:"request_id"`
+	CreatedAt time.Time  `json:"created_at"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	NextSeq   uint64     `json:"next_seq"`
+	// DroppedEvents counts ring-buffer evictions over the job's life; when
+	// non-zero the Cells snapshot may be missing early completions.
+	DroppedEvents uint64            `json:"dropped_events,omitempty"`
+	Error         string            `json:"error,omitempty"`
+	Cells         []json.RawMessage `json:"cells,omitempty"`
+	Summary       json.RawMessage   `json:"summary,omitempty"`
 }
 
 func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
@@ -273,6 +276,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		out = append(out, JobStatusOut{
 			ID: j.ID, Kind: j.Kind, State: j.State(), RequestID: j.RequestID,
 			CreatedAt: j.Created(), NextSeq: j.NextSeq(), Error: j.Err(),
+			DroppedEvents: j.Dropped(),
 		})
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -289,6 +293,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	out := JobStatusOut{
 		ID: job.ID, Kind: job.Kind, State: job.State(), RequestID: job.RequestID,
 		CreatedAt: job.Created(), NextSeq: job.NextSeq(), Error: job.Err(),
+		DroppedEvents: job.Dropped(),
 	}
 	out.ElapsedMS = float64(time.Since(job.Created())) / float64(time.Millisecond)
 	evs, _, _, _ := job.EventsSince(0)
@@ -359,6 +364,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the status line and headers immediately so a client attaching
+		// to a quiet job sees the connection succeed before the next publish.
+		flusher.Flush()
+	}
 	write := func(ev jobs.Event) bool {
 		b, err := json.Marshal(ev)
 		if err != nil {
@@ -388,7 +398,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		if flusher != nil && (len(evs) > 0 || first > cursor) {
+		if flusher != nil {
 			flusher.Flush()
 		}
 		if next > cursor {
